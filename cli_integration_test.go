@@ -1,0 +1,70 @@
+package socialrec_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIIntegration drives the actual command-line tools end to end:
+// generate a dataset, cluster it, produce recommendations, evaluate, and
+// mount the attack — the workflow the README documents. It shells out to
+// `go run`, so it is skipped under -short.
+func TestCLIIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the CLI binaries")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go binary not available")
+	}
+	dir := t.TempDir()
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command("go", append([]string{"run"}, args...)...)
+		cmd.Dir = "."
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run("./cmd/datagen", "-preset", "tiny", "-seed", "5", "-out", dir)
+	if !strings.Contains(out, "|U|") {
+		t.Fatalf("datagen output missing stats:\n%s", out)
+	}
+	for _, f := range []string{"social.tsv", "preferences.tsv", "communities.tsv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("datagen did not write %s: %v", f, err)
+		}
+	}
+
+	social := filepath.Join(dir, "social.tsv")
+	prefs := filepath.Join(dir, "preferences.tsv")
+
+	out = run("./cmd/communities", "-social", social, "-runs", "3")
+	if !strings.Contains(out, "modularity:") {
+		t.Fatalf("communities output missing modularity:\n%s", out)
+	}
+
+	out = run("./cmd/recommend", "-social", social, "-prefs", prefs,
+		"-epsilon", "0.5", "-n", "3", "-limit", "1")
+	if !strings.Contains(out, "user 0:") || !strings.Contains(out, "utility") {
+		t.Fatalf("recommend output malformed:\n%s", out)
+	}
+
+	out = run("./cmd/evaluate", "-social", social, "-prefs", prefs,
+		"-epsilon", "0.5", "-n", "5", "-sample", "40")
+	if !strings.Contains(out, "NDCG@5") {
+		t.Fatalf("evaluate output malformed:\n%s", out)
+	}
+
+	out = run("./cmd/attack", "-social", social, "-prefs", prefs,
+		"-victim", "0", "-eps", "0.5", "-trials", "1", "-runs", "2")
+	if !strings.Contains(out, "non-private recommender:   100.0% recovered") {
+		t.Fatalf("attack should fully succeed against the exact recommender:\n%s", out)
+	}
+}

@@ -1,0 +1,169 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§6) on the calibrated synthetic datasets.
+//
+// Usage:
+//
+//	experiments -exp all                # everything (slow)
+//	experiments -exp table1             # Table 1 dataset statistics
+//	experiments -exp fig1               # Last.fm-like NDCG@N vs ε sweep
+//	experiments -exp fig2               # Flixster-like NDCG@N vs ε sweep
+//	experiments -exp fig3               # degree vs approximation error
+//	experiments -exp fig4               # baseline mechanism comparison
+//	experiments -exp clusters           # §6.2 clustering statistics
+//	experiments -exp decompose          # Eq. 5 approximation/perturbation split
+//
+// -repeats, -sample and -runs trade fidelity for speed; the paper's own
+// settings are -repeats 10 and (for the big dataset) -sample 10000.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"socialrec/internal/dp"
+	"socialrec/internal/experiment"
+	"socialrec/internal/generator"
+	"socialrec/internal/similarity"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, table1, fig1, fig2, fig3, fig4, clusters or decompose")
+		repeats = flag.Int("repeats", 3, "noise repeats per measurement (paper: 10)")
+		sample  = flag.Int("sample", 400, "evaluation-user sample size")
+		runs    = flag.Int("runs", 10, "Louvain restarts")
+		seed    = flag.Int64("seed", 7, "master seed")
+		lrmRank = flag.Int("lrm-rank", 200, "decomposition rank for the LRM comparator")
+		csvDir  = flag.String("csv-dir", "", "also write tidy CSVs (fig1.csv, ...) into this directory")
+	)
+	flag.Parse()
+
+	writeCSV := func(name string, emit func(io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	opts := experiment.Opts{Repeats: *repeats, EvalSample: *sample, LouvainRuns: *runs, Seed: *seed}
+	run := func(name string, f func() error) {
+		t0 := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(t0).Seconds())
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		run("Table 1: dataset statistics", func() error {
+			out, err := experiment.Table1(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		})
+	}
+	if want("clusters") {
+		run("§6.2: clustering statistics", func() error {
+			for _, p := range []generator.Preset{generator.LastFMLike(*seed), generator.FlixsterLike(*seed)} {
+				cr, err := experiment.ClusterStats(p, opts)
+				if err != nil {
+					return err
+				}
+				fmt.Print(cr.Format())
+			}
+			return nil
+		})
+	}
+	if want("fig1") {
+		run("Fig 1: Last.fm-like NDCG@N vs ε", func() error {
+			sw, err := experiment.NDCGSweep(generator.LastFMLike(*seed), experiment.DefaultEps(), experiment.DefaultNs(), opts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sw.Format())
+			return writeCSV("fig1.csv", sw.WriteCSV)
+		})
+	}
+	if want("fig2") {
+		run("Fig 2: Flixster-like NDCG@N vs ε", func() error {
+			sw, err := experiment.NDCGSweep(generator.FlixsterLike(*seed), experiment.DefaultEps(), experiment.DefaultNs(), opts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sw.Format())
+			return writeCSV("fig2.csv", sw.WriteCSV)
+		})
+	}
+	if want("fig3") {
+		run("Fig 3: degree vs approximation error", func() error {
+			for i, p := range []generator.Preset{generator.LastFMLike(*seed), generator.FlixsterLike(*seed)} {
+				da, err := experiment.DegreeVsAccuracy(p, opts)
+				if err != nil {
+					return err
+				}
+				fmt.Print(da.Format())
+				fmt.Printf("  correlation(log degree, NDCG): %.3f\n", da.Correlation())
+				if err := writeCSV(fmt.Sprintf("fig3%c.csv", 'a'+i), da.WriteCSV); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if want("decompose") {
+		run("Eq. 5: error decomposition", func() error {
+			for _, p := range []generator.Preset{generator.LastFMLike(*seed), generator.FlixsterLike(*seed)} {
+				ds, _, err := experiment.BuildDataset(p)
+				if err != nil {
+					return err
+				}
+				clusters, _ := experiment.ClusterSocial(ds, *runs, *seed+100)
+				eval := experiment.SampleUsers(ds.Social.NumUsers(), opts.EvalSample, *seed+200)
+				r, err := experiment.NewRunner(ds, similarity.CommonNeighbors{}, clusters, eval)
+				if err != nil {
+					return err
+				}
+				for _, e := range []dp.Epsilon{1.0, 0.1} {
+					d, err := r.DecomposeError(e, *seed, 50)
+					if err != nil {
+						return err
+					}
+					fmt.Print(d.Format())
+				}
+			}
+			return nil
+		})
+	}
+	if want("fig4") {
+		run("Fig 4: baseline mechanisms on Last.fm-like", func() error {
+			bl, err := experiment.BaselineComparison(
+				generator.LastFMLike(*seed), []dp.Epsilon{1.0, 0.1}, *lrmRank, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bl.Format())
+			return writeCSV("fig4.csv", bl.WriteCSV)
+		})
+	}
+}

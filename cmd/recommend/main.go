@@ -1,0 +1,132 @@
+// Command recommend builds a differentially private social recommender from
+// TSV edge lists and prints top-N recommendation lists.
+//
+// Usage:
+//
+//	recommend -social data/social.tsv -prefs data/preferences.tsv \
+//	          -epsilon 0.5 -n 10 -users 0,5,12
+//
+// With -users omitted, recommendations are printed for the first -limit
+// users. -epsilon inf disables noise (non-private reference output).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"socialrec"
+	"socialrec/internal/dataset"
+)
+
+func main() {
+	var (
+		socialPath = flag.String("social", "", "path to social edge TSV (required)")
+		prefsPath  = flag.String("prefs", "", "path to preference edge TSV (required)")
+		epsArg     = flag.String("epsilon", "1.0", "privacy budget ε, or 'inf' for no noise")
+		n          = flag.Int("n", 10, "recommendations per user")
+		usersArg   = flag.String("users", "", "comma-separated user tokens (default: first -limit users)")
+		limit      = flag.Int("limit", 5, "how many users to serve when -users is omitted")
+		measure    = flag.String("measure", "CN", "similarity measure: CN, GD, AA or KZ")
+		minWeight  = flag.Float64("min-weight", 1, "discard raw preference edges below this weight (§6.1 uses 2)")
+		seed       = flag.Int64("seed", 1, "seed for clustering order and noise")
+	)
+	flag.Parse()
+	if *socialPath == "" || *prefsPath == "" {
+		fatalf("-social and -prefs are required")
+	}
+
+	eps := math.Inf(1)
+	if *epsArg != "inf" {
+		var err error
+		eps, err = strconv.ParseFloat(*epsArg, 64)
+		if err != nil {
+			fatalf("bad -epsilon %q: %v", *epsArg, err)
+		}
+	}
+
+	sf, err := os.Open(*socialPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	social, userIDs, err := dataset.ReadSocialTSV(sf)
+	sf.Close()
+	if err != nil {
+		fatalf("parsing %s: %v", *socialPath, err)
+	}
+
+	pf, err := os.Open(*prefsPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	raw, itemIDs, err := dataset.ReadPreferenceTSV(pf, userIDs)
+	pf.Close()
+	if err != nil {
+		fatalf("parsing %s: %v", *prefsPath, err)
+	}
+	prefs, dropped, err := dataset.BuildPreferences(social.NumUsers(), len(itemIDs), raw, *minWeight)
+	if err != nil {
+		fatalf("building preference graph: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d users, %d social edges, %d items, %d preference edges (%d below weight threshold)\n",
+		social.NumUsers(), social.NumEdges(), prefs.NumItems(), prefs.NumEdges(), dropped)
+
+	engine, err := socialrec.NewEngineFromGraphs(social, prefs, socialrec.Config{
+		Measure: *measure,
+		Epsilon: eps,
+		Seed:    *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "clustered into %d communities (modularity %.3f), epsilon=%s\n",
+		engine.NumClusters(), engine.Modularity(), *epsArg)
+
+	// Resolve requested users.
+	var users []int
+	var tokens []string
+	if *usersArg != "" {
+		for _, tok := range strings.Split(*usersArg, ",") {
+			tok = strings.TrimSpace(tok)
+			id, ok := userIDs[tok]
+			if !ok {
+				fatalf("unknown user %q", tok)
+			}
+			users = append(users, id)
+			tokens = append(tokens, tok)
+		}
+	} else {
+		byID := make([]string, social.NumUsers())
+		for tok, id := range userIDs {
+			byID[id] = tok
+		}
+		for id := 0; id < social.NumUsers() && id < *limit; id++ {
+			users = append(users, id)
+			tokens = append(tokens, byID[id])
+		}
+	}
+
+	itemTok := make([]string, len(itemIDs))
+	for tok, id := range itemIDs {
+		itemTok[id] = tok
+	}
+
+	lists, err := engine.RecommendBatch(users, *n)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for k, list := range lists {
+		fmt.Printf("user %s:\n", tokens[k])
+		for rank, r := range list {
+			fmt.Printf("  %2d. item %-12s utility %.4f\n", rank+1, itemTok[r.Item], r.Utility)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "recommend: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command recserve serves differentially private social recommendations
+// over HTTP. The private release happens once at startup; every request is
+// post-processing over the sanitized state, so serving consumes no further
+// privacy budget no matter how many queries arrive.
+//
+// Usage:
+//
+//	recserve -social data/social.tsv -prefs data/preferences.tsv -epsilon 0.5 -addr :8080
+//
+// Endpoints (see internal/server):
+//
+//	GET  /healthz                         liveness probe
+//	GET  /stats                           dataset + clustering summary
+//	GET  /users?limit=N                   known user tokens
+//	GET  /recommend?user=<id>&n=<count>   top-n list for one user
+//	POST /recommend/batch                 {"users": [...], "n": 10}
+package main
+
+import (
+	"flag"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+
+	"socialrec"
+	"socialrec/internal/dataset"
+	"socialrec/internal/server"
+)
+
+func main() {
+	var (
+		socialPath = flag.String("social", "", "path to social edge TSV (required)")
+		prefsPath  = flag.String("prefs", "", "path to preference edge TSV (required)")
+		epsArg     = flag.String("epsilon", "1.0", "privacy budget ε, or 'inf'")
+		measure    = flag.String("measure", "CN", "similarity measure: CN, GD, AA or KZ")
+		addr       = flag.String("addr", ":8080", "listen address")
+		seed       = flag.Int64("seed", 1, "seed for clustering order and noise")
+		maxN       = flag.Int("max-n", 100, "largest list length a request may ask for")
+		minWeight  = flag.Float64("min-weight", 1, "discard raw preference edges below this weight")
+		loadRel    = flag.String("load-release", "", "serve from a persisted release instead of raw preferences")
+		saveRel    = flag.String("save-release", "", "persist the sanitized release to this path after building")
+	)
+	flag.Parse()
+	if *socialPath == "" || (*prefsPath == "" && *loadRel == "") {
+		log.Fatal("recserve: -social and one of -prefs / -load-release are required")
+	}
+
+	eps := math.Inf(1)
+	if *epsArg != "inf" {
+		var err error
+		eps, err = strconv.ParseFloat(*epsArg, 64)
+		if err != nil {
+			log.Fatalf("recserve: bad -epsilon %q: %v", *epsArg, err)
+		}
+	}
+
+	sf, err := os.Open(*socialPath)
+	if err != nil {
+		log.Fatalf("recserve: %v", err)
+	}
+	social, userIDs, err := dataset.ReadSocialTSV(sf)
+	sf.Close()
+	if err != nil {
+		log.Fatalf("recserve: parsing %s: %v", *socialPath, err)
+	}
+
+	var (
+		engine  *socialrec.Engine
+		itemTok []string
+		stats   dataset.Stats
+	)
+	if *loadRel != "" {
+		// Serve a previously persisted release: the raw preference data
+		// never enters this process.
+		rf, err := os.Open(*loadRel)
+		if err != nil {
+			log.Fatalf("recserve: %v", err)
+		}
+		engine, err = socialrec.LoadEngine(rf, social)
+		rf.Close()
+		if err != nil {
+			log.Fatalf("recserve: loading release %s: %v", *loadRel, err)
+		}
+		stats.Users = social.NumUsers()
+		stats.SocialEdges = social.NumEdges()
+	} else {
+		pf, err := os.Open(*prefsPath)
+		if err != nil {
+			log.Fatalf("recserve: %v", err)
+		}
+		raw, itemIDs, err := dataset.ReadPreferenceTSV(pf, userIDs)
+		pf.Close()
+		if err != nil {
+			log.Fatalf("recserve: parsing %s: %v", *prefsPath, err)
+		}
+		prefs, _, err := dataset.BuildPreferences(social.NumUsers(), len(itemIDs), raw, *minWeight)
+		if err != nil {
+			log.Fatalf("recserve: %v", err)
+		}
+		engine, err = socialrec.NewEngineFromGraphs(social, prefs, socialrec.Config{
+			Measure: *measure, Epsilon: eps, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("recserve: %v", err)
+		}
+		itemTok = make([]string, len(itemIDs))
+		for tok, id := range itemIDs {
+			itemTok[id] = tok
+		}
+		ds := &dataset.Dataset{Name: "served", Social: social, Prefs: prefs}
+		stats = ds.Summarize()
+		if *saveRel != "" {
+			out, err := os.Create(*saveRel)
+			if err != nil {
+				log.Fatalf("recserve: %v", err)
+			}
+			if err := engine.SaveRelease(out); err != nil {
+				log.Fatalf("recserve: saving release: %v", err)
+			}
+			if err := out.Close(); err != nil {
+				log.Fatalf("recserve: saving release: %v", err)
+			}
+			log.Printf("recserve: sanitized release written to %s", *saveRel)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Engine:     engine,
+		UserIDs:    userIDs,
+		ItemTokens: itemTok,
+		Stats:      stats,
+		MaxN:       *maxN,
+	})
+	if err != nil {
+		log.Fatalf("recserve: %v", err)
+	}
+
+	log.Printf("recserve: %d users, %d clusters, epsilon=%g, listening on %s",
+		social.NumUsers(), engine.NumClusters(), engine.Epsilon(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

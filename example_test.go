@@ -1,0 +1,68 @@
+package socialrec_test
+
+import (
+	"fmt"
+
+	"socialrec"
+)
+
+// Example demonstrates the complete flow: build graphs, perform a private
+// release, serve recommendations.
+func Example() {
+	// Two friend groups. Social edges are public; preferences are the
+	// protected secret.
+	b := socialrec.NewGraphBuilder(8, 6)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				b.AddFriendship(4*c+i, 4*c+j)
+			}
+		}
+	}
+	b.AddFriendship(3, 4)
+	for _, e := range [][2]int{
+		{1, 0}, {1, 1}, {2, 0}, {2, 2}, {3, 1},
+		{5, 3}, {5, 4}, {6, 3}, {6, 5}, {7, 4},
+	} {
+		b.AddPreference(e[0], e[1])
+	}
+
+	// ε = ∞ isolates the framework's clustering approximation (no noise);
+	// production systems pass a finite budget like 0.5.
+	engine, err := socialrec.NewEngine(b, socialrec.Config{
+		Epsilon: socialrec.NoPrivacy,
+		Seed:    1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	recs, err := engine.Recommend(0, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("user 0's top item: %d (from %d communities)\n", recs[0].Item, engine.NumClusters())
+	// Output:
+	// user 0's top item: 0 (from 2 communities)
+}
+
+// ExampleNewExactEngine contrasts the non-private reference recommender —
+// use it for evaluation only, never to serve real preference data.
+func ExampleNewExactEngine() {
+	b := socialrec.NewGraphBuilder(3, 2)
+	b.AddFriendship(0, 1).AddFriendship(1, 2)
+	b.AddPreference(2, 1)
+
+	exact, err := socialrec.NewExactEngine(b, "CN")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// User 0 and user 2 share neighbor 1, so CN(0, 2) = 1 and user 2's
+	// preference for item 1 reaches user 0 at full strength.
+	recs, _ := exact.Recommend(0, 1)
+	fmt.Printf("item %d with exact utility %.0f\n", recs[0].Item, recs[0].Utility)
+	// Output:
+	// item 1 with exact utility 1
+}

@@ -1,0 +1,81 @@
+// Movierec: the paper's Flixster scenario — a denser social graph makes
+// private recommendation dramatically more noise-resistant.
+//
+//	go run ./examples/movierec
+//
+// Generates two movie-rating networks that differ only in social density
+// (average degree 8 vs 22), runs the cluster framework on both across the
+// privacy sweep, and shows the paper's §6.3 observation: denser graphs form
+// larger communities, and larger clusters absorb more noise at the same ε.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socialrec/internal/dp"
+	"socialrec/internal/experiment"
+	"socialrec/internal/generator"
+)
+
+func preset(name string, avgDegree float64) generator.Preset {
+	return generator.Preset{
+		Name: name,
+		Social: generator.SocialConfig{
+			NumUsers: 1500, NumCommunities: 12, AvgDegree: avgDegree,
+			IntraFraction: 0.82, Seed: 21,
+		},
+		Prefs: generator.PreferenceConfig{
+			NumItems: 5000, NumEdges: 60000, CommunityAffinity: 0.7,
+			PopularitySkew: 1.15, TasteBreadth: 450, Seed: 22,
+		},
+	}
+}
+
+func main() {
+	eps := []dp.Epsilon{dp.Inf, 1.0, 0.1, 0.05, 0.01}
+	opts := experiment.Opts{Repeats: 2, EvalSample: 250, LouvainRuns: 5, Seed: 21}
+
+	type row struct {
+		name  string
+		cells []experiment.Cell
+		nc    int
+	}
+	var rows []row
+	for _, p := range []generator.Preset{preset("sparse-movies(deg≈8)", 8), preset("dense-movies(deg≈22)", 22)} {
+		fmt.Printf("generating %s...\n", p.Name)
+		sw, err := experiment.NDCGSweep(p, eps, []int{50}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Report the CN measure (the paper's Fig. 3 measure).
+		var cells []experiment.Cell
+		for ei := range eps {
+			cells = append(cells, sw.Cells["CN"][ei][0])
+		}
+		rows = append(rows, row{name: p.Name, cells: cells, nc: sw.ClusterCount})
+	}
+
+	fmt.Printf("\nNDCG@50 (CN measure), movie networks of different social density\n")
+	fmt.Printf("%-22s %9s", "network", "clusters")
+	for _, e := range eps {
+		if e.IsInf() {
+			fmt.Printf("%9s", "inf")
+		} else {
+			fmt.Printf("%9g", float64(e))
+		}
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-22s %9d", r.name, r.nc)
+		for _, c := range r.cells {
+			fmt.Printf("%9.3f", c.Mean)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("The denser network holds its accuracy to far smaller ε — the paper's")
+	fmt.Println("explanation for why Flixster (avg degree 18.5) was more robust than")
+	fmt.Println("Last.fm (13.4): higher degree → larger mutually similar user sets →")
+	fmt.Println("larger clusters → noise scale 1/(|c|·ε) vanishes faster.")
+}

@@ -1,0 +1,59 @@
+// Musicrec: the paper's Last.fm scenario on synthetic data — which
+// similarity measure should a private music recommender use?
+//
+//	go run ./examples/musicrec
+//
+// Generates a Last.fm-like social music network (users listen to artists;
+// friendships are public, listening history is private) and compares the
+// four structural similarity measures of §2.2 under the cluster framework,
+// reporting NDCG@50 at several privacy levels — a miniature of the paper's
+// Fig. 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socialrec/internal/dp"
+	"socialrec/internal/experiment"
+	"socialrec/internal/generator"
+)
+
+func main() {
+	// A half-scale Last.fm-like network keeps the example under a minute.
+	preset := generator.Preset{
+		Name: "music",
+		Social: generator.SocialConfig{
+			NumUsers: 950, NumCommunities: 14, AvgDegree: 13.4,
+			IntraFraction: 0.85, Seed: 11,
+		},
+		Prefs: generator.PreferenceConfig{
+			NumItems: 8000, NumEdges: 46000, CommunityAffinity: 0.75,
+			PopularitySkew: 1.05, TasteBreadth: 700, Seed: 12,
+		},
+	}
+
+	fmt.Println("generating music network (users→artists private, friendships public)...")
+	eps := []dp.Epsilon{dp.Inf, 1.0, 0.1, 0.01}
+	sweep, err := experiment.NDCGSweep(preset, eps, []int{50}, experiment.Opts{
+		Repeats: 2, EvalSample: 250, LouvainRuns: 5, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sweep.Format())
+
+	// Pick the best measure at the moderate privacy setting ε = 0.1.
+	best, bestV := "", -1.0
+	for _, m := range sweep.Measures {
+		if v := sweep.Cells[m][2][0].Mean; v > bestV {
+			best, bestV = m, v
+		}
+	}
+	fmt.Printf("Best measure at ε=0.1: %s (NDCG@50 = %.3f)\n", best, bestV)
+	fmt.Println()
+	fmt.Println("Reading the table: the ε=∞ column is pure approximation error from")
+	fmt.Println("replacing each listener's private history with their community's noisy")
+	fmt.Println("average; the gap to 1.0 is the price of the clustering, and the fall-off")
+	fmt.Println("to the right is the price of the Laplace noise.")
+}

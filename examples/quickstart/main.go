@@ -1,0 +1,80 @@
+// Quickstart: build a small social network through the public API and serve
+// differentially private recommendations.
+//
+//	go run ./examples/quickstart
+//
+// The network has two friend groups with distinct tastes. Watch how the
+// private engine recommends within-group items to Alice, and how shrinking ε
+// (stronger privacy) adds noise to the released utilities.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socialrec"
+)
+
+// A tiny item catalog so the output reads naturally.
+var items = []string{
+	"jazz-album", "blues-album", "soul-album", // liked by group A
+	"metal-album", "punk-album", "hardcore-album", // liked by group B
+}
+
+// Users 0-3 are group A (Alice is 0), users 4-7 are group B.
+var names = []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
+
+func build() *socialrec.GraphBuilder {
+	b := socialrec.NewGraphBuilder(len(names), len(items))
+	// Two friend cliques plus one bridging acquaintance.
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				b.AddFriendship(4*c+i, 4*c+j)
+			}
+		}
+	}
+	b.AddFriendship(3, 4)
+
+	// Group A streams jazz/blues/soul; group B streams metal/punk.
+	// Alice's own preferences are deliberately left out: everything she
+	// receives is inferred from her friends.
+	for _, e := range [][2]int{
+		{1, 0}, {1, 1}, {2, 0}, {2, 2}, {3, 1}, {3, 2},
+		{4, 3}, {4, 4}, {5, 3}, {5, 5}, {6, 4}, {6, 5}, {7, 3},
+	} {
+		b.AddPreference(e[0], e[1])
+	}
+	return b
+}
+
+func main() {
+	for _, eps := range []float64{socialrec.NoPrivacy, 1.0, 0.1} {
+		engine, err := socialrec.NewEngine(build(), socialrec.Config{
+			Measure: "CN", // Common Neighbors
+			Epsilon: eps,
+			Seed:    42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs, err := engine.Recommend(0, 3) // Alice
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("ε = %g", eps)
+		if eps == socialrec.NoPrivacy {
+			label = "ε = ∞ (no privacy)"
+		}
+		fmt.Printf("--- %s --- (%d communities found)\n", label, engine.NumClusters())
+		for rank, r := range recs {
+			fmt.Printf("  %d. %-15s (estimated utility %.3f)\n", rank+1, items[r.Item], r.Utility)
+		}
+	}
+	fmt.Println()
+	fmt.Println("At ε=∞ Alice gets her friend group's jazz/blues/soul exactly ranked.")
+	fmt.Println("At ε=1 the ranking survives the noise; at ε=0.1 on a graph this tiny")
+	fmt.Println("(clusters of ~4 users) the noise starts displacing items — the paper's")
+	fmt.Println("framework shines when communities are larger, so each secret hides")
+	fmt.Println("among many cluster-mates.")
+}

@@ -1,0 +1,76 @@
+// Sybilattack: reproduces the §2.3 attack that motivates the paper — and
+// shows the framework defeating it.
+//
+//	go run ./examples/sybilattack
+//
+// The attacker finds a degree-1 neighbor of the victim (or fabricates one
+// by profile cloning), attaches a Sybil account, and reads the Sybil's
+// recommendations. Under every similarity measure of §2.2 the non-private
+// recommender hands over the victim's entire preference list; the paper's
+// differentially private framework collapses the attack toward the
+// popularity baseline. Built on internal/attack, which implements the §2.3
+// constructions for all four measures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socialrec/internal/attack"
+	"socialrec/internal/dp"
+	"socialrec/internal/generator"
+	"socialrec/internal/similarity"
+)
+
+func main() {
+	// Background population: a community-structured network for the
+	// victim to hide in.
+	social, comm, err := generator.Social(generator.SocialConfig{
+		NumUsers: 400, NumCommunities: 6, AvgDegree: 12, IntraFraction: 0.85, Seed: 31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prefs, err := generator.Preferences(social, comm, generator.PreferenceConfig{
+		NumItems: 1200, NumEdges: 9000, CommunityAffinity: 0.75,
+		PopularitySkew: 1.0, TasteBreadth: 150, Seed: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const victim = 0
+	fmt.Printf("victim holds %d private preference edges\n\n", len(prefs.Items(victim)))
+
+	for _, m := range similarity.All() {
+		chain := attack.ChainLengthFor(m)
+		top, err := attack.Plan(social, victim, chain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, err := attack.RunExact(top, prefs, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("measure %s (Sybil chain of %d):\n", m.Name(), chain)
+		fmt.Printf("  NON-PRIVATE recommender:  attack recovers %3.0f%% of the victim's edges\n", 100*exact)
+		for _, eps := range []dp.Epsilon{1.0, 0.1} {
+			const trials = 5
+			var total float64
+			for trial := 0; trial < trials; trial++ {
+				hit, err := attack.RunPrivate(top, prefs, m, eps, 3, int64(100+trial))
+				if err != nil {
+					log.Fatal(err)
+				}
+				total += hit
+			}
+			fmt.Printf("  PRIVATE, ε=%-4g:          attack recovers %3.0f%% (mean of %d releases)\n",
+				float64(eps), 100*total/trials, trials)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Under the private framework the Sybil sees only the victim's community")
+	fmt.Println("average plus Laplace noise: the victim's individual edges hide among")
+	fmt.Println("their cluster-mates', which is the ε-DP guarantee of Theorem 4. (The")
+	fmt.Println("residual hit rate is community-level taste, which DP deliberately")
+	fmt.Println("permits — it is what makes the recommendations useful.)")
+}

@@ -1,0 +1,219 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"socialrec/internal/core"
+	"socialrec/internal/dp"
+	"socialrec/internal/generator"
+	"socialrec/internal/graph"
+	"socialrec/internal/similarity"
+)
+
+// testWorld builds a small community graph where victim 0 has a secret
+// preference list and a degree-1 friend.
+func testWorld(t testing.TB, withDegree1Friend bool) (*graph.Social, *graph.Preference) {
+	t.Helper()
+	n := 12
+	sb := graph.NewSocialBuilder(n)
+	// Clique over 0..5 and 6..10.
+	for c := 0; c < 2; c++ {
+		base, size := 0, 6
+		if c == 1 {
+			base, size = 6, 5
+		}
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if err := sb.AddEdge(base+i, base+j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := sb.AddEdge(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if withDegree1Friend {
+		if err := sb.AddEdge(0, 11); err != nil { // 11's only friend is 0
+			t.Fatal(err)
+		}
+	}
+	pb := graph.NewPreferenceBuilder(n, 10)
+	for _, e := range [][2]int{{0, 1}, {0, 4}, {0, 7}, {1, 1}, {2, 2}, {6, 5}, {7, 5}} {
+		if err := pb.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.Build(), pb.Build()
+}
+
+func TestPlanReusesDegree1Neighbor(t *testing.T) {
+	social, _ := testWorld(t, true)
+	top, err := Plan(social, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Accomplice != 11 {
+		t.Errorf("accomplice = %d, want the existing degree-1 neighbor 11", top.Accomplice)
+	}
+	if len(top.Added) != 1 {
+		t.Errorf("added = %v, want exactly one Sybil", top.Added)
+	}
+	if top.Social.NumUsers() != social.NumUsers()+1 {
+		t.Errorf("spliced users = %d", top.Social.NumUsers())
+	}
+}
+
+func TestPlanCreatesAccomplice(t *testing.T) {
+	social, _ := testWorld(t, false)
+	top, err := Plan(social, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Added) != 2 {
+		t.Fatalf("added = %v, want accomplice + Sybil", top.Added)
+	}
+	if top.Accomplice != social.NumUsers() {
+		t.Errorf("accomplice = %d, want the first appended id", top.Accomplice)
+	}
+	// The accomplice's only friends are the victim and the Sybil.
+	neigh := top.Social.Neighbors(top.Accomplice)
+	if len(neigh) != 2 {
+		t.Fatalf("accomplice neighbors = %v", neigh)
+	}
+}
+
+// TestObserverIsolationCN is the crux of §2.3: under CN the observer's
+// similarity set on the spliced graph must be exactly {victim}.
+func TestObserverIsolationCN(t *testing.T) {
+	social, _ := testWorld(t, true)
+	top, err := Plan(social, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := similarity.CommonNeighbors{}.Similar(top.Social, top.Observer, nil)
+	if len(s.Users) != 1 || int(s.Users[0]) != top.Victim {
+		t.Fatalf("observer similarity set = %v, want exactly {victim}", s.Users)
+	}
+}
+
+func TestChainLengthFor(t *testing.T) {
+	cases := []struct {
+		m    similarity.Measure
+		want int
+	}{
+		{similarity.CommonNeighbors{}, 1},
+		{similarity.AdamicAdar{}, 1},
+		{similarity.GraphDistance{}, 1},           // d = 2 → 1 Sybil
+		{similarity.GraphDistance{MaxDist: 3}, 2}, // d = 3 → 2 Sybils
+		{similarity.Katz{}, 2},                    // k = 3 → 2 Sybils
+		{similarity.Katz{MaxLen: 2}, 1},
+	}
+	for _, c := range cases {
+		if got := ChainLengthFor(c.m); got != c.want {
+			t.Errorf("ChainLengthFor(%s) = %d, want %d", c.m.Name(), got, c.want)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	social, _ := testWorld(t, true)
+	if _, err := Plan(social, -1, 1); err == nil {
+		t.Error("negative victim should fail")
+	}
+	if _, err := Plan(social, 999, 1); err == nil {
+		t.Error("out-of-range victim should fail")
+	}
+	if _, err := Plan(social, 0, 0); err == nil {
+		t.Error("zero chain should fail")
+	}
+}
+
+func TestExtendPrefs(t *testing.T) {
+	_, prefs := testWorld(t, true)
+	ext, err := ExtendPrefs(prefs, prefs.NumUsers()+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.NumUsers() != prefs.NumUsers()+3 || ext.NumEdges() != prefs.NumEdges() {
+		t.Error("extension changed the edge set")
+	}
+	if _, err := ExtendPrefs(prefs, 1); err == nil {
+		t.Error("shrinking should fail")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	secret := []int32{1, 4, 7}
+	recs := []core.Recommendation{{Item: 1}, {Item: 9}, {Item: 7}}
+	if got := HitRate(recs, secret); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("HitRate = %v, want 2/3", got)
+	}
+	if HitRate(recs, nil) != 0 {
+		t.Error("empty secret should be 0")
+	}
+}
+
+// TestExactAttackRecoversEverything reproduces the paper's motivating
+// claim: against the non-private recommender the attack is total, for
+// every similarity measure (with the appropriate chain length).
+func TestExactAttackRecoversEverything(t *testing.T) {
+	social, prefs := testWorld(t, true)
+	for _, m := range similarity.All() {
+		top, err := Plan(social, 0, ChainLengthFor(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit, err := RunExact(top, prefs, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if hit != 1.0 {
+			t.Errorf("%s: exact attack hit rate = %v, want 1.0", m.Name(), hit)
+		}
+	}
+}
+
+// TestPrivateAttackDegrades verifies the framework's defense on a larger,
+// realistic world: across several releases at a strong privacy setting the
+// mean hit rate must fall well below the non-private 100%.
+func TestPrivateAttackDegrades(t *testing.T) {
+	social, comm, err := generator.Social(generator.SocialConfig{
+		NumUsers: 300, NumCommunities: 5, AvgDegree: 10, IntraFraction: 0.85, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefs, err := generator.Preferences(social, comm, generator.PreferenceConfig{
+		NumItems: 900, NumEdges: 6000, CommunityAffinity: 0.7,
+		PopularitySkew: 1.0, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := similarity.CommonNeighbors{}
+	top, err := Plan(social, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := RunExact(top, prefs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 1.0 {
+		t.Fatalf("exact hit rate = %v, want 1.0", exact)
+	}
+	var total float64
+	const trials = 3
+	for i := 0; i < trials; i++ {
+		hit, err := RunPrivate(top, prefs, m, dp.Epsilon(0.1), 3, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hit
+	}
+	if avg := total / trials; avg > 0.5 {
+		t.Errorf("private attack hit rate = %v, want well below the exact 1.0", avg)
+	}
+}

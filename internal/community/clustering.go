@@ -1,0 +1,194 @@
+// Package community implements the clustering phase of the framework
+// (§5.1.2 of the paper): detection of the social graph's community structure
+// with the Louvain method [4], extended with the multi-level refinement of
+// Rotta & Noack [29], exactly as the paper's experimental setup (§6.2)
+// describes. Random clustering and label propagation are provided as
+// ablation baselines.
+//
+// Everything in this package reads only the public social graph G_s; no
+// preference data ever enters, which is what makes the clustering free under
+// differential privacy (paper Theorem 4).
+package community
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"socialrec/internal/graph"
+)
+
+// Clustering is a partition of the users of a social graph into disjoint
+// clusters. Cluster ids are dense in [0, NumClusters).
+type Clustering struct {
+	assign []int32 // user → cluster
+	sizes  []int32 // cluster → member count
+}
+
+// FromAssignment builds a Clustering from a user → cluster assignment. The
+// assignment is renumbered to dense cluster ids, preserving the order of
+// first appearance. It returns an error if any assignment is negative.
+func FromAssignment(assign []int32) (*Clustering, error) {
+	remap := make(map[int32]int32)
+	c := &Clustering{assign: make([]int32, len(assign))}
+	for u, a := range assign {
+		if a < 0 {
+			return nil, fmt.Errorf("community: user %d has negative cluster %d", u, a)
+		}
+		id, ok := remap[a]
+		if !ok {
+			id = int32(len(remap))
+			remap[a] = id
+			c.sizes = append(c.sizes, 0)
+		}
+		c.assign[u] = id
+		c.sizes[id]++
+	}
+	return c, nil
+}
+
+// NumUsers reports the number of users partitioned.
+func (c *Clustering) NumUsers() int { return len(c.assign) }
+
+// NumClusters reports the number of clusters.
+func (c *Clustering) NumClusters() int { return len(c.sizes) }
+
+// Cluster reports the cluster id of user u.
+func (c *Clustering) Cluster(u int) int { return int(c.assign[u]) }
+
+// Size reports the number of users in cluster id.
+func (c *Clustering) Size(id int) int { return int(c.sizes[id]) }
+
+// Sizes returns a copy of the per-cluster member counts.
+func (c *Clustering) Sizes() []int {
+	out := make([]int, len(c.sizes))
+	for i, s := range c.sizes {
+		out[i] = int(s)
+	}
+	return out
+}
+
+// Members returns, for every cluster, the sorted user ids it contains.
+func (c *Clustering) Members() [][]int32 {
+	out := make([][]int32, len(c.sizes))
+	for i, s := range c.sizes {
+		out[i] = make([]int32, 0, s)
+	}
+	for u, a := range c.assign {
+		out[a] = append(out[a], int32(u))
+	}
+	return out
+}
+
+// Assignment returns a copy of the user → cluster assignment.
+func (c *Clustering) Assignment() []int32 {
+	out := make([]int32, len(c.assign))
+	copy(out, c.assign)
+	return out
+}
+
+// LargestFraction reports the fraction of all users held by the largest
+// cluster, as quoted in §6.2 of the paper (28.5% for Last.fm, 18.3% for
+// Flixster).
+func (c *Clustering) LargestFraction() float64 {
+	if len(c.assign) == 0 {
+		return 0
+	}
+	var max int32
+	for _, s := range c.sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return float64(max) / float64(len(c.assign))
+}
+
+// MeanSize returns the mean and population standard deviation of the cluster
+// sizes.
+func (c *Clustering) MeanSize() (mean, std float64) {
+	k := len(c.sizes)
+	if k == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, s := range c.sizes {
+		sum += float64(s)
+	}
+	mean = sum / float64(k)
+	var ss float64
+	for _, s := range c.sizes {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	return mean, sqrt(ss / float64(k))
+}
+
+// Modularity computes the Newman modularity Q of the clustering on the
+// (unweighted) social graph:
+//
+//	Q(Φ) = Σ_c [ L_c/|E_s| − (D_c / (2|E_s|))² ]
+//
+// where L_c is the number of intra-cluster edges and D_c the total degree of
+// cluster c. This is Eq. 8 of the paper in its standard normalization.
+func Modularity(g *graph.Social, c *Clustering) float64 {
+	m := float64(g.NumEdges())
+	if m == 0 {
+		return 0
+	}
+	intra := make([]float64, c.NumClusters())
+	degsum := make([]float64, c.NumClusters())
+	for u := 0; u < g.NumUsers(); u++ {
+		cu := c.assign[u]
+		degsum[cu] += float64(g.Degree(u))
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v && c.assign[v] == cu {
+				intra[cu]++
+			}
+		}
+	}
+	var q float64
+	for i := range intra {
+		a := degsum[i] / (2 * m)
+		q += intra[i]/m - a*a
+	}
+	return q
+}
+
+// Random partitions n users into k clusters uniformly at random. It is the
+// "clustering without regard to structure" strawman of §5.1.2, used by the
+// ablation benchmarks to isolate the value of community structure. k is
+// clamped to [1, n] (for n > 0).
+func Random(n, k int, rng *rand.Rand) *Clustering {
+	if n == 0 {
+		c, _ := FromAssignment(nil)
+		return c
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	assign := make([]int32, n)
+	// Deal one user to every cluster first so none is empty, then assign
+	// the rest uniformly.
+	perm := rng.Perm(n)
+	for i := 0; i < k; i++ {
+		assign[perm[i]] = int32(i)
+	}
+	for i := k; i < n; i++ {
+		assign[perm[i]] = int32(rng.Intn(k))
+	}
+	c, err := FromAssignment(assign)
+	if err != nil {
+		panic("community: internal error: " + err.Error())
+	}
+	return c
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,102 @@
+package community
+
+import (
+	"socialrec/internal/graph"
+)
+
+// CNM detects communities with the Clauset–Newman–Moore greedy
+// agglomerative algorithm: starting from singletons, repeatedly merge the
+// connected pair of communities with the largest modularity gain until no
+// merge improves modularity. It is an alternative clustering strategy for
+// the framework (any algorithm that reads only G_s keeps Theorem 4 intact)
+// and a reference point for the Louvain implementation: on well-separated
+// graphs both should land near the same partition, with Louvain markedly
+// faster on large inputs.
+//
+// This implementation favours clarity over the heap machinery of the
+// original paper; it runs in O(n·(n+m)) worst case, comfortable for graphs
+// up to a few tens of thousands of nodes.
+func CNM(g *graph.Social) *Clustering {
+	n := g.NumUsers()
+	m2 := float64(2 * g.NumEdges())
+	if n == 0 {
+		c, _ := FromAssignment(nil)
+		return c
+	}
+	if m2 == 0 {
+		c, _ := FromAssignment(initSingleton(n))
+		return c
+	}
+
+	// Community state. e[i][j] holds the fraction of all edge *ends*
+	// running between communities i and j (i ≠ j, symmetric); a[i] the
+	// fraction of edge ends attached to community i. ΔQ for merging i, j
+	// is 2(e_ij − a_i·a_j).
+	parent := make([]int32, n) // community → representative (itself if live)
+	e := make([]map[int32]float64, n)
+	a := make([]float64, n)
+	for u := 0; u < n; u++ {
+		parent[u] = int32(u)
+		a[u] = float64(g.Degree(u)) / m2
+		nb := g.Neighbors(u)
+		e[u] = make(map[int32]float64, len(nb))
+		for _, v := range nb {
+			e[u][v] += 1 / m2
+		}
+	}
+	live := make([]int32, n)
+	copy(live, parent)
+
+	for {
+		// Find the best connected pair.
+		var bi, bj int32 = -1, -1
+		best := 0.0
+		for _, i := range live {
+			if parent[i] != i {
+				continue
+			}
+			for j, eij := range e[i] {
+				if j <= i || parent[j] != j {
+					continue
+				}
+				if gain := 2 * (eij - a[i]*a[j]); gain > best+1e-15 {
+					best, bi, bj = gain, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		// Merge bj into bi.
+		for k, w := range e[bj] {
+			if parent[k] != k || k == bi {
+				continue
+			}
+			e[bi][k] += w
+			e[k][bi] += w
+			delete(e[k], bj)
+		}
+		delete(e[bi], bj)
+		a[bi] += a[bj]
+		parent[bj] = bi
+		e[bj] = nil
+	}
+
+	// Resolve representatives (union-find style path compression).
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	assign := make([]int32, n)
+	for u := 0; u < n; u++ {
+		assign[u] = find(int32(u))
+	}
+	c, err := FromAssignment(assign)
+	if err != nil {
+		panic("community: internal error: " + err.Error())
+	}
+	return c
+}

@@ -1,0 +1,83 @@
+package community
+
+import (
+	"testing"
+
+	"socialrec/internal/graph"
+)
+
+func TestCNMTwoCliques(t *testing.T) {
+	g := twoCliques(t, 6)
+	c := CNM(g)
+	if c.NumClusters() != 2 {
+		t.Fatalf("clusters = %d, want 2", c.NumClusters())
+	}
+	for i := 1; i < 6; i++ {
+		if c.Cluster(i) != c.Cluster(0) || c.Cluster(6+i) != c.Cluster(6) {
+			t.Fatalf("cliques split: %v", c.Assignment())
+		}
+	}
+	if c.Cluster(0) == c.Cluster(6) {
+		t.Error("cliques merged")
+	}
+}
+
+func TestCNMPlantedPartition(t *testing.T) {
+	g, _ := plantedPartition(t, 4, 25, 0.5, 0.01, 9)
+	c := CNM(g)
+	q := Modularity(g, c)
+	if q < 0.5 {
+		t.Errorf("CNM modularity = %v, want > 0.5 on a strongly planted graph", q)
+	}
+	if c.NumClusters() < 3 || c.NumClusters() > 8 {
+		t.Errorf("clusters = %d, want near the planted 4", c.NumClusters())
+	}
+}
+
+func TestCNMComparableToLouvain(t *testing.T) {
+	g, _ := plantedPartition(t, 5, 20, 0.45, 0.02, 11)
+	qc := Modularity(g, CNM(g))
+	ql := Modularity(g, Louvain(g, Options{Seed: 1}))
+	// The two greedy optimizers should land in the same neighbourhood;
+	// neither should collapse.
+	if qc < ql-0.15 {
+		t.Errorf("CNM Q = %v far below Louvain Q = %v", qc, ql)
+	}
+}
+
+func TestCNMEdgeCases(t *testing.T) {
+	// Empty graph.
+	if c := CNM(graph.NewSocialBuilder(0).Build()); c.NumClusters() != 0 {
+		t.Errorf("empty graph: %d clusters", c.NumClusters())
+	}
+	// Edgeless graph: singletons.
+	if c := CNM(graph.NewSocialBuilder(4).Build()); c.NumClusters() != 4 {
+		t.Errorf("edgeless graph: %d clusters, want 4", c.NumClusters())
+	}
+	// Single edge: both endpoints merge (Q gain of merging a pendant pair
+	// is positive), isolated node stays alone.
+	b := graph.NewSocialBuilder(3)
+	_ = b.AddEdge(0, 1)
+	c := CNM(b.Build())
+	if c.Cluster(0) != c.Cluster(1) {
+		t.Error("connected pair should merge")
+	}
+	if c.Cluster(2) == c.Cluster(0) {
+		t.Error("isolated node should stay separate")
+	}
+}
+
+func TestCNMPartitionIsValid(t *testing.T) {
+	g, _ := plantedPartition(t, 3, 15, 0.5, 0.05, 13)
+	c := CNM(g)
+	if c.NumUsers() != g.NumUsers() {
+		t.Fatal("user count mismatch")
+	}
+	total := 0
+	for _, s := range c.Sizes() {
+		total += s
+	}
+	if total != g.NumUsers() {
+		t.Fatal("sizes do not partition users")
+	}
+}

@@ -1,0 +1,309 @@
+package community
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"socialrec/internal/graph"
+)
+
+// twoCliques builds two k-cliques joined by a single bridge edge — the
+// canonical graph whose optimal partition is one cluster per clique.
+func twoCliques(t testing.TB, k int) *graph.Social {
+	b := graph.NewSocialBuilder(2 * k)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if err := b.AddEdge(c*k+i, c*k+j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddEdge(0, k); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestFromAssignment(t *testing.T) {
+	c, err := FromAssignment([]int32{5, 5, 2, 9, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumClusters() != 3 {
+		t.Fatalf("NumClusters = %d, want 3", c.NumClusters())
+	}
+	// Dense renumbering preserves first-appearance order: 5→0, 2→1, 9→2.
+	want := []int{0, 0, 1, 2, 1}
+	for u, w := range want {
+		if c.Cluster(u) != w {
+			t.Errorf("Cluster(%d) = %d, want %d", u, c.Cluster(u), w)
+		}
+	}
+	if c.Size(0) != 2 || c.Size(1) != 2 || c.Size(2) != 1 {
+		t.Errorf("Sizes = %v, want [2 2 1]", c.Sizes())
+	}
+	if _, err := FromAssignment([]int32{0, -1}); err == nil {
+		t.Error("negative assignment should fail")
+	}
+}
+
+func TestClusteringAccessors(t *testing.T) {
+	c, _ := FromAssignment([]int32{0, 0, 0, 1, 1, 2})
+	if got := c.LargestFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("LargestFraction = %v, want 0.5", got)
+	}
+	mean, std := c.MeanSize()
+	if mean != 2 {
+		t.Errorf("MeanSize mean = %v, want 2", mean)
+	}
+	if wantVar := (1.0 + 0 + 1.0) / 3; math.Abs(std*std-wantVar) > 1e-12 {
+		t.Errorf("MeanSize std² = %v, want %v", std*std, wantVar)
+	}
+	members := c.Members()
+	if len(members) != 3 || len(members[0]) != 3 || members[2][0] != 5 {
+		t.Errorf("Members = %v", members)
+	}
+	a := c.Assignment()
+	a[0] = 99
+	if c.Cluster(0) == 99 {
+		t.Error("Assignment must return a copy")
+	}
+}
+
+func TestModularityHandComputed(t *testing.T) {
+	// Two triangles joined by one edge; partition = the two triangles.
+	// m = 7; L_1 = L_2 = 3; D_1 = 2+2+3 = 7 = D_2.
+	// Q = 2 · (3/7 − (7/14)²) = 6/7 − 1/2.
+	g := twoCliques(t, 3)
+	c, _ := FromAssignment([]int32{0, 0, 0, 1, 1, 1})
+	want := 6.0/7.0 - 0.5
+	if got := Modularity(g, c); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Modularity = %v, want %v", got, want)
+	}
+}
+
+func TestModularitySingleClusterIsZero(t *testing.T) {
+	g := twoCliques(t, 4)
+	assign := make([]int32, g.NumUsers())
+	c, _ := FromAssignment(assign)
+	// All nodes in one cluster: Q = m/m − (2m/2m)² = 0.
+	if got := Modularity(g, c); math.Abs(got) > 1e-12 {
+		t.Errorf("Modularity = %v, want 0", got)
+	}
+}
+
+func TestLouvainTwoCliques(t *testing.T) {
+	g := twoCliques(t, 6)
+	c := Louvain(g, Options{Seed: 1})
+	if c.NumClusters() != 2 {
+		t.Fatalf("NumClusters = %d, want 2", c.NumClusters())
+	}
+	// All members of each clique must share a cluster.
+	for i := 1; i < 6; i++ {
+		if c.Cluster(i) != c.Cluster(0) {
+			t.Errorf("clique A split: user %d", i)
+		}
+		if c.Cluster(6+i) != c.Cluster(6) {
+			t.Errorf("clique B split: user %d", 6+i)
+		}
+	}
+	if c.Cluster(0) == c.Cluster(6) {
+		t.Error("cliques merged")
+	}
+}
+
+// plantedPartition builds k dense blocks of size sz with sparse inter-block
+// edges.
+func plantedPartition(t testing.TB, k, sz int, pIn, pOut float64, seed int64) (*graph.Social, []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	n := k * sz
+	truth := make([]int32, n)
+	b := graph.NewSocialBuilder(n)
+	for u := 0; u < n; u++ {
+		truth[u] = int32(u / sz)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if truth[u] == truth[v] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				if err := b.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return b.Build(), truth
+}
+
+func TestLouvainRecoversPlantedPartition(t *testing.T) {
+	g, truth := plantedPartition(t, 4, 30, 0.5, 0.01, 42)
+	c := Louvain(g, Options{Seed: 3})
+	if c.NumClusters() != 4 {
+		t.Fatalf("NumClusters = %d, want 4", c.NumClusters())
+	}
+	// Check the clustering matches the planted truth up to relabeling.
+	mapping := make(map[int32]int32)
+	for u := 0; u < g.NumUsers(); u++ {
+		got := int32(c.Cluster(u))
+		if want, ok := mapping[truth[u]]; ok {
+			if got != want {
+				t.Fatalf("user %d: cluster %d, want %d (planted block %d)", u, got, want, truth[u])
+			}
+		} else {
+			mapping[truth[u]] = got
+		}
+	}
+}
+
+func TestLouvainModularityBeatsRandom(t *testing.T) {
+	g, _ := plantedPartition(t, 5, 25, 0.4, 0.02, 7)
+	louvain := Louvain(g, Options{Seed: 1})
+	random := Random(g.NumUsers(), louvain.NumClusters(), rand.New(rand.NewSource(1)))
+	ql, qr := Modularity(g, louvain), Modularity(g, random)
+	if ql <= qr+0.2 {
+		t.Errorf("Louvain Q = %v should clearly beat random Q = %v", ql, qr)
+	}
+}
+
+func TestBestOfImprovesOrMatches(t *testing.T) {
+	g, _ := plantedPartition(t, 4, 20, 0.4, 0.03, 11)
+	single := Louvain(g, Options{Seed: 5})
+	qSingle := Modularity(g, single)
+	_, qBest := BestOf(g, 8, 5, Options{})
+	if qBest < qSingle-1e-12 {
+		t.Errorf("BestOf Q = %v < single-run Q = %v", qBest, qSingle)
+	}
+}
+
+func TestRefinementDoesNotHurt(t *testing.T) {
+	g, _ := plantedPartition(t, 4, 25, 0.35, 0.03, 13)
+	for seed := int64(0); seed < 5; seed++ {
+		refined := Louvain(g, Options{Seed: seed})
+		coarse := Louvain(g, Options{Seed: seed, DisableRefinement: true})
+		qr, qc := Modularity(g, refined), Modularity(g, coarse)
+		if qr < qc-1e-9 {
+			t.Errorf("seed %d: refined Q = %v < unrefined Q = %v", seed, qr, qc)
+		}
+	}
+}
+
+func TestLouvainDeterministicBySeed(t *testing.T) {
+	g, _ := plantedPartition(t, 3, 20, 0.4, 0.05, 17)
+	a := Louvain(g, Options{Seed: 9})
+	b := Louvain(g, Options{Seed: 9})
+	if a.NumClusters() != b.NumClusters() {
+		t.Fatal("same seed, different cluster counts")
+	}
+	for u := 0; u < g.NumUsers(); u++ {
+		if a.Cluster(u) != b.Cluster(u) {
+			t.Fatal("same seed, different assignments")
+		}
+	}
+}
+
+func TestLouvainIsolatedNodes(t *testing.T) {
+	// Graph with no edges at all: every node stays a singleton.
+	g := graph.NewSocialBuilder(5).Build()
+	c := Louvain(g, Options{Seed: 1})
+	if c.NumClusters() != 5 {
+		t.Errorf("NumClusters = %d, want 5 singletons", c.NumClusters())
+	}
+}
+
+func TestRandomClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := Random(100, 7, rng)
+	if c.NumUsers() != 100 || c.NumClusters() != 7 {
+		t.Fatalf("shape = (%d, %d), want (100, 7)", c.NumUsers(), c.NumClusters())
+	}
+	for id := 0; id < c.NumClusters(); id++ {
+		if c.Size(id) == 0 {
+			t.Errorf("cluster %d empty", id)
+		}
+	}
+	// Clamping.
+	if got := Random(3, 10, rng).NumClusters(); got != 3 {
+		t.Errorf("k > n should clamp to n; got %d clusters", got)
+	}
+	if got := Random(3, 0, rng).NumClusters(); got != 1 {
+		t.Errorf("k < 1 should clamp to 1; got %d clusters", got)
+	}
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	g := twoCliques(t, 8)
+	c := LabelPropagation(g, 3, 0)
+	if c.Cluster(0) == c.Cluster(8) {
+		t.Error("label propagation merged the two cliques")
+	}
+	for i := 1; i < 8; i++ {
+		if c.Cluster(i) != c.Cluster(0) || c.Cluster(8+i) != c.Cluster(8) {
+			t.Fatalf("clique split: %v", c.Assignment())
+		}
+	}
+}
+
+// Property: modularity of any clustering on any graph lies in [-1, 1], and
+// cluster sizes always sum to the user count.
+func TestModularityBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		b := graph.NewSocialBuilder(n)
+		for k := 0; k < 2*n; k++ {
+			_ = b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		assign := make([]int32, n)
+		k := 1 + rng.Intn(5)
+		for i := range assign {
+			assign[i] = int32(rng.Intn(k))
+		}
+		c, err := FromAssignment(assign)
+		if err != nil {
+			return false
+		}
+		q := Modularity(g, c)
+		if q < -1 || q > 1 {
+			return false
+		}
+		total := 0
+		for _, s := range c.Sizes() {
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Louvain always returns a valid partition whose modularity is at
+// least that of the singleton partition (its own starting point).
+func TestLouvainNeverWorseThanSingletonsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		b := graph.NewSocialBuilder(n)
+		for k := 0; k < 3*n; k++ {
+			_ = b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		c := Louvain(g, Options{Seed: seed})
+		if c.NumUsers() != n {
+			return false
+		}
+		singles, _ := FromAssignment(initSingleton(n))
+		return Modularity(g, c) >= Modularity(g, singles)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

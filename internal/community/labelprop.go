@@ -1,0 +1,85 @@
+package community
+
+import (
+	"math/rand"
+
+	"socialrec/internal/graph"
+)
+
+// LabelPropagation detects communities by asynchronous label propagation
+// (Raghavan et al.): every node repeatedly adopts the label held by the
+// majority of its neighbors until no node changes. It typically produces a
+// finer-grained clustering than Louvain and serves as an ablation point for
+// the framework's cluster-granularity trade-off (smaller clusters → less
+// approximation error but more perturbation error).
+//
+// maxIters bounds the sweeps; 0 means a default of 100, which label
+// propagation virtually never needs on real graphs.
+func LabelPropagation(g *graph.Social, seed int64, maxIters int) *Clustering {
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	n := g.NumUsers()
+	rng := rand.New(rand.NewSource(seed))
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	counts := make([]int32, n)
+	touched := make([]int32, 0, 64)
+	order := rng.Perm(n)
+	for iter := 0; iter < maxIters; iter++ {
+		changes := 0
+		for _, u := range order {
+			neigh := g.Neighbors(u)
+			if len(neigh) == 0 {
+				continue
+			}
+			touched = touched[:0]
+			for _, v := range neigh {
+				l := labels[v]
+				if counts[l] == 0 {
+					touched = append(touched, l)
+				}
+				counts[l]++
+			}
+			// Standard LPA tie handling: find the maximum neighbor-label
+			// count; keep the current label if it attains the maximum,
+			// otherwise adopt one of the maximal labels uniformly at
+			// random. (A deterministic lowest-id tie-break would cascade
+			// one label across weak bridges and collapse the partition.)
+			var bestCount int32
+			for _, l := range touched {
+				if counts[l] > bestCount {
+					bestCount = counts[l]
+				}
+			}
+			cur := labels[u]
+			if counts[cur] < bestCount {
+				ties := 0
+				pick := cur
+				for _, l := range touched {
+					if counts[l] == bestCount {
+						ties++
+						if rng.Intn(ties) == 0 {
+							pick = l
+						}
+					}
+				}
+				labels[u] = pick
+				changes++
+			}
+			for _, l := range touched {
+				counts[l] = 0
+			}
+		}
+		if changes == 0 {
+			break
+		}
+	}
+	c, err := FromAssignment(labels)
+	if err != nil {
+		panic("community: internal error: " + err.Error())
+	}
+	return c
+}

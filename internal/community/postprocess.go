@@ -1,0 +1,90 @@
+package community
+
+import (
+	"fmt"
+
+	"socialrec/internal/graph"
+)
+
+// MergeSmall implements the §7 post-processing heuristic the paper proposes
+// for future work: clusters smaller than minSize are dissolved into the
+// neighboring cluster they share the most edges with. Tiny clusters are bad
+// for the framework on both error axes — their averages get the largest
+// noise (scale 1/(|c|·ε)) while contributing little approximation benefit —
+// so folding them into their best-connected neighbor trades a small amount
+// of approximation error for a large noise reduction on their members.
+//
+// Clusters with no external edges (isolated components) are merged into the
+// smallest surviving cluster, which minimizes the damage to that cluster's
+// averages. The returned clustering has every cluster of size >= minSize,
+// unless the whole graph has fewer than minSize users.
+func MergeSmall(g *graph.Social, c *Clustering, minSize int) (*Clustering, error) {
+	if g.NumUsers() != c.NumUsers() {
+		return nil, fmt.Errorf("community: clustering covers %d users but graph has %d", c.NumUsers(), g.NumUsers())
+	}
+	if minSize <= 1 || c.NumClusters() <= 1 {
+		return c, nil
+	}
+	assign := c.Assignment()
+	sizes := make([]int, c.NumClusters())
+	for _, a := range assign {
+		sizes[a]++
+	}
+
+	// Iteratively fold the smallest undersized cluster into its
+	// best-connected neighbor. Iterating (rather than one pass) handles
+	// chains of tiny clusters that only reach minSize together.
+	for {
+		smallest := -1
+		for id, s := range sizes {
+			if s > 0 && s < minSize && (smallest < 0 || s < sizes[smallest]) {
+				smallest = id
+			}
+		}
+		if smallest < 0 {
+			break
+		}
+		// Count edges from the doomed cluster to every other cluster.
+		conn := make(map[int32]int)
+		for u, a := range assign {
+			if int(a) != smallest {
+				continue
+			}
+			for _, v := range g.Neighbors(u) {
+				if b := assign[v]; int(b) != smallest {
+					conn[b]++
+				}
+			}
+		}
+		target := int32(-1)
+		best := -1
+		for b, n := range conn {
+			if n > best || (n == best && (target < 0 || b < target)) {
+				target, best = b, n
+			}
+		}
+		if target < 0 {
+			// Isolated: merge into the smallest other surviving cluster.
+			for id, s := range sizes {
+				if id != smallest && s > 0 && (target < 0 || s < sizes[target]) {
+					target = int32(id)
+				}
+			}
+			if target < 0 {
+				break // only one cluster left
+			}
+		}
+		for u, a := range assign {
+			if int(a) == smallest {
+				assign[u] = target
+			}
+		}
+		sizes[target] += sizes[smallest]
+		sizes[smallest] = 0
+	}
+	merged, err := FromAssignment(assign)
+	if err != nil {
+		return nil, fmt.Errorf("community: internal error: %w", err)
+	}
+	return merged, nil
+}

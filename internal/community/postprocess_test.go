@@ -1,0 +1,150 @@
+package community
+
+import (
+	"testing"
+
+	"socialrec/internal/graph"
+	"socialrec/internal/similarity"
+)
+
+func TestMergeSmallFoldsTinyClusters(t *testing.T) {
+	// Two cliques of 6 plus a pendant pair attached to clique A.
+	g := func() *graph.Social {
+		b := graph.NewSocialBuilder(14)
+		for c := 0; c < 2; c++ {
+			for i := 0; i < 6; i++ {
+				for j := i + 1; j < 6; j++ {
+					_ = b.AddEdge(6*c+i, 6*c+j)
+				}
+			}
+		}
+		_ = b.AddEdge(0, 12)
+		_ = b.AddEdge(12, 13)
+		return b.Build()
+	}()
+	assign := make([]int32, 14)
+	for i := 6; i < 12; i++ {
+		assign[i] = 1
+	}
+	assign[12], assign[13] = 2, 2 // tiny cluster of 2
+	c, err := FromAssignment(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeSmall(g, c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumClusters() != 2 {
+		t.Fatalf("clusters = %d, want 2", merged.NumClusters())
+	}
+	// The pair connects to clique A (via user 0), so it must join A.
+	if merged.Cluster(12) != merged.Cluster(0) || merged.Cluster(13) != merged.Cluster(0) {
+		t.Error("tiny cluster merged into the wrong neighbor")
+	}
+	for id := 0; id < merged.NumClusters(); id++ {
+		if merged.Size(id) < 3 {
+			t.Errorf("cluster %d still undersized: %d", id, merged.Size(id))
+		}
+	}
+}
+
+func TestMergeSmallIsolatedCluster(t *testing.T) {
+	// A clique of 5 and two isolated users (no edges at all).
+	b := graph.NewSocialBuilder(7)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			_ = b.AddEdge(i, j)
+		}
+	}
+	g := b.Build()
+	c, err := FromAssignment([]int32{0, 0, 0, 0, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeSmall(g, c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Isolated singletons have no connecting edges; they must still end
+	// up somewhere and every surviving cluster must meet the floor.
+	for id := 0; id < merged.NumClusters(); id++ {
+		if merged.Size(id) < 2 {
+			t.Errorf("cluster %d undersized after merge: %d", id, merged.Size(id))
+		}
+	}
+}
+
+func TestMergeSmallNoOpCases(t *testing.T) {
+	g := twoCliques(t, 4)
+	c := Louvain(g, Options{Seed: 1})
+	same, err := MergeSmall(g, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != c {
+		t.Error("minSize <= 1 should return the input unchanged")
+	}
+	if _, err := MergeSmall(g, mustFrom(t, []int32{0}), 2); err == nil {
+		t.Error("mismatched sizes should fail")
+	}
+}
+
+func mustFrom(t *testing.T, a []int32) *Clustering {
+	t.Helper()
+	c, err := FromAssignment(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMergeSmallPreservesUserCount(t *testing.T) {
+	g, _ := plantedPartition(t, 5, 12, 0.5, 0.05, 3)
+	c := Louvain(g, Options{Seed: 2})
+	merged, err := MergeSmall(g, c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumUsers() != c.NumUsers() {
+		t.Fatal("user count changed")
+	}
+	total := 0
+	for _, s := range merged.Sizes() {
+		total += s
+	}
+	if total != c.NumUsers() {
+		t.Fatal("sizes do not partition the users")
+	}
+}
+
+func TestKMeansSimilarityRecoversCliques(t *testing.T) {
+	g := twoCliques(t, 8)
+	c := KMeansSimilarity(g, similarity.CommonNeighbors{}, 2, 1, 0)
+	if c.NumUsers() != 16 {
+		t.Fatalf("users = %d", c.NumUsers())
+	}
+	// All of clique A together, all of clique B together, separately.
+	for i := 1; i < 8; i++ {
+		if c.Cluster(i) != c.Cluster(0) {
+			t.Fatalf("clique A split: %v", c.Assignment())
+		}
+		if c.Cluster(8+i) != c.Cluster(8) {
+			t.Fatalf("clique B split: %v", c.Assignment())
+		}
+	}
+	if c.Cluster(0) == c.Cluster(8) {
+		t.Error("cliques merged")
+	}
+}
+
+func TestKMeansSimilarityClamping(t *testing.T) {
+	g := twoCliques(t, 3)
+	if got := KMeansSimilarity(g, similarity.CommonNeighbors{}, 0, 1, 5).NumClusters(); got != 1 {
+		t.Errorf("k=0 should clamp to 1, got %d clusters", got)
+	}
+	c := KMeansSimilarity(g, similarity.CommonNeighbors{}, 100, 1, 5)
+	if c.NumUsers() != 6 {
+		t.Errorf("users = %d", c.NumUsers())
+	}
+}

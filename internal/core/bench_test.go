@@ -1,0 +1,33 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkTopN50of20K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	u := make([]float64, 20000)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TopN(u, 50, math.Inf(-1))
+	}
+}
+
+func BenchmarkTopN50of20KSparse(b *testing.B) {
+	// Mostly-zero utilities with a positive floor — the non-private
+	// recommender's workload.
+	rng := rand.New(rand.NewSource(1))
+	u := make([]float64, 20000)
+	for i := 0; i < 500; i++ {
+		u[rng.Intn(len(u))] = rng.Float64() * 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TopN(u, 50, 0)
+	}
+}

@@ -1,0 +1,192 @@
+// Package core implements the top-N social recommender of §2.2 of the paper
+// (Definitions 3 and 4): utility queries over a social-similarity measure,
+// ranked truncation to top-N lists, and the batch orchestration shared by
+// the non-private reference recommender and all private mechanisms.
+//
+// The package is deliberately mechanism-agnostic: anything that can estimate
+// per-item utilities for a user (exactly, or privately via noisy cluster
+// averages, noisy edges, etc.) plugs in through the Estimator interface.
+// Sorting and truncating estimates into top-N lists is pure post-processing
+// and therefore free under differential privacy (§5.1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"socialrec/internal/graph"
+	"socialrec/internal/similarity"
+)
+
+// Recommendation pairs an item with the (estimated) utility of recommending
+// it, as computed by Definition 3's utility query or a private estimate
+// thereof.
+type Recommendation struct {
+	Item    int32
+	Utility float64
+}
+
+// Estimator produces per-item utility estimates for users. The similarity
+// vector of each user is supplied by the caller so that the (public,
+// privacy-free) similarity computation is shared across mechanisms.
+//
+// Implementations release any privacy-sensitive state at construction time;
+// Utilities must be pure post-processing over that released state, so that
+// calling it any number of times consumes no additional privacy budget.
+type Estimator interface {
+	// Name identifies the mechanism in experiment output (e.g. "exact",
+	// "cluster", "nou", "noe", "gs", "lrm").
+	Name() string
+	// Utilities computes, for each users[k] with similarity vector
+	// sims[k], estimated utilities for every item, written to out[k]
+	// (len NumItems each). len(users) == len(sims) == len(out).
+	Utilities(users []int32, sims []similarity.Scores, out [][]float64)
+}
+
+// TopN selects the n highest-utility items from a dense utility vector and
+// returns them sorted by descending utility. Ties are broken toward the
+// lower item id so output is deterministic. Items with utility ≤ minUtility
+// are excluded; pass math.Inf(-1) to keep everything (private mechanisms
+// must rank genuinely noisy values, including noise-only negative ones, as
+// the paper's N-vs-accuracy discussion in §6.3 depends on zero-utility items
+// displacing real ones).
+func TopN(utilities []float64, n int, minUtility float64) []Recommendation {
+	if n <= 0 {
+		return nil
+	}
+	// Bounded selection: maintain the current worst of the best n at
+	// heap[0] (a min-heap ordered by (utility, inverted item id)).
+	h := make([]Recommendation, 0, n)
+	less := func(a, b Recommendation) bool {
+		if a.Utility != b.Utility {
+			return a.Utility < b.Utility
+		}
+		return a.Item > b.Item // higher id is "worse" on ties
+	}
+	push := func(r Recommendation) {
+		h = append(h, r)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	replaceMin := func(r Recommendation) {
+		h[0] = r
+		for i := 0; ; {
+			l, rgt := 2*i+1, 2*i+2
+			small := i
+			if l < len(h) && less(h[l], h[small]) {
+				small = l
+			}
+			if rgt < len(h) && less(h[rgt], h[small]) {
+				small = rgt
+			}
+			if small == i {
+				break
+			}
+			h[i], h[small] = h[small], h[i]
+			i = small
+		}
+	}
+	for item, u := range utilities {
+		if u <= minUtility {
+			continue
+		}
+		r := Recommendation{Item: int32(item), Utility: u}
+		switch {
+		case len(h) < n:
+			push(r)
+		case less(h[0], r):
+			replaceMin(r)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return less(h[j], h[i]) })
+	return h
+}
+
+// Recommender generates personalized top-N recommendation lists by running
+// an Estimator over users in bounded-memory batches.
+type Recommender struct {
+	social  *graph.Social
+	items   int
+	measure similarity.Measure
+	est     Estimator
+
+	// BatchSize bounds how many dense utility vectors are held in memory
+	// at once; 0 means a default of 256.
+	BatchSize int
+	// Workers bounds similarity-computation parallelism; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// SimilaritySource, when non-nil, supplies similarity vectors instead
+	// of direct computation — e.g. a simcache.Cache for serving
+	// workloads with repeat users. Results must equal
+	// Measure.Similar(social, u) exactly.
+	SimilaritySource func(u int32) similarity.Scores
+}
+
+// NewRecommender wires a recommender from its parts. numItems is |I| of the
+// preference graph the estimator was built from.
+func NewRecommender(social *graph.Social, numItems int, m similarity.Measure, est Estimator) *Recommender {
+	return &Recommender{social: social, items: numItems, measure: m, est: est}
+}
+
+func (r *Recommender) batchSize() int {
+	if r.BatchSize > 0 {
+		return r.BatchSize
+	}
+	return 256
+}
+
+// Recommend returns, for each requested user, the top-n recommendation list
+// R_u of Definition 4 under the wired estimator. The result is parallel to
+// users.
+func (r *Recommender) Recommend(users []int32, n int) ([][]Recommendation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: top-N size must be positive, got %d", n)
+	}
+	for _, u := range users {
+		if u < 0 || int(u) >= r.social.NumUsers() {
+			return nil, fmt.Errorf("core: user %d out of range [0, %d)", u, r.social.NumUsers())
+		}
+	}
+	out := make([][]Recommendation, len(users))
+	bs := r.batchSize()
+	if bs > len(users) {
+		bs = len(users)
+	}
+	rows := make([][]float64, bs)
+	for i := range rows {
+		rows[i] = make([]float64, r.items)
+	}
+	for start := 0; start < len(users); start += bs {
+		end := start + bs
+		if end > len(users) {
+			end = len(users)
+		}
+		batch := users[start:end]
+		var sims []similarity.Scores
+		if r.SimilaritySource != nil {
+			sims = make([]similarity.Scores, len(batch))
+			for i, u := range batch {
+				sims[i] = r.SimilaritySource(u)
+			}
+		} else {
+			sims = similarity.ComputeAll(r.social, r.measure, batch, r.Workers)
+		}
+		buf := rows[:len(batch)]
+		for i := range buf {
+			clear(buf[i])
+		}
+		r.est.Utilities(batch, sims, buf)
+		for i := range batch {
+			out[start+i] = TopN(buf[i], n, math.Inf(-1))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"socialrec/internal/graph"
+	"socialrec/internal/similarity"
+)
+
+func TestTopNBasic(t *testing.T) {
+	u := []float64{0.5, 3, 1, 2, 0}
+	got := TopN(u, 3, math.Inf(-1))
+	want := []Recommendation{{Item: 1, Utility: 3}, {Item: 3, Utility: 2}, {Item: 2, Utility: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("TopN = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopN = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopNTieBreaksTowardLowerItem(t *testing.T) {
+	u := []float64{1, 1, 1, 1}
+	got := TopN(u, 2, math.Inf(-1))
+	if got[0].Item != 0 || got[1].Item != 1 {
+		t.Errorf("ties must break toward lower item id: %v", got)
+	}
+}
+
+func TestTopNFloorExcludes(t *testing.T) {
+	u := []float64{0, 0.5, 0, 2}
+	got := TopN(u, 4, 0)
+	if len(got) != 2 {
+		t.Fatalf("floor 0 should keep 2 items, got %v", got)
+	}
+	if got[0].Item != 3 || got[1].Item != 1 {
+		t.Errorf("TopN = %v", got)
+	}
+}
+
+func TestTopNNegativeUtilitiesKept(t *testing.T) {
+	// Private mechanisms produce negative noisy utilities; they must
+	// still rank.
+	u := []float64{-1, -3, -2}
+	got := TopN(u, 2, math.Inf(-1))
+	if got[0].Item != 0 || got[1].Item != 2 {
+		t.Errorf("TopN over negatives = %v", got)
+	}
+}
+
+func TestTopNEmptyAndZeroN(t *testing.T) {
+	if got := TopN(nil, 5, 0); len(got) != 0 {
+		t.Errorf("TopN(nil) = %v", got)
+	}
+	if got := TopN([]float64{1, 2}, 0, 0); got != nil {
+		t.Errorf("TopN with n=0 = %v", got)
+	}
+}
+
+// Property: TopN agrees with full sort-then-truncate for random inputs.
+func TestTopNMatchesSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(200)
+		u := make([]float64, m)
+		for i := range u {
+			// Coarse values to force plenty of ties.
+			u[i] = float64(rng.Intn(10)) / 2
+		}
+		n := 1 + rng.Intn(m+5)
+		got := TopN(u, n, math.Inf(-1))
+
+		type kv struct {
+			item int32
+			val  float64
+		}
+		ref := make([]kv, m)
+		for i := range u {
+			ref[i] = kv{int32(i), u[i]}
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].val != ref[b].val {
+				return ref[a].val > ref[b].val
+			}
+			return ref[a].item < ref[b].item
+		})
+		if n > m {
+			n = m
+		}
+		if len(got) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got[i].Item != ref[i].item || got[i].Utility != ref[i].val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countingEstimator records the batches it sees and scores item i with
+// value numItems - i for every user.
+type countingEstimator struct {
+	batches [][]int32
+	items   int
+}
+
+func (c *countingEstimator) Name() string { return "counting" }
+
+func (c *countingEstimator) Utilities(users []int32, _ []similarity.Scores, out [][]float64) {
+	c.batches = append(c.batches, append([]int32(nil), users...))
+	for k := range users {
+		for i := 0; i < c.items; i++ {
+			out[k][i] = float64(c.items - i)
+		}
+	}
+}
+
+func lineGraph(t testing.TB, n int) *graph.Social {
+	b := graph.NewSocialBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestRecommenderBatching(t *testing.T) {
+	g := lineGraph(t, 10)
+	est := &countingEstimator{items: 5}
+	r := NewRecommender(g, 5, similarity.CommonNeighbors{}, est)
+	r.BatchSize = 4
+	users := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	lists, err := r.Recommend(users, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.batches) != 3 {
+		t.Errorf("batches = %d, want 3 (4+4+2)", len(est.batches))
+	}
+	for _, l := range lists {
+		if len(l) != 2 || l[0].Item != 0 || l[1].Item != 1 {
+			t.Fatalf("list = %v", l)
+		}
+	}
+}
+
+func TestRecommenderValidation(t *testing.T) {
+	g := lineGraph(t, 3)
+	r := NewRecommender(g, 5, similarity.CommonNeighbors{}, &countingEstimator{items: 5})
+	if _, err := r.Recommend([]int32{0}, 0); err == nil {
+		t.Error("n = 0 should fail")
+	}
+	if _, err := r.Recommend([]int32{7}, 1); err == nil {
+		t.Error("out-of-range user should fail")
+	}
+	if _, err := r.Recommend([]int32{-1}, 1); err == nil {
+		t.Error("negative user should fail")
+	}
+}
+
+func TestRecommenderBufferIsolation(t *testing.T) {
+	// Rows are reused between batches; ensure results do not leak across
+	// batches (the clear() between batches).
+	g := lineGraph(t, 4)
+	est := &onceEstimator{items: 3}
+	r := NewRecommender(g, 3, similarity.CommonNeighbors{}, est)
+	r.BatchSize = 1
+	lists, err := r.Recommend([]int32{0, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 1 writes nothing; with a clean buffer its utilities are all 0
+	// and survive only the -Inf floor.
+	for _, rec := range lists[1] {
+		if rec.Utility != 0 {
+			t.Fatalf("buffer leaked between batches: %v", lists[1])
+		}
+	}
+}
+
+// onceEstimator writes utilities only for the first batch it sees.
+type onceEstimator struct {
+	called bool
+	items  int
+}
+
+func (o *onceEstimator) Name() string { return "once" }
+
+func (o *onceEstimator) Utilities(users []int32, _ []similarity.Scores, out [][]float64) {
+	if o.called {
+		return
+	}
+	o.called = true
+	for k := range users {
+		for i := 0; i < o.items; i++ {
+			out[k][i] = 7
+		}
+	}
+}

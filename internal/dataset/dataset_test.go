@@ -1,0 +1,208 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"socialrec/internal/generator"
+	"socialrec/internal/graph"
+)
+
+func TestReadSocialTSV(t *testing.T) {
+	in := "userA\tuserB\n" + // header (non-numeric first field)
+		"10\t20\n" +
+		"20\t30\n" +
+		"# comment\n" +
+		"\n" +
+		"10\t30\n"
+	g, ids, err := ReadSocialTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumUsers() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("shape = (%d users, %d edges), want (3, 3)", g.NumUsers(), g.NumEdges())
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	a, b := ids["10"], ids["20"]
+	if !g.HasEdge(a, b) {
+		t.Error("edge 10-20 missing")
+	}
+}
+
+func TestReadSocialTSVNoHeader(t *testing.T) {
+	g, _, err := ReadSocialTSV(strings.NewReader("1\t2\n2\t3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestReadSocialTSVMalformed(t *testing.T) {
+	if _, _, err := ReadSocialTSV(strings.NewReader("1\t2\nonlyone\n")); err == nil {
+		t.Error("malformed line should fail")
+	}
+}
+
+func TestReadPreferenceTSV(t *testing.T) {
+	users := map[string]int{"u1": 0, "u2": 1}
+	in := "user\titem\tweight\n" +
+		"u1\tsong9\t5\n" +
+		"u1\tsong3\t1\n" +
+		"u2\tsong9\t3\n" +
+		"ghost\tsong9\t9\n" // unknown user skipped
+	raw, items, err := ReadPreferenceTSV(strings.NewReader(in), users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 3 {
+		t.Fatalf("raw edges = %d, want 3", len(raw))
+	}
+	if len(items) != 2 {
+		t.Fatalf("items = %v", items)
+	}
+	if raw[0].Weight != 5 {
+		t.Errorf("weight = %v, want 5", raw[0].Weight)
+	}
+}
+
+func TestReadPreferenceTSVBadWeight(t *testing.T) {
+	users := map[string]int{"u1": 0}
+	if _, _, err := ReadPreferenceTSV(strings.NewReader("u1\ti\tnotanumber\n"), users); err == nil {
+		t.Error("bad weight should fail")
+	}
+}
+
+func TestBuildPreferencesThreshold(t *testing.T) {
+	// Mirrors §6.1: discard edges with weight < 2, unweight the rest.
+	raw := []RawEdge{
+		{User: 0, Item: 0, Weight: 1},
+		{User: 0, Item: 1, Weight: 2},
+		{User: 1, Item: 0, Weight: 5},
+	}
+	p, dropped, err := BuildPreferences(2, 2, raw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if p.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2", p.NumEdges())
+	}
+	if p.Weight(0, 1) != 1 || p.Weight(0, 0) != 0 {
+		t.Error("thresholding wrong")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	sb := graph.NewSocialBuilder(4)
+	_ = sb.AddEdge(0, 1)
+	_ = sb.AddEdge(1, 2)
+	_ = sb.AddEdge(2, 3)
+	g := sb.Build()
+	var buf bytes.Buffer
+	if err := WriteSocialTSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ReadSocialTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumUsers() != g.NumUsers() {
+		t.Error("social round trip changed the graph")
+	}
+
+	pb := graph.NewPreferenceBuilder(4, 3)
+	_ = pb.AddEdge(0, 0)
+	_ = pb.AddEdge(3, 2)
+	p := pb.Build()
+	buf.Reset()
+	if err := WritePreferenceTSV(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "0\t0\n3\t2\n" {
+		t.Errorf("preference TSV = %q", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	social, _, prefs, err := generator.TinyTest(3).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &Dataset{Name: "t", Social: social, Prefs: prefs}
+	s := ds.Summarize()
+	if s.Users != social.NumUsers() || s.Items != prefs.NumItems() {
+		t.Error("stats dimensions wrong")
+	}
+	if s.PrefSparsity <= 0 || s.PrefSparsity >= 1 {
+		t.Errorf("sparsity = %v", s.PrefSparsity)
+	}
+	wantSparsity := 1 - float64(prefs.NumEdges())/(float64(social.NumUsers())*float64(prefs.NumItems()))
+	if math.Abs(s.PrefSparsity-wantSparsity) > 1e-12 {
+		t.Errorf("sparsity = %v, want %v", s.PrefSparsity, wantSparsity)
+	}
+	out := s.String()
+	for _, needle := range []string{"|U|", "|E_s|", "avg. user degree", "sparsity"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("stats output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestWeightedRoundTrip(t *testing.T) {
+	b := graph.NewWeightedPreferenceBuilder(3, 4)
+	if err := b.AddEdge(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	p := b.Build()
+	var buf bytes.Buffer
+	if err := WriteWeightedPreferenceTSV(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	users := map[string]int{"0": 0, "1": 1, "2": 2}
+	raw, items, err := ReadPreferenceTSV(&buf, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, dropped, err := BuildWeightedPreferences(3, len(items), raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 || wp.NumEdges() != 2 {
+		t.Fatalf("round trip lost edges: %d edges, %d dropped", wp.NumEdges(), dropped)
+	}
+	// Item ids were remapped densely; weights must survive.
+	found := false
+	for u := 0; u < 3; u++ {
+		_, ws := wp.Edges(u)
+		for _, w := range ws {
+			if w == 2.5 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("weight 2.5 lost in round trip")
+	}
+}
+
+func TestBuildWeightedPreferencesDropsNonPositive(t *testing.T) {
+	raw := []RawEdge{{User: 0, Item: 0, Weight: 3}, {User: 0, Item: 1, Weight: 0}, {User: 0, Item: 2, Weight: -2}}
+	wp, dropped, err := BuildWeightedPreferences(1, 3, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 || wp.NumEdges() != 1 {
+		t.Errorf("edges = %d, dropped = %d; want 1, 2", wp.NumEdges(), dropped)
+	}
+}

@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadSocialTSV asserts the parser never panics and, when it succeeds,
+// produces a structurally sound graph. Seeds run as ordinary tests; `go
+// test -fuzz=FuzzReadSocialTSV ./internal/dataset` explores further.
+func FuzzReadSocialTSV(f *testing.F) {
+	f.Add("1\t2\n2\t3\n")
+	f.Add("userA\tuserB\n10\t20\n")
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("1\n")
+	f.Add("a\tb\tc\td\n")
+	f.Add("1\t1\n")
+	f.Add(strings.Repeat("9\t9\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, ids, err := ReadSocialTSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.NumUsers() != len(ids) {
+			t.Fatalf("graph has %d users but %d ids", g.NumUsers(), len(ids))
+		}
+		degSum := 0
+		for u := 0; u < g.NumUsers(); u++ {
+			degSum += g.Degree(u)
+		}
+		if degSum != 2*g.NumEdges() {
+			t.Fatal("degree sum does not match edge count")
+		}
+	})
+}
+
+// FuzzReadPreferenceTSV asserts the preference parser never panics and that
+// resolved edges always reference known users.
+func FuzzReadPreferenceTSV(f *testing.F) {
+	users := map[string]int{"u1": 0, "u2": 1, "5": 2}
+	f.Add("u1\ti1\t3\n")
+	f.Add("user\titem\tweight\nu1\ti1\t2\n")
+	f.Add("ghost\ti1\t2\n")
+	f.Add("u1\ti1\tNaN\n")
+	f.Add("u1\ti1\t\x00\n")
+	f.Add("5\t5\t5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		raw, items, err := ReadPreferenceTSV(strings.NewReader(input), users)
+		if err != nil {
+			return
+		}
+		for _, e := range raw {
+			if e.User < 0 || e.User >= len(users) {
+				t.Fatalf("edge references unknown user %d", e.User)
+			}
+			if e.Item < 0 || e.Item >= len(items) {
+				t.Fatalf("edge references unknown item %d", e.Item)
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package dp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Accountant tracks the privacy budget consumed by a sequence of
+// differentially private computations, applying the composition theorems of
+// §3.1:
+//
+//   - Sequential composition (Theorem 2): computations over non-disjoint
+//     inputs compose additively: total ε = Σ εᵢ.
+//   - Parallel composition (Theorem 3): computations over disjoint input
+//     partitions compose by maximum: total ε = max εᵢ.
+//
+// Computations are charged against named input partitions. Two computations
+// touching the same partition compose sequentially; computations on distinct
+// partitions compose in parallel. This mirrors the structure of the paper's
+// privacy proof (Theorem 4): each (cluster, item) average touches a disjoint
+// set of preference edges, so the whole of module A_w costs max over those
+// charges rather than their sum.
+//
+// Accountant is safe for concurrent use.
+type Accountant struct {
+	mu         sync.Mutex
+	partitions map[string]float64 // partition name → sequentially composed ε
+}
+
+// NewAccountant returns an empty accountant.
+func NewAccountant() *Accountant {
+	return &Accountant{partitions: make(map[string]float64)}
+}
+
+// Charge records an ε-DP computation over the named input partition.
+// Charges to the same partition accumulate (sequential composition); the
+// overall budget is the maximum across partitions (parallel composition).
+// Charging ε = ∞ or a non-positive ε returns an error and records nothing.
+func (a *Accountant) Charge(partition string, eps Epsilon) error {
+	if err := eps.Validate(); err != nil {
+		return err
+	}
+	if eps.IsInf() {
+		return fmt.Errorf("dp: cannot charge infinite epsilon to partition %q", partition)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.partitions[partition] += float64(eps)
+	return nil
+}
+
+// Spent reports the total privacy cost under the composition rules: the
+// maximum, over partitions, of each partition's sequentially composed ε.
+func (a *Accountant) Spent() Epsilon {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var max float64
+	for _, e := range a.partitions {
+		if e > max {
+			max = e
+		}
+	}
+	return Epsilon(max)
+}
+
+// SpentOn reports the sequentially composed ε charged to one partition.
+func (a *Accountant) SpentOn(partition string) Epsilon {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Epsilon(a.partitions[partition])
+}
+
+// Partitions returns the partition names charged so far, sorted.
+func (a *Accountant) Partitions() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.partitions))
+	for p := range a.partitions {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset discards all recorded charges.
+func (a *Accountant) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.partitions = make(map[string]float64)
+}

@@ -1,0 +1,100 @@
+package dp
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAccountantSequentialComposition(t *testing.T) {
+	a := NewAccountant()
+	// Theorem 2: repeated charges to the same partition add up.
+	for i := 0; i < 4; i++ {
+		if err := a.Charge("items", 0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := float64(a.SpentOn("items")); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("SpentOn(items) = %v, want 1.0", got)
+	}
+	if got := float64(a.Spent()); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Spent = %v, want 1.0", got)
+	}
+}
+
+func TestAccountantParallelComposition(t *testing.T) {
+	a := NewAccountant()
+	// Theorem 3: disjoint partitions compose by max.
+	if err := a.Charge("item-0", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge("item-1", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge("item-2", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(a.Spent()); got != 0.9 {
+		t.Errorf("Spent = %v, want 0.9 (max over disjoint partitions)", got)
+	}
+}
+
+func TestAccountantMixedComposition(t *testing.T) {
+	a := NewAccountant()
+	// Two sequential charges on one partition, one big charge on another:
+	// total is max(0.3+0.3, 0.5) = 0.6.
+	_ = a.Charge("p1", 0.3)
+	_ = a.Charge("p1", 0.3)
+	_ = a.Charge("p2", 0.5)
+	if got := float64(a.Spent()); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Spent = %v, want 0.6", got)
+	}
+}
+
+func TestAccountantRejectsBadCharges(t *testing.T) {
+	a := NewAccountant()
+	if err := a.Charge("p", 0); err == nil {
+		t.Error("Charge(0) should fail")
+	}
+	if err := a.Charge("p", Epsilon(-1)); err == nil {
+		t.Error("Charge(-1) should fail")
+	}
+	if err := a.Charge("p", Inf); err == nil {
+		t.Error("Charge(Inf) should fail")
+	}
+	if got := float64(a.Spent()); got != 0 {
+		t.Errorf("failed charges must not record; Spent = %v", got)
+	}
+}
+
+func TestAccountantPartitionsAndReset(t *testing.T) {
+	a := NewAccountant()
+	_ = a.Charge("b", 0.1)
+	_ = a.Charge("a", 0.1)
+	ps := a.Partitions()
+	if len(ps) != 2 || ps[0] != "a" || ps[1] != "b" {
+		t.Errorf("Partitions = %v, want [a b]", ps)
+	}
+	a.Reset()
+	if len(a.Partitions()) != 0 || a.Spent() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestAccountantConcurrentCharges(t *testing.T) {
+	a := NewAccountant()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = a.Charge("shared", 0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := float64(a.SpentOn("shared")); math.Abs(got-8.0) > 1e-9 {
+		t.Errorf("concurrent charges lost updates: %v, want 8.0", got)
+	}
+}

@@ -1,0 +1,21 @@
+package dp
+
+import "testing"
+
+func BenchmarkLaplaceDraw(b *testing.B) {
+	src := NewLaplaceSource(1)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += src.Laplace(1.0)
+	}
+	_ = sink
+}
+
+func BenchmarkAccountantCharge(b *testing.B) {
+	a := NewAccountant()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Charge("p", 0.001)
+	}
+}

@@ -1,0 +1,165 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEpsilonValidate(t *testing.T) {
+	cases := []struct {
+		eps  float64
+		ok   bool
+		name string
+	}{
+		{1.0, true, "one"},
+		{0.01, true, "small"},
+		{math.Inf(1), true, "inf"},
+		{0, false, "zero"},
+		{-0.5, false, "negative"},
+		{math.NaN(), false, "nan"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Epsilon(c.eps).Validate()
+			if (err == nil) != c.ok {
+				t.Errorf("Validate(%v) err=%v, want ok=%v", c.eps, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestIsInf(t *testing.T) {
+	if !Inf.IsInf() {
+		t.Error("Inf.IsInf() = false")
+	}
+	if Epsilon(1).IsInf() {
+		t.Error("Epsilon(1).IsInf() = true")
+	}
+	if Epsilon(math.Inf(-1)).IsInf() {
+		t.Error("-Inf should not count as the no-noise setting")
+	}
+}
+
+// TestLaplaceMoments verifies empirically that samples from Lap(b) have
+// approximately zero mean and variance 2b². With 200k samples and a fixed
+// seed the tolerances below are comfortable and deterministic.
+func TestLaplaceMoments(t *testing.T) {
+	const n = 200000
+	for _, scale := range []float64{0.5, 1, 4} {
+		src := NewLaplaceSource(42)
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := src.Laplace(scale)
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantVar := 2 * scale * scale
+		if math.Abs(mean) > 0.05*scale {
+			t.Errorf("scale %v: mean = %v, want ≈ 0", scale, mean)
+		}
+		if math.Abs(variance-wantVar)/wantVar > 0.05 {
+			t.Errorf("scale %v: var = %v, want ≈ %v", scale, variance, wantVar)
+		}
+	}
+}
+
+// TestLaplaceSymmetry checks that the sign of draws is balanced.
+func TestLaplaceSymmetry(t *testing.T) {
+	src := NewLaplaceSource(7)
+	pos := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if src.Laplace(1) > 0 {
+			pos++
+		}
+	}
+	frac := float64(pos) / n
+	if frac < 0.48 || frac > 0.52 {
+		t.Errorf("positive fraction = %v, want ≈ 0.5", frac)
+	}
+}
+
+func TestLaplaceZeroScale(t *testing.T) {
+	src := NewLaplaceSource(1)
+	for i := 0; i < 100; i++ {
+		if got := src.Laplace(0); got != 0 {
+			t.Fatalf("Laplace(0) = %v, want 0", got)
+		}
+	}
+}
+
+func TestLaplaceDeterministicBySeed(t *testing.T) {
+	a, b := NewLaplaceSource(99), NewLaplaceSource(99)
+	for i := 0; i < 1000; i++ {
+		if a.Laplace(1) != b.Laplace(1) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewLaplaceSource(100)
+	same := true
+	a2 := NewLaplaceSource(99)
+	for i := 0; i < 10; i++ {
+		if a2.Laplace(1) != c.Laplace(1) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestZeroSource(t *testing.T) {
+	var z ZeroSource
+	if z.Laplace(123) != 0 {
+		t.Error("ZeroSource must return 0")
+	}
+}
+
+func TestRecordingSource(t *testing.T) {
+	r := &RecordingSource{}
+	if got := r.Laplace(2.5); got != 0 {
+		t.Errorf("nil-inner RecordingSource returned %v, want 0", got)
+	}
+	r.Inner = NewLaplaceSource(1)
+	r.Laplace(0.5)
+	if len(r.Scales) != 2 || r.Scales[0] != 2.5 || r.Scales[1] != 0.5 {
+		t.Errorf("Scales = %v, want [2.5 0.5]", r.Scales)
+	}
+}
+
+func TestSourceFor(t *testing.T) {
+	if _, ok := SourceFor(Inf, 1).(ZeroSource); !ok {
+		t.Error("SourceFor(Inf) should be ZeroSource")
+	}
+	if _, ok := SourceFor(Epsilon(0.5), 1).(*LaplaceSource); !ok {
+		t.Error("SourceFor(0.5) should be a LaplaceSource")
+	}
+}
+
+func TestLaplaceExpectedError(t *testing.T) {
+	if got := LaplaceExpectedError(2, Epsilon(0.5)); math.Abs(got-math.Sqrt2*4) > 1e-12 {
+		t.Errorf("expected error = %v, want %v", got, math.Sqrt2*4)
+	}
+	if got := LaplaceExpectedError(2, Inf); got != 0 {
+		t.Errorf("expected error at inf = %v, want 0", got)
+	}
+}
+
+// Property: draws are finite for any positive scale.
+func TestLaplaceFiniteProperty(t *testing.T) {
+	src := NewLaplaceSource(5)
+	f := func(raw float64) bool {
+		scale := math.Abs(raw)
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || scale > 1e100 {
+			return true // out of tested domain
+		}
+		x := src.Laplace(scale)
+		return !math.IsNaN(x) && !math.IsInf(x, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

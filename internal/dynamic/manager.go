@@ -1,0 +1,162 @@
+// Package dynamic extends the framework toward the paper's §7 future-work
+// item of recommending over dynamic graphs. The paper's Algorithm 1 covers
+// a single static snapshot; when the graphs evolve and the recommender
+// re-releases, the releases compose. Because preference edges persist
+// across snapshots, the safe (and tight, absent further assumptions)
+// accounting is sequential composition (Theorem 2): k releases at ε_r each
+// consume k·ε_r of a total budget.
+//
+// Manager operationalizes that: it owns a total preference-privacy budget,
+// performs one cluster-mechanism release per published snapshot, charges
+// the accountant, and refuses releases that would exceed the budget —
+// turning the paper's theoretical caveat into an enforced invariant.
+// Re-clustering per snapshot is free: the clustering reads only the public
+// social graph.
+package dynamic
+
+import (
+	"fmt"
+	"sync"
+
+	"socialrec/internal/community"
+	"socialrec/internal/core"
+	"socialrec/internal/dp"
+	"socialrec/internal/graph"
+	"socialrec/internal/mechanism"
+	"socialrec/internal/similarity"
+)
+
+// Config assembles a Manager.
+type Config struct {
+	// TotalBudget is the lifetime ε available for preference-edge
+	// privacy across all releases. Must be positive and finite.
+	TotalBudget dp.Epsilon
+	// PerRelease is the ε consumed by each published snapshot. Must be
+	// positive, finite, and at most TotalBudget.
+	PerRelease dp.Epsilon
+	// Measure is the social-similarity measure; nil selects Common
+	// Neighbors.
+	Measure similarity.Measure
+	// LouvainRuns is the best-of count for each snapshot's clustering; 0
+	// selects 10.
+	LouvainRuns int
+	// Seed derives per-release clustering orders and noise streams.
+	Seed int64
+}
+
+// Manager serves recommendations over a sequence of graph snapshots while
+// enforcing the total privacy budget. It is safe for concurrent use:
+// Publish and Recommend may race arbitrarily.
+type Manager struct {
+	cfg  Config
+	acct *dp.Accountant
+
+	mu       sync.RWMutex
+	rec      *core.Recommender
+	social   *graph.Social
+	releases int
+}
+
+// budgetPartition is the accountant partition for preference edges. All
+// releases touch the same (evolving) preference data, so they share one
+// partition and compose sequentially.
+const budgetPartition = "preference-edges"
+
+// NewManager validates the configuration.
+func NewManager(cfg Config) (*Manager, error) {
+	if err := cfg.TotalBudget.Validate(); err != nil {
+		return nil, fmt.Errorf("dynamic: total budget: %w", err)
+	}
+	if cfg.TotalBudget.IsInf() {
+		return nil, fmt.Errorf("dynamic: total budget must be finite (an infinite budget needs no manager)")
+	}
+	if err := cfg.PerRelease.Validate(); err != nil {
+		return nil, fmt.Errorf("dynamic: per-release budget: %w", err)
+	}
+	if cfg.PerRelease.IsInf() || cfg.PerRelease > cfg.TotalBudget {
+		return nil, fmt.Errorf("dynamic: per-release budget %v exceeds total %v",
+			float64(cfg.PerRelease), float64(cfg.TotalBudget))
+	}
+	if cfg.Measure == nil {
+		cfg.Measure = similarity.CommonNeighbors{}
+	}
+	if cfg.LouvainRuns <= 0 {
+		cfg.LouvainRuns = 10
+	}
+	return &Manager{cfg: cfg, acct: dp.NewAccountant()}, nil
+}
+
+// Spent reports the privacy budget consumed so far.
+func (m *Manager) Spent() dp.Epsilon { return m.acct.Spent() }
+
+// Remaining reports the unspent budget.
+func (m *Manager) Remaining() dp.Epsilon {
+	r := float64(m.cfg.TotalBudget) - float64(m.acct.Spent())
+	if r < 0 {
+		r = 0
+	}
+	return dp.Epsilon(r)
+}
+
+// Releases reports how many snapshots have been published.
+func (m *Manager) Releases() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.releases
+}
+
+// CanPublish reports whether another release fits in the budget.
+func (m *Manager) CanPublish() bool {
+	return float64(m.Remaining()) >= float64(m.cfg.PerRelease)-1e-12
+}
+
+// Publish takes a new snapshot of the two graphs, performs a fresh
+// ε_r-differentially-private release (re-clustering the new social graph,
+// re-averaging the new preference edges), and switches recommendation
+// serving to it. It fails — without consuming budget — if the snapshot is
+// inconsistent or the remaining budget is insufficient.
+func (m *Manager) Publish(social *graph.Social, prefs *graph.Preference) error {
+	if social.NumUsers() != prefs.NumUsers() {
+		return fmt.Errorf("dynamic: snapshot has %d social users but %d preference users",
+			social.NumUsers(), prefs.NumUsers())
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// The budget check and the charge must be atomic; Publish is the only
+	// charger and is serialized by m.mu, so checking here suffices.
+	if !m.CanPublish() {
+		return fmt.Errorf("dynamic: remaining budget %v cannot cover a release of %v",
+			float64(m.Remaining()), float64(m.cfg.PerRelease))
+	}
+	seq := m.releases
+	seed := m.cfg.Seed + int64(seq)*7919
+	clusters, _ := community.BestOf(social, m.cfg.LouvainRuns, seed, community.Options{})
+	est, err := mechanism.NewCluster(clusters, prefs, m.cfg.PerRelease, dp.SourceFor(m.cfg.PerRelease, seed+1))
+	if err != nil {
+		return err
+	}
+	if err := m.acct.Charge(budgetPartition, m.cfg.PerRelease); err != nil {
+		return err
+	}
+	m.social = social
+	m.rec = core.NewRecommender(social, prefs.NumItems(), m.cfg.Measure, est)
+	m.releases++
+	return nil
+}
+
+// Recommend serves the top-n list for a user from the latest release. It
+// consumes no privacy budget (post-processing). It fails if nothing has
+// been published yet or the user is outside the latest snapshot.
+func (m *Manager) Recommend(user, n int) ([]core.Recommendation, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.rec == nil {
+		return nil, fmt.Errorf("dynamic: no snapshot published yet")
+	}
+	lists, err := m.rec.Recommend([]int32{int32(user)}, n)
+	if err != nil {
+		return nil, err
+	}
+	return lists[0], nil
+}

@@ -1,0 +1,180 @@
+package dynamic
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"socialrec/internal/dp"
+	"socialrec/internal/generator"
+	"socialrec/internal/graph"
+)
+
+func snapshot(t testing.TB, seed int64) (*graph.Social, *graph.Preference) {
+	t.Helper()
+	social, comm, err := generator.Social(generator.SocialConfig{
+		NumUsers: 150, NumCommunities: 4, AvgDegree: 8, IntraFraction: 0.85, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefs, err := generator.Preferences(social, comm, generator.PreferenceConfig{
+		NumItems: 300, NumEdges: 2000, CommunityAffinity: 0.7, PopularitySkew: 1, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return social, prefs
+}
+
+func TestManagerValidation(t *testing.T) {
+	cases := []Config{
+		{TotalBudget: 0, PerRelease: 0.1},
+		{TotalBudget: -1, PerRelease: 0.1},
+		{TotalBudget: dp.Inf, PerRelease: 0.1},
+		{TotalBudget: 1, PerRelease: 0},
+		{TotalBudget: 1, PerRelease: 2},
+		{TotalBudget: 1, PerRelease: dp.Inf},
+	}
+	for i, cfg := range cases {
+		if _, err := NewManager(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+}
+
+func TestManagerBudgetEnforcement(t *testing.T) {
+	m, err := NewManager(Config{TotalBudget: 1.0, PerRelease: 0.4, LouvainRuns: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	social, prefs := snapshot(t, 10)
+
+	// Two releases fit (0.8 ≤ 1.0); the third (1.2) must be refused.
+	for i := 0; i < 2; i++ {
+		if !m.CanPublish() {
+			t.Fatalf("release %d: CanPublish = false", i)
+		}
+		if err := m.Publish(social, prefs); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+	}
+	if m.CanPublish() {
+		t.Error("third release should not fit in the budget")
+	}
+	if err := m.Publish(social, prefs); err == nil {
+		t.Error("over-budget publish should fail")
+	}
+	if m.Releases() != 2 {
+		t.Errorf("releases = %d, want 2", m.Releases())
+	}
+	if got := float64(m.Spent()); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("spent = %v, want 0.8", got)
+	}
+	if got := float64(m.Remaining()); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("remaining = %v, want 0.2", got)
+	}
+}
+
+func TestManagerServesAfterPublish(t *testing.T) {
+	m, err := NewManager(Config{TotalBudget: 2, PerRelease: 0.5, LouvainRuns: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Recommend(0, 5); err == nil {
+		t.Error("recommending before any publish should fail")
+	}
+	social, prefs := snapshot(t, 20)
+	if err := m.Publish(social, prefs); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := m.Recommend(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Errorf("recs = %v", recs)
+	}
+	// Serving repeatedly consumes no budget.
+	before := m.Spent()
+	for i := 0; i < 20; i++ {
+		if _, err := m.Recommend(i%social.NumUsers(), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Spent() != before {
+		t.Error("serving must not consume budget")
+	}
+}
+
+func TestManagerSwitchesSnapshots(t *testing.T) {
+	m, err := NewManager(Config{TotalBudget: 2, PerRelease: 0.5, LouvainRuns: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, p1 := snapshot(t, 30)
+	if err := m.Publish(s1, p1); err != nil {
+		t.Fatal(err)
+	}
+	// Second snapshot has a different user count; serving must reflect it.
+	s2Builder := graph.NewSocialBuilder(10)
+	_ = s2Builder.AddEdge(0, 1)
+	_ = s2Builder.AddEdge(1, 2)
+	s2 := s2Builder.Build()
+	p2Builder := graph.NewPreferenceBuilder(10, 5)
+	_ = p2Builder.AddEdge(1, 3)
+	p2 := p2Builder.Build()
+	if err := m.Publish(s2, p2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Recommend(50, 3); err == nil {
+		t.Error("user 50 is outside the latest snapshot and should fail")
+	}
+	if _, err := m.Recommend(0, 3); err != nil {
+		t.Errorf("user 0 should be servable: %v", err)
+	}
+}
+
+func TestManagerRejectsMismatchedSnapshot(t *testing.T) {
+	m, err := NewManager(Config{TotalBudget: 1, PerRelease: 0.5, LouvainRuns: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	social, _ := snapshot(t, 40)
+	badPrefs := graph.NewPreferenceBuilder(3, 3).Build()
+	if err := m.Publish(social, badPrefs); err == nil {
+		t.Error("mismatched snapshot should fail")
+	}
+	if m.Spent() != 0 {
+		t.Error("failed publish must not consume budget")
+	}
+}
+
+func TestManagerConcurrentServing(t *testing.T) {
+	m, err := NewManager(Config{TotalBudget: 4, PerRelease: 0.5, LouvainRuns: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	social, prefs := snapshot(t, 50)
+	if err := m.Publish(social, prefs); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if g == 0 && i%5 == 0 {
+					_ = m.Publish(social, prefs) // may exhaust budget; that's fine
+					continue
+				}
+				_, _ = m.Recommend(i, 3)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if float64(m.Spent()) > 4.0+1e-9 {
+		t.Errorf("budget overrun under concurrency: %v", m.Spent())
+	}
+}

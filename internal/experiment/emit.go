@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the sweep as tidy CSV (one measurement per row:
+// dataset, measure, epsilon, n, mean, std), the format plotting tools
+// ingest directly to redraw the paper's Figs. 1 and 2.
+func (s *Sweep) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "measure", "epsilon", "n", "ndcg_mean", "ndcg_std"}); err != nil {
+		return err
+	}
+	for _, m := range s.Measures {
+		for ei, e := range s.Eps {
+			for ni, n := range s.Ns {
+				c := s.Cells[m][ei][ni]
+				rec := []string{
+					s.Dataset,
+					m,
+					epsLabel(e),
+					strconv.Itoa(n),
+					formatFloat(c.Mean),
+					formatFloat(c.Std),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the per-user degree/NDCG points behind Fig. 3 as tidy CSV.
+func (d *DegreeAccuracy) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "user", "degree", "ndcg50"}); err != nil {
+		return err
+	}
+	for _, p := range d.Points {
+		rec := []string{
+			d.Dataset,
+			strconv.Itoa(int(p.User)),
+			strconv.Itoa(p.Degree),
+			formatFloat(p.NDCG),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Fig. 4 mechanism comparison as tidy CSV.
+func (bl *Baselines) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "mechanism", "epsilon", "ndcg50_mean", "ndcg50_std"}); err != nil {
+		return err
+	}
+	for _, c := range bl.Cells {
+		rec := []string{
+			bl.Dataset,
+			c.Mechanism,
+			epsLabel(c.Eps),
+			formatFloat(c.NDCG.Mean),
+			formatFloat(c.NDCG.Std),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string {
+	return fmt.Sprintf("%.6f", f)
+}

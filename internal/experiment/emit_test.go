@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"socialrec/internal/dp"
+	"socialrec/internal/generator"
+)
+
+func TestSweepWriteCSV(t *testing.T) {
+	sw, err := NDCGSweep(generator.TinyTest(5),
+		[]dp.Epsilon{dp.Inf, 0.5}, []int{10, 50}, Opts{Repeats: 1, EvalSample: 30, LouvainRuns: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sw.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 4 measures × 2 eps × 2 N.
+	if want := 1 + 4*2*2; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	if strings.Join(rows[0], ",") != "dataset,measure,epsilon,n,ndcg_mean,ndcg_std" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "tiny-test" || rows[1][2] != "inf" {
+		t.Errorf("first row = %v", rows[1])
+	}
+}
+
+func TestDegreeAccuracyWriteCSV(t *testing.T) {
+	da := &DegreeAccuracy{
+		Dataset: "t",
+		Points:  []DegreePoint{{User: 3, Degree: 7, NDCG: 0.5}},
+	}
+	var buf bytes.Buffer
+	if err := da.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1][1] != "3" || rows[1][2] != "7" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestBaselinesWriteCSV(t *testing.T) {
+	bl := &Baselines{
+		Dataset: "t",
+		Cells: []BaselineCell{
+			{Mechanism: "cluster", Eps: 1.0, NDCG: Cell{Mean: 0.9, Std: 0.01}},
+			{Mechanism: "nou", Eps: 1.0, NDCG: Cell{Mean: 0.1, Std: 0.0}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := bl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[1][1] != "cluster" || rows[2][1] != "nou" {
+		t.Errorf("rows = %v", rows)
+	}
+}

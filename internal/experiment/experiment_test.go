@@ -1,0 +1,253 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"socialrec/internal/dp"
+	"socialrec/internal/generator"
+	"socialrec/internal/similarity"
+)
+
+func tinyRunner(t *testing.T) *Runner {
+	t.Helper()
+	ds, _, err := BuildDataset(generator.TinyTest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, _ := ClusterSocial(ds, 3, 1)
+	eval := SampleUsers(ds.Social.NumUsers(), 80, 2)
+	r, err := NewRunner(ds, similarity.CommonNeighbors{}, clusters, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunnerValidation(t *testing.T) {
+	ds, _, err := BuildDataset(generator.TinyTest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(ds, similarity.CommonNeighbors{}, nil, []int32{0, 0}); err == nil {
+		t.Error("duplicate eval users should fail")
+	}
+	if _, err := NewRunner(ds, similarity.CommonNeighbors{}, nil, []int32{int32(ds.Social.NumUsers())}); err == nil {
+		t.Error("out-of-range eval user should fail")
+	}
+}
+
+func TestExactScoresPerfectNDCG(t *testing.T) {
+	r := tinyRunner(t)
+	res := r.EvaluateExact([]int{10, 50})
+	for _, n := range []int{10, 50} {
+		if got := res.Mean(n); got != 1 {
+			t.Errorf("exact NDCG@%d = %v, want 1", n, got)
+		}
+	}
+}
+
+func TestClusterNoNoiseBeatsStrongNoise(t *testing.T) {
+	r := tinyRunner(t)
+	inf, err := r.EvaluateCluster(dp.Inf, 1, []int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := r.EvaluateCluster(dp.Epsilon(0.01), 1, []int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Mean(50) <= strong.Mean(50) {
+		t.Errorf("ε=∞ (%v) should beat ε=0.01 (%v)", inf.Mean(50), strong.Mean(50))
+	}
+	if inf.Mean(50) < 0.8 {
+		t.Errorf("approximation-only NDCG@50 = %v, want high", inf.Mean(50))
+	}
+}
+
+func TestClusterRequiresClustering(t *testing.T) {
+	ds, _, err := BuildDataset(generator.TinyTest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ds, similarity.CommonNeighbors{}, nil, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.EvaluateCluster(dp.Epsilon(1), 1, []int{10}); err == nil {
+		t.Error("missing clustering should fail")
+	}
+}
+
+func TestBaselineMechanismsRun(t *testing.T) {
+	r := tinyRunner(t)
+	ns := []int{10}
+	if _, err := r.EvaluateNOU(dp.Epsilon(1), 1, ns); err != nil {
+		t.Errorf("NOU: %v", err)
+	}
+	if _, err := r.EvaluateNOE(dp.Epsilon(1), 1, ns); err != nil {
+		t.Errorf("NOE: %v", err)
+	}
+	if _, err := r.EvaluateGS(dp.Epsilon(1), 1, ns); err != nil {
+		t.Errorf("GS: %v", err)
+	}
+	if _, err := r.EvaluateLRM(dp.Epsilon(1), 40, 1, ns); err != nil {
+		t.Errorf("LRM: %v", err)
+	}
+}
+
+func TestResultStats(t *testing.T) {
+	res := &Result{NDCG: map[int][]float64{10: {1, 0, 1, 0}}}
+	if res.Mean(10) != 0.5 {
+		t.Errorf("Mean = %v", res.Mean(10))
+	}
+	if res.Std(10) != 0.5 {
+		t.Errorf("Std = %v", res.Std(10))
+	}
+}
+
+func TestSampleUsers(t *testing.T) {
+	s := SampleUsers(100, 10, 3)
+	if len(s) != 10 {
+		t.Fatalf("sample size = %d", len(s))
+	}
+	seen := make(map[int32]bool)
+	for i, u := range s {
+		if u < 0 || u >= 100 {
+			t.Fatalf("sample out of range: %d", u)
+		}
+		if seen[u] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[u] = true
+		if i > 0 && s[i-1] >= u {
+			t.Fatal("sample not sorted")
+		}
+	}
+	all := SampleUsers(5, 10, 3)
+	if len(all) != 5 {
+		t.Errorf("oversized sample should return everyone; got %d", len(all))
+	}
+}
+
+func TestNDCGSweepSmoke(t *testing.T) {
+	sw, err := NDCGSweep(generator.TinyTest(5),
+		[]dp.Epsilon{dp.Inf, 0.1}, []int{10}, Opts{Repeats: 1, EvalSample: 40, LouvainRuns: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Measures) != 4 {
+		t.Fatalf("measures = %v", sw.Measures)
+	}
+	for _, m := range sw.Measures {
+		infCell := sw.Cells[m][0][0]
+		noisy := sw.Cells[m][1][0]
+		if infCell.Mean < noisy.Mean {
+			t.Errorf("%s: ε=∞ (%v) below ε=0.1 (%v)", m, infCell.Mean, noisy.Mean)
+		}
+	}
+	out := sw.Format()
+	for _, needle := range []string{"NDCG@10", "AA", "CN", "GD", "KZ", "inf"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("formatted sweep missing %q", needle)
+		}
+	}
+}
+
+func TestDegreeVsAccuracySmoke(t *testing.T) {
+	da, err := DegreeVsAccuracy(generator.TinyTest(5), Opts{EvalSample: 100, LouvainRuns: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(da.Points) == 0 {
+		t.Fatal("no points")
+	}
+	if c := da.Correlation(); c <= 0 {
+		t.Errorf("degree-accuracy correlation = %v, want positive (paper Fig. 3)", c)
+	}
+	if !strings.Contains(da.Format(), "degree") {
+		t.Error("format missing degree rows")
+	}
+}
+
+func TestBaselineComparisonSmoke(t *testing.T) {
+	bl, err := BaselineComparison(generator.TinyTest(5), []dp.Epsilon{1.0}, 30,
+		Opts{Repeats: 1, EvalSample: 40, LouvainRuns: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMech := make(map[string]float64)
+	for _, c := range bl.Cells {
+		byMech[c.Mechanism] = c.NDCG.Mean
+	}
+	// The paper's Fig. 4 ordering: cluster beats every baseline, and NOU
+	// is essentially random.
+	for _, m := range []string{"noe", "gs", "lrm", "nou"} {
+		if byMech["cluster"] <= byMech[m] {
+			t.Errorf("cluster (%v) should beat %s (%v)", byMech["cluster"], m, byMech[m])
+		}
+	}
+	if !strings.Contains(bl.Format(), "cluster") {
+		t.Error("format missing mechanisms")
+	}
+}
+
+func TestClusterStatsSmoke(t *testing.T) {
+	cr, err := ClusterStats(generator.TinyTest(5), Opts{LouvainRuns: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.NumClusters < 2 {
+		t.Errorf("clusters = %d", cr.NumClusters)
+	}
+	if cr.Modularity <= 0 {
+		t.Errorf("modularity = %v", cr.Modularity)
+	}
+	if !strings.Contains(cr.Format(), "modularity") {
+		t.Error("format missing modularity")
+	}
+}
+
+func TestEvaluateClusterAllMetrics(t *testing.T) {
+	r := tinyRunner(t)
+	rep, err := r.EvaluateClusterAllMetrics(dp.Inf, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At eps=inf with tiny clusters the approximation is good but not
+	// perfect; all three metrics must be sane and NDCG must not fall
+	// below precision (equal-utility swaps cost precision only).
+	if rep.NDCG <= 0 || rep.NDCG > 1 || rep.Precision < 0 || rep.Precision > 1 {
+		t.Fatalf("metrics out of range: %+v", rep)
+	}
+	if rep.NDCG < rep.Precision-1e-9 {
+		t.Errorf("NDCG (%v) below precision (%v): §2.4 inversion", rep.NDCG, rep.Precision)
+	}
+	// Without a clustering the call must fail.
+	ds, _, err := BuildDataset(generator.TinyTest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := NewRunner(ds, similarity.CommonNeighbors{}, nil, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.EvaluateClusterAllMetrics(dp.Inf, 1, 5); err == nil {
+		t.Error("missing clustering should fail")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the full-scale presets")
+	}
+	out, err := Table1(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"lastfm-like", "flixster-like", "|E_p|"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("Table1 output missing %q", needle)
+		}
+	}
+}

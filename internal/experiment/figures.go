@@ -1,0 +1,444 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"socialrec/internal/dataset"
+	"socialrec/internal/dp"
+	"socialrec/internal/generator"
+	"socialrec/internal/metrics"
+	"socialrec/internal/similarity"
+)
+
+// Opts carries the experiment-wide knobs shared by every figure.
+type Opts struct {
+	// Repeats is the number of independent noise draws averaged per cell;
+	// the paper uses 10. 0 selects 3 (a faster default for local runs).
+	Repeats int
+	// EvalSample is the number of users NDCG is averaged over (the paper
+	// samples 10,000 of Flixster's 137K users); 0 selects 400.
+	EvalSample int
+	// LouvainRuns is the best-of count for the clustering phase; 0
+	// selects the paper's 10.
+	LouvainRuns int
+	// Seed drives dataset generation, sampling, clustering order and
+	// noise.
+	Seed int64
+}
+
+func (o Opts) repeats() int {
+	if o.Repeats > 0 {
+		return o.Repeats
+	}
+	return 3
+}
+
+func (o Opts) evalSample() int {
+	if o.EvalSample > 0 {
+		return o.EvalSample
+	}
+	return 400
+}
+
+func (o Opts) louvainRuns() int {
+	if o.LouvainRuns > 0 {
+		return o.LouvainRuns
+	}
+	return 10
+}
+
+// DefaultEps is the paper's privacy sweep: ε ∈ {∞, 1.0, 0.6, 0.1, 0.05, 0.01}.
+func DefaultEps() []dp.Epsilon {
+	return []dp.Epsilon{dp.Inf, 1.0, 0.6, 0.1, 0.05, 0.01}
+}
+
+// DefaultNs is the paper's recommendation-list sweep: N ∈ {10, 50, 100}.
+func DefaultNs() []int { return []int{10, 50, 100} }
+
+// Cell is one averaged sweep measurement.
+type Cell struct {
+	Mean, Std float64
+}
+
+// Sweep is the NDCG-vs-ε grid behind Figs. 1 and 2: for each similarity
+// measure, privacy budget and list length, the NDCG@N averaged over
+// evaluation users and repeats.
+type Sweep struct {
+	Dataset  string
+	Measures []string
+	Eps      []dp.Epsilon
+	Ns       []int
+	// Cells[measure][εindex][Nindex]
+	Cells map[string][][]Cell
+	// ClusterCount and Modularity describe the clustering used.
+	ClusterCount int
+	Modularity   float64
+}
+
+// BuildDataset materializes a generator preset into a named dataset.
+func BuildDataset(p generator.Preset) (*dataset.Dataset, []int32, error) {
+	social, community, prefs, err := p.Generate()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &dataset.Dataset{Name: p.Name, Social: social, Prefs: prefs}, community, nil
+}
+
+// NDCGSweep reproduces the measurement behind Fig. 1 (Last.fm-like preset)
+// and Fig. 2 (Flixster-like preset): the cluster mechanism's NDCG@N for all
+// four similarity measures across the privacy sweep.
+func NDCGSweep(p generator.Preset, eps []dp.Epsilon, ns []int, o Opts) (*Sweep, error) {
+	ds, _, err := BuildDataset(p)
+	if err != nil {
+		return nil, err
+	}
+	clusters, q := ClusterSocial(ds, o.louvainRuns(), o.Seed+100)
+	eval := SampleUsers(ds.Social.NumUsers(), o.evalSample(), o.Seed+200)
+
+	sw := &Sweep{
+		Dataset:      ds.Name,
+		Eps:          eps,
+		Ns:           ns,
+		Cells:        make(map[string][][]Cell),
+		ClusterCount: clusters.NumClusters(),
+		Modularity:   q,
+	}
+	for _, m := range similarity.All() {
+		runner, err := NewRunner(ds, m, clusters, eval)
+		if err != nil {
+			return nil, err
+		}
+		grid := make([][]Cell, len(eps))
+		for ei, e := range eps {
+			grid[ei] = make([]Cell, len(ns))
+			perN := make(map[int][]float64, len(ns))
+			reps := o.repeats()
+			if e.IsInf() {
+				reps = 1 // no noise: repeats are identical
+			}
+			for rep := 0; rep < reps; rep++ {
+				res, err := runner.EvaluateCluster(e, o.Seed+int64(1000*rep)+int64(ei), ns)
+				if err != nil {
+					return nil, err
+				}
+				for _, n := range ns {
+					perN[n] = append(perN[n], res.Mean(n))
+				}
+			}
+			for ni, n := range ns {
+				grid[ei][ni] = Cell{Mean: metrics.Mean(perN[n]), Std: metrics.Std(perN[n])}
+			}
+		}
+		sw.Measures = append(sw.Measures, m.Name())
+		sw.Cells[m.Name()] = grid
+	}
+	return sw, nil
+}
+
+// Format renders the sweep as one text table per N, in the layout of the
+// paper's Figs. 1 and 2 (measures as rows, ε as columns).
+func (s *Sweep) Format() string {
+	var b strings.Builder
+	for ni, n := range s.Ns {
+		fmt.Fprintf(&b, "NDCG@%d on %s (clusters=%d, Q=%.3f)\n", n, s.Dataset, s.ClusterCount, s.Modularity)
+		fmt.Fprintf(&b, "%-8s", "measure")
+		for _, e := range s.Eps {
+			fmt.Fprintf(&b, "%10s", epsLabel(e))
+		}
+		b.WriteByte('\n')
+		for _, m := range s.Measures {
+			fmt.Fprintf(&b, "%-8s", m)
+			for ei := range s.Eps {
+				fmt.Fprintf(&b, "%10.3f", s.Cells[m][ei][ni].Mean)
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func epsLabel(e dp.Epsilon) string {
+	if e.IsInf() {
+		return "inf"
+	}
+	return fmt.Sprintf("%g", float64(e))
+}
+
+// DegreePoint is one user's contribution to Fig. 3: social degree vs NDCG@50
+// under approximation error alone (ε = ∞).
+type DegreePoint struct {
+	User   int32
+	Degree int
+	NDCG   float64
+}
+
+// DegreeAccuracy reproduces Fig. 3: for the CN measure (the figure's
+// measure) at ε = ∞, the per-user relationship between social degree and
+// NDCG@50, plus the paper's headline split means for degree > 10 vs ≤ 10.
+type DegreeAccuracy struct {
+	Dataset        string
+	Points         []DegreePoint
+	MeanHighDegree float64 // degree > 10
+	MeanLowDegree  float64 // degree <= 10
+}
+
+// DegreeVsAccuracy measures Fig. 3 for the given preset.
+func DegreeVsAccuracy(p generator.Preset, o Opts) (*DegreeAccuracy, error) {
+	ds, _, err := BuildDataset(p)
+	if err != nil {
+		return nil, err
+	}
+	clusters, _ := ClusterSocial(ds, o.louvainRuns(), o.Seed+100)
+	eval := SampleUsers(ds.Social.NumUsers(), o.evalSample(), o.Seed+200)
+	runner, err := NewRunner(ds, similarity.CommonNeighbors{}, clusters, eval)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runner.EvaluateCluster(dp.Inf, o.Seed, []int{50})
+	if err != nil {
+		return nil, err
+	}
+	da := &DegreeAccuracy{Dataset: ds.Name}
+	var hi, lo []float64
+	for k, u := range runner.EvalUsers {
+		d := ds.Social.Degree(int(u))
+		v := res.NDCG[50][k]
+		da.Points = append(da.Points, DegreePoint{User: u, Degree: d, NDCG: v})
+		if d > 10 {
+			hi = append(hi, v)
+		} else {
+			lo = append(lo, v)
+		}
+	}
+	da.MeanHighDegree = metrics.Mean(hi)
+	da.MeanLowDegree = metrics.Mean(lo)
+	return da, nil
+}
+
+// Format renders Fig. 3 as bucketed means over log-spaced degree bins plus
+// the headline split.
+func (d *DegreeAccuracy) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Degree vs NDCG@50 at eps=inf (CN) on %s\n", d.Dataset)
+	type bin struct {
+		lo, hi int
+		vals   []float64
+	}
+	bins := []*bin{{1, 2, nil}, {2, 4, nil}, {4, 8, nil}, {8, 16, nil}, {16, 32, nil}, {32, 64, nil}, {64, 1 << 20, nil}}
+	var zero []float64
+	for _, p := range d.Points {
+		if p.Degree == 0 {
+			zero = append(zero, p.NDCG)
+			continue
+		}
+		for _, bn := range bins {
+			if p.Degree >= bn.lo && p.Degree < bn.hi {
+				bn.vals = append(bn.vals, p.NDCG)
+				break
+			}
+		}
+	}
+	if len(zero) > 0 {
+		fmt.Fprintf(&b, "  degree 0        : n=%4d  mean NDCG %.3f\n", len(zero), metrics.Mean(zero))
+	}
+	for _, bn := range bins {
+		if len(bn.vals) == 0 {
+			continue
+		}
+		hi := fmt.Sprintf("%d", bn.hi-1)
+		if bn.hi >= 1<<20 {
+			hi = "+"
+		}
+		fmt.Fprintf(&b, "  degree %3d..%-4s: n=%4d  mean NDCG %.3f\n", bn.lo, hi, len(bn.vals), metrics.Mean(bn.vals))
+	}
+	fmt.Fprintf(&b, "  mean NDCG (degree > 10):  %.3f\n", d.MeanHighDegree)
+	fmt.Fprintf(&b, "  mean NDCG (degree <= 10): %.3f\n", d.MeanLowDegree)
+	return b.String()
+}
+
+// Correlation returns the Pearson correlation between log2(degree+1) and
+// NDCG across the points — the positive relationship Fig. 3 visualizes.
+func (d *DegreeAccuracy) Correlation() float64 {
+	n := len(d.Points)
+	if n < 2 {
+		return 0
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, p := range d.Points {
+		xs[i] = math.Log2(float64(p.Degree) + 1)
+		ys[i] = p.NDCG
+	}
+	mx, my := metrics.Mean(xs), metrics.Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// BaselineCell is one mechanism's Fig. 4 measurement.
+type BaselineCell struct {
+	Mechanism string
+	Eps       dp.Epsilon
+	NDCG      Cell
+}
+
+// Baselines reproduces Fig. 4: NDCG@50 of NOU, NOE, LRM and GS (plus the
+// paper's cluster mechanism for context) on the Last.fm-like preset at
+// ε ∈ {1.0, 0.1}.
+type Baselines struct {
+	Dataset string
+	Cells   []BaselineCell
+}
+
+// BaselineComparison measures Fig. 4 for the given preset. lrmRank controls
+// the LRM decomposition rank (0 = default).
+func BaselineComparison(p generator.Preset, eps []dp.Epsilon, lrmRank int, o Opts) (*Baselines, error) {
+	ds, _, err := BuildDataset(p)
+	if err != nil {
+		return nil, err
+	}
+	clusters, _ := ClusterSocial(ds, o.louvainRuns(), o.Seed+100)
+	eval := SampleUsers(ds.Social.NumUsers(), o.evalSample(), o.Seed+200)
+	runner, err := NewRunner(ds, similarity.CommonNeighbors{}, clusters, eval)
+	if err != nil {
+		return nil, err
+	}
+	out := &Baselines{Dataset: ds.Name}
+	const n = 50
+	type evalFn func(e dp.Epsilon, seed int64) (*Result, error)
+	mechs := []struct {
+		name string
+		fn   evalFn
+	}{
+		{"cluster", func(e dp.Epsilon, seed int64) (*Result, error) { return runner.EvaluateCluster(e, seed, []int{n}) }},
+		{"noe", func(e dp.Epsilon, seed int64) (*Result, error) { return runner.EvaluateNOE(e, seed, []int{n}) }},
+		{"gs", func(e dp.Epsilon, seed int64) (*Result, error) { return runner.EvaluateGS(e, seed, []int{n}) }},
+		{"lrm", func(e dp.Epsilon, seed int64) (*Result, error) { return runner.EvaluateLRM(e, lrmRank, seed, []int{n}) }},
+		{"nou", func(e dp.Epsilon, seed int64) (*Result, error) { return runner.EvaluateNOU(e, seed, []int{n}) }},
+	}
+	for _, mech := range mechs {
+		for _, e := range eps {
+			var means []float64
+			for rep := 0; rep < o.repeats(); rep++ {
+				res, err := mech.fn(e, o.Seed+int64(777*rep))
+				if err != nil {
+					return nil, err
+				}
+				means = append(means, res.Mean(n))
+			}
+			out.Cells = append(out.Cells, BaselineCell{
+				Mechanism: mech.name,
+				Eps:       e,
+				NDCG:      Cell{Mean: metrics.Mean(means), Std: metrics.Std(means)},
+			})
+		}
+	}
+	return out, nil
+}
+
+// Format renders Fig. 4 as a mechanism × ε table, sorted by NDCG at the
+// first ε so the paper's ordering is immediately visible.
+func (bl *Baselines) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Baseline comparison, NDCG@50 on %s\n", bl.Dataset)
+	byMech := make(map[string][]BaselineCell)
+	var order []string
+	for _, c := range bl.Cells {
+		if _, ok := byMech[c.Mechanism]; !ok {
+			order = append(order, c.Mechanism)
+		}
+		byMech[c.Mechanism] = append(byMech[c.Mechanism], c)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return byMech[order[i]][0].NDCG.Mean > byMech[order[j]][0].NDCG.Mean
+	})
+	fmt.Fprintf(&b, "%-10s", "mechanism")
+	for _, c := range byMech[order[0]] {
+		fmt.Fprintf(&b, "  eps=%-8s", epsLabel(c.Eps))
+	}
+	b.WriteByte('\n')
+	for _, m := range order {
+		fmt.Fprintf(&b, "%-10s", m)
+		for _, c := range byMech[m] {
+			fmt.Fprintf(&b, "  %.3f±%.3f", c.NDCG.Mean, c.NDCG.Std)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ClusterReport reproduces the §6.2 clustering statistics: cluster count,
+// mean/std size, largest-cluster fraction and modularity.
+type ClusterReport struct {
+	Dataset      string
+	NumClusters  int
+	MeanSize     float64
+	StdSize      float64
+	LargestFrac  float64
+	Modularity   float64
+	LouvainRuns  int
+	GroundTruthK int // planted communities in the generator, for reference
+}
+
+// ClusterStats measures the clustering report for a preset.
+func ClusterStats(p generator.Preset, o Opts) (*ClusterReport, error) {
+	ds, planted, err := BuildDataset(p)
+	if err != nil {
+		return nil, err
+	}
+	clusters, q := ClusterSocial(ds, o.louvainRuns(), o.Seed+100)
+	mean, std := clusters.MeanSize()
+	k := 0
+	for _, c := range planted {
+		if int(c) >= k {
+			k = int(c) + 1
+		}
+	}
+	return &ClusterReport{
+		Dataset:      ds.Name,
+		NumClusters:  clusters.NumClusters(),
+		MeanSize:     mean,
+		StdSize:      std,
+		LargestFrac:  clusters.LargestFraction(),
+		Modularity:   q,
+		LouvainRuns:  o.louvainRuns(),
+		GroundTruthK: k,
+	}, nil
+}
+
+// Format renders the cluster report.
+func (c *ClusterReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Clustering of %s (Louvain best of %d)\n", c.Dataset, c.LouvainRuns)
+	fmt.Fprintf(&b, "  clusters:         %d (planted: %d)\n", c.NumClusters, c.GroundTruthK)
+	fmt.Fprintf(&b, "  mean size:        %.1f (std %.1f)\n", c.MeanSize, c.StdSize)
+	fmt.Fprintf(&b, "  largest cluster:  %.1f%% of users\n", 100*c.LargestFrac)
+	fmt.Fprintf(&b, "  modularity:       %.3f\n", c.Modularity)
+	return b.String()
+}
+
+// Table1 builds both presets and renders their Table-1 statistics side by
+// side.
+func Table1(seed int64) (string, error) {
+	var b strings.Builder
+	for _, p := range []generator.Preset{generator.LastFMLike(seed), generator.FlixsterLike(seed)} {
+		ds, _, err := BuildDataset(p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "--- %s ---\n%s\n", ds.Name, ds.Summarize())
+	}
+	return b.String(), nil
+}

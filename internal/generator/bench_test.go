@@ -1,0 +1,30 @@
+package generator
+
+import "testing"
+
+func BenchmarkSocialGeneration(b *testing.B) {
+	cfg := LastFMLike(1).Social
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, _, err := Social(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreferenceGeneration(b *testing.B) {
+	p := LastFMLike(1)
+	social, comm, err := Social(p.Social)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := p.Prefs
+		cfg.Seed = int64(i)
+		if _, err := Preferences(social, comm, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,482 @@
+// Package generator synthesizes social and preference graphs with the two
+// structural properties the paper's framework depends on, calibrated to the
+// Table-1 statistics of the real datasets the paper evaluates on (which are
+// web downloads unavailable offline; see DESIGN.md for the substitution
+// argument):
+//
+//   - The social graph has pronounced community structure with heavy-tailed
+//     community sizes and degrees (a degree-corrected planted-partition
+//     model). Communities are what Louvain must find and what makes cluster
+//     averages good proxies for similarity sets.
+//   - The preference graph is community-correlated with Zipf item
+//     popularity: users in the same community prefer overlapping item sets,
+//     so structurally similar users genuinely predict each other's
+//     preferences — the signal a social recommender (private or not)
+//     exploits.
+package generator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"socialrec/internal/graph"
+)
+
+// SocialConfig parameterizes the social-graph generator.
+type SocialConfig struct {
+	// NumUsers is |U|.
+	NumUsers int
+	// NumCommunities is the number of planted communities.
+	NumCommunities int
+	// AvgDegree is the target mean user degree (Table 1: 13.4 for
+	// Last.fm, 18.5 for Flixster).
+	AvgDegree float64
+	// IntraFraction is the fraction of edges planted inside a community;
+	// the remainder connect users across communities. Values around
+	// 0.8–0.9 give modularity comparable to real social graphs.
+	IntraFraction float64
+	// CommunitySkew is the Zipf exponent of community sizes; larger means
+	// a more dominant largest community. Values near 0.9 reproduce the
+	// paper's observation that the largest cluster holds 18–28% of users.
+	CommunitySkew float64
+	// DegreeSkew is the Pareto tail exponent of per-user degree
+	// propensities; smaller means heavier tails (larger degree std).
+	DegreeSkew float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports the first invalid field.
+func (c SocialConfig) Validate() error {
+	switch {
+	case c.NumUsers < 1:
+		return fmt.Errorf("generator: NumUsers must be >= 1, got %d", c.NumUsers)
+	case c.NumCommunities < 1 || c.NumCommunities > c.NumUsers:
+		return fmt.Errorf("generator: NumCommunities must be in [1, %d], got %d", c.NumUsers, c.NumCommunities)
+	case c.AvgDegree <= 0:
+		return fmt.Errorf("generator: AvgDegree must be positive, got %v", c.AvgDegree)
+	case c.IntraFraction < 0 || c.IntraFraction > 1:
+		return fmt.Errorf("generator: IntraFraction must be in [0, 1], got %v", c.IntraFraction)
+	}
+	return nil
+}
+
+// Social generates a social graph together with the planted community of
+// every user (ground truth useful in clustering tests). The generator is a
+// degree-corrected planted-partition model: users receive Zipf-skewed
+// community assignments and Pareto-skewed degree propensities; edges are
+// then drawn Chung-Lu style, biased IntraFraction of the time to stay within
+// a community.
+func Social(cfg SocialConfig) (*graph.Social, []int32, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Community assignment with Zipf-skewed sizes.
+	skew := cfg.CommunitySkew
+	if skew <= 0 {
+		skew = 0.9
+	}
+	commWeights := make([]float64, cfg.NumCommunities)
+	for c := range commWeights {
+		commWeights[c] = math.Pow(float64(c+1), -skew)
+	}
+	commPick := newAlias(commWeights, rng)
+	community := make([]int32, cfg.NumUsers)
+	members := make([][]int32, cfg.NumCommunities)
+	for u := range community {
+		c := commPick.draw()
+		community[u] = int32(c)
+		members[c] = append(members[c], int32(u))
+	}
+
+	// Degree propensities: bounded Pareto for a heavy but not absurd tail.
+	tail := cfg.DegreeSkew
+	if tail <= 0 {
+		tail = 2.2
+	}
+	theta := make([]float64, cfg.NumUsers)
+	for u := range theta {
+		x := math.Pow(1-rng.Float64(), -1/tail) // Pareto(1, tail)
+		if x > 40 {
+			x = 40
+		}
+		theta[u] = x
+	}
+	globalPick := newAlias(theta, rng)
+	commPicks := make([]*alias, cfg.NumCommunities)
+	for c, ms := range members {
+		if len(ms) == 0 {
+			continue
+		}
+		w := make([]float64, len(ms))
+		for i, u := range ms {
+			w[i] = theta[u]
+		}
+		commPicks[c] = newAlias(w, rng)
+	}
+
+	// Edge placement.
+	targetEdges := int(float64(cfg.NumUsers) * cfg.AvgDegree / 2)
+	b := graph.NewSocialBuilder(cfg.NumUsers)
+	maxAttempts := 50 * targetEdges
+	for attempts := 0; b.NumEdges() < targetEdges && attempts < maxAttempts; attempts++ {
+		u := globalPick.draw()
+		var v int
+		if rng.Float64() < cfg.IntraFraction {
+			c := community[u]
+			ms := members[c]
+			if len(ms) < 2 {
+				continue
+			}
+			v = int(ms[commPicks[c].draw()])
+		} else {
+			v = globalPick.draw()
+		}
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, nil, err
+		}
+	}
+	return b.Build(), community, nil
+}
+
+// PreferenceConfig parameterizes the preference-graph generator.
+type PreferenceConfig struct {
+	// NumItems is |I|.
+	NumItems int
+	// NumEdges is the target |E_p|.
+	NumEdges int
+	// CommunityAffinity is the probability that a preference edge is drawn
+	// from the user's community taste distribution rather than global
+	// popularity. Higher values make similar users more predictive of one
+	// another.
+	CommunityAffinity float64
+	// PopularitySkew is the Zipf exponent of global item popularity
+	// (Table 1's item-degree std ≫ mean comes from this tail).
+	PopularitySkew float64
+	// TasteBreadth is the number of items in each community's taste pool;
+	// 0 selects NumItems/4.
+	TasteBreadth int
+	// ActivitySkew is the Pareto tail of per-user preference counts; 0
+	// selects 1.8.
+	ActivitySkew float64
+	// NicheFraction is the probability that a preference is drawn
+	// uniformly from the whole catalog instead of the popularity-skewed
+	// distributions — the long tail of personal, obscure items every real
+	// interaction dataset carries. Combined with SocialContagion these
+	// niche items circulate inside small friend circles, giving each
+	// user's ideal ranking an idiosyncratic component that cluster-level
+	// averages cannot reproduce (the paper's approximation error), while
+	// the popular head remains noise-robust.
+	NicheFraction float64
+	// SocialContagion is the fraction of each user's preferences copied
+	// from the existing preferences of immediate social neighbors. This
+	// creates preference correlation at friendship granularity — finer
+	// than the community level — which is what gives similarity-set-based
+	// utility rankings their idiosyncratic, personalized component (and
+	// what cluster averages inevitably smooth away, producing the paper's
+	// approximation error). Requires a social graph; see Preferences.
+	SocialContagion float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports the first invalid field.
+func (c PreferenceConfig) Validate() error {
+	switch {
+	case c.NumItems < 1:
+		return fmt.Errorf("generator: NumItems must be >= 1, got %d", c.NumItems)
+	case c.NumEdges < 0:
+		return fmt.Errorf("generator: NumEdges must be >= 0, got %d", c.NumEdges)
+	case c.CommunityAffinity < 0 || c.CommunityAffinity > 1:
+		return fmt.Errorf("generator: CommunityAffinity must be in [0, 1], got %v", c.CommunityAffinity)
+	case c.SocialContagion < 0 || c.SocialContagion > 1:
+		return fmt.Errorf("generator: SocialContagion must be in [0, 1], got %v", c.SocialContagion)
+	case c.NicheFraction < 0 || c.NicheFraction > 1:
+		return fmt.Errorf("generator: NicheFraction must be in [0, 1], got %v", c.NicheFraction)
+	}
+	return nil
+}
+
+// Preferences generates a community- and neighborhood-correlated preference
+// graph for users whose community assignment is given (usually the ground
+// truth returned by Social). Each community owns a Zipf-weighted taste pool
+// over a random subset of items; each user draws a Pareto-skewed number of
+// preferences, each coming from the community pool with probability
+// CommunityAffinity and from global Zipf popularity otherwise. If
+// SocialContagion > 0, that fraction of each user's preferences is instead
+// copied from the current preferences of a uniformly chosen social
+// neighbor, producing the friendship-level taste correlation that makes
+// similarity-set recommendations genuinely personal. social may be nil only
+// when SocialContagion is 0.
+func Preferences(social *graph.Social, community []int32, cfg PreferenceConfig) (*graph.Preference, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SocialContagion > 0 && social == nil {
+		return nil, fmt.Errorf("generator: SocialContagion requires a social graph")
+	}
+	numUsers := len(community)
+	numComms := 0
+	for _, c := range community {
+		if int(c) >= numComms {
+			numComms = int(c) + 1
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Global popularity: Zipf over a random permutation of items, so item
+	// id does not encode popularity.
+	skew := cfg.PopularitySkew
+	if skew <= 0 {
+		skew = 1.0
+	}
+	perm := rng.Perm(cfg.NumItems)
+	popW := make([]float64, cfg.NumItems)
+	for rank, item := range perm {
+		popW[item] = math.Pow(float64(rank+1), -skew)
+	}
+	globalPick := newAlias(popW, rng)
+
+	// Community taste pools.
+	breadth := cfg.TasteBreadth
+	if breadth <= 0 {
+		breadth = cfg.NumItems / 4
+	}
+	if breadth < 1 {
+		breadth = 1
+	}
+	if breadth > cfg.NumItems {
+		breadth = cfg.NumItems
+	}
+	tastePools := make([][]int32, numComms)
+	tastePicks := make([]*alias, numComms)
+	for c := 0; c < numComms; c++ {
+		pool := make([]int32, breadth)
+		seen := rng.Perm(cfg.NumItems)[:breadth]
+		w := make([]float64, breadth)
+		for i, item := range seen {
+			pool[i] = int32(item)
+			w[i] = math.Pow(float64(i+1), -skew)
+		}
+		tastePools[c] = pool
+		tastePicks[c] = newAlias(w, rng)
+	}
+
+	// Per-user activity: allocate NumEdges proportionally to Pareto
+	// propensities.
+	act := cfg.ActivitySkew
+	if act <= 0 {
+		act = 1.8
+	}
+	prop := make([]float64, numUsers)
+	var propSum float64
+	for u := range prop {
+		x := math.Pow(1-rng.Float64(), -1/act)
+		if x > 60 {
+			x = 60
+		}
+		prop[u] = x
+		propSum += x
+	}
+
+	// Per-user working sets: a membership map for dedup plus an indexable
+	// list for contagion sampling.
+	have := make([]map[int32]struct{}, numUsers)
+	lists := make([][]int32, numUsers)
+	quotas := make([]int, numUsers)
+	for u := 0; u < numUsers; u++ {
+		q := int(math.Round(float64(cfg.NumEdges) * prop[u] / propSum))
+		if q < 1 {
+			q = 1
+		}
+		if q > cfg.NumItems {
+			q = cfg.NumItems
+		}
+		quotas[u] = q
+		have[u] = make(map[int32]struct{}, q)
+	}
+	add := func(u int, item int32) bool {
+		if _, dup := have[u][item]; dup {
+			return false
+		}
+		have[u][item] = struct{}{}
+		lists[u] = append(lists[u], item)
+		return true
+	}
+	sampleTaste := func(u int) int32 {
+		if rng.Float64() < cfg.NicheFraction {
+			return int32(rng.Intn(cfg.NumItems))
+		}
+		c := int(community[u])
+		if rng.Float64() < cfg.CommunityAffinity && tastePicks[c] != nil {
+			return tastePools[c][tastePicks[c].draw()]
+		}
+		return int32(globalPick.draw())
+	}
+
+	// Phase 1: seed each user with their non-contagion share from the
+	// taste distributions.
+	for u := 0; u < numUsers; u++ {
+		seed := int(math.Round(float64(quotas[u]) * (1 - cfg.SocialContagion)))
+		if seed < 1 {
+			seed = 1
+		}
+		for tries, added := 0, 0; added < seed && tries < 20*seed; tries++ {
+			if add(u, sampleTaste(u)) {
+				added++
+			}
+		}
+	}
+
+	// Phase 2: social contagion sweeps — each user copies items from close
+	// friends until their quota is met. Copying is restricted to a small
+	// fixed subset of each user's neighbors ("strong ties"): real taste
+	// diffusion concentrates in tight friend circles, which is what makes
+	// the resulting items score high under structural similarity (close
+	// friends share many common neighbors) while staying invisible in
+	// cluster-level averages. Sweeping repeatedly in random order lets
+	// items propagate along chains of strong ties.
+	if cfg.SocialContagion > 0 {
+		const strongTies = 3
+		close := make([][]int32, numUsers)
+		for u := 0; u < numUsers; u++ {
+			neigh := social.Neighbors(u)
+			if len(neigh) <= strongTies {
+				close[u] = neigh
+				continue
+			}
+			picked := rng.Perm(len(neigh))[:strongTies]
+			for _, i := range picked {
+				close[u] = append(close[u], neigh[i])
+			}
+		}
+		for sweep := 0; sweep < 6; sweep++ {
+			done := true
+			for _, u := range rng.Perm(numUsers) {
+				missing := quotas[u] - len(lists[u])
+				if missing <= 0 {
+					continue
+				}
+				neigh := close[u]
+				for tries, added := 0, 0; added < missing && tries < 10*missing; tries++ {
+					var item int32
+					if len(neigh) > 0 {
+						v := neigh[rng.Intn(len(neigh))]
+						if len(lists[v]) == 0 {
+							continue
+						}
+						item = lists[v][rng.Intn(len(lists[v]))]
+					} else {
+						item = sampleTaste(u)
+					}
+					if add(u, item) {
+						added++
+					}
+				}
+				if len(lists[u]) < quotas[u] {
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+		}
+		// Top up any residue (isolated users, saturated neighborhoods)
+		// from the taste distributions.
+		for u := 0; u < numUsers; u++ {
+			missing := quotas[u] - len(lists[u])
+			for tries, added := 0, 0; added < missing && tries < 20*missing; tries++ {
+				if add(u, sampleTaste(u)) {
+					added++
+				}
+			}
+		}
+	}
+
+	b := graph.NewPreferenceBuilder(numUsers, cfg.NumItems)
+	for u := 0; u < numUsers; u++ {
+		for _, item := range lists[u] {
+			if err := b.AddEdge(u, int(item)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// alias implements Vose's alias method for O(1) sampling from a fixed
+// discrete distribution.
+type alias struct {
+	prob  []float64
+	al    []int32
+	rng   *rand.Rand
+	count int
+}
+
+func newAlias(weights []float64, rng *rand.Rand) *alias {
+	n := len(weights)
+	a := &alias{prob: make([]float64, n), al: make([]int32, n), rng: rng, count: n}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("generator: negative weight")
+		}
+		sum += w
+	}
+	if sum == 0 {
+		// Degenerate: uniform.
+		for i := range a.prob {
+			a.prob[i] = 1
+			a.al[i] = int32(i)
+		}
+		return a
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.al[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.al[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.al[i] = i
+	}
+	return a
+}
+
+func (a *alias) draw() int {
+	i := a.rng.Intn(a.count)
+	if a.rng.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.al[i])
+}

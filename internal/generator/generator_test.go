@@ -1,0 +1,270 @@
+package generator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"socialrec/internal/community"
+)
+
+func TestSocialConfigValidate(t *testing.T) {
+	good := SocialConfig{NumUsers: 10, NumCommunities: 2, AvgDegree: 3, IntraFraction: 0.8}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []SocialConfig{
+		{NumUsers: 0, NumCommunities: 1, AvgDegree: 1},
+		{NumUsers: 10, NumCommunities: 0, AvgDegree: 1},
+		{NumUsers: 10, NumCommunities: 11, AvgDegree: 1},
+		{NumUsers: 10, NumCommunities: 2, AvgDegree: 0},
+		{NumUsers: 10, NumCommunities: 2, AvgDegree: 1, IntraFraction: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSocialGeneratorShape(t *testing.T) {
+	cfg := SocialConfig{
+		NumUsers: 1000, NumCommunities: 8, AvgDegree: 12,
+		IntraFraction: 0.85, Seed: 3,
+	}
+	g, comm, err := Social(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumUsers() != 1000 {
+		t.Fatalf("NumUsers = %d", g.NumUsers())
+	}
+	if len(comm) != 1000 {
+		t.Fatalf("community labels = %d", len(comm))
+	}
+	mean, _ := g.AvgDegree()
+	if mean < 9 || mean > 13 {
+		t.Errorf("avg degree = %v, want ≈ 12 (some shortfall from rejection is fine)", mean)
+	}
+	for _, c := range comm {
+		if c < 0 || int(c) >= 8 {
+			t.Fatalf("community label %d out of range", c)
+		}
+	}
+}
+
+func TestSocialGeneratorDeterministic(t *testing.T) {
+	cfg := SocialConfig{NumUsers: 200, NumCommunities: 4, AvgDegree: 8, IntraFraction: 0.8, Seed: 11}
+	g1, c1, err := Social(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, c2, err := Social(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed, different edge counts")
+	}
+	for u := 0; u < 200; u++ {
+		if c1[u] != c2[u] {
+			t.Fatal("same seed, different communities")
+		}
+		n1, n2 := g1.Neighbors(u), g2.Neighbors(u)
+		if len(n1) != len(n2) {
+			t.Fatal("same seed, different adjacency")
+		}
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				t.Fatal("same seed, different adjacency")
+			}
+		}
+	}
+}
+
+// TestPlantedCommunitiesDetectable is the generator's core fitness-for-
+// purpose test: Louvain on the generated graph must recover a partition
+// close to the planted one (high modularity, comparable cluster count).
+func TestPlantedCommunitiesDetectable(t *testing.T) {
+	cfg := SocialConfig{
+		NumUsers: 1200, NumCommunities: 10, AvgDegree: 14,
+		IntraFraction: 0.85, Seed: 5,
+	}
+	g, _, err := Social(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := community.Louvain(g, community.Options{Seed: 1})
+	q := community.Modularity(g, c)
+	if q < 0.5 {
+		t.Errorf("modularity of Louvain on generated graph = %v, want > 0.5", q)
+	}
+	if c.NumClusters() < 5 || c.NumClusters() > 40 {
+		t.Errorf("clusters = %d, want near the planted 10", c.NumClusters())
+	}
+}
+
+func TestPreferencesShape(t *testing.T) {
+	comm := make([]int32, 500)
+	rng := rand.New(rand.NewSource(1))
+	for i := range comm {
+		comm[i] = int32(rng.Intn(5))
+	}
+	cfg := PreferenceConfig{
+		NumItems: 2000, NumEdges: 10000, CommunityAffinity: 0.7,
+		PopularitySkew: 1.0, Seed: 2,
+	}
+	p, err := Preferences(nil, comm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumUsers() != 500 || p.NumItems() != 2000 {
+		t.Fatalf("shape = (%d, %d)", p.NumUsers(), p.NumItems())
+	}
+	// Every user has at least one preference; total near the target.
+	for u := 0; u < 500; u++ {
+		if p.UserDegree(u) == 0 {
+			t.Fatalf("user %d has no preferences", u)
+		}
+	}
+	if p.NumEdges() < 7000 || p.NumEdges() > 13000 {
+		t.Errorf("|E_p| = %d, want ≈ 10000", p.NumEdges())
+	}
+}
+
+// TestCommunityCorrelation verifies the property the recommender feeds on:
+// same-community user pairs share more items than cross-community pairs.
+func TestCommunityCorrelation(t *testing.T) {
+	comm := make([]int32, 400)
+	for i := range comm {
+		comm[i] = int32(i % 4)
+	}
+	p, err := Preferences(nil, comm, PreferenceConfig{
+		NumItems: 3000, NumEdges: 12000, CommunityAffinity: 0.8,
+		PopularitySkew: 1.0, TasteBreadth: 200, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := func(u, v int) int {
+		a, b := p.Items(u), p.Items(v)
+		i, j, n := 0, 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				n++
+				i++
+				j++
+			}
+		}
+		return n
+	}
+	rng := rand.New(rand.NewSource(4))
+	var same, cross float64
+	const pairs = 4000
+	for k := 0; k < pairs; k++ {
+		u, v := rng.Intn(400), rng.Intn(400)
+		if u == v {
+			continue
+		}
+		o := float64(overlap(u, v))
+		if comm[u] == comm[v] {
+			same += o
+		} else {
+			cross += o
+		}
+	}
+	if same <= cross {
+		t.Errorf("same-community overlap (%v) should exceed cross-community (%v)", same, cross)
+	}
+}
+
+func TestPreferencesValidation(t *testing.T) {
+	comm := []int32{0, 1}
+	if _, err := Preferences(nil, comm, PreferenceConfig{NumItems: 0, NumEdges: 5}); err == nil {
+		t.Error("NumItems = 0 should fail")
+	}
+	if _, err := Preferences(nil, comm, PreferenceConfig{NumItems: 5, NumEdges: -1}); err == nil {
+		t.Error("negative NumEdges should fail")
+	}
+	if _, err := Preferences(nil, comm, PreferenceConfig{NumItems: 5, NumEdges: 5, CommunityAffinity: 2}); err == nil {
+		t.Error("affinity > 1 should fail")
+	}
+}
+
+func TestPresetsGenerate(t *testing.T) {
+	p := TinyTest(1)
+	social, comm, prefs, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if social.NumUsers() != p.Social.NumUsers || prefs.NumItems() != p.Prefs.NumItems {
+		t.Error("preset dimensions not honored")
+	}
+	if len(comm) != social.NumUsers() {
+		t.Error("community labels missing")
+	}
+}
+
+// TestLastFMLikeMatchesTable1 checks the calibrated preset against the
+// paper's Table-1 statistics within generation tolerance.
+func TestLastFMLikeMatchesTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generation of the full-scale preset")
+	}
+	social, _, prefs, err := LastFMLike(7).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if social.NumUsers() != 1892 {
+		t.Errorf("|U| = %d, want 1892", social.NumUsers())
+	}
+	mean, _ := social.AvgDegree()
+	if math.Abs(mean-13.4) > 2.5 {
+		t.Errorf("avg degree = %v, want ≈ 13.4", mean)
+	}
+	if prefs.NumItems() != 17632 {
+		t.Errorf("|I| = %d, want 17632", prefs.NumItems())
+	}
+	if e := prefs.NumEdges(); e < 70000 || e > 110000 {
+		t.Errorf("|E_p| = %d, want ≈ 92198", e)
+	}
+	if s := prefs.Sparsity(); s < 0.99 {
+		t.Errorf("sparsity = %v, want > 0.99", s)
+	}
+}
+
+func TestAliasMethodDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := newAlias([]float64{1, 2, 3, 0}, rng)
+	counts := make([]int, 4)
+	const n = 120000
+	for i := 0; i < n; i++ {
+		counts[a.draw()]++
+	}
+	if counts[3] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[3])
+	}
+	for i, want := range []float64{1.0 / 6, 2.0 / 6, 3.0 / 6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasDegenerateUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := newAlias([]float64{0, 0, 0}, rng)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[a.draw()] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("degenerate alias should fall back to uniform; saw %v", seen)
+	}
+}

@@ -1,0 +1,122 @@
+package generator
+
+import "socialrec/internal/graph"
+
+// Preset bundles a calibrated social + preference configuration mimicking
+// one of the paper's datasets (Table 1).
+type Preset struct {
+	Name   string
+	Social SocialConfig
+	Prefs  PreferenceConfig
+}
+
+// LastFMLike mirrors the HetRec Last.fm dataset of Table 1 at full scale:
+// 1,892 users, ~12.7K social edges (avg degree ≈ 13.4), 17,632 items and
+// ~92K preference edges, with the moderate community count (≈35 clusters,
+// largest ≈28% of users) reported in §6.2.
+func LastFMLike(seed int64) Preset {
+	return Preset{
+		Name: "lastfm-like",
+		Social: SocialConfig{
+			NumUsers:       1892,
+			NumCommunities: 24,
+			AvgDegree:      13.4,
+			IntraFraction:  0.7,
+			CommunitySkew:  0.85,
+			// DegreeSkew 1.1 reproduces Table 1's degree std of 17.3
+			// with ~60% of users at degree ≤ 10, the population whose
+			// approximation error drives Fig. 3.
+			DegreeSkew: 1.1,
+			Seed:       seed,
+		},
+		Prefs: PreferenceConfig{
+			NumItems:          17632,
+			NumEdges:          92198,
+			CommunityAffinity: 0.75,
+			PopularitySkew:    1.05,
+			TasteBreadth:      1200,
+			// Table 1 reports 48.7 preference edges per user with std
+			// 6.9 — nearly uniform activity.
+			ActivitySkew:    6,
+			NicheFraction:   0.25,
+			SocialContagion: 0.5,
+			Seed:            seed + 1,
+		},
+	}
+}
+
+// FlixsterLike mirrors the Flixster dataset of Table 1 scaled down ~1:3.4
+// in users (137,372 → 40,000) so experiments run on a single machine,
+// keeping the properties the paper attributes Flixster's robustness to:
+// higher average user degree (≈18.5), much larger communities (mean cluster
+// size near 900 here vs the paper's 2,986 — the scale-down necessarily
+// shrinks clusters, which slightly weakens robustness at the most extreme
+// privacy settings; see EXPERIMENTS.md), heavy activity skew (preference
+// std ≈ 4× mean, Table 1: 54.8 ± 218.2) and strong popularity skew. The
+// paper itself evaluated NDCG on a 10,000-user sample for the same
+// tractability reason.
+func FlixsterLike(seed int64) Preset {
+	return Preset{
+		Name: "flixster-like",
+		Social: SocialConfig{
+			NumUsers:       40000,
+			NumCommunities: 30,
+			AvgDegree:      18.5,
+			IntraFraction:  0.75,
+			CommunitySkew:  0.75,
+			DegreeSkew:     1.2,
+			Seed:           seed,
+		},
+		Prefs: PreferenceConfig{
+			NumItems:          10000,
+			NumEdges:          2200000,
+			CommunityAffinity: 0.7,
+			PopularitySkew:    1.15,
+			TasteBreadth:      900,
+			ActivitySkew:      1.3,
+			NicheFraction:     0.2,
+			SocialContagion:   0.5,
+			Seed:              seed + 1,
+		},
+	}
+}
+
+// TinyTest is a small, fast preset for tests and the quickstart example.
+func TinyTest(seed int64) Preset {
+	return Preset{
+		Name: "tiny-test",
+		Social: SocialConfig{
+			NumUsers:       300,
+			NumCommunities: 6,
+			AvgDegree:      10,
+			IntraFraction:  0.85,
+			CommunitySkew:  0.7,
+			DegreeSkew:     2.2,
+			Seed:           seed,
+		},
+		Prefs: PreferenceConfig{
+			NumItems:          800,
+			NumEdges:          6000,
+			CommunityAffinity: 0.75,
+			PopularitySkew:    1.0,
+			TasteBreadth:      120,
+			ActivitySkew:      2.0,
+			Seed:              seed + 1,
+		},
+	}
+}
+
+// Generate materializes the preset into concrete graphs, returning the
+// social graph, the planted community ground truth, and the preference
+// graph.
+func (p Preset) Generate() (*graph.Social, []int32, *graph.Preference, error) {
+	social, community, err := Social(p.Social)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prefs, err := Preferences(social, community, p.Prefs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return social, community, prefs, nil
+}

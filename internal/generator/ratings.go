@@ -1,0 +1,44 @@
+package generator
+
+import (
+	"math"
+	"math/rand"
+
+	"socialrec/internal/graph"
+)
+
+// AssignRatings lifts an unweighted preference graph into a rating graph on
+// a 1..scale star scale, for exercising the framework's weighted extension
+// (§7 of the paper). Ratings are generated from a simple crossed-effects
+// model — per-item quality, per-user generosity, plus noise — so that items
+// genuinely differ in value and a weighted recommender has signal an
+// unweighted one throws away.
+func AssignRatings(p *graph.Preference, scale int, seed int64) (*graph.WeightedPreference, error) {
+	if scale < 2 {
+		scale = 5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	itemQuality := make([]float64, p.NumItems())
+	for i := range itemQuality {
+		itemQuality[i] = rng.NormFloat64()
+	}
+	mid := float64(scale+1) / 2
+	b := graph.NewWeightedPreferenceBuilder(p.NumUsers(), p.NumItems())
+	for u := 0; u < p.NumUsers(); u++ {
+		generosity := rng.NormFloat64() * 0.5
+		for _, item := range p.Items(u) {
+			r := mid + itemQuality[item] + generosity + rng.NormFloat64()*0.5
+			rating := math.Round(r)
+			if rating < 1 {
+				rating = 1
+			}
+			if rating > float64(scale) {
+				rating = float64(scale)
+			}
+			if err := b.AddEdge(u, int(item), rating); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,134 @@
+package generator
+
+import (
+	"testing"
+
+	"socialrec/internal/graph"
+)
+
+func ratingFixture(t *testing.T) *graph.Preference {
+	t.Helper()
+	b := graph.NewPreferenceBuilder(30, 20)
+	for u := 0; u < 30; u++ {
+		for i := 0; i < 5; i++ {
+			if err := b.AddEdge(u, (u+i*3)%20); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestAssignRatingsBoundsAndShape(t *testing.T) {
+	p := ratingFixture(t)
+	rated, err := AssignRatings(p, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rated.NumEdges() != p.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", rated.NumEdges(), p.NumEdges())
+	}
+	for u := 0; u < p.NumUsers(); u++ {
+		items, ws := rated.Edges(u)
+		if len(items) != p.UserDegree(u) {
+			t.Fatalf("user %d lost edges", u)
+		}
+		for k, w := range ws {
+			if w < 1 || w > 5 {
+				t.Fatalf("rating out of [1, 5]: %v", w)
+			}
+			if w != float64(int(w)) {
+				t.Fatalf("rating not integral: %v", w)
+			}
+			if p.Weight(u, int(items[k])) != 1 {
+				t.Fatalf("rated edge (%d, %d) absent from source", u, items[k])
+			}
+		}
+	}
+}
+
+func TestAssignRatingsDeterministic(t *testing.T) {
+	p := ratingFixture(t)
+	a, err := AssignRatings(p, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AssignRatings(p, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < p.NumUsers(); u++ {
+		_, wa := a.Edges(u)
+		_, wb := b.Edges(u)
+		for k := range wa {
+			if wa[k] != wb[k] {
+				t.Fatal("same seed, different ratings")
+			}
+		}
+	}
+	c, err := AssignRatings(p, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for u := 0; u < p.NumUsers() && same; u++ {
+		_, wa := a.Edges(u)
+		_, wc := c.Edges(u)
+		for k := range wa {
+			if wa[k] != wc[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical ratings")
+	}
+}
+
+func TestAssignRatingsItemQualitySignal(t *testing.T) {
+	// Items must differ systematically: the variance of per-item mean
+	// ratings should clearly exceed zero (the crossed-effects model puts
+	// a N(0,1) quality on every item).
+	p := ratingFixture(t)
+	rated, err := AssignRatings(p, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := make([]float64, p.NumItems())
+	cnt := make([]float64, p.NumItems())
+	for u := 0; u < p.NumUsers(); u++ {
+		items, ws := rated.Edges(u)
+		for k, item := range items {
+			sum[item] += ws[k]
+			cnt[item]++
+		}
+	}
+	var lo, hi float64 = 6, 0
+	for i := range sum {
+		if cnt[i] == 0 {
+			continue
+		}
+		m := sum[i] / cnt[i]
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if hi-lo < 1 {
+		t.Errorf("item mean ratings span only %v, want clear item-quality separation", hi-lo)
+	}
+}
+
+func TestAssignRatingsDefaultScale(t *testing.T) {
+	p := ratingFixture(t)
+	rated, err := AssignRatings(p, 0, 1) // scale < 2 selects 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rated.MaxWeight() > 5 {
+		t.Errorf("max rating %v exceeds default scale 5", rated.MaxWeight())
+	}
+}

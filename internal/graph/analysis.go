@@ -1,0 +1,100 @@
+package graph
+
+// Analysis helpers over the social graph: the structural statistics used to
+// validate that generated graphs look like the crawled ones the paper
+// evaluates on (small-world clustering, heavy-tailed degrees) and to
+// implement the per-user views the experiments need.
+
+// LocalClusteringCoefficient returns the fraction of pairs of u's neighbors
+// that are themselves connected — 1.0 inside a clique, 0.0 in a star. Users
+// with fewer than two neighbors score 0.
+func (g *Social) LocalClusteringCoefficient(u int) float64 {
+	neigh := g.Neighbors(u)
+	d := len(neigh)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if g.HasEdge(int(neigh[i]), int(neigh[j])) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(d*(d-1))
+}
+
+// AvgClusteringCoefficient returns the mean local clustering coefficient
+// over all users — the small-world statistic ([27] in the paper) that makes
+// 2-hop similarity sets explode and motivates the GD/KZ cutoffs of §2.2.
+func (g *Social) AvgClusteringCoefficient() float64 {
+	n := g.NumUsers()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for u := 0; u < n; u++ {
+		sum += g.LocalClusteringCoefficient(u)
+	}
+	return sum / float64(n)
+}
+
+// DegreeHistogram returns counts[d] = number of users with degree d, up to
+// the maximum degree present.
+func (g *Social) DegreeHistogram() []int {
+	maxDeg := 0
+	for u := 0; u < g.NumUsers(); u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for u := 0; u < g.NumUsers(); u++ {
+		counts[g.Degree(u)]++
+	}
+	return counts
+}
+
+// BFSDistances returns the shortest-path distance from u to every user, or
+// -1 for unreachable users. maxDepth bounds the search; 0 means unbounded.
+func (g *Social) BFSDistances(u int, maxDepth int) []int32 {
+	n := g.NumUsers()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	frontier := []int32{int32(u)}
+	var next []int32
+	for d := int32(1); len(frontier) > 0; d++ {
+		if maxDepth > 0 && int(d) > maxDepth {
+			break
+		}
+		next = next[:0]
+		for _, x := range frontier {
+			for _, v := range g.Neighbors(int(x)) {
+				if dist[v] < 0 {
+					dist[v] = d
+					next = append(next, v)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return dist
+}
+
+// TwoHopNeighborhoodSize reports |{v : dist(u, v) ≤ 2, v ≠ u}| — the size
+// of the similarity-set support for the CN/AA/GD measures, and the quantity
+// whose explosion beyond two hops (§2.2) motivates their cutoffs.
+func (g *Social) TwoHopNeighborhoodSize(u int) int {
+	dist := g.BFSDistances(u, 2)
+	count := 0
+	for v, d := range dist {
+		if v != u && d > 0 {
+			count++
+		}
+	}
+	return count
+}

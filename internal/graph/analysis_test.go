@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// triangleWithTail: 0-1-2 triangle, 2-3 tail, 4 isolated.
+func triangleWithTail(t testing.TB) *Social {
+	t.Helper()
+	b := NewSocialBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestLocalClusteringCoefficient(t *testing.T) {
+	g := triangleWithTail(t)
+	// Node 0: neighbors {1, 2} connected → 1.0.
+	if got := g.LocalClusteringCoefficient(0); got != 1 {
+		t.Errorf("cc(0) = %v, want 1", got)
+	}
+	// Node 2: neighbors {0, 1, 3}; pairs (0,1) connected, (0,3), (1,3)
+	// not → 1/3.
+	if got := g.LocalClusteringCoefficient(2); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("cc(2) = %v, want 1/3", got)
+	}
+	// Degree-1 node 3 and isolated node 4 score 0.
+	if g.LocalClusteringCoefficient(3) != 0 || g.LocalClusteringCoefficient(4) != 0 {
+		t.Error("low-degree nodes must score 0")
+	}
+}
+
+func TestAvgClusteringCoefficient(t *testing.T) {
+	g := triangleWithTail(t)
+	want := (1.0 + 1.0 + 1.0/3 + 0 + 0) / 5
+	if got := g.AvgClusteringCoefficient(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("avg cc = %v, want %v", got, want)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := triangleWithTail(t)
+	h := g.DegreeHistogram()
+	// degrees: 2, 2, 3, 1, 0 → counts [1, 1, 2, 1].
+	want := []int{1, 1, 2, 1}
+	if len(h) != len(want) {
+		t.Fatalf("histogram = %v, want %v", h, want)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", h, want)
+		}
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := triangleWithTail(t)
+	d := g.BFSDistances(0, 0)
+	want := []int32{0, 1, 1, 2, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("distances = %v, want %v", d, want)
+		}
+	}
+	// Depth-limited search stops early.
+	d1 := g.BFSDistances(0, 1)
+	if d1[3] != -1 {
+		t.Errorf("depth-1 BFS reached distance 2: %v", d1)
+	}
+}
+
+func TestTwoHopNeighborhoodSize(t *testing.T) {
+	g := triangleWithTail(t)
+	if got := g.TwoHopNeighborhoodSize(0); got != 3 {
+		t.Errorf("two-hop size of 0 = %d, want 3", got)
+	}
+	if got := g.TwoHopNeighborhoodSize(4); got != 0 {
+		t.Errorf("two-hop size of isolated node = %d, want 0", got)
+	}
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddPref(t *testing.T, b *PreferenceBuilder, u, i int) {
+	t.Helper()
+	if err := b.AddEdge(u, i); err != nil {
+		t.Fatalf("AddEdge(%d, %d): %v", u, i, err)
+	}
+}
+
+func TestPreferenceBuildBasics(t *testing.T) {
+	b := NewPreferenceBuilder(3, 4)
+	mustAddPref(t, b, 0, 0)
+	mustAddPref(t, b, 0, 2)
+	mustAddPref(t, b, 1, 2)
+	mustAddPref(t, b, 2, 3)
+	p := b.Build()
+
+	if p.NumUsers() != 3 || p.NumItems() != 4 || p.NumEdges() != 4 {
+		t.Fatalf("shape = (%d, %d, %d), want (3, 4, 4)", p.NumUsers(), p.NumItems(), p.NumEdges())
+	}
+	if got := p.UserDegree(0); got != 2 {
+		t.Errorf("UserDegree(0) = %d, want 2", got)
+	}
+	if got := p.ItemDegree(2); got != 2 {
+		t.Errorf("ItemDegree(2) = %d, want 2", got)
+	}
+	if got := p.ItemDegree(1); got != 0 {
+		t.Errorf("ItemDegree(1) = %d, want 0", got)
+	}
+	if p.Weight(0, 2) != 1 {
+		t.Error("Weight(0,2) = 0, want 1")
+	}
+	if p.Weight(0, 1) != 0 {
+		t.Error("Weight(0,1) = 1, want 0")
+	}
+}
+
+func TestPreferenceDuplicates(t *testing.T) {
+	b := NewPreferenceBuilder(2, 2)
+	mustAddPref(t, b, 0, 1)
+	mustAddPref(t, b, 0, 1)
+	p := b.Build()
+	if p.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", p.NumEdges())
+	}
+}
+
+func TestPreferenceOutOfRange(t *testing.T) {
+	b := NewPreferenceBuilder(2, 2)
+	for _, pair := range [][2]int{{-1, 0}, {2, 0}, {0, -1}, {0, 2}} {
+		if err := b.AddEdge(pair[0], pair[1]); err == nil {
+			t.Errorf("AddEdge(%d, %d): want error", pair[0], pair[1])
+		}
+	}
+}
+
+func TestSparsity(t *testing.T) {
+	b := NewPreferenceBuilder(2, 5)
+	mustAddPref(t, b, 0, 0)
+	mustAddPref(t, b, 1, 1)
+	p := b.Build()
+	if got, want := p.Sparsity(), 1-2.0/10.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Sparsity = %v, want %v", got, want)
+	}
+}
+
+func TestAvgItemDegreeExcludesEmpty(t *testing.T) {
+	b := NewPreferenceBuilder(3, 3)
+	mustAddPref(t, b, 0, 0)
+	mustAddPref(t, b, 1, 0)
+	mustAddPref(t, b, 2, 1)
+	// item 2 has no edges and must be excluded
+	p := b.Build()
+	mean, _ := p.AvgItemDegree()
+	if want := 1.5; math.Abs(mean-want) > 1e-12 {
+		t.Errorf("AvgItemDegree mean = %v, want %v", mean, want)
+	}
+}
+
+func TestRemoveAndAddEdge(t *testing.T) {
+	b := NewPreferenceBuilder(2, 3)
+	mustAddPref(t, b, 0, 0)
+	mustAddPref(t, b, 1, 2)
+	p := b.Build()
+
+	removed := p.RemoveEdge(0, 0)
+	if removed.Weight(0, 0) != 0 || removed.NumEdges() != 1 {
+		t.Error("RemoveEdge did not remove the edge")
+	}
+	if p.Weight(0, 0) != 1 {
+		t.Error("RemoveEdge mutated the receiver")
+	}
+	if same := p.RemoveEdge(0, 1); same != p {
+		t.Error("removing an absent edge should return the receiver")
+	}
+
+	added := p.AddedEdge(0, 1)
+	if added.Weight(0, 1) != 1 || added.NumEdges() != 3 {
+		t.Error("AddedEdge did not add the edge")
+	}
+	if same := p.AddedEdge(0, 0); same != p {
+		t.Error("adding a present edge should return the receiver")
+	}
+}
+
+// Property: the user-major and item-major CSR views describe the same edge
+// set.
+func TestPreferenceDualViewProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu, ni := 1+rng.Intn(20), 1+rng.Intn(20)
+		b := NewPreferenceBuilder(nu, ni)
+		for k := 0; k < 2*(nu+ni); k++ {
+			_ = b.AddEdge(rng.Intn(nu), rng.Intn(ni))
+		}
+		p := b.Build()
+		// Every (u, i) via Items must appear in Users(i) and vice versa.
+		fromUsers := 0
+		for u := 0; u < nu; u++ {
+			for _, i := range p.Items(u) {
+				fromUsers++
+				found := false
+				for _, v := range p.Users(int(i)) {
+					if int(v) == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		fromItems := 0
+		for i := 0; i < ni; i++ {
+			fromItems += p.ItemDegree(i)
+		}
+		return fromUsers == p.NumEdges() && fromItems == p.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Weight agrees with membership in Items.
+func TestWeightConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu, ni := 1+rng.Intn(10), 1+rng.Intn(10)
+		b := NewPreferenceBuilder(nu, ni)
+		for k := 0; k < nu*ni/2; k++ {
+			_ = b.AddEdge(rng.Intn(nu), rng.Intn(ni))
+		}
+		p := b.Build()
+		for u := 0; u < nu; u++ {
+			present := make(map[int32]bool)
+			for _, i := range p.Items(u) {
+				present[i] = true
+			}
+			for i := 0; i < ni; i++ {
+				want := 0.0
+				if present[int32(i)] {
+					want = 1.0
+				}
+				if p.Weight(u, i) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

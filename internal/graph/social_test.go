@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, b *SocialBuilder, u, v int) {
+	t.Helper()
+	if err := b.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d, %d): %v", u, v, err)
+	}
+}
+
+func TestSocialBuildBasics(t *testing.T) {
+	b := NewSocialBuilder(5)
+	mustAdd(t, b, 0, 1)
+	mustAdd(t, b, 1, 2)
+	mustAdd(t, b, 2, 0)
+	mustAdd(t, b, 3, 4)
+	g := b.Build()
+
+	if got := g.NumUsers(); got != 5 {
+		t.Errorf("NumUsers = %d, want 5", got)
+	}
+	if got := g.NumEdges(); got != 4 {
+		t.Errorf("NumEdges = %d, want 4", got)
+	}
+	wantDeg := []int{2, 2, 2, 1, 1}
+	for u, want := range wantDeg {
+		if got := g.Degree(u); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", u, got, want)
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge (0,1) missing in one direction")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("HasEdge(0,3) = true, want false")
+	}
+}
+
+func TestSocialDuplicatesAndSelfLoops(t *testing.T) {
+	b := NewSocialBuilder(3)
+	mustAdd(t, b, 0, 1)
+	mustAdd(t, b, 1, 0) // duplicate, reversed
+	mustAdd(t, b, 0, 1) // duplicate
+	mustAdd(t, b, 2, 2) // self-loop, dropped
+	g := b.Build()
+	if got := g.NumEdges(); got != 1 {
+		t.Errorf("NumEdges = %d, want 1", got)
+	}
+	if got := g.Degree(2); got != 0 {
+		t.Errorf("Degree(2) = %d, want 0 (self-loop dropped)", got)
+	}
+}
+
+func TestSocialAddEdgeOutOfRange(t *testing.T) {
+	b := NewSocialBuilder(2)
+	for _, pair := range [][2]int{{-1, 0}, {0, 2}, {5, 5}} {
+		if err := b.AddEdge(pair[0], pair[1]); err == nil {
+			t.Errorf("AddEdge(%d, %d): want error", pair[0], pair[1])
+		}
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	b := NewSocialBuilder(6)
+	for _, v := range []int{5, 2, 4, 1, 3} {
+		mustAdd(t, b, 0, v)
+	}
+	g := b.Build()
+	n := g.Neighbors(0)
+	for i := 1; i < len(n); i++ {
+		if n[i-1] >= n[i] {
+			t.Fatalf("Neighbors(0) not strictly sorted: %v", n)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewSocialBuilder(7)
+	mustAdd(t, b, 0, 1)
+	mustAdd(t, b, 1, 2)
+	mustAdd(t, b, 3, 4)
+	// 5 and 6 isolated
+	g := b.Build()
+	labels, count := g.ConnectedComponents()
+	if count != 4 {
+		t.Fatalf("component count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("0,1,2 not in same component: %v", labels)
+	}
+	if labels[3] != labels[4] {
+		t.Errorf("3,4 not in same component: %v", labels)
+	}
+	if labels[5] == labels[6] || labels[5] == labels[0] {
+		t.Errorf("isolated users share components: %v", labels)
+	}
+}
+
+func TestMainComponent(t *testing.T) {
+	b := NewSocialBuilder(6)
+	mustAdd(t, b, 0, 1)
+	mustAdd(t, b, 1, 2)
+	mustAdd(t, b, 2, 3)
+	mustAdd(t, b, 4, 5)
+	g := b.Build()
+	main := g.MainComponent()
+	want := []int32{0, 1, 2, 3}
+	if len(main) != len(want) {
+		t.Fatalf("MainComponent = %v, want %v", main, want)
+	}
+	for i := range want {
+		if main[i] != want[i] {
+			t.Fatalf("MainComponent = %v, want %v", main, want)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	b := NewSocialBuilder(6)
+	mustAdd(t, b, 0, 1)
+	mustAdd(t, b, 1, 2)
+	mustAdd(t, b, 2, 3)
+	mustAdd(t, b, 3, 0)
+	mustAdd(t, b, 4, 5)
+	mustAdd(t, b, 1, 4)
+	g := b.Build()
+
+	sub, origID := g.InducedSubgraph([]int32{3, 1, 0})
+	if sub.NumUsers() != 3 {
+		t.Fatalf("sub users = %d, want 3", sub.NumUsers())
+	}
+	// origID must be sorted originals.
+	want := []int32{0, 1, 3}
+	for i := range want {
+		if origID[i] != want[i] {
+			t.Fatalf("origID = %v, want %v", origID, want)
+		}
+	}
+	// Edges kept: (0,1) and (3,0) → in new ids (0,1), (2,0). Edge (1,2),
+	// (2,3), (1,4) dropped.
+	if sub.NumEdges() != 2 {
+		t.Fatalf("sub edges = %d, want 2", sub.NumEdges())
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(0, 2) {
+		t.Error("expected edges missing from induced subgraph")
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	b := NewSocialBuilder(4)
+	mustAdd(t, b, 0, 1)
+	mustAdd(t, b, 0, 2)
+	mustAdd(t, b, 0, 3)
+	g := b.Build()
+	mean, std := g.AvgDegree()
+	// degrees: 3,1,1,1 → mean 1.5, var = (2.25+.25*3)/4 = 0.75
+	if mean != 1.5 {
+		t.Errorf("mean = %v, want 1.5", mean)
+	}
+	if diff := std*std - 0.75; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("std^2 = %v, want 0.75", std*std)
+	}
+}
+
+// Property: for any random graph, the CSR structure is symmetric — v appears
+// in Neighbors(u) iff u appears in Neighbors(v) — and degrees sum to twice
+// the edge count.
+func TestSocialSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		b := NewSocialBuilder(n)
+		for k := 0; k < 3*n; k++ {
+			if err := b.AddEdge(rng.Intn(n), rng.Intn(n)); err != nil {
+				return false
+			}
+		}
+		g := b.Build()
+		degSum := 0
+		for u := 0; u < n; u++ {
+			degSum += g.Degree(u)
+			for _, v := range g.Neighbors(u) {
+				if !g.HasEdge(int(v), u) {
+					return false
+				}
+			}
+		}
+		return degSum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: components partition the users and every edge stays within one
+// component.
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		b := NewSocialBuilder(n)
+		for k := 0; k < n; k++ {
+			_ = b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		labels, count := g.ConnectedComponents()
+		for _, l := range labels {
+			if l < 0 || int(l) >= count {
+				return false
+			}
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				if labels[u] != labels[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

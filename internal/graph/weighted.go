@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightedPreference is the weighted extension of the preference graph the
+// paper sketches in §7: each edge (u, i) carries a weight w(u, i) ∈
+// (0, MaxWeight] (e.g. a star rating or a normalized listen count). The
+// unweighted graph is the special case of all weights equal to 1.
+//
+// For differential privacy the relevant quantity is MaxWeight: adding or
+// removing one edge changes any sum of weights by at most MaxWeight, so the
+// cluster mechanism's noise scales with MaxWeight/(|c|·ε). Normalizing
+// ratings into [0, 1] before building the graph therefore gives the same
+// noise behaviour as the unweighted framework.
+type WeightedPreference struct {
+	numUsers int
+	numItems int
+
+	uoff   []int32
+	uitems []int32
+	uw     []float64
+
+	maxWeight float64
+}
+
+// WeightedPreferenceBuilder accumulates weighted preference edges.
+// Re-adding an existing edge overwrites its weight.
+type WeightedPreferenceBuilder struct {
+	numUsers int
+	numItems int
+	edges    map[[2]int32]float64
+}
+
+// NewWeightedPreferenceBuilder returns a builder over numUsers users and
+// numItems items. It panics if either count is negative.
+func NewWeightedPreferenceBuilder(numUsers, numItems int) *WeightedPreferenceBuilder {
+	if numUsers < 0 || numItems < 0 {
+		panic("graph: negative node count")
+	}
+	return &WeightedPreferenceBuilder{
+		numUsers: numUsers,
+		numItems: numItems,
+		edges:    make(map[[2]int32]float64),
+	}
+}
+
+// AddEdge records the weighted preference edge (u, i). Weights must be
+// positive and finite (absent edges implicitly have weight 0, as in §2.1).
+func (b *WeightedPreferenceBuilder) AddEdge(u, i int, w float64) error {
+	if u < 0 || u >= b.numUsers {
+		return fmt.Errorf("graph: weighted edge user %d out of range [0, %d)", u, b.numUsers)
+	}
+	if i < 0 || i >= b.numItems {
+		return fmt.Errorf("graph: weighted edge item %d out of range [0, %d)", i, b.numItems)
+	}
+	if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+		return fmt.Errorf("graph: weighted edge (%d, %d) has invalid weight %v", u, i, w)
+	}
+	b.edges[[2]int32{int32(u), int32(i)}] = w
+	return nil
+}
+
+// NumEdges reports the number of distinct edges added so far.
+func (b *WeightedPreferenceBuilder) NumEdges() int { return len(b.edges) }
+
+// Build produces the immutable weighted graph.
+func (b *WeightedPreferenceBuilder) Build() *WeightedPreference {
+	p := &WeightedPreference{numUsers: b.numUsers, numItems: b.numItems}
+	deg := make([]int32, b.numUsers)
+	for e := range b.edges {
+		deg[e[0]]++
+	}
+	p.uoff = prefixSum(deg)
+	p.uitems = make([]int32, len(b.edges))
+	p.uw = make([]float64, len(b.edges))
+	next := make([]int32, b.numUsers)
+	copy(next, p.uoff[:b.numUsers])
+	for e, w := range b.edges {
+		u := e[0]
+		p.uitems[next[u]] = e[1]
+		p.uw[next[u]] = w
+		next[u]++
+		if w > p.maxWeight {
+			p.maxWeight = w
+		}
+	}
+	for u := 0; u < b.numUsers; u++ {
+		lo, hi := p.uoff[u], p.uoff[u+1]
+		idx := p.uitems[lo:hi]
+		ws := p.uw[lo:hi]
+		sort.Sort(&itemWeightSort{idx, ws})
+	}
+	return p
+}
+
+type itemWeightSort struct {
+	items []int32
+	w     []float64
+}
+
+func (s *itemWeightSort) Len() int           { return len(s.items) }
+func (s *itemWeightSort) Less(i, j int) bool { return s.items[i] < s.items[j] }
+func (s *itemWeightSort) Swap(i, j int) {
+	s.items[i], s.items[j] = s.items[j], s.items[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// NumUsers reports |U|.
+func (p *WeightedPreference) NumUsers() int { return p.numUsers }
+
+// NumItems reports |I|.
+func (p *WeightedPreference) NumItems() int { return p.numItems }
+
+// NumEdges reports |E_p|.
+func (p *WeightedPreference) NumEdges() int { return len(p.uitems) }
+
+// MaxWeight reports the largest edge weight — the sensitivity unit of any
+// private release over this graph.
+func (p *WeightedPreference) MaxWeight() float64 { return p.maxWeight }
+
+// Edges returns user u's sorted item ids and their weights. Both slices
+// alias internal storage and must not be modified.
+func (p *WeightedPreference) Edges(u int) (items []int32, weights []float64) {
+	return p.uitems[p.uoff[u]:p.uoff[u+1]], p.uw[p.uoff[u]:p.uoff[u+1]]
+}
+
+// Weight reports w(u, i), or 0 for an absent edge.
+func (p *WeightedPreference) Weight(u, i int) float64 {
+	items, ws := p.Edges(u)
+	k := sort.Search(len(items), func(k int) bool { return items[k] >= int32(i) })
+	if k < len(items) && items[k] == int32(i) {
+		return ws[k]
+	}
+	return 0
+}
+
+// Normalized returns a copy with every weight divided by MaxWeight, so all
+// weights lie in (0, 1] and private releases over the copy need the same
+// noise as the unweighted framework. A graph with no edges is returned
+// unchanged.
+func (p *WeightedPreference) Normalized() *WeightedPreference {
+	if p.maxWeight == 0 || p.maxWeight == 1 {
+		return p
+	}
+	c := &WeightedPreference{
+		numUsers:  p.numUsers,
+		numItems:  p.numItems,
+		uoff:      p.uoff,
+		uitems:    p.uitems,
+		uw:        make([]float64, len(p.uw)),
+		maxWeight: 1,
+	}
+	inv := 1 / p.maxWeight
+	for i, w := range p.uw {
+		c.uw[i] = w * inv
+	}
+	return c
+}
+
+// Unweighted converts the graph to the paper's unweighted model, keeping
+// edges with weight >= threshold (the §6.1 preprocessing step).
+func (p *WeightedPreference) Unweighted(threshold float64) *Preference {
+	b := NewPreferenceBuilder(p.numUsers, p.numItems)
+	for u := 0; u < p.numUsers; u++ {
+		items, ws := p.Edges(u)
+		for k, i := range items {
+			if ws[k] >= threshold {
+				// Range-checked at weighted build time.
+				_ = b.AddEdge(u, int(i))
+			}
+		}
+	}
+	return b.Build()
+}

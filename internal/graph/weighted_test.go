@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedBuildBasics(t *testing.T) {
+	b := NewWeightedPreferenceBuilder(3, 4)
+	if err := b.AddEdge(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	p := b.Build()
+	if p.NumUsers() != 3 || p.NumItems() != 4 || p.NumEdges() != 3 {
+		t.Fatalf("shape = (%d, %d, %d)", p.NumUsers(), p.NumItems(), p.NumEdges())
+	}
+	if p.Weight(0, 1) != 2.5 || p.Weight(0, 3) != 4 || p.Weight(0, 0) != 0 {
+		t.Error("weights wrong")
+	}
+	if p.MaxWeight() != 4 {
+		t.Errorf("MaxWeight = %v, want 4", p.MaxWeight())
+	}
+	items, ws := p.Edges(0)
+	if len(items) != 2 || items[0] != 1 || items[1] != 3 || ws[0] != 2.5 {
+		t.Errorf("Edges(0) = %v, %v", items, ws)
+	}
+}
+
+func TestWeightedOverwrite(t *testing.T) {
+	b := NewWeightedPreferenceBuilder(1, 1)
+	_ = b.AddEdge(0, 0, 1)
+	_ = b.AddEdge(0, 0, 3)
+	p := b.Build()
+	if p.NumEdges() != 1 || p.Weight(0, 0) != 3 {
+		t.Error("re-adding an edge must overwrite its weight")
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	b := NewWeightedPreferenceBuilder(2, 2)
+	bad := []struct {
+		u, i int
+		w    float64
+	}{
+		{-1, 0, 1}, {2, 0, 1}, {0, -1, 1}, {0, 2, 1},
+		{0, 0, 0}, {0, 0, -1}, {0, 0, math.Inf(1)}, {0, 0, math.NaN()},
+	}
+	for _, c := range bad {
+		if err := b.AddEdge(c.u, c.i, c.w); err == nil {
+			t.Errorf("AddEdge(%d, %d, %v): want error", c.u, c.i, c.w)
+		}
+	}
+}
+
+func TestWeightedNormalized(t *testing.T) {
+	b := NewWeightedPreferenceBuilder(2, 2)
+	_ = b.AddEdge(0, 0, 2)
+	_ = b.AddEdge(1, 1, 5)
+	p := b.Build()
+	n := p.Normalized()
+	if n.MaxWeight() != 1 {
+		t.Errorf("normalized MaxWeight = %v", n.MaxWeight())
+	}
+	if got := n.Weight(0, 0); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("normalized weight = %v, want 0.4", got)
+	}
+	if p.Weight(0, 0) != 2 {
+		t.Error("Normalized mutated the original")
+	}
+	// Already-normalized graphs are returned as-is.
+	if n2 := n.Normalized(); n2 != n {
+		t.Error("normalizing twice should be a no-op")
+	}
+}
+
+func TestWeightedUnweighted(t *testing.T) {
+	b := NewWeightedPreferenceBuilder(2, 3)
+	_ = b.AddEdge(0, 0, 1)
+	_ = b.AddEdge(0, 1, 2)
+	_ = b.AddEdge(1, 2, 5)
+	p := b.Build()
+	// Mirrors §6.1: threshold 2 keeps two edges.
+	u := p.Unweighted(2)
+	if u.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", u.NumEdges())
+	}
+	if u.Weight(0, 1) != 1 || u.Weight(1, 2) != 1 || u.Weight(0, 0) != 0 {
+		t.Error("thresholding wrong")
+	}
+}

@@ -1,0 +1,44 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMul200(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomMatrix(200, 200, rng)
+	y := randomMatrix(200, 200, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Mul(x, y)
+	}
+}
+
+func BenchmarkQR400x50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(400, 50, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = QR(a)
+	}
+}
+
+func BenchmarkRandomizedSVD400Rank20(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(400, 400, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RandomizedSVD(a, 20, 2, 10, rng)
+	}
+}
+
+func BenchmarkJacobiEigen60(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(60, 60, rng)
+	a := Mul(m, m.T())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = JacobiEigen(a)
+	}
+}

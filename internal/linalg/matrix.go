@@ -1,0 +1,290 @@
+// Package linalg provides the small dense linear-algebra kernel needed by
+// the Low-Rank Mechanism comparator: a row-major matrix type, matrix
+// products, thin QR by modified Gram-Schmidt, a cyclic Jacobi symmetric
+// eigensolver, and a randomized truncated SVD (Halko, Martinsson & Tropp).
+// It is written for correctness and clarity at the matrix sizes this
+// repository needs (up to a few thousand rows), not for BLAS-level speed.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense, row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols; element (i, j) at Data[i*Cols+j]
+}
+
+// NewMatrix returns a zero matrix of the given shape. It panics on negative
+// dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns the product a·b. It panics if the inner dimensions disagree.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch (%dx%d)·(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	// ikj loop order keeps the inner loop streaming over contiguous rows.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MulVec returns the product m·x as a new vector. It panics if len(x) !=
+// m.Cols.
+func MulVec(m *Matrix, x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("linalg: MulVec shape mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxColL1 returns the maximum L1 norm over columns of m — the per-column
+// sensitivity bound used by the LRM mechanism.
+func (m *Matrix) MaxColL1() float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += math.Abs(v)
+		}
+	}
+	var max float64
+	for _, s := range sums {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// QR computes the thin QR factorization of a (rows ≥ cols) by modified
+// Gram-Schmidt with one re-orthogonalization pass: a = q·r with qᵀq = I.
+// Columns of a that are (numerically) dependent yield zero columns in q.
+func QR(a *Matrix) (q, r *Matrix) {
+	mRows, n := a.Rows, a.Cols
+	q = a.Clone()
+	r = NewMatrix(n, n)
+	col := func(m *Matrix, j int) []float64 {
+		c := make([]float64, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			c[i] = m.At(i, j)
+		}
+		return c
+	}
+	setCol := func(m *Matrix, j int, c []float64) {
+		for i := 0; i < m.Rows; i++ {
+			m.Set(i, j, c[i])
+		}
+	}
+	for j := 0; j < n; j++ {
+		v := col(q, j)
+		// Two orthogonalization passes for numerical robustness.
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < j; k++ {
+				qk := col(q, k)
+				var dot float64
+				for i := 0; i < mRows; i++ {
+					dot += qk[i] * v[i]
+				}
+				r.Set(k, j, r.At(k, j)+dot)
+				for i := 0; i < mRows; i++ {
+					v[i] -= dot * qk[i]
+				}
+			}
+		}
+		var norm float64
+		for _, x := range v {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		r.Set(j, j, norm)
+		if norm > 1e-12 {
+			for i := range v {
+				v[i] /= norm
+			}
+		} else {
+			for i := range v {
+				v[i] = 0
+			}
+		}
+		setCol(q, j, v)
+	}
+	return q, r
+}
+
+// JacobiEigen computes the eigendecomposition of a symmetric matrix:
+// a = v·diag(λ)·vᵀ, with eigenvalues sorted descending and eigenvectors in
+// the corresponding columns of v. It uses the cyclic Jacobi rotation method,
+// which is unconditionally stable for symmetric input. It panics if a is not
+// square.
+func JacobiEigen(a *Matrix) (lambda []float64, v *Matrix) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("linalg: JacobiEigen requires a square matrix")
+	}
+	w := a.Clone()
+	v = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply the rotation to rows/columns p and q of w.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	lambda = make([]float64, n)
+	for i := 0; i < n; i++ {
+		lambda[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if lambda[idx[j]] > lambda[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	sortedL := make([]float64, n)
+	sortedV := NewMatrix(n, n)
+	for newJ, oldJ := range idx {
+		sortedL[newJ] = lambda[oldJ]
+		for i := 0; i < n; i++ {
+			sortedV.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return sortedL, sortedV
+}
+
+// SVDResult holds a truncated singular value decomposition a ≈ U·diag(S)·Vᵀ
+// with U of shape rows×r, S of length r, and V of shape cols×r.
+type SVDResult struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// RandomizedSVD computes a rank-r truncated SVD of a by the randomized
+// range-finder method with the given number of power iterations (2 is a good
+// default) and oversampling (10 is a good default). rng drives the random
+// test matrix; a deterministic seed makes the factorization reproducible. r
+// is clamped to min(a.Rows, a.Cols). For sparse inputs use RandomizedSVDOp
+// with a Sparse operator.
+func RandomizedSVD(a *Matrix, r, powerIters, oversample int, rng *rand.Rand) SVDResult {
+	return RandomizedSVDOp(a, r, powerIters, oversample, rng)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,303 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Error("At/Set roundtrip failed")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 5 {
+		t.Errorf("Row(1) = %v", row)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	tt := m.T()
+	if tt.Rows != 3 || tt.Cols != 2 {
+		t.Fatalf("T shape = (%d, %d)", tt.Rows, tt.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if tt.At(j, i) != m.At(i, j) {
+				t.Fatal("transpose wrong")
+			}
+		}
+	}
+}
+
+func TestMulHandComputed(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := NewMatrix(2, 2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for j := 0; j < 3; j++ {
+		m.Set(0, j, 1)
+		m.Set(1, j, float64(j))
+	}
+	y := MulVec(m, []float64{1, 2, 3})
+	if y[0] != 6 || y[1] != 0+2+6 {
+		t.Errorf("MulVec = %v, want [6 8]", y)
+	}
+}
+
+func TestMaxColL1(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, -3)
+	m.Set(1, 0, 1)
+	m.Set(0, 2, 2)
+	m.Set(1, 2, 2)
+	if got := m.MaxColL1(); got != 4 {
+		t.Errorf("MaxColL1 = %v, want 4", got)
+	}
+}
+
+func randomMatrix(rows, cols int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestQROrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(30, 8, rng)
+	q, r := QR(a)
+	// QᵀQ = I.
+	qtq := Mul(q.T(), q)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !approxEqual(qtq.At(i, j), want, 1e-10) {
+				t.Fatalf("QᵀQ[%d][%d] = %v, want %v", i, j, qtq.At(i, j), want)
+			}
+		}
+	}
+	// QR = A.
+	qr := Mul(q, r)
+	for i := range a.Data {
+		if !approxEqual(qr.Data[i], a.Data[i], 1e-10) {
+			t.Fatal("QR != A")
+		}
+	}
+	// R upper triangular.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < i; j++ {
+			if !approxEqual(r.At(i, j), 0, 1e-12) {
+				t.Fatalf("R[%d][%d] = %v, want 0", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Second column is twice the first: its Q column must be zeroed.
+	a := NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		a.Set(i, 0, float64(i+1))
+		a.Set(i, 1, 2*float64(i+1))
+	}
+	q, _ := QR(a)
+	for i := 0; i < 4; i++ {
+		if !approxEqual(q.At(i, 1), 0, 1e-10) {
+			t.Fatalf("dependent column not zeroed: %v", q.At(i, 1))
+		}
+	}
+}
+
+func TestJacobiEigenKnown(t *testing.T) {
+	// [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	lambda, v := JacobiEigen(a)
+	if !approxEqual(lambda[0], 3, 1e-10) || !approxEqual(lambda[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", lambda)
+	}
+	// Check A·v = λ·v for the first eigenvector.
+	col := []float64{v.At(0, 0), v.At(1, 0)}
+	av := MulVec(a, col)
+	for i := range av {
+		if !approxEqual(av[i], 3*col[i], 1e-10) {
+			t.Fatal("A·v != λ·v")
+		}
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := randomMatrix(10, 10, rng)
+	a := Mul(b, b.T()) // symmetric PSD
+	lambda, v := JacobiEigen(a)
+	// Reconstruct V·diag(λ)·Vᵀ.
+	vd := v.Clone()
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			vd.Set(i, j, v.At(i, j)*lambda[j])
+		}
+	}
+	rec := Mul(vd, v.T())
+	for i := range a.Data {
+		if !approxEqual(rec.Data[i], a.Data[i], 1e-8) {
+			t.Fatal("eigendecomposition does not reconstruct A")
+		}
+	}
+	// Eigenvalues sorted descending.
+	for i := 1; i < len(lambda); i++ {
+		if lambda[i] > lambda[i-1]+1e-12 {
+			t.Fatal("eigenvalues not sorted")
+		}
+	}
+}
+
+func TestRandomizedSVDExactLowRank(t *testing.T) {
+	// A rank-3 matrix must be recovered (nearly) exactly at r = 3.
+	rng := rand.New(rand.NewSource(3))
+	left := randomMatrix(40, 3, rng)
+	right := randomMatrix(3, 25, rng)
+	a := Mul(left, right)
+	svd := RandomizedSVD(a, 3, 2, 10, rng)
+	// Reconstruct and compare.
+	us := svd.U.Clone()
+	for i := 0; i < us.Rows; i++ {
+		for j := 0; j < us.Cols; j++ {
+			us.Set(i, j, svd.U.At(i, j)*svd.S[j])
+		}
+	}
+	rec := Mul(us, svd.V.T())
+	diff := 0.0
+	for i := range a.Data {
+		d := rec.Data[i] - a.Data[i]
+		diff += d * d
+	}
+	rel := math.Sqrt(diff) / a.FrobeniusNorm()
+	if rel > 1e-8 {
+		t.Fatalf("rank-3 reconstruction error = %v", rel)
+	}
+}
+
+func TestRandomizedSVDSingularValuesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(30, 30, rng)
+	svd := RandomizedSVD(a, 10, 2, 5, rng)
+	for i := 1; i < len(svd.S); i++ {
+		if svd.S[i] > svd.S[i-1]+1e-9 {
+			t.Fatalf("singular values not sorted: %v", svd.S)
+		}
+	}
+	for _, s := range svd.S {
+		if s < 0 {
+			t.Fatalf("negative singular value: %v", svd.S)
+		}
+	}
+}
+
+func TestRandomizedSVDClampsRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(6, 4, rng)
+	svd := RandomizedSVD(a, 99, 1, 5, rng)
+	if svd.U.Cols != 4 {
+		t.Errorf("rank clamped to %d, want 4", svd.U.Cols)
+	}
+}
+
+// Property: Mul is associative with MulVec: (A·B)·x == A·(B·x).
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m, k := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomMatrix(n, m, rng)
+		b := randomMatrix(m, k, rng)
+		x := make([]float64, k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		lhs := MulVec(Mul(a, b), x)
+		rhs := MulVec(a, MulVec(b, x))
+		for i := range lhs {
+			if !approxEqual(lhs[i], rhs[i], 1e-9*(1+math.Abs(lhs[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the truncated SVD reconstruction error never exceeds the
+// Frobenius norm of the input, and U has orthonormal columns.
+func TestSVDSanityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 5+rng.Intn(15), 5+rng.Intn(15)
+		a := randomMatrix(n, m, rng)
+		r := 1 + rng.Intn(5)
+		svd := RandomizedSVD(a, r, 1, 4, rng)
+		utu := Mul(svd.U.T(), svd.U)
+		for i := 0; i < svd.U.Cols; i++ {
+			for j := 0; j < svd.U.Cols; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				// Columns for zero singular values may be non-exact;
+				// tolerate loose orthonormality.
+				if math.Abs(utu.At(i, j)-want) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Operator is a linear map exposed through matrix products — the only
+// access pattern the randomized SVD needs. Both dense Matrix and Sparse
+// implement it, so the LRM comparator can factor its (very sparse)
+// similarity workload without materializing a dense |U|×|U| matrix.
+type Operator interface {
+	// Dims returns the operator's (rows, cols).
+	Dims() (rows, cols int)
+	// Apply returns A·X for a dense X with Cols(A) rows.
+	Apply(x *Matrix) *Matrix
+	// ApplyT returns Aᵀ·X for a dense X with Rows(A) rows.
+	ApplyT(x *Matrix) *Matrix
+}
+
+// Dims implements Operator for dense matrices.
+func (m *Matrix) Dims() (int, int) { return m.Rows, m.Cols }
+
+// Apply implements Operator for dense matrices.
+func (m *Matrix) Apply(x *Matrix) *Matrix { return Mul(m, x) }
+
+// ApplyT implements Operator for dense matrices.
+func (m *Matrix) ApplyT(x *Matrix) *Matrix { return Mul(m.T(), x) }
+
+// Sparse is an immutable CSR (compressed sparse row) matrix.
+type Sparse struct {
+	rows, cols int
+	off        []int32
+	col        []int32
+	val        []float64
+}
+
+// SparseBuilder accumulates entries for a Sparse matrix. Duplicate (i, j)
+// entries are summed.
+type SparseBuilder struct {
+	rows, cols int
+	entries    map[[2]int32]float64
+}
+
+// NewSparseBuilder returns a builder for a rows×cols sparse matrix. It
+// panics on negative dimensions.
+func NewSparseBuilder(rows, cols int) *SparseBuilder {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &SparseBuilder{rows: rows, cols: cols, entries: make(map[[2]int32]float64)}
+}
+
+// Add accumulates v into entry (i, j).
+func (b *SparseBuilder) Add(i, j int, v float64) error {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		return fmt.Errorf("linalg: entry (%d, %d) out of range %dx%d", i, j, b.rows, b.cols)
+	}
+	if v != 0 {
+		b.entries[[2]int32{int32(i), int32(j)}] += v
+	}
+	return nil
+}
+
+// Build produces the immutable CSR matrix.
+func (b *SparseBuilder) Build() *Sparse {
+	s := &Sparse{rows: b.rows, cols: b.cols, off: make([]int32, b.rows+1)}
+	counts := make([]int32, b.rows)
+	for e := range b.entries {
+		counts[e[0]]++
+	}
+	for i := 0; i < b.rows; i++ {
+		s.off[i+1] = s.off[i] + counts[i]
+	}
+	s.col = make([]int32, len(b.entries))
+	s.val = make([]float64, len(b.entries))
+	next := make([]int32, b.rows)
+	copy(next, s.off[:b.rows])
+	for e, v := range b.entries {
+		i := e[0]
+		s.col[next[i]] = e[1]
+		s.val[next[i]] = v
+		next[i]++
+	}
+	return s
+}
+
+// Dims implements Operator.
+func (s *Sparse) Dims() (int, int) { return s.rows, s.cols }
+
+// NNZ reports the number of stored entries.
+func (s *Sparse) NNZ() int { return len(s.val) }
+
+// At returns entry (i, j) by scanning row i; intended for tests, not hot
+// paths.
+func (s *Sparse) At(i, j int) float64 {
+	for k := s.off[i]; k < s.off[i+1]; k++ {
+		if s.col[k] == int32(j) {
+			return s.val[k]
+		}
+	}
+	return 0
+}
+
+// Apply computes A·X.
+func (s *Sparse) Apply(x *Matrix) *Matrix {
+	if x.Rows != s.cols {
+		panic(fmt.Sprintf("linalg: Sparse.Apply shape mismatch (%dx%d)·(%dx%d)", s.rows, s.cols, x.Rows, x.Cols))
+	}
+	y := NewMatrix(s.rows, x.Cols)
+	for i := 0; i < s.rows; i++ {
+		yrow := y.Row(i)
+		for k := s.off[i]; k < s.off[i+1]; k++ {
+			v := s.val[k]
+			xrow := x.Row(int(s.col[k]))
+			for j, xv := range xrow {
+				yrow[j] += v * xv
+			}
+		}
+	}
+	return y
+}
+
+// ApplyT computes Aᵀ·X.
+func (s *Sparse) ApplyT(x *Matrix) *Matrix {
+	if x.Rows != s.rows {
+		panic(fmt.Sprintf("linalg: Sparse.ApplyT shape mismatch (%dx%d)ᵀ·(%dx%d)", s.rows, s.cols, x.Rows, x.Cols))
+	}
+	y := NewMatrix(s.cols, x.Cols)
+	for i := 0; i < s.rows; i++ {
+		xrow := x.Row(i)
+		for k := s.off[i]; k < s.off[i+1]; k++ {
+			yrow := y.Row(int(s.col[k]))
+			v := s.val[k]
+			for j, xv := range xrow {
+				yrow[j] += v * xv
+			}
+		}
+	}
+	return y
+}
+
+// MaxColL1 returns the maximum L1 norm over columns (the LRM sensitivity
+// bound).
+func (s *Sparse) MaxColL1() float64 {
+	sums := make([]float64, s.cols)
+	for k, c := range s.col {
+		sums[c] += math.Abs(s.val[k])
+	}
+	var max float64
+	for _, v := range sums {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// RandomizedSVDOp is RandomizedSVD generalized to any Operator, touching A
+// only through A·X and Aᵀ·X products; for sparse A each product costs
+// O(nnz·k) instead of the dense O(rows·cols·k). See RandomizedSVD for the
+// parameters.
+func RandomizedSVDOp(a Operator, r, powerIters, oversample int, rng randNormal) SVDResult {
+	rows, cols := a.Dims()
+	if r < 1 {
+		r = 1
+	}
+	if m := min(rows, cols); r > m {
+		r = m
+	}
+	if oversample < 0 {
+		oversample = 0
+	}
+	k := min(r+oversample, min(rows, cols))
+
+	omega := NewMatrix(cols, k)
+	for i := range omega.Data {
+		omega.Data[i] = rng.NormFloat64()
+	}
+	y := a.Apply(omega)
+	q, _ := QR(y)
+	for it := 0; it < powerIters; it++ {
+		z := a.ApplyT(q)
+		qz, _ := QR(z)
+		y = a.Apply(qz)
+		q, _ = QR(y)
+	}
+
+	// B = QᵀA computed as (AᵀQ)ᵀ so the operator is only applied, never
+	// materialized.
+	bt := a.ApplyT(q) // cols×k
+	b := bt.T()       // k×cols
+	bbt := Mul(b, bt)
+	lambda, w := JacobiEigen(bbt)
+
+	wr := NewMatrix(k, r)
+	for i := 0; i < k; i++ {
+		for j := 0; j < r; j++ {
+			wr.Set(i, j, w.At(i, j))
+		}
+	}
+	u := Mul(q, wr)
+	sv := make([]float64, r)
+	for j := 0; j < r; j++ {
+		if lambda[j] > 0 {
+			sv[j] = math.Sqrt(lambda[j])
+		}
+	}
+	atu := a.ApplyT(u)
+	v := NewMatrix(cols, r)
+	for j := 0; j < r; j++ {
+		if sv[j] <= 1e-12 {
+			continue
+		}
+		inv := 1 / sv[j]
+		for i := 0; i < cols; i++ {
+			v.Set(i, j, atu.At(i, j)*inv)
+		}
+	}
+	return SVDResult{U: u, S: sv, V: v}
+}
+
+// randNormal is the slice of *rand.Rand the SVD needs; declared as an
+// interface so tests can substitute deterministic streams.
+type randNormal interface {
+	NormFloat64() float64
+}

@@ -1,0 +1,147 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSparseBuildAndAt(t *testing.T) {
+	b := NewSparseBuilder(3, 4)
+	if err := b.Add(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(2, 3, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(0, 1, 3); err != nil { // accumulates
+		t.Fatal(err)
+	}
+	_ = b.Add(1, 2, 0) // zero entries are dropped
+	s := b.Build()
+	if s.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", s.NNZ())
+	}
+	if s.At(0, 1) != 5 || s.At(2, 3) != -1 || s.At(1, 1) != 0 {
+		t.Error("entries wrong")
+	}
+	if err := b.Add(5, 0, 1); err == nil {
+		t.Error("out-of-range entry should fail")
+	}
+}
+
+// TestSparseMatchesDense: Apply/ApplyT must agree with the dense products.
+func TestSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const rows, cols, k = 15, 11, 4
+	dense := NewMatrix(rows, cols)
+	sb := NewSparseBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < 0.3 {
+				v := rng.NormFloat64()
+				dense.Set(i, j, v)
+				if err := sb.Add(i, j, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	sparse := sb.Build()
+	x := NewMatrix(cols, k)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	y := NewMatrix(rows, k)
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+
+	ax1, ax2 := dense.Apply(x), sparse.Apply(x)
+	for i := range ax1.Data {
+		if math.Abs(ax1.Data[i]-ax2.Data[i]) > 1e-12 {
+			t.Fatal("Apply disagrees with dense")
+		}
+	}
+	aty1, aty2 := dense.ApplyT(y), sparse.ApplyT(y)
+	for i := range aty1.Data {
+		if math.Abs(aty1.Data[i]-aty2.Data[i]) > 1e-12 {
+			t.Fatal("ApplyT disagrees with dense")
+		}
+	}
+	if math.Abs(dense.MaxColL1()-sparse.MaxColL1()) > 1e-12 {
+		t.Error("MaxColL1 disagrees with dense")
+	}
+}
+
+func TestSparseApplyShapeChecks(t *testing.T) {
+	s := NewSparseBuilder(2, 3).Build()
+	for _, fn := range []func(){
+		func() { s.Apply(NewMatrix(2, 1)) },  // want 3 rows
+		func() { s.ApplyT(NewMatrix(3, 1)) }, // want 2 rows
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("shape mismatch should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestRandomizedSVDOpSparseLowRank: a sparse rank-2 matrix must be
+// recovered exactly through the operator path.
+func TestRandomizedSVDOpSparseLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	left := randomMatrix(30, 2, rng)
+	right := randomMatrix(2, 20, rng)
+	dense := Mul(left, right)
+	sb := NewSparseBuilder(30, 20)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 20; j++ {
+			if err := sb.Add(i, j, dense.At(i, j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	svd := RandomizedSVDOp(sb.Build(), 2, 2, 8, rng)
+	us := svd.U.Clone()
+	for i := 0; i < us.Rows; i++ {
+		for j := 0; j < us.Cols; j++ {
+			us.Set(i, j, svd.U.At(i, j)*svd.S[j])
+		}
+	}
+	rec := Mul(us, svd.V.T())
+	var diff float64
+	for i := range dense.Data {
+		d := rec.Data[i] - dense.Data[i]
+		diff += d * d
+	}
+	if rel := math.Sqrt(diff) / dense.FrobeniusNorm(); rel > 1e-8 {
+		t.Fatalf("sparse SVD reconstruction error = %v", rel)
+	}
+}
+
+// TestSVDOpAgreesAcrossRepresentations: the same matrix through dense and
+// sparse operators with the same rng stream must give identical singular
+// values.
+func TestSVDOpAgreesAcrossRepresentations(t *testing.T) {
+	rngA := rand.New(rand.NewSource(3))
+	rngB := rand.New(rand.NewSource(3))
+	dense := randomMatrix(25, 25, rand.New(rand.NewSource(4)))
+	sb := NewSparseBuilder(25, 25)
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 25; j++ {
+			_ = sb.Add(i, j, dense.At(i, j))
+		}
+	}
+	a := RandomizedSVDOp(dense, 5, 2, 5, rngA)
+	b := RandomizedSVDOp(sb.Build(), 5, 2, 5, rngB)
+	for j := range a.S {
+		if math.Abs(a.S[j]-b.S[j]) > 1e-8*(1+a.S[j]) {
+			t.Fatalf("singular values diverge: %v vs %v", a.S, b.S)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"socialrec/internal/community"
+	"socialrec/internal/dp"
+	"socialrec/internal/graph"
+	"socialrec/internal/similarity"
+)
+
+// Cluster is the paper's privacy-preserving framework (Algorithm 1). At
+// construction it performs the only privacy-sensitive computation, module
+// A_w: for every (cluster c, item i) pair it releases the noisy average
+// preference weight
+//
+//	ŵ_c^i = (Σ_{v ∈ c} w(v, i)) / |c|  +  Lap(1/(|c|·ε))        (Eq. 3)
+//
+// Each preference edge (v, i) contributes to exactly one average (the one
+// for v's cluster and item i), so by parallel composition (Theorem 3) the
+// whole release satisfies ε-differential privacy, which is the content of
+// the paper's Theorem 4. Everything after construction — reconstructing
+// utility estimates via Eq. 4 and ranking items — is post-processing on the
+// sanitized averages.
+type Cluster struct {
+	clusters *community.Clustering
+	numItems int
+	// avg[c*numItems + i] = ŵ_c^i, the sanitized per-cluster averages.
+	avg []float64
+}
+
+// NewCluster runs module A_w of Algorithm 1: it computes the noisy
+// per-(cluster, item) average weights from the preference graph. The
+// clustering must partition exactly the users of prefs and must have been
+// derived from the public social graph alone (e.g. community.Louvain) for
+// the privacy guarantee to hold. eps may be dp.Inf to isolate approximation
+// error (the paper's ε = ∞ runs).
+func NewCluster(clusters *community.Clustering, prefs *graph.Preference, eps dp.Epsilon, noise dp.NoiseSource) (*Cluster, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	if clusters.NumUsers() != prefs.NumUsers() {
+		return nil, fmt.Errorf("mechanism: clustering covers %d users but preference graph has %d",
+			clusters.NumUsers(), prefs.NumUsers())
+	}
+	nc := clusters.NumClusters()
+	ni := prefs.NumItems()
+	c := &Cluster{
+		clusters: clusters,
+		numItems: ni,
+		avg:      make([]float64, nc*ni),
+	}
+	// Accumulate raw per-cluster edge counts item-major: one pass over the
+	// preference edges (lines 2–6 of Algorithm 1).
+	for u := 0; u < prefs.NumUsers(); u++ {
+		cu := clusters.Cluster(u)
+		base := cu * ni
+		for _, item := range prefs.Items(u) {
+			c.avg[base+int(item)]++
+		}
+	}
+	// Average and perturb (line 7). The noise scale for cluster c is
+	// 1/(|c|·ε): one edge changes the cluster's average by at most 1/|c|.
+	for cl := 0; cl < nc; cl++ {
+		size := float64(clusters.Size(cl))
+		if size == 0 {
+			continue
+		}
+		var scale float64
+		if !eps.IsInf() {
+			scale = 1 / (size * float64(eps))
+		}
+		base := cl * ni
+		for i := 0; i < ni; i++ {
+			c.avg[base+i] = c.avg[base+i]/size + noise.Laplace(scale)
+		}
+	}
+	return c, nil
+}
+
+// Name returns "cluster".
+func (*Cluster) Name() string { return "cluster" }
+
+// Averages returns a copy of the sanitized per-(cluster, item) averages,
+// cluster-major. They are safe to persist and share: under differential
+// privacy everything derived from them is post-processing (see
+// internal/release).
+func (c *Cluster) Averages() []float64 {
+	out := make([]float64, len(c.avg))
+	copy(out, c.avg)
+	return out
+}
+
+// Clustering returns the user partition backing the release.
+func (c *Cluster) Clustering() *community.Clustering { return c.clusters }
+
+// NewClusterFromRelease reconstructs a Cluster estimator from previously
+// released sanitized averages — no preference data and no privacy budget
+// involved. avg must be cluster-major with numItems columns.
+func NewClusterFromRelease(clusters *community.Clustering, numItems int, avg []float64) (*Cluster, error) {
+	if numItems < 0 {
+		return nil, fmt.Errorf("mechanism: negative item count")
+	}
+	if want := clusters.NumClusters() * numItems; len(avg) != want {
+		return nil, fmt.Errorf("mechanism: %d averages, want %d", len(avg), want)
+	}
+	c := &Cluster{
+		clusters: clusters,
+		numItems: numItems,
+		avg:      make([]float64, len(avg)),
+	}
+	copy(c.avg, avg)
+	return c, nil
+}
+
+// NumClusters reports the number of clusters backing the release.
+func (c *Cluster) NumClusters() int { return c.clusters.NumClusters() }
+
+// Average returns the released noisy average ŵ_c^i.
+func (c *Cluster) Average(cluster, item int) float64 {
+	return c.avg[cluster*c.numItems+item]
+}
+
+// Utilities reconstructs utility estimates via Eq. 4:
+//
+//	μ̂_u^i = Σ_{c ∈ Φ} ( Σ_{v ∈ sim(u) ∩ c} sim(u,v) ) · ŵ_c^i
+//
+// For each user it first folds the similarity vector into per-cluster
+// similarity mass, then takes a dense linear combination of the sanitized
+// per-cluster average rows (lines 8–17 of Algorithm 1).
+func (c *Cluster) Utilities(users []int32, sims []similarity.Scores, out [][]float64) {
+	mass := make([]float64, c.clusters.NumClusters())
+	touched := make([]int32, 0, len(mass))
+	for k := range users {
+		s := sims[k]
+		for j, v := range s.Users {
+			cl := int32(c.clusters.Cluster(int(v)))
+			if mass[cl] == 0 {
+				touched = append(touched, cl)
+			}
+			mass[cl] += s.Vals[j]
+		}
+		row := out[k]
+		for _, cl := range touched {
+			m := mass[cl]
+			mass[cl] = 0
+			base := int(cl) * c.numItems
+			axpy(m, c.avg[base:base+c.numItems], row)
+		}
+		touched = touched[:0]
+	}
+}
+
+// axpy computes y += a*x over equal-length slices. The bounds hint lets the
+// compiler eliminate per-element checks in this hot loop.
+func axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mechanism: axpy length mismatch")
+	}
+	y = y[:len(x)]
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}

@@ -1,0 +1,42 @@
+// Package mechanism implements the utility-estimation mechanisms evaluated
+// in the paper: the non-private reference recommender, the paper's
+// cluster-based private framework (Algorithm 1), the two strawman baselines
+// NOU and NOE (§5.1.1), and adaptations of Group-and-Smooth [17] and the
+// Low-Rank Mechanism [34] (§6.4). All implement core.Estimator.
+package mechanism
+
+import (
+	"socialrec/internal/graph"
+	"socialrec/internal/similarity"
+)
+
+// Exact is the non-private recommender A of Definition 4: utilities are the
+// exact utility queries of Eq. 1, μ_u^i = Σ_{v ∈ sim(u)} sim(u,v)·w(v,i).
+// It is the reference against which NDCG is measured and the target the
+// private mechanisms approximate.
+type Exact struct {
+	prefs *graph.Preference
+}
+
+// NewExact returns the exact estimator over the given preference graph.
+func NewExact(prefs *graph.Preference) *Exact {
+	return &Exact{prefs: prefs}
+}
+
+// Name returns "exact".
+func (*Exact) Name() string { return "exact" }
+
+// Utilities computes Eq. 1 for every user in the batch by scattering each
+// similar user's preferences, an O(Σ_v |prefs(v)|) sparse traversal.
+func (e *Exact) Utilities(users []int32, sims []similarity.Scores, out [][]float64) {
+	for k := range users {
+		row := out[k]
+		s := sims[k]
+		for j, v := range s.Users {
+			w := s.Vals[j]
+			for _, item := range e.prefs.Items(int(v)) {
+				row[item] += w
+			}
+		}
+	}
+}

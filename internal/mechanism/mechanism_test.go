@@ -1,0 +1,514 @@
+package mechanism
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"socialrec/internal/community"
+	"socialrec/internal/dp"
+	"socialrec/internal/graph"
+	"socialrec/internal/similarity"
+)
+
+// fixture builds a small two-community graph with preferences concentrated
+// per community.
+func fixture(t testing.TB) (*graph.Social, *graph.Preference) {
+	t.Helper()
+	sb := graph.NewSocialBuilder(8)
+	// Community A: 0-3 (clique), community B: 4-7 (clique), bridge 3-4.
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if err := sb.AddEdge(4*c+i, 4*c+j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := sb.AddEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	pb := graph.NewPreferenceBuilder(8, 6)
+	// Community A likes items 0-2; community B likes items 3-5.
+	for _, e := range [][2]int{
+		{0, 0}, {0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 2}, {3, 0},
+		{4, 3}, {4, 4}, {5, 3}, {5, 5}, {6, 4}, {6, 5}, {7, 3},
+	} {
+		if err := pb.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.Build(), pb.Build()
+}
+
+func allUsers(n int) []int32 {
+	us := make([]int32, n)
+	for i := range us {
+		us[i] = int32(i)
+	}
+	return us
+}
+
+func utilities(t testing.TB, est interface {
+	Utilities([]int32, []similarity.Scores, [][]float64)
+}, g *graph.Social, m similarity.Measure, users []int32, numItems int) [][]float64 {
+	t.Helper()
+	sims := similarity.ComputeAll(g, m, users, 0)
+	out := make([][]float64, len(users))
+	for i := range out {
+		out[i] = make([]float64, numItems)
+	}
+	est.Utilities(users, sims, out)
+	return out
+}
+
+func maxAbsDiff(a, b [][]float64) float64 {
+	var m float64
+	for i := range a {
+		for j := range a[i] {
+			if d := math.Abs(a[i][j] - b[i][j]); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+func TestExactHandComputed(t *testing.T) {
+	g, p := fixture(t)
+	users := []int32{0}
+	sims := similarity.ComputeAll(g, similarity.CommonNeighbors{}, users, 0)
+	// For user 0 (clique of 4 + bridge): CN(0,1)=CN(0,2)=CN(0,3)=2,
+	// CN(0,4)=1 (via 3).
+	s := sims[0]
+	wantSims := map[int32]float64{1: 2, 2: 2, 3: 2, 4: 1}
+	for j, v := range s.Users {
+		if s.Vals[j] != wantSims[v] {
+			t.Fatalf("sim(0,%d) = %v, want %v", v, s.Vals[j], wantSims[v])
+		}
+	}
+	out := utilities(t, NewExact(p), g, similarity.CommonNeighbors{}, users, p.NumItems())
+	// μ_0^0 = sim(0,1)·w(1,0) + sim(0,3)·w(3,0) = 2 + 2 = 4.
+	// μ_0^1 = sim(0,2)·w(2,1) = 2. μ_0^2 = sim(0,1)+sim(0,2) = 4.
+	// μ_0^3 = sim(0,4)·w(4,3) = 1. μ_0^4 = 1. μ_0^5 = 0.
+	want := []float64{4, 2, 4, 1, 1, 0}
+	for i, w := range want {
+		if out[0][i] != w {
+			t.Errorf("μ_0^%d = %v, want %v", i, out[0][i], w)
+		}
+	}
+}
+
+func TestClusterSingletonsNoNoiseEqualsExact(t *testing.T) {
+	g, p := fixture(t)
+	// One cluster per user: averaging is a no-op, so with zero noise the
+	// mechanism must reproduce the exact utilities.
+	singles, err := community.FromAssignment(allUsers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(singles, p, dp.Inf, dp.ZeroSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := allUsers(8)
+	m := similarity.CommonNeighbors{}
+	got := utilities(t, cl, g, m, users, p.NumItems())
+	want := utilities(t, NewExact(p), g, m, users, p.NumItems())
+	if d := maxAbsDiff(got, want); d > 1e-12 {
+		t.Errorf("singleton clustering with no noise differs from exact by %v", d)
+	}
+}
+
+func TestClusterAveragesHandComputed(t *testing.T) {
+	g, p := fixture(t)
+	_ = g
+	// Two clusters: {0,1,2,3} and {4,5,6,7}.
+	clusters, err := community.FromAssignment([]int32{0, 0, 0, 0, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(clusters, p, dp.Inf, dp.ZeroSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster 0, item 0: users {0,1,3} have it → 3/4.
+	if got := cl.Average(0, 0); got != 0.75 {
+		t.Errorf("Average(0,0) = %v, want 0.75", got)
+	}
+	// Cluster 0, item 3: none → 0. Cluster 1, item 3: users {4,5,7} → 3/4.
+	if got := cl.Average(0, 3); got != 0 {
+		t.Errorf("Average(0,3) = %v, want 0", got)
+	}
+	if got := cl.Average(1, 3); got != 0.75 {
+		t.Errorf("Average(1,3) = %v, want 0.75", got)
+	}
+}
+
+func TestClusterUtilityReconstruction(t *testing.T) {
+	g, p := fixture(t)
+	clusters, _ := community.FromAssignment([]int32{0, 0, 0, 0, 1, 1, 1, 1})
+	cl, err := NewCluster(clusters, p, dp.Inf, dp.ZeroSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := similarity.CommonNeighbors{}
+	out := utilities(t, cl, g, m, []int32{0}, p.NumItems())
+	// For user 0: similarity mass into cluster 0 = 2+2+2 = 6, into
+	// cluster 1 = 1 (user 4). μ̂_0^0 = 6·(3/4) + 1·0 = 4.5.
+	if got, want := out[0][0], 4.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("μ̂_0^0 = %v, want %v", got, want)
+	}
+	// μ̂_0^3 = 6·0 + 1·(3/4) = 0.75.
+	if got, want := out[0][3], 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("μ̂_0^3 = %v, want %v", got, want)
+	}
+}
+
+// TestClusterNoiseScales is the heart of the privacy argument (Theorem 4):
+// every released (cluster, item) average must request Laplace noise of scale
+// exactly 1/(|c|·ε).
+func TestClusterNoiseScales(t *testing.T) {
+	_, p := fixture(t)
+	clusters, _ := community.FromAssignment([]int32{0, 0, 0, 0, 0, 1, 1, 2})
+	rec := &dp.RecordingSource{}
+	eps := dp.Epsilon(0.4)
+	if _, err := NewCluster(clusters, p, eps, rec); err != nil {
+		t.Fatal(err)
+	}
+	ni := p.NumItems()
+	if len(rec.Scales) != clusters.NumClusters()*ni {
+		t.Fatalf("recorded %d noise draws, want %d", len(rec.Scales), clusters.NumClusters()*ni)
+	}
+	for c := 0; c < clusters.NumClusters(); c++ {
+		want := 1 / (float64(clusters.Size(c)) * float64(eps))
+		for i := 0; i < ni; i++ {
+			if got := rec.Scales[c*ni+i]; math.Abs(got-want) > 1e-15 {
+				t.Fatalf("cluster %d item %d: scale %v, want %v", c, i, got, want)
+			}
+		}
+	}
+}
+
+// TestClusterReleaseIndependentOfSimilarity checks that the sensitive
+// release (the noisy averages) depends only on clustering + preferences,
+// never on which similarity measure later queries it.
+func TestClusterReleaseIndependentOfSimilarity(t *testing.T) {
+	g, p := fixture(t)
+	clusters, _ := community.FromAssignment([]int32{0, 0, 0, 0, 1, 1, 1, 1})
+	cl, _ := NewCluster(clusters, p, dp.Inf, dp.ZeroSource{})
+	for _, m := range similarity.All() {
+		_ = utilities(t, cl, g, m, allUsers(8), p.NumItems())
+	}
+	if got := cl.Average(0, 0); got != 0.75 {
+		t.Error("querying mutated the release")
+	}
+}
+
+// TestClusterDPRatio is a coarse empirical check of Definition 6: the
+// probability of any released value region changes by at most e^ε between
+// neighboring preference graphs. We release a single cluster average many
+// times for G_p and G_p minus one edge, histogram the outputs, and verify
+// the worst bin ratio respects e^ε with slack for sampling error.
+func TestClusterDPRatio(t *testing.T) {
+	sb := graph.NewSocialBuilder(4)
+	_ = sb.AddEdge(0, 1)
+	_ = sb.AddEdge(1, 2)
+	_ = sb.AddEdge(2, 3)
+	pb := graph.NewPreferenceBuilder(4, 1)
+	_ = pb.AddEdge(0, 0)
+	_ = pb.AddEdge(1, 0)
+	p1 := pb.Build()
+	p2 := p1.RemoveEdge(1, 0)
+	clusters, _ := community.FromAssignment([]int32{0, 0, 0, 0})
+	eps := dp.Epsilon(1.0)
+
+	const trials = 60000
+	hist := func(p *graph.Preference, seed int64) map[int]int {
+		h := make(map[int]int)
+		for i := 0; i < trials; i++ {
+			cl, err := NewCluster(clusters, p, eps, dp.NewLaplaceSource(seed+int64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Discretize the single released average into 0.25-wide bins.
+			h[int(math.Floor(cl.Average(0, 0)/0.25))]++
+		}
+		return h
+	}
+	h1 := hist(p1, 1)
+	h2 := hist(p2, 500000)
+	bound := math.Exp(float64(eps))
+	for bin, c1 := range h1 {
+		c2 := h2[bin]
+		if c1 < 300 || c2 < 300 {
+			continue // too little mass for a stable ratio estimate
+		}
+		ratio := float64(c1) / float64(c2)
+		if ratio > bound*1.35 || ratio < 1/(bound*1.35) {
+			t.Errorf("bin %d: ratio %v violates e^ε = %v", bin, ratio, bound)
+		}
+	}
+}
+
+func TestClusterRejectsMismatchedUsers(t *testing.T) {
+	_, p := fixture(t)
+	clusters, _ := community.FromAssignment([]int32{0, 0, 1})
+	if _, err := NewCluster(clusters, p, dp.Epsilon(1), dp.ZeroSource{}); err == nil {
+		t.Error("mismatched user counts should fail")
+	}
+}
+
+func TestClusterRejectsBadEpsilon(t *testing.T) {
+	_, p := fixture(t)
+	clusters, _ := community.FromAssignment(make([]int32, 8))
+	if _, err := NewCluster(clusters, p, dp.Epsilon(-1), dp.ZeroSource{}); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+}
+
+func TestNOUNoNoiseEqualsExact(t *testing.T) {
+	g, p := fixture(t)
+	nou, err := NewNOU(p, 5, dp.Inf, dp.ZeroSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := similarity.AdamicAdar{}
+	got := utilities(t, nou, g, m, allUsers(8), p.NumItems())
+	want := utilities(t, NewExact(p), g, m, allUsers(8), p.NumItems())
+	if d := maxAbsDiff(got, want); d > 1e-12 {
+		t.Errorf("NOU at ε=∞ differs from exact by %v", d)
+	}
+}
+
+func TestNOUNoiseScale(t *testing.T) {
+	g, p := fixture(t)
+	rec := &dp.RecordingSource{}
+	sens := 7.5
+	eps := dp.Epsilon(0.5)
+	nou, err := NewNOU(p, sens, eps, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = utilities(t, nou, g, similarity.CommonNeighbors{}, []int32{0, 1}, p.NumItems())
+	if len(rec.Scales) != 2*p.NumItems() {
+		t.Fatalf("recorded %d draws, want %d", len(rec.Scales), 2*p.NumItems())
+	}
+	want := sens / float64(eps)
+	for _, s := range rec.Scales {
+		if s != want {
+			t.Fatalf("scale %v, want %v", s, want)
+		}
+	}
+}
+
+func TestNOURejectsNegativeSensitivity(t *testing.T) {
+	_, p := fixture(t)
+	if _, err := NewNOU(p, -1, dp.Epsilon(1), dp.ZeroSource{}); err == nil {
+		t.Error("negative sensitivity should fail")
+	}
+}
+
+func TestNOENoNoiseEqualsExact(t *testing.T) {
+	g, p := fixture(t)
+	noe, err := NewNOE(p, dp.Inf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := similarity.GraphDistance{}
+	got := utilities(t, noe, g, m, allUsers(8), p.NumItems())
+	want := utilities(t, NewExact(p), g, m, allUsers(8), p.NumItems())
+	if d := maxAbsDiff(got, want); d > 1e-12 {
+		t.Errorf("NOE at ε=∞ differs from exact by %v", d)
+	}
+}
+
+// TestNOEConsistentAcrossBatches verifies the defining property of NOE: the
+// sanitized edge weights are one fixed release, so utilities for the same
+// user must be identical regardless of how the query batches are arranged.
+func TestNOEConsistentAcrossBatches(t *testing.T) {
+	g, p := fixture(t)
+	noe, err := NewNOE(p, dp.Epsilon(0.5), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := similarity.CommonNeighbors{}
+	joint := utilities(t, noe, g, m, allUsers(8), p.NumItems())
+	for u := 0; u < 8; u++ {
+		solo := utilities(t, noe, g, m, []int32{int32(u)}, p.NumItems())
+		for i := range solo[0] {
+			if math.Abs(solo[0][i]-joint[u][i]) > 1e-9 {
+				t.Fatalf("user %d item %d: %v (solo) vs %v (batch)", u, i, solo[0][i], joint[u][i])
+			}
+		}
+	}
+}
+
+// TestNOESharedNoiseBetweenUsers: two users whose similarity sets overlap
+// must see the same underlying noisy edges. We verify by computing the
+// utility difference of two users with identical similarity vectors — the
+// noise must cancel exactly.
+func TestNOESharedNoiseBetweenUsers(t *testing.T) {
+	// Users 0 and 1 both friends with 2 and 3 (and not each other):
+	// identical similarity sets and values toward {2,3} under CN... their
+	// sim vectors also include each other; instead verify via linearity:
+	// μ̂ = μ + Σ sim·η, so for a fixed user, re-deriving with the exact
+	// part subtracted isolates Σ sim·η; two NOE instances with the same
+	// seed must agree on it.
+	g, p := fixture(t)
+	m := similarity.CommonNeighbors{}
+	a, _ := NewNOE(p, dp.Epsilon(0.3), 7)
+	b, _ := NewNOE(p, dp.Epsilon(0.3), 7)
+	ua := utilities(t, a, g, m, allUsers(8), p.NumItems())
+	ub := utilities(t, b, g, m, allUsers(8), p.NumItems())
+	if d := maxAbsDiff(ua, ub); d > 1e-12 {
+		t.Errorf("same seed NOE releases differ by %v", d)
+	}
+	c, _ := NewNOE(p, dp.Epsilon(0.3), 8)
+	uc := utilities(t, c, g, m, allUsers(8), p.NumItems())
+	if d := maxAbsDiff(ua, uc); d < 1e-9 {
+		t.Error("different seeds produced identical NOE noise")
+	}
+}
+
+func TestGSNoNoiseWithUnitGroupsIsExact(t *testing.T) {
+	g, p := fixture(t)
+	users := allUsers(8)
+	sims := similarity.ComputeAll(g, similarity.CommonNeighbors{}, users, 0)
+	gs, err := NewGS(p, users, sims, sims, GSConfig{
+		Eps:          dp.Inf,
+		MaxInfluence: 6,
+		GroupSizes:   []int{1, 4, 16},
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.GroupSize() != 1 {
+		t.Errorf("at ε=∞ the best group size is 1 (no smoothing), got %d", gs.GroupSize())
+	}
+	got := make([][]float64, len(users))
+	for i := range got {
+		got[i] = make([]float64, p.NumItems())
+	}
+	gs.Utilities(users, sims, got)
+	want := utilities(t, NewExact(p), g, similarity.CommonNeighbors{}, users, p.NumItems())
+	if d := maxAbsDiff(got, want); d > 1e-12 {
+		t.Errorf("GS at ε=∞, m=1 differs from exact by %v", d)
+	}
+}
+
+func TestGSServesOnlyEvalUsers(t *testing.T) {
+	g, p := fixture(t)
+	users := []int32{0, 1}
+	sims := similarity.ComputeAll(g, similarity.CommonNeighbors{}, users, 0)
+	all := similarity.ComputeAll(g, similarity.CommonNeighbors{}, allUsers(8), 0)
+	gs, err := NewGS(p, users, sims, all, GSConfig{Eps: dp.Epsilon(1), MaxInfluence: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("serving a non-eval user should panic")
+		}
+	}()
+	out := [][]float64{make([]float64, p.NumItems())}
+	gs.Utilities([]int32{5}, nil, out)
+}
+
+func TestGSRejectsBadInput(t *testing.T) {
+	g, p := fixture(t)
+	users := []int32{0, 0}
+	sims := similarity.ComputeAll(g, similarity.CommonNeighbors{}, users, 0)
+	all := similarity.ComputeAll(g, similarity.CommonNeighbors{}, allUsers(8), 0)
+	if _, err := NewGS(p, users, sims, all, GSConfig{Eps: dp.Epsilon(1), MaxInfluence: 1}); err == nil {
+		t.Error("duplicate eval users should fail")
+	}
+	if _, err := NewGS(p, []int32{0}, sims[:1], all[:3], GSConfig{Eps: dp.Epsilon(1), MaxInfluence: 1}); err == nil {
+		t.Error("short allSims should fail")
+	}
+}
+
+func TestLRMFullRankNoNoiseApproximatesExact(t *testing.T) {
+	g, p := fixture(t)
+	m := similarity.CommonNeighbors{}
+	lrm, err := NewLRM(g, p, m, LRMConfig{Eps: dp.Inf, Rank: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := utilities(t, lrm, g, m, allUsers(8), p.NumItems())
+	want := utilities(t, NewExact(p), g, m, allUsers(8), p.NumItems())
+	if d := maxAbsDiff(got, want); d > 1e-6 {
+		t.Errorf("full-rank LRM at ε=∞ differs from exact by %v", d)
+	}
+}
+
+func TestLRMLowRankIsWorse(t *testing.T) {
+	g, p := fixture(t)
+	m := similarity.CommonNeighbors{}
+	full, _ := NewLRM(g, p, m, LRMConfig{Eps: dp.Inf, Rank: 8, Seed: 5})
+	low, _ := NewLRM(g, p, m, LRMConfig{Eps: dp.Inf, Rank: 1, Seed: 5})
+	exact := utilities(t, NewExact(p), g, m, allUsers(8), p.NumItems())
+	df := maxAbsDiff(utilities(t, full, g, m, allUsers(8), p.NumItems()), exact)
+	dl := maxAbsDiff(utilities(t, low, g, m, allUsers(8), p.NumItems()), exact)
+	if dl <= df {
+		t.Errorf("rank-1 error (%v) should exceed full-rank error (%v)", dl, df)
+	}
+}
+
+func TestLRMRefusesHugeGraphs(t *testing.T) {
+	sb := graph.NewSocialBuilder(10)
+	_ = sb.AddEdge(0, 1)
+	pb := graph.NewPreferenceBuilder(10, 2)
+	_ = pb.AddEdge(0, 0)
+	if _, err := NewLRM(sb.Build(), pb.Build(), similarity.CommonNeighbors{}, LRMConfig{Eps: dp.Epsilon(1), MaxUsers: 5}); err == nil {
+		t.Error("exceeding MaxUsers should fail")
+	}
+}
+
+func TestAxpyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("axpy must panic on length mismatch")
+		}
+	}()
+	axpy(1, make([]float64, 3), make([]float64, 4))
+}
+
+// Property: for random clusterings and preference graphs, the no-noise
+// cluster mechanism conserves total preference mass per item: summing
+// avg·size over clusters equals the item degree.
+func TestClusterMassConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(20)
+		ni := 1 + rng.Intn(8)
+		pb := graph.NewPreferenceBuilder(n, ni)
+		for k := 0; k < n*2; k++ {
+			_ = pb.AddEdge(rng.Intn(n), rng.Intn(ni))
+		}
+		p := pb.Build()
+		assign := make([]int32, n)
+		for i := range assign {
+			assign[i] = int32(rng.Intn(3))
+		}
+		clusters, err := community.FromAssignment(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := NewCluster(clusters, p, dp.Inf, dp.ZeroSource{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ni; i++ {
+			var mass float64
+			for c := 0; c < clusters.NumClusters(); c++ {
+				mass += cl.Average(c, i) * float64(clusters.Size(c))
+			}
+			if math.Abs(mass-float64(p.ItemDegree(i))) > 1e-9 {
+				t.Fatalf("item %d: reconstructed mass %v, want %d", i, mass, p.ItemDegree(i))
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package mechanism
+
+import (
+	"fmt"
+	"math/rand"
+
+	"socialrec/internal/dp"
+	"socialrec/internal/graph"
+	"socialrec/internal/similarity"
+)
+
+// NOU is the "Noise on Utility" strawman of §5.1.1: exact utility queries
+// perturbed with Laplace noise calibrated to the global sensitivity
+//
+//	Δ_A = max_v Σ_u sim(u, v)
+//
+// i.e. the largest total influence any single user's preference edge can
+// exert across all users' utility queries for one item. Since Δ_A is
+// typically dominated by the highest-degree user, the noise magnitude
+// greatly exceeds real utility values and, as the paper's Fig. 4 shows, the
+// recommendations degenerate to random guessing.
+type NOU struct {
+	exact *Exact
+	scale float64 // Δ_A/ε; 0 when ε = ∞
+	noise dp.NoiseSource
+}
+
+// NewNOU builds the Noise-on-Utility baseline. sensitivity must be
+// Δ_A = max_v Σ_u sim(u,v) for the measure in use (see
+// similarity.MaxInfluence).
+func NewNOU(prefs *graph.Preference, sensitivity float64, eps dp.Epsilon, noise dp.NoiseSource) (*NOU, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	if sensitivity < 0 {
+		return nil, fmt.Errorf("mechanism: negative sensitivity %v", sensitivity)
+	}
+	n := &NOU{exact: NewExact(prefs), noise: noise}
+	if !eps.IsInf() {
+		n.scale = sensitivity / float64(eps)
+	}
+	return n, nil
+}
+
+// Name returns "nou".
+func (*NOU) Name() string { return "nou" }
+
+// Utilities adds independent Lap(Δ_A/ε) noise to every exact utility value.
+// Each (user, item) utility is released once per construction; re-estimating
+// the same user would consume additional budget, so callers must query each
+// user at most once per NOU instance.
+func (n *NOU) Utilities(users []int32, sims []similarity.Scores, out [][]float64) {
+	n.exact.Utilities(users, sims, out)
+	if n.scale == 0 {
+		return
+	}
+	for k := range out {
+		row := out[k]
+		for i := range row {
+			row[i] += n.noise.Laplace(n.scale)
+		}
+	}
+}
+
+// NOE is the "Noise on Edges" strawman of §5.1.1: independent Lap(1/ε)
+// noise is added to the weight of every potential preference edge (present
+// edges have weight 1, absent edges weight 0), and the exact algorithm runs
+// on the sanitized weights. Eq. 1 is linear in the weights, so the utility
+// estimate decomposes as
+//
+//	μ̂_u^i = μ_u^i + Σ_{v ∈ sim(u)} sim(u,v) · η_{v,i}
+//
+// where η_{v,i} ~ Lap(1/ε) is the noise on edge (v, i). Critically, η must
+// be consistent: two users whose similarity sets share v see the *same*
+// noisy edge row. NOE achieves this by deriving the noise row of each user
+// deterministically from (seed, v), so rows can be regenerated on demand
+// instead of materializing the |U|×|I| noise matrix.
+type NOE struct {
+	exact    *Exact
+	numItems int
+	scale    float64 // 1/ε; 0 when ε = ∞
+	seed     int64
+}
+
+// NewNOE builds the Noise-on-Edges baseline. The seed fixes the sanitized
+// edge weights; a NOE value represents one release of the sanitized
+// preference graph.
+func NewNOE(prefs *graph.Preference, eps dp.Epsilon, seed int64) (*NOE, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	n := &NOE{exact: NewExact(prefs), numItems: prefs.NumItems(), seed: seed}
+	if !eps.IsInf() {
+		n.scale = 1 / float64(eps)
+	}
+	return n, nil
+}
+
+// Name returns "noe".
+func (*NOE) Name() string { return "noe" }
+
+// noiseRow regenerates the Laplace noise row η_{v,·} for user v into dst.
+func (n *NOE) noiseRow(v int32, dst []float64) {
+	// splitmix64-style seed mixing keeps per-user streams decorrelated.
+	s := uint64(n.seed) + uint64(v)*0x9E3779B97F4A7C15
+	s ^= s >> 30
+	s *= 0xBF58476D1CE4E5B9
+	s ^= s >> 27
+	src := dp.NewLaplaceSourceFrom(rand.NewSource(int64(s)))
+	for i := range dst {
+		dst[i] = src.Laplace(n.scale)
+	}
+}
+
+// Utilities computes the exact utilities and then adds the edge-noise
+// contribution user-row by user-row: for every v in the union of the
+// batch's similarity sets, the noise row η_{v,·} is generated once and
+// scattered into every requesting user's output with weight sim(u, v).
+func (n *NOE) Utilities(users []int32, sims []similarity.Scores, out [][]float64) {
+	n.exact.Utilities(users, sims, out)
+	if n.scale == 0 {
+		return
+	}
+	// Invert the batch: which output rows need each source user v?
+	type need struct {
+		row int32
+		w   float64
+	}
+	needs := make(map[int32][]need)
+	for k := range users {
+		s := sims[k]
+		for j, v := range s.Users {
+			needs[v] = append(needs[v], need{row: int32(k), w: s.Vals[j]})
+		}
+	}
+	eta := make([]float64, n.numItems)
+	for v, dsts := range needs {
+		n.noiseRow(v, eta)
+		for _, d := range dsts {
+			axpy(d.w, eta, out[d.row])
+		}
+	}
+}

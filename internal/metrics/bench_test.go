@@ -1,0 +1,26 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"socialrec/internal/core"
+)
+
+func BenchmarkNDCGAt50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	truth := make([]float64, 20000)
+	for i := range truth {
+		truth[i] = rng.Float64()
+	}
+	noisy := make([]float64, len(truth))
+	for i := range noisy {
+		noisy[i] = truth[i] + rng.NormFloat64()*0.1
+	}
+	list := core.TopN(noisy, 50, math.Inf(-1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NDCGAtN(list, truth, 50)
+	}
+}

@@ -1,0 +1,137 @@
+// Package metrics implements the recommendation-accuracy metrics of §2.4 of
+// the paper. The primary metric is NDCG@N (Eq. 2), which scores a private
+// recommendation list by the *ideal* (true) utilities of the items it
+// recommends, discounted by rank, relative to the best achievable DCG — so a
+// private list that swaps equal-utility items incurs no penalty, while
+// losing a top item costs more than losing the N-th.
+package metrics
+
+import (
+	"math"
+
+	"socialrec/internal/core"
+)
+
+// discount returns the positional discount max(1, log₂(p+1)) for the
+// 0-based position p, matching the paper's DCG definition: the first two
+// positions are undiscounted, then the discount grows logarithmically.
+func discount(p int) float64 {
+	d := math.Log2(float64(p + 1))
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// DCG computes the discounted cumulative gain of a ranked recommendation
+// list where the gain of the item at position p is its *true* utility
+// trueUtil[item] (the paper's ideal utility μ_u^i):
+//
+//	DCG(X, u) = Σ_{i ∈ X} μ_u^i / max(1, log₂ p(i)+1)
+func DCG(list []core.Recommendation, trueUtil []float64) float64 {
+	var g float64
+	for p, r := range list {
+		g += trueUtil[r.Item] / discount(p)
+	}
+	return g
+}
+
+// NDCGAtN scores a private recommendation list against the true utility
+// vector: DCG of the private list (gains taken from trueUtil) divided by the
+// DCG of the ideal top-n ranking of trueUtil. Lists longer than n are
+// truncated. When the ideal DCG is zero — the user has no positive-utility
+// item at all, so every ranking is equally good — the score is defined as 1.
+// The result is always in [0, 1].
+func NDCGAtN(private []core.Recommendation, trueUtil []float64, n int) float64 {
+	if len(private) > n {
+		private = private[:n]
+	}
+	ideal := core.TopN(trueUtil, n, 0)
+	idealDCG := DCG(ideal, trueUtil)
+	if idealDCG <= 0 {
+		return 1
+	}
+	got := DCG(private, trueUtil) / idealDCG
+	// Guard against floating-point excess; by construction got ≤ 1.
+	if got > 1 {
+		got = 1
+	}
+	if got < 0 {
+		got = 0
+	}
+	return got
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice. NDCG
+// values reported for a dataset are averages over its users (Eq. 2).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MeanNDCGDense ranks each row of estimates into a top-n list and returns
+// the mean NDCG@n of those lists against the parallel rows of true
+// utilities. It is the workload-level convenience used when a mechanism
+// produces dense utility matrices (e.g. the Group-and-Smooth comparator's
+// internal group-size selection).
+func MeanNDCGDense(estimates, trueUtil [][]float64, n int) float64 {
+	if len(estimates) == 0 {
+		return 0
+	}
+	var sum float64
+	for k := range estimates {
+		list := core.TopN(estimates[k], n, math.Inf(-1))
+		sum += NDCGAtN(list, trueUtil[k], n)
+	}
+	return sum / float64(len(estimates))
+}
+
+// PrecisionRecallAtN computes precision and recall of the private list
+// against the ideal top-n list, treating the ideal list's items as the
+// relevant set. §2.4 of the paper argues these are the *wrong* metrics for
+// this task (they ignore rank and utility); they are provided so that users
+// can reproduce that argument empirically.
+func PrecisionRecallAtN(private []core.Recommendation, trueUtil []float64, n int) (precision, recall float64) {
+	if len(private) > n {
+		private = private[:n]
+	}
+	ideal := core.TopN(trueUtil, n, 0)
+	if len(ideal) == 0 {
+		return 0, 0
+	}
+	rel := make(map[int32]struct{}, len(ideal))
+	for _, r := range ideal {
+		rel[r.Item] = struct{}{}
+	}
+	var hits int
+	for _, r := range private {
+		if _, ok := rel[r.Item]; ok {
+			hits++
+		}
+	}
+	if len(private) > 0 {
+		precision = float64(hits) / float64(len(private))
+	}
+	recall = float64(hits) / float64(len(ideal))
+	return precision, recall
+}

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"socialrec/internal/core"
+)
+
+func TestDiscountSchedule(t *testing.T) {
+	// Positions 0 and 1 undiscounted; position 2 discounted by log2(3).
+	if discount(0) != 1 || discount(1) != 1 {
+		t.Error("first two positions must be undiscounted")
+	}
+	if got, want := discount(2), math.Log2(3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("discount(2) = %v, want %v", got, want)
+	}
+	if got, want := discount(7), 3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("discount(7) = %v, want %v", got, want)
+	}
+}
+
+func TestDCGHandComputed(t *testing.T) {
+	trueUtil := []float64{0, 4, 2, 1}
+	list := []core.Recommendation{{Item: 1}, {Item: 2}, {Item: 3}}
+	want := 4.0 + 2.0 + 1.0/math.Log2(3)
+	if got := DCG(list, trueUtil); math.Abs(got-want) > 1e-12 {
+		t.Errorf("DCG = %v, want %v", got, want)
+	}
+}
+
+func TestNDCGPerfectRankingIsOne(t *testing.T) {
+	trueUtil := []float64{5, 3, 8, 1, 0}
+	ideal := core.TopN(trueUtil, 3, 0)
+	if got := NDCGAtN(ideal, trueUtil, 3); got != 1 {
+		t.Errorf("NDCG of ideal ranking = %v, want 1", got)
+	}
+}
+
+func TestNDCGEqualUtilitySwapIsFree(t *testing.T) {
+	// Items 0 and 1 have the same utility; swapping them must not cost
+	// anything (§2.4's argument against precision/recall).
+	trueUtil := []float64{2, 2, 1}
+	swapped := []core.Recommendation{{Item: 1}, {Item: 0}, {Item: 2}}
+	if got := NDCGAtN(swapped, trueUtil, 3); got != 1 {
+		t.Errorf("equal-utility swap scored %v, want 1", got)
+	}
+}
+
+func TestNDCGTopLossCostsMoreThanTailLoss(t *testing.T) {
+	trueUtil := []float64{10, 5, 4, 3, 2, 1}
+	// Ideal top-3 is {0, 1, 2}. Losing item 0 (replaced by 3) must cost
+	// more than losing item 2 (replaced by 3).
+	loseTop := []core.Recommendation{{Item: 1}, {Item: 2}, {Item: 3}}
+	loseTail := []core.Recommendation{{Item: 0}, {Item: 1}, {Item: 3}}
+	if NDCGAtN(loseTop, trueUtil, 3) >= NDCGAtN(loseTail, trueUtil, 3) {
+		t.Error("losing the top item should cost more than losing the tail item")
+	}
+}
+
+func TestNDCGEmptyIdealDefinedAsOne(t *testing.T) {
+	trueUtil := []float64{0, 0, 0}
+	anyList := []core.Recommendation{{Item: 2}, {Item: 0}}
+	if got := NDCGAtN(anyList, trueUtil, 2); got != 1 {
+		t.Errorf("NDCG with no positive-utility items = %v, want 1", got)
+	}
+}
+
+func TestNDCGTruncatesLongLists(t *testing.T) {
+	trueUtil := []float64{3, 2, 1}
+	list := []core.Recommendation{{Item: 2}, {Item: 1}, {Item: 0}}
+	// At N=1 only the first (worst) item counts.
+	got := NDCGAtN(list, trueUtil, 1)
+	if want := 1.0 / 3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("NDCG@1 = %v, want %v", got, want)
+	}
+}
+
+func TestMeanAndStd(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if want := math.Sqrt(1.25); math.Abs(Std(xs)-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", Std(xs), want)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Error("empty stats should be 0")
+	}
+}
+
+func TestMeanNDCGDense(t *testing.T) {
+	truth := [][]float64{{3, 2, 1}, {1, 2, 3}}
+	// First row estimated perfectly, second reversed.
+	est := [][]float64{{3, 2, 1}, {3, 2, 1}}
+	got := MeanNDCGDense(est, truth, 3)
+	perfect := 1.0
+	reversedDCG := (1.0 + 2.0 + 3.0/math.Log2(3)) / (3.0 + 2.0 + 1.0/math.Log2(3))
+	want := (perfect + reversedDCG) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanNDCGDense = %v, want %v", got, want)
+	}
+	if MeanNDCGDense(nil, nil, 3) != 0 {
+		t.Error("empty MeanNDCGDense should be 0")
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	trueUtil := []float64{5, 4, 3, 0, 0}
+	// Ideal top-3 = {0, 1, 2}; private hits 2 of its 3 slots.
+	private := []core.Recommendation{{Item: 0}, {Item: 4}, {Item: 2}}
+	p, r := PrecisionRecallAtN(private, trueUtil, 3)
+	if math.Abs(p-2.0/3) > 1e-12 || math.Abs(r-2.0/3) > 1e-12 {
+		t.Errorf("P, R = %v, %v, want 2/3, 2/3", p, r)
+	}
+	p, r = PrecisionRecallAtN(nil, []float64{0}, 3)
+	if p != 0 || r != 0 {
+		t.Errorf("empty ideal: P, R = %v, %v", p, r)
+	}
+}
+
+// Property: NDCG is always within [0, 1] and equals 1 when the estimate is a
+// positive rescaling of the truth (rank-preserving transforms are free).
+func TestNDCGInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(50)
+		truth := make([]float64, m)
+		for i := range truth {
+			truth[i] = rng.Float64() * 10
+		}
+		scale := 0.5 + rng.Float64()*5
+		est := make([]float64, m)
+		for i := range est {
+			est[i] = truth[i] * scale
+		}
+		n := 1 + rng.Intn(m)
+		list := core.TopN(est, n, math.Inf(-1))
+		v := NDCGAtN(list, truth, n)
+		if v < 0 || v > 1 {
+			return false
+		}
+		return math.Abs(v-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NDCG of a random ranking never exceeds that of the ideal
+// ranking.
+func TestNDCGBoundedByIdealProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(50)
+		truth := make([]float64, m)
+		for i := range truth {
+			truth[i] = rng.Float64() * 10
+		}
+		perm := rng.Perm(m)
+		n := 1 + rng.Intn(m)
+		list := make([]core.Recommendation, 0, n)
+		for _, it := range perm[:n] {
+			list = append(list, core.Recommendation{Item: int32(it)})
+		}
+		v := NDCGAtN(list, truth, n)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

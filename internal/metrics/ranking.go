@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"socialrec/internal/core"
+)
+
+// KendallTau computes the Kendall rank-correlation coefficient (τ-b, which
+// handles ties) between the utilities of two rankings over the same item
+// universe. It complements NDCG when analysing *where* a private ranking
+// diverges: τ weighs all pairwise inversions equally, NDCG only the top of
+// the list. Inputs are dense utility vectors of equal length; the result is
+// in [-1, 1] (0 if either vector is constant).
+func KendallTau(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 0
+	}
+	var concordant, discordant float64
+	var tiesA, tiesB float64
+	// O(n²) pair scan — evaluation-time code on top-N-scale inputs. For
+	// full-catalog vectors prefer sampling pairs upstream.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da == 0 && db == 0:
+				// Tied in both: contributes to neither.
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case (da > 0) == (db > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	denom := math.Sqrt((concordant + discordant + tiesA) * (concordant + discordant + tiesB))
+	if denom == 0 {
+		return 0
+	}
+	return (concordant - discordant) / denom
+}
+
+// CatalogCoverage reports the fraction of the item catalog that appears in
+// at least one of the recommendation lists — a standard recommender-systems
+// health metric: privacy noise that pushes zero-utility items into lists
+// inflates coverage, while over-smoothing (e.g. GS with large groups)
+// collapses everyone onto the same few items.
+func CatalogCoverage(lists [][]core.Recommendation, numItems int) float64 {
+	if numItems <= 0 {
+		return 0
+	}
+	seen := make(map[int32]struct{})
+	for _, l := range lists {
+		for _, r := range l {
+			seen[r.Item] = struct{}{}
+		}
+	}
+	return float64(len(seen)) / float64(numItems)
+}
+
+// RecommendationGini measures how unequally recommendations concentrate on
+// items: 0 means every recommended item appears equally often, values near
+// 1 mean a few blockbuster items dominate every list. Computed over the
+// multiset of recommended items across the given lists.
+func RecommendationGini(lists [][]core.Recommendation) float64 {
+	counts := make(map[int32]float64)
+	var total float64
+	for _, l := range lists {
+		for _, r := range l {
+			counts[r.Item]++
+			total++
+		}
+	}
+	n := len(counts)
+	if n < 2 || total == 0 {
+		return 0
+	}
+	sorted := make([]float64, 0, n)
+	for _, c := range counts {
+		sorted = append(sorted, c)
+	}
+	sort.Float64s(sorted)
+	// Gini over the sorted frequency vector.
+	var cum float64
+	for i, c := range sorted {
+		cum += float64(i+1) * c
+	}
+	return (2*cum)/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// JaccardOverlap reports |A ∩ B| / |A ∪ B| of the item sets of two
+// recommendation lists — the simplest way to quantify how much a private
+// list diverges from its non-private counterpart, and the quantity the
+// §2.3 attacker maximizes.
+func JaccardOverlap(a, b []core.Recommendation) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	setA := make(map[int32]struct{}, len(a))
+	for _, r := range a {
+		setA[r.Item] = struct{}{}
+	}
+	inter := 0
+	setB := make(map[int32]struct{}, len(b))
+	for _, r := range b {
+		if _, dup := setB[r.Item]; dup {
+			continue
+		}
+		setB[r.Item] = struct{}{}
+		if _, ok := setA[r.Item]; ok {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"socialrec/internal/core"
+)
+
+func TestKendallTauPerfectAgreement(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := KendallTau(a, a); got != 1 {
+		t.Errorf("τ(a, a) = %v, want 1", got)
+	}
+	b := []float64{10, 20, 30, 40} // monotone transform
+	if got := KendallTau(a, b); got != 1 {
+		t.Errorf("τ under monotone transform = %v, want 1", got)
+	}
+}
+
+func TestKendallTauReversal(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	if got := KendallTau(a, b); got != -1 {
+		t.Errorf("τ of reversed ranking = %v, want -1", got)
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// a has a tie the b ranking breaks; τ-b must stay below 1 but above 0.
+	a := []float64{1, 2, 2, 4}
+	b := []float64{1, 2, 3, 4}
+	got := KendallTau(a, b)
+	if got <= 0 || got >= 1 {
+		t.Errorf("τ with ties = %v, want in (0, 1)", got)
+	}
+}
+
+func TestKendallTauDegenerate(t *testing.T) {
+	if got := KendallTau([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("τ with constant input = %v, want 0", got)
+	}
+	if got := KendallTau([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("τ of single element = %v, want 0", got)
+	}
+	if got := KendallTau([]float64{1, 2}, []float64{1}); got != 0 {
+		t.Errorf("τ of mismatched lengths = %v, want 0", got)
+	}
+}
+
+// Property: τ is symmetric and bounded.
+func TestKendallTauProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(rng.Intn(5))
+			b[i] = float64(rng.Intn(5))
+		}
+		t1, t2 := KendallTau(a, b), KendallTau(b, a)
+		return math.Abs(t1-t2) < 1e-12 && t1 >= -1-1e-12 && t1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lists(items ...[]int32) [][]core.Recommendation {
+	out := make([][]core.Recommendation, len(items))
+	for i, l := range items {
+		for _, it := range l {
+			out[i] = append(out[i], core.Recommendation{Item: it})
+		}
+	}
+	return out
+}
+
+func TestCatalogCoverage(t *testing.T) {
+	ls := lists([]int32{0, 1}, []int32{1, 2})
+	if got := CatalogCoverage(ls, 10); got != 0.3 {
+		t.Errorf("coverage = %v, want 0.3", got)
+	}
+	if got := CatalogCoverage(nil, 10); got != 0 {
+		t.Errorf("empty coverage = %v", got)
+	}
+	if got := CatalogCoverage(ls, 0); got != 0 {
+		t.Errorf("zero catalog coverage = %v", got)
+	}
+}
+
+func TestRecommendationGini(t *testing.T) {
+	// Perfectly even: two items, each recommended twice.
+	even := lists([]int32{0, 1}, []int32{0, 1})
+	if got := RecommendationGini(even); math.Abs(got) > 1e-12 {
+		t.Errorf("even Gini = %v, want 0", got)
+	}
+	// Skewed: item 0 recommended 9 times, item 1 once.
+	skew := lists([]int32{0, 0, 0}, []int32{0, 0, 0}, []int32{0, 0, 0}, []int32{1})
+	if got := RecommendationGini(skew); got <= 0.3 {
+		t.Errorf("skewed Gini = %v, want clearly positive", got)
+	}
+	if got := RecommendationGini(lists([]int32{0})); got != 0 {
+		t.Errorf("single-item Gini = %v, want 0", got)
+	}
+}
+
+func TestJaccardOverlap(t *testing.T) {
+	a := lists([]int32{0, 1, 2})[0]
+	b := lists([]int32{1, 2, 3})[0]
+	if got := JaccardOverlap(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 0.5", got)
+	}
+	if got := JaccardOverlap(a, a); got != 1 {
+		t.Errorf("self Jaccard = %v, want 1", got)
+	}
+	if got := JaccardOverlap(nil, nil); got != 1 {
+		t.Errorf("empty Jaccard = %v, want 1", got)
+	}
+	if got := JaccardOverlap(a, nil); got != 0 {
+		t.Errorf("disjoint Jaccard = %v, want 0", got)
+	}
+}

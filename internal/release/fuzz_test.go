@@ -1,0 +1,38 @@
+package release
+
+import (
+	"bytes"
+	"testing"
+
+	"socialrec/internal/community"
+)
+
+// FuzzRead asserts the binary release parser never panics or over-allocates
+// on malformed input; it must either return a valid Release or an error.
+func FuzzRead(f *testing.F) {
+	// Seed with a genuine release plus mutations.
+	cl, _ := community.FromAssignment([]int32{0, 0, 1})
+	var good bytes.Buffer
+	_ = Write(&good, &Release{
+		Epsilon:  1,
+		Measure:  "CN",
+		Clusters: cl,
+		NumItems: 2,
+		Avg:      []float64{1, 2, 3, 4},
+	})
+	f.Add(good.Bytes())
+	f.Add([]byte(magic))
+	f.Add([]byte("SOCRECv2 future version"))
+	f.Add([]byte{})
+	truncated := good.Bytes()[:len(good.Bytes())/2]
+	f.Add(truncated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("Read returned an invalid release: %v", err)
+		}
+	})
+}

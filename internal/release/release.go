@@ -1,0 +1,221 @@
+// Package release serializes a completed private release — the sanitized
+// per-(cluster, item) averages together with the clustering and the
+// metadata needed to serve from them — to a stable binary format.
+//
+// Differential privacy makes this sound: once the noisy averages exist,
+// any computation over them (including writing them to disk and serving
+// them from another process years later) is post-processing and consumes
+// no further budget. Persisting a release is therefore the *preferred*
+// production pattern: release once, serve anywhere, never re-touch the raw
+// preference data.
+//
+// Format (all integers little-endian):
+//
+//	magic   [8]byte  "SOCRECv1"
+//	epsilon float64  (math.Inf(1) for a no-noise release)
+//	measure uint16-prefixed UTF-8 string
+//	users   uint32
+//	items   uint32
+//	clusters uint32
+//	assign  users × uint32   (user → cluster)
+//	avg     clusters × items × float64
+//	crc32   uint32 (IEEE, over everything after the magic)
+package release
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"socialrec/internal/community"
+)
+
+const magic = "SOCRECv1"
+
+// Release is a deserialized private release, sufficient to reconstruct
+// utilities for any user given a similarity vector.
+type Release struct {
+	// Epsilon is the budget the release consumed.
+	Epsilon float64
+	// Measure is the similarity measure name the release was built for
+	// ("CN", "GD", "AA", "KZ"). Serving with a different measure is valid
+	// under DP (still post-processing) but changes recommendation
+	// semantics, so the name is recorded and checked by callers.
+	Measure string
+	// Clusters is the user partition.
+	Clusters *community.Clustering
+	// NumItems is |I|.
+	NumItems int
+	// Avg holds the sanitized averages, cluster-major:
+	// Avg[c*NumItems + i] = ŵ_c^i.
+	Avg []float64
+}
+
+// Validate checks internal consistency.
+func (r *Release) Validate() error {
+	if r.Clusters == nil {
+		return fmt.Errorf("release: missing clustering")
+	}
+	if r.NumItems < 0 {
+		return fmt.Errorf("release: negative item count")
+	}
+	if want := r.Clusters.NumClusters() * r.NumItems; len(r.Avg) != want {
+		return fmt.Errorf("release: %d averages, want %d", len(r.Avg), want)
+	}
+	if r.Epsilon <= 0 && !math.IsInf(r.Epsilon, 1) {
+		return fmt.Errorf("release: invalid epsilon %v", r.Epsilon)
+	}
+	return nil
+}
+
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// Write serializes the release.
+func Write(w io.Writer, r *Release) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw, crc: crc32.NewIEEE()}
+	writeErr := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeErr(r.Epsilon); err != nil {
+		return err
+	}
+	if len(r.Measure) > 1<<16-1 {
+		return fmt.Errorf("release: measure name too long")
+	}
+	if err := writeErr(uint16(len(r.Measure))); err != nil {
+		return err
+	}
+	if _, err := cw.Write([]byte(r.Measure)); err != nil {
+		return err
+	}
+	assign := r.Clusters.Assignment()
+	if err := writeErr(uint32(len(assign)), uint32(r.NumItems), uint32(r.Clusters.NumClusters())); err != nil {
+		return err
+	}
+	for _, a := range assign {
+		if err := writeErr(uint32(a)); err != nil {
+			return err
+		}
+	}
+	if err := writeErr(r.Avg); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// Read deserializes and validates a release, including its checksum.
+func Read(r io.Reader) (*Release, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("release: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("release: bad magic %q (not a release file, or an unsupported version)", head)
+	}
+	cr := &crcReader{r: br, crc: crc32.NewIEEE()}
+	readErr := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	out := &Release{}
+	if err := readErr(&out.Epsilon); err != nil {
+		return nil, fmt.Errorf("release: reading epsilon: %w", err)
+	}
+	var mlen uint16
+	if err := readErr(&mlen); err != nil {
+		return nil, fmt.Errorf("release: reading measure: %w", err)
+	}
+	mbuf := make([]byte, mlen)
+	if _, err := io.ReadFull(cr, mbuf); err != nil {
+		return nil, fmt.Errorf("release: reading measure: %w", err)
+	}
+	out.Measure = string(mbuf)
+	var users, items, clusters uint32
+	if err := readErr(&users, &items, &clusters); err != nil {
+		return nil, fmt.Errorf("release: reading dimensions: %w", err)
+	}
+	const maxDim = 1 << 28
+	if users > maxDim || items > maxDim || clusters > maxDim {
+		return nil, fmt.Errorf("release: implausible dimensions (%d users, %d items, %d clusters)", users, items, clusters)
+	}
+	if uint64(clusters)*uint64(items) > 1<<32 {
+		return nil, fmt.Errorf("release: averages table too large (%d × %d)", clusters, items)
+	}
+	assign := make([]int32, users)
+	for i := range assign {
+		var a uint32
+		if err := readErr(&a); err != nil {
+			return nil, fmt.Errorf("release: reading assignment: %w", err)
+		}
+		if a >= clusters {
+			return nil, fmt.Errorf("release: user %d assigned to cluster %d of %d", i, a, clusters)
+		}
+		assign[i] = int32(a)
+	}
+	cl, err := community.FromAssignment(assign)
+	if err != nil {
+		return nil, err
+	}
+	if cl.NumClusters() != int(clusters) {
+		return nil, fmt.Errorf("release: assignment uses %d clusters, header says %d", cl.NumClusters(), clusters)
+	}
+	out.Clusters = cl
+	out.NumItems = int(items)
+	out.Avg = make([]float64, int(clusters)*int(items))
+	if err := readErr(out.Avg); err != nil {
+		return nil, fmt.Errorf("release: reading averages: %w", err)
+	}
+	sum := cr.crc.Sum32()
+	var want uint32
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("release: reading checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("release: checksum mismatch (file corrupted)")
+	}
+	return out, out.Validate()
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"socialrec/internal/dataset"
+)
+
+func benchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	s, err := New(Config{
+		Engine:  &fakeEngine{users: 100, failOn: -1},
+		UserIDs: map[string]int{"alice": 0, "bob": 1},
+		Stats:   dataset.Stats{Users: 100},
+		MaxN:    50,
+		Logf:    b.Logf,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func BenchmarkRecommendHandler(b *testing.B) {
+	ts := benchServer(b)
+	url := ts.URL + "/recommend?user=alice&n=10"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+func BenchmarkBatchHandler(b *testing.B) {
+	ts := benchServer(b)
+	payload := `{"users": ["alice", "bob"], "n": 10}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/recommend/batch", "application/json", strings.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,240 @@
+// Package server implements the HTTP API served by cmd/recserve: JSON
+// endpoints for recommendations, dataset statistics and liveness over a
+// private recommendation engine.
+//
+// The engine performs its differentially private release once at
+// construction; every request handled here is post-processing over that
+// sanitized state, so request volume never erodes the privacy guarantee.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"socialrec/internal/core"
+	"socialrec/internal/dataset"
+)
+
+// Engine is the slice of the recommendation engine the server needs;
+// *socialrec.Engine satisfies it.
+type Engine interface {
+	// Recommend returns the top-n list for one user.
+	Recommend(user, n int) ([]core.Recommendation, error)
+	// ClusterOf reports the user's (public) community, or -1 if the
+	// engine is not cluster-based.
+	ClusterOf(user int) int
+	// Epsilon reports the privacy budget of the engine's release.
+	Epsilon() float64
+	// NumClusters reports the community count.
+	NumClusters() int
+	// Modularity reports the clustering's modularity.
+	Modularity() float64
+}
+
+// Config assembles a Server.
+type Config struct {
+	Engine Engine
+	// UserIDs maps external user tokens to internal ids (as produced by
+	// dataset.ReadSocialTSV).
+	UserIDs map[string]int
+	// ItemTokens maps internal item ids back to external tokens; nil
+	// serves numeric ids.
+	ItemTokens []string
+	// Stats is the dataset summary served at /stats.
+	Stats dataset.Stats
+	// MaxN caps the list length a request may ask for; 0 selects 100.
+	MaxN int
+	// Logf receives request-handling errors; nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server routes HTTP requests to a private recommendation engine.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New validates the configuration and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Engine is required")
+	}
+	if cfg.UserIDs == nil {
+		return nil, fmt.Errorf("server: UserIDs is required")
+	}
+	if cfg.MaxN <= 0 {
+		cfg.MaxN = 100
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /recommend", s.handleRecommend)
+	s.mux.HandleFunc("POST /recommend/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /users", s.handleUsers)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"users":            s.cfg.Stats.Users,
+		"social_edges":     s.cfg.Stats.SocialEdges,
+		"items":            s.cfg.Stats.Items,
+		"preference_edges": s.cfg.Stats.PrefEdges,
+		"sparsity":         s.cfg.Stats.PrefSparsity,
+		"clusters":         s.cfg.Engine.NumClusters(),
+		"modularity":       s.cfg.Engine.Modularity(),
+		"epsilon":          fmt.Sprintf("%g", s.cfg.Engine.Epsilon()),
+	})
+}
+
+// handleUsers lists known user tokens (paginated), primarily for
+// exploration and debugging. User identity and the social graph are public
+// in the paper's model, so this endpoint leaks nothing protected.
+func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if l := r.URL.Query().Get("limit"); l != "" {
+		v, err := strconv.Atoi(l)
+		if err != nil || v < 1 {
+			s.writeError(w, http.StatusBadRequest, "bad limit parameter")
+			return
+		}
+		limit = v
+	}
+	tokens := make([]string, 0, len(s.cfg.UserIDs))
+	for tok := range s.cfg.UserIDs {
+		tokens = append(tokens, tok)
+	}
+	sort.Strings(tokens)
+	if len(tokens) > limit {
+		tokens = tokens[:limit]
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"users": tokens,
+		"total": len(s.cfg.UserIDs),
+	})
+}
+
+// recItem is one entry of a served recommendation list.
+type recItem struct {
+	Item    string  `json:"item"`
+	Utility float64 `json:"utility"`
+}
+
+func (s *Server) recommendFor(userTok string, n int) (map[string]any, int, error) {
+	user, ok := s.cfg.UserIDs[userTok]
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown user %q", userTok)
+	}
+	if n < 1 {
+		n = 10
+	}
+	if n > s.cfg.MaxN {
+		n = s.cfg.MaxN
+	}
+	recs, err := s.cfg.Engine.Recommend(user, n)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	out := make([]recItem, len(recs))
+	for i, rec := range recs {
+		tok := strconv.Itoa(int(rec.Item))
+		if s.cfg.ItemTokens != nil && int(rec.Item) < len(s.cfg.ItemTokens) {
+			tok = s.cfg.ItemTokens[rec.Item]
+		}
+		out[i] = recItem{Item: tok, Utility: rec.Utility}
+	}
+	return map[string]any{
+		"user":            userTok,
+		"cluster":         s.cfg.Engine.ClusterOf(user),
+		"recommendations": out,
+	}, http.StatusOK, nil
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	userTok := r.URL.Query().Get("user")
+	if userTok == "" {
+		s.writeError(w, http.StatusBadRequest, "missing user parameter")
+		return
+	}
+	n := 0
+	if nArg := r.URL.Query().Get("n"); nArg != "" {
+		v, err := strconv.Atoi(nArg)
+		if err != nil || v < 1 {
+			s.writeError(w, http.StatusBadRequest, "bad n parameter")
+			return
+		}
+		n = v
+	}
+	body, status, err := s.recommendFor(userTok, n)
+	if err != nil {
+		s.writeError(w, status, err.Error())
+		return
+	}
+	s.writeJSON(w, status, body)
+}
+
+// batchRequest is the POST /recommend/batch payload.
+type batchRequest struct {
+	Users []string `json:"users"`
+	N     int      `json:"n"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad JSON body: "+err.Error())
+		return
+	}
+	if len(req.Users) == 0 {
+		s.writeError(w, http.StatusBadRequest, "users must be non-empty")
+		return
+	}
+	const maxBatch = 1000
+	if len(req.Users) > maxBatch {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("batch too large (max %d)", maxBatch))
+		return
+	}
+	results := make([]map[string]any, 0, len(req.Users))
+	for _, tok := range req.Users {
+		body, status, err := s.recommendFor(tok, req.N)
+		if err != nil {
+			if status == http.StatusNotFound {
+				results = append(results, map[string]any{"user": tok, "error": "unknown user"})
+				continue
+			}
+			s.writeError(w, status, err.Error())
+			return
+		}
+		results = append(results, body)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.cfg.Logf("server: encoding response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"socialrec/internal/core"
+	"socialrec/internal/dataset"
+)
+
+// fakeEngine serves deterministic lists: item k has utility 10-k.
+type fakeEngine struct {
+	users  int
+	failOn int // user id that triggers an internal error; -1 disables
+}
+
+func (f *fakeEngine) Recommend(user, n int) ([]core.Recommendation, error) {
+	if user == f.failOn {
+		return nil, fmt.Errorf("boom")
+	}
+	out := make([]core.Recommendation, n)
+	for i := range out {
+		out[i] = core.Recommendation{Item: int32(i), Utility: float64(10 - i)}
+	}
+	return out, nil
+}
+
+func (f *fakeEngine) ClusterOf(user int) int { return user % 3 }
+func (f *fakeEngine) Epsilon() float64       { return 0.5 }
+func (f *fakeEngine) NumClusters() int       { return 3 }
+func (f *fakeEngine) Modularity() float64    { return 0.42 }
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := New(Config{
+		Engine:     &fakeEngine{users: 5, failOn: 4},
+		UserIDs:    map[string]int{"alice": 0, "bob": 1, "carol": 2, "dave": 3, "evil": 4},
+		ItemTokens: []string{"i0", "i1", "i2", "i3", "i4", "i5"},
+		Stats:      dataset.Stats{Users: 5, Items: 6, PrefEdges: 9},
+		MaxN:       4,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return body
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing engine should fail")
+	}
+	if _, err := New(Config{Engine: &fakeEngine{}}); err == nil {
+		t.Error("missing user ids should fail")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if body["users"].(float64) != 5 || body["clusters"].(float64) != 3 {
+		t.Errorf("stats = %v", body)
+	}
+	if body["epsilon"] != "0.5" {
+		t.Errorf("epsilon = %v", body["epsilon"])
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/recommend?user=alice&n=2", http.StatusOK)
+	if body["user"] != "alice" {
+		t.Errorf("user = %v", body["user"])
+	}
+	recs := body["recommendations"].([]any)
+	if len(recs) != 2 {
+		t.Fatalf("recs = %v", recs)
+	}
+	first := recs[0].(map[string]any)
+	if first["item"] != "i0" || first["utility"].(float64) != 10 {
+		t.Errorf("first rec = %v", first)
+	}
+	if body["cluster"].(float64) != 0 {
+		t.Errorf("cluster = %v", body["cluster"])
+	}
+}
+
+func TestRecommendCapsN(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/recommend?user=bob&n=50", http.StatusOK)
+	recs := body["recommendations"].([]any)
+	if len(recs) != 4 {
+		t.Errorf("MaxN cap not applied: %d recs", len(recs))
+	}
+}
+
+func TestRecommendDefaultN(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/recommend?user=bob", http.StatusOK)
+	recs := body["recommendations"].([]any)
+	if len(recs) != 4 { // default 10 capped to MaxN 4
+		t.Errorf("default n recs = %d, want 4", len(recs))
+	}
+}
+
+func TestRecommendErrors(t *testing.T) {
+	ts := newTestServer(t)
+	getJSON(t, ts.URL+"/recommend", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/recommend?user=nobody", http.StatusNotFound)
+	getJSON(t, ts.URL+"/recommend?user=alice&n=zero", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/recommend?user=evil", http.StatusInternalServerError)
+}
+
+func TestUsers(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/users?limit=2", http.StatusOK)
+	if body["total"].(float64) != 5 {
+		t.Errorf("total = %v", body["total"])
+	}
+	users := body["users"].([]any)
+	if len(users) != 2 || users[0] != "alice" {
+		t.Errorf("users = %v", users)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	ts := newTestServer(t)
+	payload := `{"users": ["alice", "nobody", "bob"], "n": 1}`
+	resp, err := http.Post(ts.URL+"/recommend/batch", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	results := body["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results = %v", results)
+	}
+	if results[1].(map[string]any)["error"] != "unknown user" {
+		t.Errorf("unknown user not reported per-row: %v", results[1])
+	}
+	if results[0].(map[string]any)["user"] != "alice" {
+		t.Errorf("row 0 = %v", results[0])
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	ts := newTestServer(t)
+	for _, payload := range []string{`not json`, `{"users": []}`} {
+		resp, err := http.Post(ts.URL+"/recommend/batch", "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("payload %q: status = %d, want 400", payload, resp.StatusCode)
+		}
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	ts := newTestServer(t)
+	// POST to a GET-only route must 405.
+	resp, err := http.Post(ts.URL+"/recommend?user=alice", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d, want 405", resp.StatusCode)
+	}
+}

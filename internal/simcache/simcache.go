@@ -1,0 +1,100 @@
+// Package simcache provides a bounded, concurrency-safe LRU cache for
+// per-user similarity vectors. Similarity computation is the dominant
+// per-request cost when serving recommendations (the sanitized release is a
+// table lookup); since the social graph is static for the lifetime of an
+// engine (§2.3's snapshot assumption), similarity vectors are perfectly
+// cacheable. Caching affects performance only — similarity is computed from
+// public data, so no privacy accounting is involved.
+package simcache
+
+import (
+	"container/list"
+	"sync"
+
+	"socialrec/internal/graph"
+	"socialrec/internal/similarity"
+)
+
+// Cache memoizes Measure.Similar results for one (graph, measure) pair.
+type Cache struct {
+	g        *graph.Social
+	m        similarity.Measure
+	capacity int
+
+	mu      sync.Mutex
+	order   *list.List // front = most recent; values are *entry
+	entries map[int32]*list.Element
+
+	hits, misses uint64
+}
+
+type entry struct {
+	user   int32
+	scores similarity.Scores
+}
+
+// New returns a cache over g and m holding at most capacity vectors;
+// capacity < 1 selects 4096.
+func New(g *graph.Social, m similarity.Measure, capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 4096
+	}
+	return &Cache{
+		g:        g,
+		m:        m,
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[int32]*list.Element, capacity),
+	}
+}
+
+// Similar returns sim(u, ·), computing and caching it on first use. The
+// returned Scores must be treated as immutable (it is shared between
+// callers).
+func (c *Cache) Similar(u int32) similarity.Scores {
+	c.mu.Lock()
+	if el, ok := c.entries[u]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		s := el.Value.(*entry).scores
+		c.mu.Unlock()
+		return s
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compute outside the lock: similarity can be expensive and other
+	// users' lookups should not stall behind it. A racing duplicate
+	// computation is possible and harmless (both produce the same value).
+	s := c.m.Similar(c.g, int(u), nil)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[u]; ok {
+		// Lost the race; keep the incumbent.
+		c.order.MoveToFront(el)
+		return el.Value.(*entry).scores
+	}
+	el := c.order.PushFront(&entry{user: u, scores: s})
+	c.entries[u] = el
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).user)
+	}
+	return s
+}
+
+// Stats reports cumulative cache hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of cached vectors.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,114 @@
+package simcache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"socialrec/internal/graph"
+	"socialrec/internal/similarity"
+)
+
+func testGraph(t testing.TB, n int) *graph.Social {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	b := graph.NewSocialBuilder(n)
+	for k := 0; k < 4*n; k++ {
+		_ = b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+func TestCacheCorrectness(t *testing.T) {
+	g := testGraph(t, 40)
+	m := similarity.CommonNeighbors{}
+	c := New(g, m, 100)
+	for u := 0; u < 40; u++ {
+		got := c.Similar(int32(u))
+		want := m.Similar(g, u, nil)
+		if len(got.Users) != len(want.Users) {
+			t.Fatalf("user %d: cached result differs", u)
+		}
+		for i := range want.Users {
+			if got.Users[i] != want.Users[i] || got.Vals[i] != want.Vals[i] {
+				t.Fatalf("user %d: cached result differs", u)
+			}
+		}
+	}
+}
+
+func TestCacheHitAccounting(t *testing.T) {
+	g := testGraph(t, 10)
+	c := New(g, similarity.CommonNeighbors{}, 100)
+	c.Similar(3)
+	c.Similar(3)
+	c.Similar(3)
+	hits, misses := c.Stats()
+	if misses != 1 || hits != 2 {
+		t.Errorf("hits, misses = %d, %d; want 2, 1", hits, misses)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	g := testGraph(t, 30)
+	c := New(g, similarity.CommonNeighbors{}, 5)
+	for u := 0; u < 20; u++ {
+		c.Similar(int32(u))
+	}
+	if c.Len() != 5 {
+		t.Errorf("len = %d, want capacity 5", c.Len())
+	}
+	// Users 15..19 are the most recent; 15 must be a hit, 0 a miss.
+	_, missesBefore := c.Stats()
+	c.Similar(15)
+	_, missesAfterHit := c.Stats()
+	if missesAfterHit != missesBefore {
+		t.Error("recently used entry was evicted")
+	}
+	c.Similar(0)
+	_, missesAfterMiss := c.Stats()
+	if missesAfterMiss != missesBefore+1 {
+		t.Error("old entry survived past capacity")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	g := testGraph(t, 10)
+	c := New(g, similarity.CommonNeighbors{}, 2)
+	c.Similar(0)
+	c.Similar(1)
+	c.Similar(0) // refresh 0; 1 is now the LRU
+	c.Similar(2) // evicts 1
+	_, misses := c.Stats()
+	c.Similar(0)
+	if _, m2 := c.Stats(); m2 != misses {
+		t.Error("refreshed entry was evicted instead of the LRU one")
+	}
+	c.Similar(1)
+	if _, m3 := c.Stats(); m3 != misses+1 {
+		t.Error("LRU entry was not evicted")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	g := testGraph(t, 60)
+	c := New(g, similarity.AdamicAdar{}, 30)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				u := int32(rng.Intn(60))
+				s := c.Similar(u)
+				// Touch the result to catch races on shared Scores.
+				_ = s.Sum()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 30 {
+		t.Errorf("capacity exceeded: %d", c.Len())
+	}
+}

@@ -1,0 +1,54 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"socialrec/internal/graph"
+)
+
+// benchGraph builds a 2000-user community-structured graph comparable to
+// the paper's Last.fm social graph.
+func benchGraph(b *testing.B) *graph.Social {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	const n, comms = 2000, 20
+	bld := graph.NewSocialBuilder(n)
+	for e := 0; e < 13*n/2; e++ {
+		u := rng.Intn(n)
+		var v int
+		if rng.Float64() < 0.8 {
+			v = (u/comms)*comms + rng.Intn(comms) // same block
+		} else {
+			v = rng.Intn(n)
+		}
+		_ = bld.AddEdge(u, v)
+	}
+	return bld.Build()
+}
+
+func benchmarkMeasure(b *testing.B, m Measure) {
+	g := benchGraph(b)
+	scratch := NewAccumulator(g.NumUsers())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Similar(g, i%g.NumUsers(), scratch)
+	}
+}
+
+func BenchmarkCommonNeighbors(b *testing.B) { benchmarkMeasure(b, CommonNeighbors{}) }
+func BenchmarkAdamicAdar(b *testing.B)      { benchmarkMeasure(b, AdamicAdar{}) }
+func BenchmarkGraphDistance(b *testing.B)   { benchmarkMeasure(b, GraphDistance{}) }
+func BenchmarkKatz(b *testing.B)            { benchmarkMeasure(b, Katz{}) }
+
+func BenchmarkComputeAllParallel(b *testing.B) {
+	g := benchGraph(b)
+	users := make([]int32, 256)
+	for i := range users {
+		users[i] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeAll(g, CommonNeighbors{}, users, 0)
+	}
+}

@@ -1,0 +1,354 @@
+// Package similarity implements the structural social-similarity measures of
+// §2.2 of the paper: Common Neighbors, Graph Distance, Adamic/Adar, and Katz.
+// All measures operate solely on the public social graph G_s, which is what
+// allows the framework's clustering phase to read them without spending any
+// privacy budget.
+//
+// A Measure computes, for one user u, the sparse similarity vector
+// sim(u, ·) — every user v with sim(u, v) > 0 together with the value. The
+// support of that vector is the similarity set sim(u) of the paper.
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"socialrec/internal/graph"
+)
+
+// Scores is a sparse similarity vector: Users holds the similarity set
+// sim(u) sorted ascending, and Vals[i] is sim(u, Users[i]) > 0.
+type Scores struct {
+	Users []int32
+	Vals  []float64
+}
+
+// Sum returns Σ_v sim(u, v), the total similarity mass of the vector.
+func (s Scores) Sum() float64 {
+	var t float64
+	for _, v := range s.Vals {
+		t += v
+	}
+	return t
+}
+
+// Max returns max_v sim(u, v), or 0 for an empty vector.
+func (s Scores) Max() float64 {
+	var m float64
+	for _, v := range s.Vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Value returns sim(u, v) for this vector, or 0 if v is not in the
+// similarity set.
+func (s Scores) Value(v int32) float64 {
+	i := sort.Search(len(s.Users), func(i int) bool { return s.Users[i] >= v })
+	if i < len(s.Users) && s.Users[i] == v {
+		return s.Vals[i]
+	}
+	return 0
+}
+
+// Measure is a structural social-similarity measure over the social graph.
+// Implementations must be symmetric (sim(u, v) = sim(v, u)) and must return
+// strictly positive values; sim(u, u) is never reported. Implementations
+// must be safe for concurrent use by multiple goroutines.
+type Measure interface {
+	// Name returns the measure's short name as used in the paper's figures
+	// (e.g. "CN", "GD", "AA", "KZ").
+	Name() string
+	// Similar computes the sparse similarity vector sim(u, ·) on g. The
+	// scratch accumulator must have capacity g.NumUsers(); pass nil to let
+	// the measure allocate one.
+	Similar(g *graph.Social, u int, scratch *Accumulator) Scores
+}
+
+// Accumulator is a dense scratch buffer for accumulating sparse similarity
+// scores. Reusing one across Similar calls on the same goroutine avoids
+// per-call allocation of an O(|U|) buffer.
+type Accumulator struct {
+	vals    []float64
+	touched []int32
+}
+
+// NewAccumulator returns an accumulator for graphs with at most n users.
+func NewAccumulator(n int) *Accumulator {
+	return &Accumulator{vals: make([]float64, n)}
+}
+
+func (a *Accumulator) ensure(n int) {
+	if len(a.vals) < n {
+		a.vals = make([]float64, n)
+		a.touched = a.touched[:0]
+	}
+}
+
+// Add accumulates x into the score of user v.
+func (a *Accumulator) Add(v int32, x float64) {
+	if a.vals[v] == 0 {
+		a.touched = append(a.touched, v)
+	}
+	a.vals[v] += x
+}
+
+// Collect extracts the accumulated scores (excluding user `exclude` and any
+// non-positive totals), resets the accumulator, and returns the scores
+// sorted by user id.
+func (a *Accumulator) Collect(exclude int32) Scores {
+	sort.Slice(a.touched, func(i, j int) bool { return a.touched[i] < a.touched[j] })
+	s := Scores{
+		Users: make([]int32, 0, len(a.touched)),
+		Vals:  make([]float64, 0, len(a.touched)),
+	}
+	for _, v := range a.touched {
+		if v != exclude && a.vals[v] > 0 {
+			s.Users = append(s.Users, v)
+			s.Vals = append(s.Vals, a.vals[v])
+		}
+		a.vals[v] = 0
+	}
+	a.touched = a.touched[:0]
+	return s
+}
+
+// CommonNeighbors is the CN measure: sim(u, v) = |Γ(u) ∩ Γ(v)|.
+type CommonNeighbors struct{}
+
+// Name returns "CN".
+func (CommonNeighbors) Name() string { return "CN" }
+
+// Similar counts, for every v reachable in two hops, the number of common
+// neighbors of u and v.
+func (CommonNeighbors) Similar(g *graph.Social, u int, scratch *Accumulator) Scores {
+	if scratch == nil {
+		scratch = NewAccumulator(g.NumUsers())
+	}
+	scratch.ensure(g.NumUsers())
+	for _, x := range g.Neighbors(u) {
+		for _, v := range g.Neighbors(int(x)) {
+			scratch.Add(v, 1)
+		}
+	}
+	return scratch.Collect(int32(u))
+}
+
+// AdamicAdar is the AA measure:
+// sim(u, v) = Σ_{x ∈ Γ(u) ∩ Γ(v)} 1/log|Γ(x)|, using the natural logarithm.
+// Degree-1 intermediaries never contribute (their only neighbor is u), so
+// log|Γ(x)| ≥ log 2 > 0 at every contributing term.
+type AdamicAdar struct{}
+
+// Name returns "AA".
+func (AdamicAdar) Name() string { return "AA" }
+
+// Similar accumulates the inverse-log-degree weight of every common
+// neighbor.
+func (AdamicAdar) Similar(g *graph.Social, u int, scratch *Accumulator) Scores {
+	if scratch == nil {
+		scratch = NewAccumulator(g.NumUsers())
+	}
+	scratch.ensure(g.NumUsers())
+	for _, x := range g.Neighbors(u) {
+		d := g.Degree(int(x))
+		if d < 2 {
+			continue // x's only neighbor is u; it cannot be a common neighbor
+		}
+		w := 1 / math.Log(float64(d))
+		for _, v := range g.Neighbors(int(x)) {
+			scratch.Add(v, w)
+		}
+	}
+	return scratch.Collect(int32(u))
+}
+
+// GraphDistance is the GD measure: sim(u, v) = 1/d where d is the length of
+// the shortest path between u and v, cut off at MaxDist hops. The paper uses
+// MaxDist = 2 (§6.2), since in small-world social graphs the reachable set
+// explodes beyond two hops.
+type GraphDistance struct {
+	// MaxDist is the maximum shortest-path length considered; 0 means the
+	// paper's default of 2.
+	MaxDist int
+}
+
+// Name returns "GD".
+func (GraphDistance) Name() string { return "GD" }
+
+func (m GraphDistance) maxDist() int {
+	if m.MaxDist <= 0 {
+		return 2
+	}
+	return m.MaxDist
+}
+
+// Similar runs a breadth-first search of depth MaxDist from u and scores
+// each user found at depth d with 1/d.
+func (m GraphDistance) Similar(g *graph.Social, u int, scratch *Accumulator) Scores {
+	if scratch == nil {
+		scratch = NewAccumulator(g.NumUsers())
+	}
+	scratch.ensure(g.NumUsers())
+	maxD := m.maxDist()
+	// scratch.vals doubles as the visited set: a user already assigned a
+	// (necessarily larger) score was found at a smaller depth.
+	frontier := []int32{int32(u)}
+	visited := map[int32]struct{}{int32(u): {}}
+	var next []int32
+	for d := 1; d <= maxD && len(frontier) > 0; d++ {
+		next = next[:0]
+		for _, x := range frontier {
+			for _, v := range g.Neighbors(int(x)) {
+				if _, ok := visited[v]; ok {
+					continue
+				}
+				visited[v] = struct{}{}
+				scratch.Add(v, 1/float64(d))
+				next = append(next, v)
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return scratch.Collect(int32(u))
+}
+
+// Katz is the KZ measure: sim(u, v) = Σ_{l=1..k} α^l · |walks of length l
+// between u and v|. Following common practice (and the adjacency-power
+// formulation of Liben-Nowell & Kleinberg), length-l "paths" are counted as
+// walks, i.e. (A^l)_{uv}. The paper uses k = 3 and α = 0.05 (§6.2).
+type Katz struct {
+	// MaxLen is k, the maximum walk length; 0 means the paper's default 3.
+	MaxLen int
+	// Alpha is the damping factor; 0 means the paper's default 0.05.
+	Alpha float64
+}
+
+// Name returns "KZ".
+func (Katz) Name() string { return "KZ" }
+
+func (m Katz) params() (int, float64) {
+	k, a := m.MaxLen, m.Alpha
+	if k <= 0 {
+		k = 3
+	}
+	if a <= 0 {
+		a = 0.05
+	}
+	return k, a
+}
+
+// Similar counts damped walks of each length l ≤ k from u by repeated
+// frontier expansion of walk counts.
+func (m Katz) Similar(g *graph.Social, u int, scratch *Accumulator) Scores {
+	if scratch == nil {
+		scratch = NewAccumulator(g.NumUsers())
+	}
+	scratch.ensure(g.NumUsers())
+	k, alpha := m.params()
+
+	// counts maps node → number of length-l walks from u.
+	counts := map[int32]float64{int32(u): 1}
+	damp := 1.0
+	for l := 1; l <= k; l++ {
+		damp *= alpha
+		next := make(map[int32]float64, len(counts)*4)
+		for x, c := range counts {
+			for _, v := range g.Neighbors(int(x)) {
+				next[v] += c
+			}
+		}
+		for v, c := range next {
+			if v != int32(u) {
+				scratch.Add(v, damp*c)
+			}
+		}
+		counts = next
+	}
+	return scratch.Collect(int32(u))
+}
+
+// ByName returns the measure with the given paper short name (CN, GD, AA or
+// KZ) configured with the paper's default parameters.
+func ByName(name string) (Measure, error) {
+	switch name {
+	case "CN":
+		return CommonNeighbors{}, nil
+	case "GD":
+		return GraphDistance{}, nil
+	case "AA":
+		return AdamicAdar{}, nil
+	case "KZ":
+		return Katz{}, nil
+	default:
+		return nil, fmt.Errorf("similarity: unknown measure %q (want CN, GD, AA or KZ)", name)
+	}
+}
+
+// All returns the four paper measures in figure order: AA, CN, GD, KZ.
+func All() []Measure {
+	return []Measure{AdamicAdar{}, CommonNeighbors{}, GraphDistance{}, Katz{}}
+}
+
+// ComputeAll computes the similarity vectors for the given users in
+// parallel, returning a slice parallel to users. workers ≤ 0 selects
+// GOMAXPROCS.
+func ComputeAll(g *graph.Social, m Measure, users []int32, workers int) []Scores {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
+	out := make([]Scores, len(users))
+	if len(users) == 0 {
+		return out
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := NewAccumulator(g.NumUsers())
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(users) {
+					return
+				}
+				out[i] = m.Similar(g, int(users[i]), scratch)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// MaxInfluence computes Δ_A = max_v Σ_u sim(u, v), the global sensitivity of
+// the utility-query algorithm used by the NOU strawman (§5.1.1) and by the
+// Group-and-Smooth comparator. Because every Measure is symmetric, the
+// maximum column sum equals the maximum row sum, so it is computed from
+// per-user similarity vectors.
+func MaxInfluence(g *graph.Social, m Measure, workers int) float64 {
+	users := make([]int32, g.NumUsers())
+	for i := range users {
+		users[i] = int32(i)
+	}
+	all := ComputeAll(g, m, users, workers)
+	var max float64
+	for _, s := range all {
+		if t := s.Sum(); t > max {
+			max = t
+		}
+	}
+	return max
+}

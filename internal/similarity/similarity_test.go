@@ -1,0 +1,274 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"socialrec/internal/graph"
+)
+
+// testGraph builds the 5-node fixture used throughout:
+//
+//	0—1, 0—2, 1—2, 1—3, 2—3, 3—4
+//
+// degrees: 0:2, 1:3, 2:3, 3:3, 4:1.
+func testGraph(t testing.TB) *graph.Social {
+	b := graph.NewSocialBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func simValue(g *graph.Social, m Measure, u, v int) float64 {
+	return m.Similar(g, u, nil).Value(int32(v))
+}
+
+func TestCommonNeighborsValues(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		u, v int
+		want float64
+	}{
+		{0, 1, 1}, // common: {2}
+		{0, 2, 1}, // common: {1}
+		{0, 3, 2}, // common: {1, 2}
+		{1, 2, 2}, // common: {0, 3}
+		{1, 4, 1}, // common: {3}
+		{0, 4, 0}, // no common neighbor
+	}
+	for _, c := range cases {
+		if got := simValue(g, CommonNeighbors{}, c.u, c.v); got != c.want {
+			t.Errorf("CN(%d, %d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestAdamicAdarValues(t *testing.T) {
+	g := testGraph(t)
+	ln2, ln3 := math.Log(2), math.Log(3)
+	cases := []struct {
+		u, v int
+		want float64
+	}{
+		{0, 3, 2 / ln3},       // via 1 (deg 3) and 2 (deg 3)
+		{1, 2, 1/ln2 + 1/ln3}, // via 0 (deg 2) and 3 (deg 3)
+		{1, 4, 1 / ln3},       // via 3 (deg 3)
+		{0, 4, 0},
+	}
+	for _, c := range cases {
+		if got := simValue(g, AdamicAdar{}, c.u, c.v); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("AA(%d, %d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestGraphDistanceValues(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		u, v int
+		want float64
+	}{
+		{0, 1, 1},   // adjacent
+		{0, 3, 0.5}, // two hops
+		{0, 4, 0},   // three hops, beyond the d=2 cutoff
+		{4, 3, 1},
+		{4, 1, 0.5},
+	}
+	for _, c := range cases {
+		if got := simValue(g, GraphDistance{}, c.u, c.v); got != c.want {
+			t.Errorf("GD(%d, %d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+	// With a larger cutoff, 0–4 becomes reachable at distance 3.
+	if got := simValue(g, GraphDistance{MaxDist: 3}, 0, 4); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("GD3(0, 4) = %v, want 1/3", got)
+	}
+}
+
+func TestKatzValues(t *testing.T) {
+	g := testGraph(t)
+	// Walks 0↔1: length 1: 1; length 2: 1 (via 2); length 3: 5
+	// (0-1-0-1, 0-1-2-1, 0-1-3-1, 0-2-0-1, 0-2-3-1).
+	want := 0.05 + 0.0025*1 + 0.000125*5
+	if got := simValue(g, Katz{}, 0, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("KZ(0, 1) = %v, want %v", got, want)
+	}
+	// 0↔4: only a single length-3 walk (0-1-3-4 and 0-2-3-4 → two walks).
+	want04 := 0.000125 * 2
+	if got := simValue(g, Katz{}, 0, 4); math.Abs(got-want04) > 1e-12 {
+		t.Errorf("KZ(0, 4) = %v, want %v", got, want04)
+	}
+}
+
+func TestSimilarExcludesSelf(t *testing.T) {
+	g := testGraph(t)
+	for _, m := range All() {
+		for u := 0; u < g.NumUsers(); u++ {
+			s := m.Similar(g, u, nil)
+			for _, v := range s.Users {
+				if int(v) == u {
+					t.Errorf("%s: Similar(%d) contains self", m.Name(), u)
+				}
+			}
+		}
+	}
+}
+
+func TestScoresHelpers(t *testing.T) {
+	s := Scores{Users: []int32{1, 3, 7}, Vals: []float64{0.5, 2, 1}}
+	if got := s.Sum(); got != 3.5 {
+		t.Errorf("Sum = %v, want 3.5", got)
+	}
+	if got := s.Max(); got != 2 {
+		t.Errorf("Max = %v, want 2", got)
+	}
+	if got := s.Value(3); got != 2 {
+		t.Errorf("Value(3) = %v, want 2", got)
+	}
+	if got := s.Value(5); got != 0 {
+		t.Errorf("Value(5) = %v, want 0", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"CN", "GD", "AA", "KZ"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) should fail")
+	}
+}
+
+func TestComputeAllMatchesSequential(t *testing.T) {
+	g := randomGraph(50, 150, 3)
+	users := []int32{0, 5, 10, 49}
+	for _, m := range All() {
+		par := ComputeAll(g, m, users, 4)
+		for k, u := range users {
+			seq := m.Similar(g, int(u), nil)
+			if !scoresEqual(par[k], seq) {
+				t.Errorf("%s: parallel and sequential results differ for user %d", m.Name(), u)
+			}
+		}
+	}
+}
+
+func TestMaxInfluenceSimpleStar(t *testing.T) {
+	// Star: center 0 with leaves 1..4. For CN, sim(leaf_i, leaf_j) = 1
+	// (via the center); the center has no 2-hop partners sharing a
+	// neighbor... each leaf has similarity 1 with 3 other leaves, so each
+	// column sums to 3; the center's column sums to 0.
+	b := graph.NewSocialBuilder(5)
+	for v := 1; v < 5; v++ {
+		if err := b.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	if got := MaxInfluence(g, CommonNeighbors{}, 2); got != 3 {
+		t.Errorf("MaxInfluence = %v, want 3", got)
+	}
+}
+
+func randomGraph(n, edges int, seed int64) *graph.Social {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewSocialBuilder(n)
+	for k := 0; k < edges; k++ {
+		_ = b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+func scoresEqual(a, b Scores) bool {
+	if len(a.Users) != len(b.Users) {
+		return false
+	}
+	for i := range a.Users {
+		if a.Users[i] != b.Users[i] || math.Abs(a.Vals[i]-b.Vals[i]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: every measure is symmetric on random graphs.
+func TestSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		g := randomGraph(n, 3*n, seed)
+		all := make([]Scores, n)
+		for _, m := range All() {
+			for u := 0; u < n; u++ {
+				all[u] = m.Similar(g, u, nil)
+			}
+			for u := 0; u < n; u++ {
+				for j, v := range all[u].Users {
+					if math.Abs(all[v].Value(int32(u))-all[u].Vals[j]) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CN(u,v) ≤ min(deg(u), deg(v)); AA ≤ CN/ln 2; GD ∈ {1, 1/2};
+// KZ(u,v) ≥ α for adjacent pairs.
+func TestMeasureBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		g := randomGraph(n, 3*n, seed)
+		cn := CommonNeighbors{}
+		aa := AdamicAdar{}
+		gd := GraphDistance{}
+		kz := Katz{}
+		for u := 0; u < n; u++ {
+			sCN := cn.Similar(g, u, nil)
+			for j, v := range sCN.Users {
+				c := sCN.Vals[j]
+				if c > float64(g.Degree(u)) || c > float64(g.Degree(int(v))) {
+					return false
+				}
+			}
+			sAA := aa.Similar(g, u, nil)
+			for j, v := range sAA.Users {
+				if sAA.Vals[j] > sCN.Value(v)/math.Log(2)+1e-9 {
+					return false
+				}
+			}
+			sGD := gd.Similar(g, u, nil)
+			for _, val := range sGD.Vals {
+				if val != 1 && val != 0.5 {
+					return false
+				}
+			}
+			sKZ := kz.Similar(g, u, nil)
+			for _, v := range g.Neighbors(u) {
+				if sKZ.Value(v) < 0.05-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

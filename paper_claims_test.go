@@ -1,0 +1,111 @@
+package socialrec_test
+
+import (
+	"testing"
+
+	"socialrec/internal/dp"
+	"socialrec/internal/experiment"
+	"socialrec/internal/generator"
+	"socialrec/internal/similarity"
+)
+
+// TestPaperClaims is the scientific regression suite: every qualitative
+// claim of the paper's evaluation, asserted on the calibrated Last.fm-like
+// dataset at reduced repetition. If a refactor silently breaks the
+// framework's privacy/utility behaviour, this is the test that catches it.
+// It takes ~15s; skipped under -short.
+func TestPaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline regression")
+	}
+	ds, _, err := experiment.BuildDataset(generator.LastFMLike(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, q := experiment.ClusterSocial(ds, 5, 7)
+	if q < 0.4 {
+		t.Fatalf("Louvain modularity = %v, implausibly low for a community-structured graph", q)
+	}
+	eval := experiment.SampleUsers(ds.Social.NumUsers(), 250, 8)
+	r, err := experiment.NewRunner(ds, similarity.CommonNeighbors{}, clusters, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	score := func(res *experiment.Result, err error) float64 {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Mean(50)
+	}
+
+	// §6.3, Fig. 1: accuracy degrades monotonically as ε shrinks, is
+	// nearly unaffected at ε ≥ 0.6, and collapses at ε = 0.01.
+	var byEps []float64
+	for _, e := range []dp.Epsilon{dp.Inf, 1.0, 0.6, 0.1, 0.01} {
+		byEps = append(byEps, score(r.EvaluateCluster(e, 9, []int{50})))
+	}
+	for i := 1; i < len(byEps); i++ {
+		if byEps[i] > byEps[i-1]+0.03 {
+			t.Errorf("NDCG must not improve as ε shrinks: %v", byEps)
+		}
+	}
+	if byEps[0]-byEps[2] > 0.05 {
+		t.Errorf("ε = 0.6 should cost little over ε = ∞: %v", byEps)
+	}
+	if byEps[0] < 0.9 {
+		t.Errorf("approximation-only NDCG@50 = %v, want high", byEps[0])
+	}
+	if byEps[4] > 0.15 {
+		t.Errorf("ε = 0.01 NDCG@50 = %v, want collapse on the sparse dataset", byEps[4])
+	}
+
+	// §6.3: NDCG decreases as N grows at small ε (zero-utility items
+	// displace real ones deeper in the list).
+	res, err := r.EvaluateCluster(dp.Epsilon(0.1), 9, []int{10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean(10) <= res.Mean(100) {
+		t.Errorf("NDCG@10 (%v) should exceed NDCG@100 (%v) at ε = 0.1", res.Mean(10), res.Mean(100))
+	}
+
+	// §6.4, Fig. 4: the framework beats every baseline at ε = 0.1, and
+	// NOU is no better than near-random.
+	const eps = dp.Epsilon(0.1)
+	cluster := score(r.EvaluateCluster(eps, 9, []int{50}))
+	noe := score(r.EvaluateNOE(eps, 9, []int{50}))
+	nou := score(r.EvaluateNOU(eps, 9, []int{50}))
+	if cluster <= noe || cluster <= nou {
+		t.Errorf("cluster (%v) must beat NOE (%v) and NOU (%v) at ε = 0.1", cluster, noe, nou)
+	}
+	if nou > 0.1 {
+		t.Errorf("NOU NDCG@50 = %v, should be near random", nou)
+	}
+
+	// Fig. 3: degree-accuracy relationship is positive under
+	// approximation error alone.
+	infRes, err := r.EvaluateCluster(dp.Inf, 9, []int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hi, lo float64
+	var hiN, loN int
+	for k, u := range r.EvalUsers {
+		if ds.Social.Degree(int(u)) > 10 {
+			hi += infRes.NDCG[50][k]
+			hiN++
+		} else {
+			lo += infRes.NDCG[50][k]
+			loN++
+		}
+	}
+	if hiN == 0 || loN == 0 {
+		t.Fatal("degree split degenerate")
+	}
+	if hi/float64(hiN) <= lo/float64(loN) {
+		t.Errorf("high-degree users (%v) should beat low-degree users (%v) at ε = ∞",
+			hi/float64(hiN), lo/float64(loN))
+	}
+}

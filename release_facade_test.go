@@ -1,0 +1,75 @@
+package socialrec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadReleaseRoundTrip(t *testing.T) {
+	b := buildSmall()
+	e, err := NewEngine(b, Config{Epsilon: 0.7, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.RecommendBatch([]int{0, 1, 2, 3, 4, 5, 6, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := e.SaveRelease(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load against the same (public) social graph.
+	loaded, err := LoadEngine(&buf, e.social)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.RecommendBatch([]int{0, 1, 2, 3, 4, 5, 6, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if len(got[u]) != len(want[u]) {
+			t.Fatalf("user %d: list lengths differ", u)
+		}
+		for i := range want[u] {
+			if got[u][i] != want[u][i] {
+				t.Fatalf("user %d: loaded engine disagrees: %v vs %v", u, got[u][i], want[u][i])
+			}
+		}
+	}
+	if loaded.Epsilon() != e.Epsilon() || loaded.NumClusters() != e.NumClusters() {
+		t.Error("metadata lost in round trip")
+	}
+}
+
+func TestSaveReleaseRefusesExactEngine(t *testing.T) {
+	e, err := NewExactEngine(buildSmall(), "CN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveRelease(&bytes.Buffer{}); err == nil {
+		t.Error("persisting an exact engine must fail: its state is the raw data")
+	}
+}
+
+func TestLoadEngineRejectsWrongGraph(t *testing.T) {
+	e, err := NewEngine(buildSmall(), Config{Epsilon: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.SaveRelease(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewGraphBuilder(3, 2).AddFriendship(0, 1)
+	otherEngine, err := NewEngine(other, Config{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEngine(&buf, otherEngine.social); err == nil {
+		t.Error("loading against a different-population graph should fail")
+	}
+}

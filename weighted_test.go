@@ -1,0 +1,102 @@
+package socialrec
+
+import "testing"
+
+func buildWeighted() *WeightedGraphBuilder {
+	b := NewWeightedGraphBuilder(8, 6)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				b.AddFriendship(4*c+i, 4*c+j)
+			}
+		}
+	}
+	b.AddFriendship(3, 4)
+	// Group A rates items 0-2 highly; group B rates 3-5.
+	for _, e := range []struct {
+		u, i int
+		w    float64
+	}{
+		{1, 0, 5}, {1, 1, 4}, {2, 0, 5}, {2, 2, 3}, {3, 1, 4},
+		{4, 3, 5}, {5, 3, 4}, {5, 5, 2}, {6, 4, 5}, {7, 3, 3},
+	} {
+		b.AddRating(e.u, e.i, e.w)
+	}
+	return b
+}
+
+func TestWeightedEngineRecommends(t *testing.T) {
+	e, err := NewWeightedEngine(buildWeighted(), 5, Config{Epsilon: NoPrivacy, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := e.Recommend(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("recs = %v", recs)
+	}
+	// User 0's community rates items 0-2; the top recommendation must be
+	// one of them, and item 0 (two 5-star ratings) should outrank item 2
+	// (one 3-star).
+	if recs[0].Item > 2 {
+		t.Errorf("top item = %d, want a community-A item; recs = %v", recs[0].Item, recs)
+	}
+}
+
+func TestWeightedEngineRespectsWeights(t *testing.T) {
+	e, err := NewWeightedEngine(buildWeighted(), 5, Config{Epsilon: NoPrivacy, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := e.Recommend(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := make(map[int32]float64)
+	for _, r := range recs {
+		util[r.Item] = r.Utility
+	}
+	// Item 0 carries weight 5+5 in-community; item 2 only 3. Whatever the
+	// clustering, item 0 must score strictly higher for user 0.
+	if util[0] <= util[2] {
+		t.Errorf("utility(0) = %v should exceed utility(2) = %v", util[0], util[2])
+	}
+}
+
+func TestWeightedEngineValidation(t *testing.T) {
+	if _, err := NewWeightedEngine(buildWeighted(), 5, Config{}); err == nil {
+		t.Error("zero epsilon should fail")
+	}
+	if _, err := NewWeightedEngine(buildWeighted(), 2, Config{Epsilon: 1}); err == nil {
+		t.Error("ratings above the declared bound should fail")
+	}
+	if _, err := NewWeightedEngine(buildWeighted(), 5, Config{Epsilon: 1, Measure: "zz"}); err == nil {
+		t.Error("unknown measure should fail")
+	}
+	bad := NewWeightedGraphBuilder(2, 2).AddRating(0, 0, -1)
+	if _, err := NewWeightedEngine(bad, 5, Config{Epsilon: 1}); err == nil {
+		t.Error("builder error should surface")
+	}
+}
+
+func TestWeightedEngineDeterministic(t *testing.T) {
+	mk := func() []Recommendation {
+		e, err := NewWeightedEngine(buildWeighted(), 5, Config{Epsilon: 0.8, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := e.Recommend(2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different weighted recommendations")
+		}
+	}
+}
