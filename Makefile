@@ -1,0 +1,36 @@
+# Build and verification entry points. `make ci` is the standing
+# correctness gate (see scripts/ci.sh); the other targets run its pieces
+# individually during development.
+
+GO ?= go
+
+.PHONY: build test race lint fuzz-smoke ci fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint = formatting + vet + the privacy-invariant analyzers.
+lint:
+	@unformatted=$$(gofmt -l . | grep -v '/testdata/' || true); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/sociolint ./...
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadSocialTSV$$' -fuzztime=10s ./internal/dataset
+	$(GO) test -run='^$$' -fuzz='^FuzzReadPreferenceTSV$$' -fuzztime=10s ./internal/dataset
+	$(GO) test -run='^$$' -fuzz='^FuzzRead$$' -fuzztime=10s ./internal/release
+
+ci:
+	./scripts/ci.sh
+
+fmt:
+	gofmt -w $$(find . -name '*.go' -not -path './internal/analysis/testdata/*')

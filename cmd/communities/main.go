@@ -38,7 +38,7 @@ func main() {
 		fatalf("%v", err)
 	}
 	g, _, err := dataset.ReadSocialTSV(f)
-	f.Close()
+	_ = f.Close()
 	if err != nil {
 		fatalf("parsing %s: %v", *socialPath, err)
 	}

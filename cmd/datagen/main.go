@@ -86,7 +86,7 @@ func writeFile(path string, write func(*os.File) error) {
 		fatalf("creating %s: %v", path, err)
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		fatalf("writing %s: %v", path, err)
 	}
 	if err := f.Close(); err != nil {

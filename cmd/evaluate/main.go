@@ -54,7 +54,7 @@ func main() {
 		fatalf("%v", err)
 	}
 	social, userIDs, err := dataset.ReadSocialTSV(sf)
-	sf.Close()
+	_ = sf.Close()
 	if err != nil {
 		fatalf("parsing %s: %v", *socialPath, err)
 	}
@@ -63,7 +63,7 @@ func main() {
 		fatalf("%v", err)
 	}
 	raw, itemIDs, err := dataset.ReadPreferenceTSV(pf, userIDs)
-	pf.Close()
+	_ = pf.Close()
 	if err != nil {
 		fatalf("parsing %s: %v", *prefsPath, err)
 	}

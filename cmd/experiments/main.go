@@ -54,7 +54,7 @@ func main() {
 			return err
 		}
 		if err := emit(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		return f.Close()

@@ -61,7 +61,7 @@ func main() {
 		log.Fatalf("recserve: %v", err)
 	}
 	social, userIDs, err := dataset.ReadSocialTSV(sf)
-	sf.Close()
+	_ = sf.Close()
 	if err != nil {
 		log.Fatalf("recserve: parsing %s: %v", *socialPath, err)
 	}
@@ -79,7 +79,7 @@ func main() {
 			log.Fatalf("recserve: %v", err)
 		}
 		engine, err = socialrec.LoadEngine(rf, social)
-		rf.Close()
+		_ = rf.Close()
 		if err != nil {
 			log.Fatalf("recserve: loading release %s: %v", *loadRel, err)
 		}
@@ -91,7 +91,7 @@ func main() {
 			log.Fatalf("recserve: %v", err)
 		}
 		raw, itemIDs, err := dataset.ReadPreferenceTSV(pf, userIDs)
-		pf.Close()
+		_ = pf.Close()
 		if err != nil {
 			log.Fatalf("recserve: parsing %s: %v", *prefsPath, err)
 		}

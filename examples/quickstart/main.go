@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 
 	"socialrec"
 )
@@ -63,7 +64,7 @@ func main() {
 			log.Fatal(err)
 		}
 		label := fmt.Sprintf("ε = %g", eps)
-		if eps == socialrec.NoPrivacy {
+		if math.IsInf(eps, 1) {
 			label = "ε = ∞ (no privacy)"
 		}
 		fmt.Printf("--- %s --- (%d communities found)\n", label, engine.NumClusters())

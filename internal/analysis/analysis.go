@@ -1,0 +1,233 @@
+// Package analysis is a small, stdlib-only static-analysis framework for
+// enforcing the repository's privacy invariants at the source level.
+//
+// The ε-DP guarantee proved in the paper (Theorems 1–3) rests on code-level
+// discipline the Go compiler cannot check: privacy noise must flow through
+// the dp.NoiseSource abstraction, privacy budgets must be validated before
+// use, released floating-point values must not be compared with exact
+// equality, errors must not be silently dropped, and experiment seeds must
+// not depend on wall-clock time. Each of those invariants is encoded as an
+// Analyzer; cmd/sociolint runs the full battery over the module and the CI
+// gate (scripts/ci.sh) fails on any finding.
+//
+// The framework deliberately mirrors the shape of golang.org/x/tools'
+// go/analysis — an Analyzer examines one package at a time through a Pass —
+// but is built exclusively on the standard library (go/ast, go/parser,
+// go/token, go/types) so the module keeps its zero-dependency property.
+//
+// # Suppressing a finding
+//
+// A finding that is intentional can be suppressed with a directive comment
+// on the flagged line or the line directly above it:
+//
+//	//sociolint:ignore floateq weights of exactly 1.0 are an IEEE-exact sentinel
+//
+// The first word after "ignore" is the analyzer name (or a comma-separated
+// list, or "all"); everything after it is a free-form reason. A reason is
+// required by convention — reviewers should reject bare suppressions.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an Analyzer.
+type Finding struct {
+	// Pos locates the finding in the analyzed source.
+	Pos token.Position
+	// AnalyzerName is the name of the analyzer that produced the finding.
+	AnalyzerName string
+	// Message describes the violated invariant.
+	Message string
+}
+
+// String formats the finding as "file:line:col: analyzer: message", the
+// format emitted by cmd/sociolint and matched by editors.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.AnalyzerName, f.Message)
+}
+
+// Analyzer checks one package for violations of a single invariant.
+// Implementations must be stateless: Run may be called for many packages in
+// any order.
+type Analyzer interface {
+	// Name returns the analyzer's short lower-case name, used in findings
+	// and in //sociolint:ignore directives.
+	Name() string
+	// Doc returns a one-paragraph description of the invariant the
+	// analyzer enforces and why it matters.
+	Doc() string
+	// Run examines the package presented by pass and reports findings
+	// through pass.Reportf.
+	Run(pass *Pass)
+}
+
+// All returns the full battery of domain analyzers in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		NoiseSource{},
+		EpsilonMisuse{},
+		FloatEq{},
+		DroppedErr{},
+		TimeNow{},
+	}
+}
+
+// ByName returns the subset of All whose names appear in the comma-separated
+// list (e.g. "floateq,droppederr").
+func ByName(list string) ([]Analyzer, error) {
+	want := map[string]bool{}
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	var out []Analyzer
+	for _, a := range All() {
+		if want[a.Name()] {
+			out = append(out, a)
+			delete(want, a.Name())
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("analysis: unknown analyzer(s): %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
+}
+
+// Pass presents one type-checked package to one analyzer.
+type Pass struct {
+	// Fset maps token positions to file positions.
+	Fset *token.FileSet
+	// Module is the module path (e.g. "socialrec").
+	Module string
+	// Path is the package's import path (e.g. "socialrec/internal/dp").
+	Path string
+	// Files are the package's parsed files, including comments.
+	Files []*ast.File
+	// Pkg is the type-checked package; nil if type checking failed
+	// entirely.
+	Pkg *types.Package
+	// Info holds type information for the package's expressions. It is
+	// never nil, but may be partially filled when type checking hit
+	// errors; analyzers must degrade gracefully on missing entries.
+	Info *types.Info
+
+	analyzer Analyzer
+	ignores  map[ignoreKey]bool
+	report   func(Finding)
+}
+
+type ignoreKey struct {
+	file string
+	line int
+	name string // analyzer name, or "all"
+}
+
+// Reportf records a finding at pos unless a //sociolint:ignore directive
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	name := p.analyzer.Name()
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, n := range []string{name, "all"} {
+			if p.ignores[ignoreKey{file: position.Filename, line: line, name: n}] {
+				return
+			}
+		}
+	}
+	p.report(Finding{Pos: position, AnalyzerName: name, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file's name ends in _test.go. Most
+// analyzers exempt test code: tests legitimately use deterministic seeds,
+// exact comparisons against fixed fixtures, and discarded errors.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// RelPath returns the package path relative to the module root ("" for the
+// module root package itself). Analyzers scope themselves with it so the
+// module can be renamed without breaking the battery.
+func (p *Pass) RelPath() string {
+	if p.Path == p.Module {
+		return ""
+	}
+	return strings.TrimPrefix(p.Path, p.Module+"/")
+}
+
+// Run applies each analyzer to the package and returns the combined
+// findings sorted by position.
+func Run(pkg *Package, analyzers []Analyzer) []Finding {
+	var findings []Finding
+	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Module:   pkg.Module,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a,
+			ignores:  ignores,
+			report:   func(f Finding) { findings = append(findings, f) },
+		}
+		a.Run(pass)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.AnalyzerName < b.AnalyzerName
+	})
+	return findings
+}
+
+const ignoreDirective = "//sociolint:ignore"
+
+// collectIgnores indexes every //sociolint:ignore directive by (file, line,
+// analyzer). A directive suppresses findings on its own line and on the
+// line below it, so it works both as a trailing comment and on a line of
+// its own above the flagged statement.
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[ignoreKey]bool {
+	ignores := map[ignoreKey]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						ignores[ignoreKey{file: pos.Filename, line: pos.Line, name: name}] = true
+					}
+				}
+			}
+		}
+	}
+	return ignores
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr reports statement-position calls whose error result is
+// silently discarded. In a privacy system an ignored error is not a
+// cosmetic bug: a short write while persisting a release corrupts the
+// sanitized output, and a swallowed validation error lets an invalid ε
+// reach a mechanism. An explicit `_ =` assignment remains legal — it is
+// visible in review and greppable — as are deferred calls (the idiomatic
+// best-effort cleanup position) and printing to the standard streams,
+// where no recovery is possible.
+type DroppedErr struct{}
+
+// Name returns "droppederr".
+func (DroppedErr) Name() string { return "droppederr" }
+
+// Doc describes the invariant.
+func (DroppedErr) Doc() string {
+	return "calls returning an error must not be used as bare statements; handle the error or discard it explicitly with _ ="
+}
+
+// Run checks every non-test file.
+func (d DroppedErr) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		aliases := importAliases(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, isExpr := n.(*ast.ExprStmt)
+			if !isExpr {
+				return true
+			}
+			call, isCall := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			tv, found := pass.Info.Types[call]
+			if !found || !typeIncludesError(tv.Type) {
+				return true
+			}
+			if d.exempt(pass, aliases, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error return discarded; handle it or assign to _ explicitly")
+			return true
+		})
+	}
+}
+
+// exemptWriters are named types whose Write* error contracts make an
+// unchecked write idiomatic: Builder and Buffer document the error as
+// always nil; bufio.Writer latches the first error and surfaces it at
+// Flush — and an unchecked Flush (which does not match Write*) is still
+// flagged, so the deferred check cannot be forgotten; hash.Hash documents
+// that Write never returns an error.
+var exemptWriters = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"bufio.Writer":    true,
+	"hash.Hash":       true,
+	"hash.Hash32":     true,
+	"hash.Hash64":     true,
+}
+
+// exempt reports whether the call is an allowed best-effort or
+// cannot-fail write: fmt printing to the standard streams or to one of the
+// exemptWriters, or a Write* method on an exemptWriter.
+func (DroppedErr) exempt(pass *Pass, aliases map[string]string, call *ast.CallExpr) bool {
+	if pkg, name, ok := calleePkgFunc(pass, aliases, call); ok && pkg == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) == 0 {
+				return false
+			}
+			dst := ast.Unparen(call.Args[0])
+			if sel, isSel := dst.(*ast.SelectorExpr); isSel {
+				if id, isIdent := sel.X.(*ast.Ident); isIdent && id.Name == "os" &&
+					(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+					return true
+				}
+			}
+			return exemptWriterType(pass.Info.TypeOf(dst))
+		}
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || !strings.HasPrefix(sel.Sel.Name, "Write") {
+		return false
+	}
+	return exemptWriterType(pass.Info.TypeOf(sel.X))
+}
+
+// exemptWriterType reports whether t (possibly behind a pointer) is one of
+// the exemptWriters.
+func exemptWriterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return false
+	}
+	return exemptWriters[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+var _ Analyzer = DroppedErr{}

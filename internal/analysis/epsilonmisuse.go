@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"math"
+)
+
+// EpsilonMisuse enforces the budget-hygiene invariants around dp.Epsilon.
+// A non-positive or NaN ε makes the Laplace scale Δ/ε meaningless and
+// silently voids the Theorem-1 guarantee, so:
+//
+//  1. any constant ε ≤ 0 (or math.NaN()) reaching a dp.Epsilon conversion
+//     or a dp.Epsilon-typed parameter is reported, and
+//  2. within one function, passing an ε value to dp.SourceFor before
+//     calling its Validate method is reported — validation must gate use,
+//     not follow it.
+//
+// The zero value is the most dangerous literal: dp.Epsilon(0) looks like a
+// sensible default but would request infinite noise scale (or, worse, be
+// special-cased into no noise at all by a buggy mechanism).
+type EpsilonMisuse struct{}
+
+// Name returns "epsilonmisuse".
+func (EpsilonMisuse) Name() string { return "epsilonmisuse" }
+
+// Doc describes the invariant.
+func (EpsilonMisuse) Doc() string {
+	return "privacy budgets must be positive and validated before use: no constant ε ≤ 0 or NaN at dp call sites, and no dp.SourceFor call before Validate in the same function"
+}
+
+// Run checks every non-test file.
+func (e EpsilonMisuse) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		aliases := importAliases(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			e.checkCall(pass, aliases, call)
+			return true
+		})
+		e.checkValidateOrder(pass, aliases, f)
+	}
+}
+
+// checkCall reports constant ε ≤ 0 or NaN arguments at dp.Epsilon
+// conversions and at calls with dp.Epsilon-typed parameters.
+func (e EpsilonMisuse) checkCall(pass *Pass, aliases map[string]string, call *ast.CallExpr) {
+	// Conversion form: dp.Epsilon(x).
+	if pkg, name, ok := calleePkgFunc(pass, aliases, call); ok &&
+		pathIsOrEndsWith(pkg, "internal/dp") && name == "Epsilon" && len(call.Args) == 1 {
+		e.checkArg(pass, aliases, call.Args[0])
+		return
+	}
+	// Call form: any function whose signature takes a dp.Epsilon. This
+	// catches dp.SourceFor(0, seed) and mechanism constructors alike,
+	// where an untyped constant converts implicitly.
+	tv, found := pass.Info.Types[call.Fun]
+	if !found {
+		return
+	}
+	sig, isSig := tv.Type.(*types.Signature)
+	if !isSig {
+		return
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len() && i < len(call.Args); i++ {
+		if epsilonType(params.At(i).Type()) {
+			e.checkArg(pass, aliases, call.Args[i])
+		}
+	}
+}
+
+// checkArg reports arg when it is a constant ≤ 0, or a math.NaN() call.
+func (EpsilonMisuse) checkArg(pass *Pass, aliases map[string]string, arg ast.Expr) {
+	if v, ok := constFloat(pass, arg); ok && (v <= 0 || math.IsNaN(v)) {
+		pass.Reportf(arg.Pos(), "epsilon must be positive, got constant %v (use dp.Inf for the no-noise configuration)", v)
+		return
+	}
+	if inner, isCall := ast.Unparen(arg).(*ast.CallExpr); isCall {
+		if pkg, name, ok := calleePkgFunc(pass, aliases, inner); ok && pkg == "math" && name == "NaN" {
+			pass.Reportf(arg.Pos(), "epsilon must not be NaN")
+		}
+	}
+}
+
+// checkValidateOrder reports, per function declaration, any use of an ε
+// identifier as a dp.SourceFor argument at a position before a Validate
+// call on the same identifier: the validation was clearly intended to gate
+// the use, but does not.
+func (EpsilonMisuse) checkValidateOrder(pass *Pass, aliases map[string]string, f *ast.File) {
+	for _, decl := range f.Decls {
+		fn, isFn := decl.(*ast.FuncDecl)
+		if !isFn || fn.Body == nil {
+			continue
+		}
+		type useSite struct {
+			name string
+			pos  ast.Expr
+		}
+		var uses []useSite            // ε idents passed to dp.SourceFor
+		validated := map[string]int{} // ε ident name → earliest Validate offset
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if pkg, name, ok := calleePkgFunc(pass, aliases, call); ok &&
+				pathIsOrEndsWith(pkg, "internal/dp") && name == "SourceFor" && len(call.Args) > 0 {
+				if id, isIdent := ast.Unparen(call.Args[0]).(*ast.Ident); isIdent {
+					uses = append(uses, useSite{name: id.Name, pos: call.Args[0]})
+				}
+			}
+			if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel && sel.Sel.Name == "Validate" {
+				if id, isIdent := sel.X.(*ast.Ident); isIdent {
+					if prev, seen := validated[id.Name]; !seen || int(call.Pos()) < prev {
+						validated[id.Name] = int(call.Pos())
+					}
+				}
+			}
+			return true
+		})
+		for _, u := range uses {
+			if vpos, seen := validated[u.name]; seen && int(u.pos.Pos()) < vpos {
+				pass.Reportf(u.pos.Pos(), "epsilon %q passed to dp.SourceFor before its Validate call; validate first", u.name)
+			}
+		}
+	}
+}
+
+var _ Analyzer = EpsilonMisuse{}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq reports == and != between floating-point operands in non-test
+// code. Released values in this framework are sums of true statistics and
+// Laplace noise; exact equality on them is either a logic bug (two
+// independent noisy draws are never equal) or a side channel (Mironov, CCS
+// 2012, recovers noise from the low-order bits that exact comparisons leak
+// into control flow). Comparisons against an exact-zero constant are
+// allowed: zero is IEEE-754-exact and is the idiomatic absent/sentinel
+// value throughout the sparse-graph code (absent edge weight, empty
+// accumulator slot, "no noise" scale). Any other intentional exact
+// comparison needs a //sociolint:ignore floateq directive with a reason.
+type FloatEq struct{}
+
+// Name returns "floateq".
+func (FloatEq) Name() string { return "floateq" }
+
+// Doc describes the invariant.
+func (FloatEq) Doc() string {
+	return "no == or != between floating-point operands in non-test code, except against an exact-zero constant"
+}
+
+// Run checks every non-test file.
+func (FloatEq) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, isBin := n.(*ast.BinaryExpr)
+			if !isBin || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(pass, bin.X) && !isFloatExpr(pass, bin.Y) {
+				return true
+			}
+			if isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos, "floating-point operands compared with %s; restructure (e.g. split into < / >) or compare against an exact-zero sentinel", bin.Op)
+			return true
+		})
+	}
+}
+
+var _ Analyzer = FloatEq{}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// goldenCases maps each analyzer to the fixture packages it runs over and
+// the import path each fixture is presented under (so path-scoped
+// analyzers like noisesource see a privacy-critical package).
+var goldenCases = []struct {
+	analyzer Analyzer
+	dir      string // under testdata/src
+	path     string // import path presented to the analyzer
+}{
+	{NoiseSource{}, "noisesource/mechanism", "socialrec/internal/mechanism"},
+	{NoiseSource{}, "noisesource/other", "socialrec/internal/experiment"},
+	{EpsilonMisuse{}, "epsilonmisuse", "socialrec/internal/fixture"},
+	{FloatEq{}, "floateq", "socialrec/internal/fixture"},
+	{DroppedErr{}, "droppederr", "socialrec/internal/fixture"},
+	{TimeNow{}, "timenow", "socialrec/internal/fixture"},
+}
+
+var wantRE = regexp.MustCompile(`^// want "(.*)"$`)
+
+// expectation is one // want "substring" annotation in a fixture.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// TestGolden runs every analyzer over its fixtures and checks the reported
+// findings against the fixtures' // want annotations: every finding must
+// be annotated, and every annotation must fire. Fixture lines without an
+// annotation double as the clean cases.
+func TestGolden(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	for _, tc := range goldenCases {
+		t.Run(tc.analyzer.Name()+"/"+filepath.Base(tc.dir), func(t *testing.T) {
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", tc.dir), tc.path, true)
+			if err != nil {
+				t.Fatalf("loading fixtures: %v", err)
+			}
+			if pkg == nil {
+				t.Fatal("no fixture package loaded")
+			}
+			for _, terr := range pkg.TypeErrors {
+				t.Errorf("fixture type error (fixtures must type-check): %v", terr)
+			}
+			wants := collectWants(pkg.Fset, pkg.Files)
+			if len(wants) == 0 && tc.dir != "noisesource/other" {
+				t.Fatal("fixture has no // want annotations; golden test would be vacuous")
+			}
+			for _, f := range Run(pkg, []Analyzer{tc.analyzer}) {
+				if f.AnalyzerName != tc.analyzer.Name() {
+					t.Errorf("finding attributed to %q, want %q", f.AnalyzerName, tc.analyzer.Name())
+				}
+				if !claim(wants, f.Pos.Filename, f.Pos.Line, f.Message) {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// collectWants extracts every // want "..." annotation with its position.
+func collectWants(fset *token.FileSet, files []*ast.File) []*expectation {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, substr: m[1]})
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched expectation that covers the finding and
+// reports whether one existed.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && strings.Contains(message, w.substr) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// importAliases maps the local name of every import in f to its import
+// path. Unnamed imports fall back to the path's last element, which is the
+// overwhelmingly common case and good enough for the syntactic fallback
+// when type information is unavailable.
+func importAliases(f *ast.File) map[string]string {
+	m := map[string]string{}
+	for _, spec := range f.Imports {
+		p, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path.Base(p)
+		if spec.Name != nil {
+			name = spec.Name.Name
+			if name == "_" || name == "." {
+				continue
+			}
+		}
+		m[name] = p
+	}
+	return m
+}
+
+// calleePkgFunc resolves call's callee to (package path, name) when the
+// callee is a package-level identifier selected off an imported package
+// (e.g. time.Now, dp.SourceFor). Resolution prefers type information and
+// falls back to the file's import aliases. ok is false for method calls,
+// locals, and anything unresolved.
+func calleePkgFunc(p *Pass, aliases map[string]string, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	if obj, found := p.Info.Uses[id]; found {
+		if pn, isPkg := obj.(*types.PkgName); isPkg {
+			return pn.Imported().Path(), sel.Sel.Name, true
+		}
+		return "", "", false // a real value, not a package qualifier
+	}
+	if pth, found := aliases[id.Name]; found {
+		return pth, sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// pathIsOrEndsWith reports whether the slash-separated import path equals
+// suffix or ends with "/"+suffix. Analyzers use it to recognize
+// privacy-critical packages without hard-coding the module name.
+func pathIsOrEndsWith(p, suffix string) bool {
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// constFloat evaluates expr as a numeric constant, preferring type-checker
+// results and falling back to literal syntax (including a leading unary
+// minus). ok is false for non-constant expressions.
+func constFloat(p *Pass, expr ast.Expr) (v float64, ok bool) {
+	expr = ast.Unparen(expr)
+	if tv, found := p.Info.Types[expr]; found && tv.Value != nil {
+		if fv := constant.ToFloat(tv.Value); fv.Kind() == constant.Float {
+			v, _ = constant.Float64Val(fv)
+			return v, true
+		}
+		return 0, false
+	}
+	neg := false
+	if u, isU := expr.(*ast.UnaryExpr); isU && (u.Op.String() == "-" || u.Op.String() == "+") {
+		neg = u.Op.String() == "-"
+		expr = ast.Unparen(u.X)
+	}
+	lit, isLit := expr.(*ast.BasicLit)
+	if !isLit {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(lit.Value, 64)
+	if err != nil {
+		return 0, false
+	}
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
+// isZeroConst reports whether expr is a constant with value exactly zero.
+func isZeroConst(p *Pass, expr ast.Expr) bool {
+	v, ok := constFloat(p, expr)
+	return ok && v == 0
+}
+
+// isFloatExpr reports whether expr's type is a floating-point type
+// (including named types whose underlying type is float32/float64, such as
+// dp.Epsilon). It returns false when type information is missing: the
+// build/vet steps of the CI gate own type correctness, so analyzers prefer
+// silence over false positives.
+func isFloatExpr(p *Pass, expr ast.Expr) bool {
+	t := p.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	b, isBasic := t.Underlying().(*types.Basic)
+	return isBasic && b.Info()&types.IsFloat != 0
+}
+
+// typeIncludesError reports whether t is the error type or a tuple with an
+// error element, i.e. whether a call of this type yields an error the
+// caller could have handled.
+func typeIncludesError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, isTuple := t.(*types.Tuple); isTuple {
+		for i := 0; i < tup.Len(); i++ {
+			if typeIncludesError(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// epsilonType reports whether t (or its core type) is the named type
+// Epsilon declared in the module's internal/dp package.
+func epsilonType(t types.Type) bool {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Epsilon" && obj.Pkg() != nil && pathIsOrEndsWith(obj.Pkg().Path(), "internal/dp")
+}

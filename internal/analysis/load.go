@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Module is the module path of the enclosing module.
+	Module string
+	// Path is the package's import path.
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Fset is the file set the files were parsed into.
+	Fset *token.FileSet
+	// Files are the parsed files (with comments).
+	Files []*ast.File
+	// Types is the type-checked package (nil on total failure).
+	Types *types.Package
+	// Info is the (possibly partial) type information.
+	Info *types.Info
+	// TypeErrors collects the errors the type checker reported. A
+	// non-empty list degrades analysis precision but does not abort it:
+	// the CI gate's build step, not the linter, owns compile correctness.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of a single module using only the
+// standard library. Imports — both stdlib and intra-module — are resolved
+// by go/importer's source importer, which shares this loader's FileSet, so
+// one Loader amortizes the cost of type-checking shared dependencies across
+// every package it loads.
+type Loader struct {
+	// ModuleDir is the absolute path of the module root.
+	ModuleDir string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewLoader locates the module enclosing dir (by walking up to the nearest
+// go.mod) and returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleDir:  root,
+		ModulePath: modPath,
+		fset:       fset,
+		imp:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Load resolves the given package patterns and loads every matching
+// package. Supported patterns are "./..." (or "dir/..."), which walks the
+// tree rooted at dir, and plain directory paths. Directories named
+// "testdata" or "vendor" and hidden or underscore-prefixed directories are
+// skipped, matching the go tool's convention.
+func (l *Loader) Load(patterns []string, includeTests bool) ([]*Package, error) {
+	dirSet := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !dirSet[dir] {
+			dirSet[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "..."); ok {
+			base = filepath.Clean(strings.TrimSuffix(base, "/"))
+			if base == "" {
+				base = "."
+			}
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			dir := filepath.Clean(pat)
+			if !hasGoFiles(dir) {
+				return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+			}
+			add(dir)
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir, "", includeTests)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the package in dir. importPath overrides
+// the path derived from the directory's position in the module; golden
+// tests use it to present testdata fixtures as if they lived at a
+// privacy-critical import path. A directory containing only test files
+// (and includeTests false) yields a nil package.
+func (l *Loader) LoadDir(dir, importPath string, includeTests bool) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if importPath == "" {
+		rel, err := filepath.Rel(l.ModuleDir, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleDir)
+		}
+		importPath = l.ModulePath
+		if rel != "." {
+			importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Group files by package clause so external test packages (package
+	// foo_test) type-check separately from the package under test.
+	byPkg := map[string][]*ast.File{}
+	var pkgNames []string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pn := f.Name.Name
+		if _, ok := byPkg[pn]; !ok {
+			pkgNames = append(pkgNames, pn)
+		}
+		byPkg[pn] = append(byPkg[pn], f)
+	}
+	if len(pkgNames) == 0 {
+		return nil, nil
+	}
+	// The primary (non _test-suffixed) package comes first; an external
+	// test package's files are appended to the same analysis unit so
+	// analyzers see them, but type-checked separately below.
+	sort.Slice(pkgNames, func(i, j int) bool {
+		return !strings.HasSuffix(pkgNames[i], "_test") && strings.HasSuffix(pkgNames[j], "_test")
+	})
+
+	pkg := &Package{
+		Module: l.ModulePath,
+		Path:   importPath,
+		Dir:    abs,
+		Fset:   l.fset,
+		Info: &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		},
+	}
+	for _, pn := range pkgNames {
+		files := byPkg[pn]
+		conf := types.Config{
+			Importer:         l.imp,
+			FakeImportC:      true,
+			IgnoreFuncBodies: false,
+			Error: func(err error) {
+				pkg.TypeErrors = append(pkg.TypeErrors, err)
+			},
+		}
+		tpkg, _ := conf.Check(importPath, l.fset, files, pkg.Info)
+		if pkg.Types == nil {
+			pkg.Types = tpkg
+		}
+		pkg.Files = append(pkg.Files, files...)
+	}
+	return pkg, nil
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises the droppederr analyzer.
+package fixture
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+)
+
+func doWork() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func count() int { return 0 }
+
+// Bad silently discards errors in statement position.
+func Bad(f *os.File) {
+	doWork()  // want "error return discarded"
+	pair()    // want "error return discarded"
+	f.Close() // want "error return discarded"
+}
+
+// Good shows the sanctioned shapes: handling, explicit discard, deferred
+// cleanup, cannot-fail writers, and the standard streams.
+func Good(f *os.File) error {
+	count()      // no error in the signature: clean
+	_ = doWork() // explicit discard: clean
+	defer f.Close()
+	var b strings.Builder
+	fmt.Fprintf(&b, "layout %d", count())
+	h := crc32.NewIEEE()
+	h.Write([]byte(b.String()))
+	fmt.Println("progress")
+	fmt.Fprintln(os.Stderr, "progress")
+	if err := doWork(); err != nil {
+		return err
+	}
+	return f.Close()
+}

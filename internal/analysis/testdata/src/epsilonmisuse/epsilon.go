@@ -1,0 +1,41 @@
+// Package fixture exercises the epsilonmisuse analyzer against the real
+// socialrec/internal/dp package.
+package fixture
+
+import (
+	"math"
+
+	"socialrec/internal/dp"
+)
+
+// BadLiterals passes non-positive and NaN budgets at dp call sites.
+func BadLiterals() {
+	_ = dp.Epsilon(0)          // want "epsilon must be positive, got constant 0"
+	_ = dp.Epsilon(-1.5)       // want "epsilon must be positive, got constant -1.5"
+	_ = dp.Epsilon(math.NaN()) // want "epsilon must not be NaN"
+	_ = dp.SourceFor(0, 1)     // want "epsilon must be positive, got constant 0"
+}
+
+// UseBeforeValidate requests a noise source before validating the budget,
+// so an invalid ε reaches the mechanism before the guard runs.
+func UseBeforeValidate(eps dp.Epsilon) (dp.NoiseSource, error) {
+	src := dp.SourceFor(eps, 1) // want "before its Validate call"
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	return src, nil
+}
+
+// ValidateFirst is the sanctioned ordering: validation gates use.
+func ValidateFirst(eps dp.Epsilon) (dp.NoiseSource, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	return dp.SourceFor(eps, 1), nil
+}
+
+// GoodLiterals shows the clean spellings of the special configurations.
+func GoodLiterals() {
+	_ = dp.Epsilon(0.5)
+	_ = dp.SourceFor(dp.Inf, 1)
+}

@@ -1,0 +1,39 @@
+// Package fixture exercises the floateq analyzer.
+package fixture
+
+// Compare holds the flagged and exempt comparison shapes.
+func Compare(a, b float64, n int, name string) int {
+	hits := 0
+	if a == b { // want "floating-point operands compared with =="
+		hits++
+	}
+	if a != 0.5 { // want "floating-point operands compared with !="
+		hits++
+	}
+	if a == 0 { // exact-zero sentinel: allowed
+		hits++
+	}
+	if 0 != b { // exact-zero sentinel, reversed operands: allowed
+		hits++
+	}
+	//sociolint:ignore floateq fixture demonstrating a justified suppression
+	if a == 1 {
+		hits++
+	}
+	if n == 3 { // integers: allowed
+		hits++
+	}
+	if name == "CN" { // strings: allowed
+		hits++
+	}
+	return hits
+}
+
+// Scaled flags comparisons on named types with a float underlying type.
+type Scaled float64
+
+// Equal compares two Scaled values exactly, which is flagged like any
+// float comparison.
+func Equal(x, y Scaled) bool {
+	return x == y // want "floating-point operands compared with =="
+}

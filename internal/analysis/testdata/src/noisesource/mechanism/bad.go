@@ -1,0 +1,16 @@
+// Package fixture is presented to the noisesource analyzer under the
+// import path socialrec/internal/mechanism, a privacy-critical package.
+package fixture
+
+import (
+	crand "crypto/rand" // want "crypto/rand import bypasses dp.NoiseSource"
+	"math/rand"         // want "math/rand import bypasses dp.NoiseSource"
+)
+
+var _ = crand.Reader
+
+// Sample draws directly from math/rand, bypassing the auditable dp
+// entry points.
+func Sample(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

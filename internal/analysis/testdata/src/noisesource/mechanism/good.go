@@ -1,0 +1,18 @@
+package fixture
+
+import "socialrec/internal/dp"
+
+// Noise draws its randomness through the dp abstractions, which is the
+// sanctioned pattern for privacy-critical packages.
+func Noise(eps dp.Epsilon, seed int64) float64 {
+	if err := eps.Validate(); err != nil {
+		return 0
+	}
+	return dp.SourceFor(eps, seed).Laplace(1 / float64(eps))
+}
+
+// Shuffle uses dp.NewRand for auxiliary, non-privacy sampling.
+func Shuffle(xs []int, seed int64) {
+	rng := dp.NewRand(seed)
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,10 @@
+// Package fixture is presented under a non-privacy-critical import path
+// (socialrec/internal/experiment); direct math/rand use is allowed there.
+package fixture
+
+import "math/rand"
+
+// Sample is clean: this package is outside the restricted set.
+func Sample(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises the timenow analyzer.
+package fixture
+
+import "time"
+
+// BadSeed derives a seed from the wall clock, which breaks experiment
+// reproducibility and weakens noise unpredictability.
+func BadSeed() int64 {
+	return time.Now().UnixNano() // want "breaks reproducibility"
+}
+
+// BadCoarseSeed is flagged for the coarser conversions too.
+func BadCoarseSeed() int64 {
+	return time.Now().Unix() // want "breaks reproducibility"
+}
+
+// Elapsed measures wall-clock duration, which stays legal: only the
+// conversion of the current time into a seedable integer is flagged.
+func Elapsed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+// FixedConversion converts an explicit, reproducible instant; only
+// time.Now() receivers are flagged.
+func FixedConversion(t time.Time) int64 {
+	return t.UnixNano()
+}

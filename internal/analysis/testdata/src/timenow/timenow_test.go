@@ -1,0 +1,8 @@
+package fixture
+
+import "time"
+
+// Test files may seed from the clock; no finding is expected here.
+func testSeed() int64 {
+	return time.Now().UnixNano()
+}

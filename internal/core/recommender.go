@@ -59,8 +59,11 @@ func TopN(utilities []float64, n int, minUtility float64) []Recommendation {
 	// heap[0] (a min-heap ordered by (utility, inverted item id)).
 	h := make([]Recommendation, 0, n)
 	less := func(a, b Recommendation) bool {
-		if a.Utility != b.Utility {
-			return a.Utility < b.Utility
+		if a.Utility < b.Utility {
+			return true
+		}
+		if a.Utility > b.Utility {
+			return false
 		}
 		return a.Item > b.Item // higher id is "worse" on ties
 	}

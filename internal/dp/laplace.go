@@ -54,9 +54,9 @@ type NoiseSource interface {
 // reproducible seeds used in this repository's experiments; (2) Mironov
 // (CCS 2012) showed that the low-order bits of textbook floating-point
 // Laplace samples can leak — deployments handling genuinely hostile
-// adversaries should layer the snapping mechanism (coarse rounding of the
-// released values) on top, which composes as post-processing and is easy
-// to apply to the released cluster averages.
+// adversaries should layer the snapping post-processor (Snap, or
+// release.(*Release).Snap for persisted releases) on top: it composes as
+// post-processing, so the ε guarantee is unchanged.
 type LaplaceSource struct {
 	rng *rand.Rand
 }

@@ -1,0 +1,20 @@
+package dp
+
+import "math/rand"
+
+// NewRand returns a deterministically seeded *rand.Rand for the
+// *non-privacy* randomness that privacy-critical packages need: workload
+// sampling (GS), randomized numerics (LRM's truncated SVD), and similar
+// auxiliary draws that never touch protected data.
+//
+// Privacy-critical packages (internal/mechanism, internal/release,
+// internal/core) must not import math/rand or crypto/rand directly — the
+// sociolint noisesource analyzer enforces this — so every randomness entry
+// point in the codebase is auditable here in internal/dp: noise flows
+// through NoiseSource, everything else through NewRand. Keeping the two on
+// separate, explicitly seeded streams also preserves experiment
+// reproducibility: consuming an extra sampling draw can never shift the
+// noise sequence.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,47 @@
+package dp
+
+import "math"
+
+// SnapValue rounds x to the nearest integer multiple of grain, with ties
+// rounding away from zero. It is the scalar form of Snap; see Snap for the
+// privacy rationale. A grain that is not positive (or not finite) returns
+// x unchanged, so a zero "disabled" configuration composes safely.
+func SnapValue(x, grain float64) float64 {
+	if !(grain > 0) || math.IsInf(grain, 0) {
+		return x
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	return math.Round(x/grain) * grain
+}
+
+// Snap rounds every value in place to the nearest multiple of grain and
+// returns the slice for chaining.
+//
+// Snapping is the coarse-rounding post-processor of Mironov (CCS 2012):
+// textbook floating-point Laplace samplers leak information about the true
+// answer through the low-order bits of the released values, because the
+// set of reachable float64 outputs depends on the noiseless input. Rounding
+// the released values onto a coarse, input-independent lattice destroys
+// those bits. Crucially, snapping happens *after* the mechanism, so it is
+// pure post-processing: by the composition theorems the ε guarantee is
+// unchanged, and no budget is consumed.
+//
+// The grain trades leakage resistance against utility. For the cluster
+// mechanism the released values are noisy per-(cluster, item) average
+// weights in [0, 1] with noise scale 1/(|c|·ε); a grain well below the
+// noise scale (e.g. scale/100) removes the dangerous bits while perturbing
+// each value by at most grain/2 — negligible next to the noise itself.
+//
+// Callers persisting a release should snap before writing; see
+// socialrec/internal/release.(*Release).Snap.
+func Snap(values []float64, grain float64) []float64 {
+	if !(grain > 0) || math.IsInf(grain, 0) {
+		return values
+	}
+	for i, v := range values {
+		values[i] = SnapValue(v, grain)
+	}
+	return values
+}

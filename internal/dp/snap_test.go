@@ -1,0 +1,83 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapValue(t *testing.T) {
+	cases := []struct {
+		x, grain, want float64
+	}{
+		{0.123456, 0.01, 0.12},
+		{0.125, 0.01, 0.13}, // ties round away from zero
+		{-0.125, 0.01, -0.13},
+		{-0.123456, 0.01, -0.12},
+		{3.7, 1, 4},
+		{-3.7, 1, -4},
+		{0, 0.01, 0},
+		{42.42, 0, 42.42},  // grain 0 disables snapping
+		{42.42, -1, 42.42}, // negative grain disables snapping
+	}
+	for _, c := range cases {
+		if got := SnapValue(c.x, c.grain); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SnapValue(%v, %v) = %v, want %v", c.x, c.grain, got, c.want)
+		}
+	}
+}
+
+func TestSnapValueNonFinite(t *testing.T) {
+	if got := SnapValue(math.Inf(1), 0.01); !math.IsInf(got, 1) {
+		t.Errorf("SnapValue(+Inf) = %v, want +Inf", got)
+	}
+	if got := SnapValue(math.NaN(), 0.01); !math.IsNaN(got) {
+		t.Errorf("SnapValue(NaN) = %v, want NaN", got)
+	}
+	if got := SnapValue(1.23, math.NaN()); got != 1.23 {
+		t.Errorf("SnapValue(1.23, NaN grain) = %v, want unchanged", got)
+	}
+	if got := SnapValue(1.23, math.Inf(1)); got != 1.23 {
+		t.Errorf("SnapValue(1.23, Inf grain) = %v, want unchanged", got)
+	}
+}
+
+func TestSnapInPlace(t *testing.T) {
+	vals := []float64{0.111, 0.119, -0.054, 0}
+	got := Snap(vals, 0.01)
+	want := []float64{0.11, 0.12, -0.05, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Snap[%d] = %v, want %v", i, got[i], want[i])
+		}
+		if got[i] != vals[i] {
+			t.Errorf("Snap must operate in place; index %d differs", i)
+		}
+	}
+}
+
+// TestSnapIdempotent checks the post-processing sanity property: values
+// already on the lattice stay put, so snapping twice equals snapping once.
+func TestSnapIdempotent(t *testing.T) {
+	src := NewLaplaceSource(7)
+	for i := 0; i < 1000; i++ {
+		v := src.Laplace(0.3)
+		once := SnapValue(v, 0.001)
+		twice := SnapValue(once, 0.001)
+		if once != twice {
+			t.Fatalf("snap not idempotent: %v -> %v -> %v", v, once, twice)
+		}
+	}
+}
+
+// TestSnapBoundedPerturbation checks the utility bound: snapping moves a
+// finite value by at most grain/2 (plus float rounding slack).
+func TestSnapBoundedPerturbation(t *testing.T) {
+	src := NewLaplaceSource(11)
+	const grain = 0.01
+	for i := 0; i < 1000; i++ {
+		v := 0.5 + src.Laplace(0.1)
+		if d := math.Abs(SnapValue(v, grain) - v); d > grain/2+1e-12 {
+			t.Fatalf("snap moved %v by %v > grain/2", v, d)
+		}
+	}
+}

@@ -198,7 +198,7 @@ func (p *Preference) RemoveEdge(u, i int) *Preference {
 // AddedEdge returns a copy of the preference graph with the edge (u, i)
 // added, or the receiver itself if the edge already exists. See RemoveEdge.
 func (p *Preference) AddedEdge(u, i int) *Preference {
-	if p.Weight(u, i) == 1 {
+	if p.Weight(u, i) != 0 {
 		return p
 	}
 	b := NewPreferenceBuilder(p.numUsers, p.numItems)

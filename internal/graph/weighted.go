@@ -143,6 +143,7 @@ func (p *WeightedPreference) Weight(u, i int) float64 {
 // noise as the unweighted framework. A graph with no edges is returned
 // unchanged.
 func (p *WeightedPreference) Normalized() *WeightedPreference {
+	//sociolint:ignore floateq a max weight of exactly 1.0 is the already-normalized sentinel, and 1.0 is IEEE-exact
 	if p.maxWeight == 0 || p.maxWeight == 1 {
 		return p
 	}

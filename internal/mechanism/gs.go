@@ -2,7 +2,6 @@ package mechanism
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"socialrec/internal/dp"
@@ -93,8 +92,8 @@ func NewGS(prefs *graph.Preference, evalUsers []int32, evalSims []similarity.Sco
 		}
 		g.rowOf[u] = k
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	noise := dp.NewLaplaceSourceFrom(rand.NewSource(cfg.Seed + 1))
+	rng := dp.NewRand(cfg.Seed)
+	noise := dp.NewLaplaceSource(cfg.Seed + 1)
 	halfEps := 0.0
 	if !cfg.Eps.IsInf() {
 		halfEps = float64(cfg.Eps) / 2
@@ -149,8 +148,11 @@ func NewGS(prefs *graph.Preference, evalUsers []int32, evalSims []similarity.Sco
 	sort.Slice(order, func(a, b int) bool {
 		qa, qb := order[a], order[b]
 		ra, rb := rough[qa.row][qa.item], rough[qb.row][qb.item]
-		if ra != rb {
-			return ra < rb
+		if ra < rb {
+			return true
+		}
+		if ra > rb {
+			return false
 		}
 		if qa.row != qb.row {
 			return qa.row < qb.row

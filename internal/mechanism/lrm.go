@@ -3,7 +3,6 @@ package mechanism
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"socialrec/internal/dp"
 	"socialrec/internal/graph"
@@ -103,7 +102,7 @@ func NewLRM(social *graph.Social, prefs *graph.Preference, m similarity.Measure,
 	w := wb.Build()
 
 	// Decompose W ≈ B·L with B = UΣ^½ and L = Σ^½Vᵀ.
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := dp.NewRand(cfg.Seed)
 	r := cfg.rank(n)
 	pi, ov := cfg.PowerIters, cfg.Oversample
 	if pi <= 0 {
@@ -135,7 +134,7 @@ func NewLRM(social *graph.Social, prefs *graph.Preference, m similarity.Measure,
 	// Release noisy strategy answers Y[:, i] = L·D_i + Lap(Δ_L/ε)^r. Each
 	// item's answers touch a disjoint set of preference edges, so the
 	// whole release is ε-DP by parallel composition.
-	noise := dp.NewLaplaceSourceFrom(rand.NewSource(cfg.Seed + 1))
+	noise := dp.NewLaplaceSource(cfg.Seed + 1)
 	ni := prefs.NumItems()
 	y := linalg.NewMatrix(r, ni)
 	for i := 0; i < ni; i++ {

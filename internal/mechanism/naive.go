@@ -2,7 +2,6 @@ package mechanism
 
 import (
 	"fmt"
-	"math/rand"
 
 	"socialrec/internal/dp"
 	"socialrec/internal/graph"
@@ -106,7 +105,7 @@ func (n *NOE) noiseRow(v int32, dst []float64) {
 	s ^= s >> 30
 	s *= 0xBF58476D1CE4E5B9
 	s ^= s >> 27
-	src := dp.NewLaplaceSourceFrom(rand.NewSource(int64(s)))
+	src := dp.NewLaplaceSource(int64(s))
 	for i := range dst {
 		dst[i] = src.Laplace(n.scale)
 	}

@@ -32,6 +32,7 @@ import (
 	"math"
 
 	"socialrec/internal/community"
+	"socialrec/internal/dp"
 )
 
 const magic = "SOCRECv1"
@@ -53,6 +54,20 @@ type Release struct {
 	// Avg holds the sanitized averages, cluster-major:
 	// Avg[c*NumItems + i] = ŵ_c^i.
 	Avg []float64
+}
+
+// Snap rounds the sanitized averages onto a coarse lattice of the given
+// grain via dp.Snap, mitigating the Mironov (CCS 2012) floating-point
+// side channel before the release leaves the trust boundary: the low-order
+// bits of textbook Laplace samples can leak the true averages, and
+// rounding them onto an input-independent grid destroys exactly those
+// bits. Snapping is post-processing, so the release's ε is unchanged; a
+// grain well below the mechanism's noise scale (e.g. scale/100) costs at
+// most grain/2 of utility per value. A grain ≤ 0 leaves the release
+// untouched. Callers should snap before Write, so only snapped values are
+// ever persisted or served.
+func (r *Release) Snap(grain float64) {
+	dp.Snap(r.Avg, grain)
 }
 
 // Validate checks internal consistency.

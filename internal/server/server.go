@@ -88,7 +88,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	// Best-effort: a failed health-check write means the client is gone.
+	_, _ = fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,95 @@
+package simcache
+
+import (
+	"sync"
+	"testing"
+
+	"socialrec/internal/similarity"
+)
+
+// TestConcurrentComputeAndCache drives the two concurrent similarity paths
+// at once — similarity.ComputeAll's parallel batch workers and a herd of
+// goroutines hammering one Cache with overlapping reads, writes, evictions
+// and stats queries — so `go test -race` (the CI gate's race step) has a
+// real interleaving to examine rather than single-goroutine coverage.
+// Correctness of the values is asserted against a single-threaded
+// reference at the end.
+func TestConcurrentComputeAndCache(t *testing.T) {
+	const (
+		users   = 120
+		readers = 8
+		rounds  = 40
+	)
+	g := testGraph(t, users)
+	m := similarity.CommonNeighbors{}
+
+	// Small capacity keeps the LRU evicting under load, exercising the
+	// map/list mutation paths, not just hits.
+	c := New(g, m, users/4)
+
+	ids := make([]int32, users)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+
+	var wg sync.WaitGroup
+	var batch []similarity.Scores
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Parallel batch compute spawns its own GOMAXPROCS workers over
+		// the same graph the cache is reading.
+		batch = similarity.ComputeAll(g, m, ids, 0)
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Overlapping strides so goroutines collide on users:
+				// some hit, some miss, some race to insert the same
+				// vector and take the lost-the-race path.
+				u := int32((i*readers + r) % users)
+				s := c.Similar(u)
+				for j := 1; j < len(s.Users); j++ {
+					if s.Users[j-1] >= s.Users[j] {
+						t.Errorf("user %d: unsorted similarity set", u)
+						return
+					}
+				}
+				if i%7 == 0 {
+					c.Stats()
+					c.Len()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if hits, misses := c.Stats(); hits+misses != readers*rounds {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, readers*rounds)
+	}
+
+	// The concurrent answers must equal the single-threaded reference.
+	for u := 0; u < users; u++ {
+		want := m.Similar(g, u, nil)
+		got := c.Similar(int32(u))
+		if len(got.Users) != len(want.Users) {
+			t.Fatalf("user %d: cached %d scores, want %d", u, len(got.Users), len(want.Users))
+		}
+		for j := range want.Users {
+			if got.Users[j] != want.Users[j] || got.Vals[j] != want.Vals[j] {
+				t.Fatalf("user %d: cached vector differs at %d", u, j)
+			}
+		}
+		if len(batch[u].Users) != len(want.Users) {
+			t.Fatalf("user %d: batch %d scores, want %d", u, len(batch[u].Users), len(want.Users))
+		}
+		for j := range want.Users {
+			if batch[u].Users[j] != want.Users[j] || batch[u].Vals[j] != want.Vals[j] {
+				t.Fatalf("user %d: batch vector differs at %d", u, j)
+			}
+		}
+	}
+}

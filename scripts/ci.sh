@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's standing correctness gate.
+#
+# Runs, in order: formatting check, go vet, build, race-enabled tests, the
+# sociolint privacy-invariant analyzers, and a short fuzz smoke over the
+# dataset and release parsers. Every step must pass; the first failure
+# aborts with a non-zero exit. `make ci` is the one-command entry point,
+# locally and in any future pipeline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "gofmt (check only)"
+# testdata fixtures are excluded: they are analyzer inputs, not sources.
+unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+echo "ok"
+
+step "go vet"
+go vet ./...
+
+step "go build"
+go build ./...
+
+step "go test -race"
+go test -race ./...
+
+step "sociolint (privacy invariants)"
+go run ./cmd/sociolint ./...
+
+step "fuzz smoke (10s per target)"
+go test -run='^$' -fuzz='^FuzzReadSocialTSV$' -fuzztime=10s ./internal/dataset
+go test -run='^$' -fuzz='^FuzzReadPreferenceTSV$' -fuzztime=10s ./internal/dataset
+go test -run='^$' -fuzz='^FuzzRead$' -fuzztime=10s ./internal/release
+
+printf '\nci: all gates passed\n'
