@@ -4,7 +4,14 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke ci fmt
+# Benchmark knobs: BENCH_OUT is where `make bench` records the JSON
+# baseline; BENCH_BASE is what `make benchdiff` compares a fresh run to.
+BENCH_PKGS ?= ./internal/server ./internal/core
+BENCH_COUNT ?= 5
+BENCH_OUT ?= BENCH_PR2.json
+BENCH_BASE ?= BENCH_PR2.json
+
+.PHONY: build test race lint fuzz-smoke ci fmt bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -31,6 +38,19 @@ fuzz-smoke:
 
 ci:
 	./scripts/ci.sh
+
+# bench records a fresh benchmark baseline (min ns/op over BENCH_COUNT
+# runs) into $(BENCH_OUT).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) | tee /tmp/bench_raw.txt
+	$(GO) run ./scripts -parse /tmp/bench_raw.txt -out $(BENCH_OUT)
+
+# benchdiff re-runs the benchmarks and fails if anything regressed >10%
+# against the recorded baseline $(BENCH_BASE).
+benchdiff:
+	$(GO) test -run='^$$' -bench=. -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) > /tmp/bench_new_raw.txt
+	$(GO) run ./scripts -parse /tmp/bench_new_raw.txt -out /tmp/bench_new.json
+	$(GO) run ./scripts -old $(BENCH_BASE) -new /tmp/bench_new.json
 
 fmt:
 	gofmt -w $$(find . -name '*.go' -not -path './internal/analysis/testdata/*')

@@ -24,6 +24,7 @@ import (
 	"socialrec/internal/experiment"
 	"socialrec/internal/metrics"
 	"socialrec/internal/similarity"
+	"socialrec/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 		}
 	}
 
+	loadSpan := telemetry.Stages().Start("graph_load")
 	sf, err := os.Open(*socialPath)
 	if err != nil {
 		fatalf("%v", err)
@@ -58,6 +60,7 @@ func main() {
 	if err != nil {
 		fatalf("parsing %s: %v", *socialPath, err)
 	}
+	loadSpan.End()
 	pf, err := os.Open(*prefsPath)
 	if err != nil {
 		fatalf("%v", err)
@@ -143,6 +146,8 @@ func main() {
 	fmt.Printf("  recommendation Gini:  %.3f (private) vs %.3f (exact)\n",
 		metrics.RecommendationGini(toCore(privLists)),
 		metrics.RecommendationGini(toCore(exactLists)))
+	fmt.Printf("\npipeline stage timings:\n%s", telemetry.Stages().Table())
+	fmt.Printf("\nprivacy budget ledger:\n%s", telemetry.Budget().Snapshot())
 }
 
 func fatalf(format string, args ...any) {

@@ -28,6 +28,7 @@ import (
 	"socialrec/internal/experiment"
 	"socialrec/internal/generator"
 	"socialrec/internal/similarity"
+	"socialrec/internal/telemetry"
 )
 
 func main() {
@@ -166,4 +167,8 @@ func main() {
 			return writeCSV("fig4.csv", bl.WriteCSV)
 		})
 	}
+
+	fmt.Println("=== pipeline stage timings ===")
+	fmt.Print(telemetry.Stages().Table())
+	fmt.Printf("\n=== privacy budget ledger ===\n%s", telemetry.Budget().Snapshot())
 }

@@ -14,19 +14,34 @@
 //	GET  /users?limit=N                   known user tokens
 //	GET  /recommend?user=<id>&n=<count>   top-n list for one user
 //	POST /recommend/batch                 {"users": [...], "n": 10}
+//	GET  /metrics                         telemetry (JSON; ?format=prometheus)
+//	GET  /debug/vars                      expvar
+//
+// With -debug-addr a second listener additionally serves net/http/pprof
+// under /debug/pprof/. Profiles expose goroutine stacks and allocation
+// sites, never user or preference data, but the endpoint is still kept off
+// the public listener by default.
 package main
 
 import (
+	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"socialrec"
 	"socialrec/internal/dataset"
 	"socialrec/internal/server"
+	"socialrec/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +56,8 @@ func main() {
 		minWeight  = flag.Float64("min-weight", 1, "discard raw preference edges below this weight")
 		loadRel    = flag.String("load-release", "", "serve from a persisted release instead of raw preferences")
 		saveRel    = flag.String("save-release", "", "persist the sanitized release to this path after building")
+		simCache   = flag.Int("simcache", -1, "similarity LRU cache capacity; 0 disables, -1 selects the default 4096")
+		debugAddr  = flag.String("debug-addr", "", "optional second listen address for net/http/pprof")
 	)
 	flag.Parse()
 	if *socialPath == "" || (*prefsPath == "" && *loadRel == "") {
@@ -56,6 +73,7 @@ func main() {
 		}
 	}
 
+	loadSpan := telemetry.Stages().Start("graph_load")
 	sf, err := os.Open(*socialPath)
 	if err != nil {
 		log.Fatalf("recserve: %v", err)
@@ -65,6 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("recserve: parsing %s: %v", *socialPath, err)
 	}
+	loadSpan.End()
 
 	var (
 		engine  *socialrec.Engine
@@ -126,18 +145,92 @@ func main() {
 		}
 	}
 
+	reg := telemetry.Default()
+	if *simCache != 0 {
+		capacity := *simCache
+		if capacity < 0 {
+			capacity = 0 // simcache.New maps < 1 to its default
+		}
+		engine.EnableSimilarityCache(capacity)
+		// Gauge funcs snapshot the cache on scrape; cache counters describe
+		// which public similarity vectors are resident, nothing protected.
+		reg.NewGaugeFunc("simcache_hits_total", "similarity cache hits", func() float64 {
+			st, _ := engine.CacheStats()
+			return float64(st.Hits)
+		})
+		reg.NewGaugeFunc("simcache_misses_total", "similarity cache misses", func() float64 {
+			st, _ := engine.CacheStats()
+			return float64(st.Misses)
+		})
+		reg.NewGaugeFunc("simcache_evictions_total", "similarity cache evictions", func() float64 {
+			st, _ := engine.CacheStats()
+			return float64(st.Evictions)
+		})
+		reg.NewGaugeFunc("simcache_entries", "similarity vectors resident", func() float64 {
+			st, _ := engine.CacheStats()
+			return float64(st.Len)
+		})
+		reg.NewGaugeFunc("simcache_hit_ratio", "similarity cache hit ratio", func() float64 {
+			st, _ := engine.CacheStats()
+			return st.HitRatio()
+		})
+	}
+
 	srv, err := server.New(server.Config{
 		Engine:     engine,
 		UserIDs:    userIDs,
 		ItemTokens: itemTok,
 		Stats:      stats,
 		MaxN:       *maxN,
+		Metrics:    reg,
 	})
 	if err != nil {
 		log.Fatalf("recserve: %v", err)
 	}
 
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.Handle("GET /metrics", telemetry.Handler(reg, telemetry.Stages(), telemetry.Budget()))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("recserve: pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Printf("recserve: pprof listener: %v", err)
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("recserve: %d users, %d clusters, epsilon=%g, listening on %s",
 		social.NumUsers(), engine.NumClusters(), engine.Epsilon(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("recserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, give in-flight requests 5 s.
+	log.Print("recserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("recserve: shutdown: %v", err)
+	}
+
+	log.Printf("recserve: final privacy budget: %s", telemetry.Budget().Snapshot())
+	log.Printf("recserve: final stage timings:\n%s", telemetry.Stages().Table())
 }

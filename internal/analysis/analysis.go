@@ -75,6 +75,7 @@ func All() []Analyzer {
 		FloatEq{},
 		DroppedErr{},
 		TimeNow{},
+		TelemetryImports{},
 	}
 }
 

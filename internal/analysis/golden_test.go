@@ -23,6 +23,7 @@ var goldenCases = []struct {
 	{FloatEq{}, "floateq", "socialrec/internal/fixture"},
 	{DroppedErr{}, "droppederr", "socialrec/internal/fixture"},
 	{TimeNow{}, "timenow", "socialrec/internal/fixture"},
+	{TelemetryImports{}, "telemetryimports", "socialrec/internal/telemetry"},
 }
 
 var wantRE = regexp.MustCompile(`^// want "(.*)"$`)

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// TelemetryImports enforces the observability layer's isolation:
+// internal/telemetry must not import any other package of this module, and
+// must not import math/rand (v1 or v2). The no-sensitive-labels invariant
+// (metric names and label values are static identifiers, never request
+// data) is only auditable because telemetry cannot even name the types
+// that carry user ids, preference edges or similarity scores — a
+// dependency on internal/graph or friends would reopen that door. Banning
+// math/rand keeps the package deterministic and side-effect free: an
+// observability layer that consumes randomness can perturb the very
+// noise-source sequencing the privacy proofs assume (see noisesource).
+type TelemetryImports struct{}
+
+// Name returns "telemetryimports".
+func (TelemetryImports) Name() string { return "telemetryimports" }
+
+// Doc describes the invariant.
+func (TelemetryImports) Doc() string {
+	return "internal/telemetry imports neither module-internal packages nor math/rand; the observability layer stays isolated from user data and randomness"
+}
+
+// Run checks every file of internal/telemetry, including tests: the
+// isolation claim is about the package as a whole.
+func (TelemetryImports) Run(pass *Pass) {
+	if pass.RelPath() != "internal/telemetry" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			switch {
+			case path == "math/rand" || path == "math/rand/v2":
+				pass.Reportf(imp.Pos(), "telemetry must not import %s: the observability layer must not consume or influence randomness", path)
+			case path == pass.Module || strings.HasPrefix(path, pass.Module+"/"):
+				pass.Reportf(imp.Pos(), "telemetry must not import module package %s: the observability layer must stay isolated from user data", path)
+			}
+		}
+	}
+}
+
+var _ Analyzer = TelemetryImports{}

@@ -1,0 +1,24 @@
+// Package fixture exercises the telemetryimports analyzer. It is presented
+// to the analyzer as socialrec/internal/telemetry, where module-internal
+// and math/rand imports are banned; stdlib imports stay legal.
+package fixture
+
+import (
+	"math/rand" // want "must not consume or influence randomness"
+	"sync/atomic"
+
+	"socialrec/internal/graph" // want "isolated from user data"
+)
+
+// Each banned import is referenced so the fixture still type-checks (the
+// golden harness rejects fixtures with type errors).
+var _ = rand.Int
+
+// Social names a domain type, the dependency the analyzer exists to block.
+var _ *graph.Social
+
+// Legal stdlib use: atomics are the telemetry hot path.
+var counter atomic.Uint64
+
+// Inc exercises the legal import.
+func Inc() { counter.Add(1) }

@@ -17,6 +17,7 @@ import (
 
 	"socialrec/internal/graph"
 	"socialrec/internal/similarity"
+	"socialrec/internal/telemetry"
 )
 
 // Recommendation pairs an item with the (estimated) utility of recommending
@@ -174,6 +175,7 @@ func (r *Recommender) Recommend(users []int32, n int) ([][]Recommendation, error
 		}
 		batch := users[start:end]
 		var sims []similarity.Scores
+		simSpan := telemetry.Stages().Start("similarity_batch")
 		if r.SimilaritySource != nil {
 			sims = make([]similarity.Scores, len(batch))
 			for i, u := range batch {
@@ -182,6 +184,8 @@ func (r *Recommender) Recommend(users []int32, n int) ([][]Recommendation, error
 		} else {
 			sims = similarity.ComputeAll(r.social, r.measure, batch, r.Workers)
 		}
+		simSpan.End()
+		recSpan := telemetry.Stages().Start("reconstruction")
 		buf := rows[:len(batch)]
 		for i := range buf {
 			clear(buf[i])
@@ -190,6 +194,7 @@ func (r *Recommender) Recommend(users []int32, n int) ([][]Recommendation, error
 		for i := range batch {
 			out[start+i] = TopN(buf[i], n, math.Inf(-1))
 		}
+		recSpan.End()
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"socialrec/internal/dp"
 	"socialrec/internal/graph"
 	"socialrec/internal/similarity"
+	"socialrec/internal/telemetry"
 )
 
 // Cluster is the paper's privacy-preserving framework (Algorithm 1). At
@@ -61,6 +62,8 @@ func NewCluster(clusters *community.Clustering, prefs *graph.Preference, eps dp.
 	}
 	// Average and perturb (line 7). The noise scale for cluster c is
 	// 1/(|c|·ε): one edge changes the cluster's average by at most 1/|c|.
+	span := telemetry.Stages().Start("laplace_release")
+	defer span.End()
 	for cl := 0; cl < nc; cl++ {
 		size := float64(clusters.Size(cl))
 		if size == 0 {
@@ -75,6 +78,14 @@ func NewCluster(clusters *community.Clustering, prefs *graph.Preference, eps dp.
 			c.avg[base+i] = c.avg[base+i]/size + noise.Laplace(scale)
 		}
 	}
+	// The whole table is one ε-DP release by parallel composition: each
+	// preference edge perturbs exactly one average by at most 1/|c|.
+	telemetry.Budget().Record(telemetry.ReleaseEvent{
+		Mechanism:   "cluster",
+		Epsilon:     float64(eps),
+		Sensitivity: 1,
+		Values:      nc * ni,
+	})
 	return c, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"socialrec/internal/graph"
 	"socialrec/internal/metrics"
 	"socialrec/internal/similarity"
+	"socialrec/internal/telemetry"
 )
 
 // GSConfig configures the Group-and-Smooth comparator.
@@ -206,6 +207,12 @@ func NewGS(prefs *graph.Preference, evalUsers []int32, evalSims []similarity.Sco
 			}
 		}
 	}
+	telemetry.Budget().Record(telemetry.ReleaseEvent{
+		Mechanism:   "gs",
+		Epsilon:     float64(cfg.Eps),
+		Sensitivity: cfg.MaxInfluence,
+		Values:      len(evalUsers) * ni,
+	})
 	return g, nil
 }
 

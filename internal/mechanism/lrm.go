@@ -8,6 +8,7 @@ import (
 	"socialrec/internal/graph"
 	"socialrec/internal/linalg"
 	"socialrec/internal/similarity"
+	"socialrec/internal/telemetry"
 )
 
 // LRMConfig configures the Low-Rank Mechanism comparator.
@@ -149,6 +150,12 @@ func NewLRM(social *graph.Social, prefs *graph.Preference, m similarity.Measure,
 			y.Data[idx] += noise.Laplace(scale)
 		}
 	}
+	telemetry.Budget().Record(telemetry.ReleaseEvent{
+		Mechanism:   "lrm",
+		Epsilon:     float64(cfg.Eps),
+		Sensitivity: delta,
+		Values:      r * ni,
+	})
 	return &LRM{numItems: ni, b: b, y: y}, nil
 }
 

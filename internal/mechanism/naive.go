@@ -6,6 +6,7 @@ import (
 	"socialrec/internal/dp"
 	"socialrec/internal/graph"
 	"socialrec/internal/similarity"
+	"socialrec/internal/telemetry"
 )
 
 // NOU is the "Noise on Utility" strawman of §5.1.1: exact utility queries
@@ -38,6 +39,12 @@ func NewNOU(prefs *graph.Preference, sensitivity float64, eps dp.Epsilon, noise 
 	if !eps.IsInf() {
 		n.scale = sensitivity / float64(eps)
 	}
+	telemetry.Budget().Record(telemetry.ReleaseEvent{
+		Mechanism:   "nou",
+		Epsilon:     float64(eps),
+		Sensitivity: sensitivity,
+		Values:      prefs.NumUsers() * prefs.NumItems(),
+	})
 	return n, nil
 }
 
@@ -92,6 +99,12 @@ func NewNOE(prefs *graph.Preference, eps dp.Epsilon, seed int64) (*NOE, error) {
 	if !eps.IsInf() {
 		n.scale = 1 / float64(eps)
 	}
+	telemetry.Budget().Record(telemetry.ReleaseEvent{
+		Mechanism:   "noe",
+		Epsilon:     float64(eps),
+		Sensitivity: 1,
+		Values:      prefs.NumUsers() * prefs.NumItems(),
+	})
 	return n, nil
 }
 

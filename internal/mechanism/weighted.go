@@ -7,6 +7,7 @@ import (
 	"socialrec/internal/dp"
 	"socialrec/internal/graph"
 	"socialrec/internal/similarity"
+	"socialrec/internal/telemetry"
 )
 
 // WeightedExact is the non-private reference recommender over weighted
@@ -104,6 +105,12 @@ func NewWeightedCluster(clusters *community.Clustering, prefs *graph.WeightedPre
 			c.avg[base+i] = c.avg[base+i]/size + noise.Laplace(scale)
 		}
 	}
+	telemetry.Budget().Record(telemetry.ReleaseEvent{
+		Mechanism:   "weighted_cluster",
+		Epsilon:     float64(eps),
+		Sensitivity: maxWeight,
+		Values:      nc * ni,
+	})
 	return c, nil
 }
 

@@ -33,6 +33,7 @@ import (
 
 	"socialrec/internal/community"
 	"socialrec/internal/dp"
+	"socialrec/internal/telemetry"
 )
 
 const magic = "SOCRECv1"
@@ -143,7 +144,16 @@ func Write(w io.Writer, r *Release) error {
 	if err := binary.Write(bw, binary.LittleEndian, cw.crc.Sum32()); err != nil {
 		return err
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Persisting sanitized averages is post-processing: ε = 0 records that
+	// the event happened without charging the budget again.
+	telemetry.Budget().Record(telemetry.ReleaseEvent{
+		Mechanism: "release_persist",
+		Values:    len(r.Avg),
+	})
+	return nil
 }
 
 type crcReader struct {
@@ -232,5 +242,12 @@ func Read(r io.Reader) (*Release, error) {
 	if sum != want {
 		return nil, fmt.Errorf("release: checksum mismatch (file corrupted)")
 	}
-	return out, out.Validate()
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	telemetry.Budget().Record(telemetry.ReleaseEvent{
+		Mechanism: "release_load",
+		Values:    len(out.Avg),
+	})
+	return out, nil
 }

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"socialrec/internal/telemetry"
+)
+
+// Endpoint label values, one per route. These are the only strings the
+// server ever feeds telemetry as label values — request paths, user tokens
+// and payloads never reach the registry (and the registry would reject
+// them; see internal/telemetry's no-sensitive-labels invariant).
+const (
+	epHealthz   = "healthz"
+	epStats     = "stats"
+	epUsers     = "users"
+	epRecommend = "recommend"
+	epBatch     = "batch"
+)
+
+var endpoints = []string{epHealthz, epStats, epUsers, epRecommend, epBatch}
+
+// Status classes for response accounting.
+var statusClasses = []string{"status_2xx", "status_3xx", "status_4xx", "status_5xx"}
+
+// metrics holds the server's pre-resolved instruments. Everything is wired
+// at New time with static label values, so request handling never performs
+// a label lookup that could fail.
+type metrics struct {
+	inFlight       *telemetry.Gauge
+	requests       map[string]*telemetry.Counter   // by endpoint
+	errors         map[string]*telemetry.Counter   // 4xx+5xx responses, by endpoint
+	latency        map[string]*telemetry.Histogram // by endpoint
+	responses      map[string]*telemetry.Counter   // by status class
+	encodeFailures *telemetry.Counter
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	m := &metrics{
+		inFlight: reg.NewGauge("http_in_flight",
+			"requests currently being handled"),
+		requests:  map[string]*telemetry.Counter{},
+		errors:    map[string]*telemetry.Counter{},
+		latency:   map[string]*telemetry.Histogram{},
+		responses: map[string]*telemetry.Counter{},
+		encodeFailures: reg.NewCounter("http_encode_failures_total",
+			"responses whose JSON encoding failed before any bytes were written"),
+	}
+	reqVec := reg.NewCounterVec("http_requests_total",
+		"requests handled, by endpoint", "endpoint", endpoints...)
+	errVec := reg.NewCounterVec("http_errors_total",
+		"4xx/5xx responses, by endpoint", "endpoint", endpoints...)
+	latVec := reg.NewHistogramVec("http_request_seconds",
+		"request latency, by endpoint", "endpoint", nil, endpoints...)
+	for _, ep := range endpoints {
+		m.requests[ep] = reqVec.MustWith(ep)
+		m.errors[ep] = errVec.MustWith(ep)
+		m.latency[ep] = latVec.MustWith(ep)
+	}
+	respVec := reg.NewCounterVec("http_responses_total",
+		"responses sent, by status class", "class", statusClasses...)
+	for _, cl := range statusClasses {
+		m.responses[cl] = respVec.MustWith(cl)
+	}
+	return m
+}
+
+// statusWriter captures the status code a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func statusClass(status int) string {
+	switch {
+	case status < 300:
+		return "status_2xx"
+	case status < 400:
+		return "status_3xx"
+	case status < 500:
+		return "status_4xx"
+	default:
+		return "status_5xx"
+	}
+}
+
+// instrument wraps a handler with the serving middleware: request and
+// status-class counters, the in-flight gauge and the per-endpoint latency
+// histogram. endpoint must be one of the static endpoint constants.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.metrics.requests[endpoint]
+	errors := s.metrics.errors[endpoint]
+	latency := s.metrics.latency[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		latency.Observe(time.Since(start).Seconds())
+		s.metrics.inFlight.Add(-1)
+		requests.Inc()
+		s.metrics.responses[statusClass(sw.status)].Inc()
+		if sw.status >= 400 {
+			errors.Inc()
+		}
+	}
+}

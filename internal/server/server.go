@@ -8,6 +8,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 
 	"socialrec/internal/core"
 	"socialrec/internal/dataset"
+	"socialrec/internal/telemetry"
 )
 
 // Engine is the slice of the recommendation engine the server needs;
@@ -50,12 +52,17 @@ type Config struct {
 	MaxN int
 	// Logf receives request-handling errors; nil selects log.Printf.
 	Logf func(format string, args ...any)
+	// Metrics receives the server's instruments; nil selects
+	// telemetry.Default(). Registration is idempotent, so several servers
+	// (e.g. tests) may share one registry.
+	Metrics *telemetry.Registry
 }
 
 // Server routes HTTP requests to a private recommendation engine.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *metrics
 }
 
 // New validates the configuration and builds the server.
@@ -72,12 +79,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /recommend", s.handleRecommend)
-	s.mux.HandleFunc("POST /recommend/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /users", s.handleUsers)
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), metrics: newMetrics(cfg.Metrics)}
+	s.mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
+	s.mux.HandleFunc("GET /stats", s.instrument(epStats, s.handleStats))
+	s.mux.HandleFunc("GET /recommend", s.instrument(epRecommend, s.handleRecommend))
+	s.mux.HandleFunc("POST /recommend/batch", s.instrument(epBatch, s.handleBatch))
+	s.mux.HandleFunc("GET /users", s.instrument(epUsers, s.handleUsers))
 	return s, nil
 }
 
@@ -143,11 +150,15 @@ func (s *Server) recommendFor(userTok string, n int) (map[string]any, int, error
 	if !ok {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown user %q", userTok)
 	}
+	if n > s.cfg.MaxN {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("n %d exceeds maximum %d", n, s.cfg.MaxN)
+	}
 	if n < 1 {
 		n = 10
-	}
-	if n > s.cfg.MaxN {
-		n = s.cfg.MaxN
+		if n > s.cfg.MaxN {
+			n = s.cfg.MaxN
+		}
 	}
 	recs, err := s.cfg.Engine.Recommend(user, n)
 	if err != nil {
@@ -228,12 +239,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
+// writeJSON encodes v into a buffer before touching the ResponseWriter, so
+// an encoding failure can still become a clean 500 instead of a truncated
+// body behind an already-committed 200 header.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		s.metrics.encodeFailures.Inc()
 		s.cfg.Logf("server: encoding response: %v", err)
+		http.Error(w, `{"error":"internal encoding failure"}`, http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	// Best-effort: a failed write means the client is gone.
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {

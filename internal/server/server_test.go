@@ -122,10 +122,14 @@ func TestRecommend(t *testing.T) {
 
 func TestRecommendCapsN(t *testing.T) {
 	ts := newTestServer(t)
-	body := getJSON(t, ts.URL+"/recommend?user=bob&n=50", http.StatusOK)
-	recs := body["recommendations"].([]any)
-	if len(recs) != 4 {
-		t.Errorf("MaxN cap not applied: %d recs", len(recs))
+	body := getJSON(t, ts.URL+"/recommend?user=bob&n=50", http.StatusBadRequest)
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "exceeds maximum") {
+		t.Errorf("n > MaxN error = %v, want explicit rejection", body["error"])
+	}
+	// The maximum itself is still served.
+	body = getJSON(t, ts.URL+"/recommend?user=bob&n=4", http.StatusOK)
+	if recs := body["recommendations"].([]any); len(recs) != 4 {
+		t.Errorf("n = MaxN served %d recs, want 4", len(recs))
 	}
 }
 

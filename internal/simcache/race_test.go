@@ -67,8 +67,20 @@ func TestConcurrentComputeAndCache(t *testing.T) {
 	}
 	wg.Wait()
 
-	if hits, misses := c.Stats(); hits+misses != readers*rounds {
-		t.Errorf("hits+misses = %d, want %d", hits+misses, readers*rounds)
+	st := c.Stats()
+	if st.Hits+st.Misses != readers*rounds {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, readers*rounds)
+	}
+	// Eviction accounting must balance under concurrency: everything ever
+	// inserted is either still resident or was evicted exactly once, and a
+	// miss inserts at most once (racing duplicates keep the incumbent), so
+	// misses ≥ evictions + len.
+	if st.Misses < st.Evictions+uint64(st.Len) {
+		t.Errorf("misses (%d) < evictions (%d) + len (%d); eviction accounting drifted under race",
+			st.Misses, st.Evictions, st.Len)
+	}
+	if st.Capacity != users/4 || st.Len > st.Capacity {
+		t.Errorf("len/capacity = %d/%d, want len ≤ capacity = %d", st.Len, st.Capacity, users/4)
 	}
 
 	// The concurrent answers must equal the single-threaded reference.

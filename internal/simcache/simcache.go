@@ -25,7 +25,7 @@ type Cache struct {
 	order   *list.List // front = most recent; values are *entry
 	entries map[int32]*list.Element
 
-	hits, misses uint64
+	hits, misses, evictions uint64
 }
 
 type entry struct {
@@ -81,15 +81,44 @@ func (c *Cache) Similar(u int32) similarity.Scores {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*entry).user)
+		c.evictions++
 	}
 	return s
 }
 
-// Stats reports cumulative cache hits and misses.
-func (c *Cache) Stats() (hits, misses uint64) {
+// Stats is a point-in-time snapshot of the cache's counters and shape. All
+// fields describe cache behaviour only — which public similarity vectors
+// are resident — so exporting them (e.g. via telemetry gauges) is safe.
+type Stats struct {
+	// Hits and Misses count Similar calls that found / did not find a
+	// cached vector.
+	Hits, Misses uint64
+	// Evictions counts vectors dropped by the LRU capacity bound.
+	Evictions uint64
+	// Len is the number of currently cached vectors; Capacity the bound.
+	Len, Capacity int
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any lookups.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats reports the cache's cumulative counters and current occupancy.
+func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       c.order.Len(),
+		Capacity:  c.capacity,
+	}
 }
 
 // Len reports the number of cached vectors.

@@ -43,9 +43,12 @@ func TestCacheHitAccounting(t *testing.T) {
 	c.Similar(3)
 	c.Similar(3)
 	c.Similar(3)
-	hits, misses := c.Stats()
-	if misses != 1 || hits != 2 {
-		t.Errorf("hits, misses = %d, %d; want 2, 1", hits, misses)
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("hits, misses = %d, %d; want 2, 1", st.Hits, st.Misses)
+	}
+	if got, want := st.HitRatio(), 2.0/3.0; got < want-1e-12 || got > want+1e-12 {
+		t.Errorf("HitRatio() = %v, want %v", got, want)
 	}
 }
 
@@ -59,16 +62,47 @@ func TestCacheEviction(t *testing.T) {
 		t.Errorf("len = %d, want capacity 5", c.Len())
 	}
 	// Users 15..19 are the most recent; 15 must be a hit, 0 a miss.
-	_, missesBefore := c.Stats()
+	missesBefore := c.Stats().Misses
 	c.Similar(15)
-	_, missesAfterHit := c.Stats()
-	if missesAfterHit != missesBefore {
+	if c.Stats().Misses != missesBefore {
 		t.Error("recently used entry was evicted")
 	}
 	c.Similar(0)
-	_, missesAfterMiss := c.Stats()
-	if missesAfterMiss != missesBefore+1 {
+	if c.Stats().Misses != missesBefore+1 {
 		t.Error("old entry survived past capacity")
+	}
+}
+
+// TestCacheStatsSnapshot covers the full Stats accessor: every insertion
+// past capacity is one eviction, and Len/Capacity describe the current
+// shape.
+func TestCacheStatsSnapshot(t *testing.T) {
+	g := testGraph(t, 30)
+	c := New(g, similarity.CommonNeighbors{}, 5)
+	for u := 0; u < 20; u++ {
+		c.Similar(int32(u)) // 20 misses; 15 evictions once full
+	}
+	c.Similar(19) // one hit, no eviction
+	st := c.Stats()
+	want := Stats{Hits: 1, Misses: 20, Evictions: 15, Len: 5, Capacity: 5}
+	if st != want {
+		t.Errorf("Stats() = %+v, want %+v", st, want)
+	}
+	if st.Len != c.Len() {
+		t.Errorf("Stats().Len = %d disagrees with Len() = %d", st.Len, c.Len())
+	}
+}
+
+func TestCacheStatsEmpty(t *testing.T) {
+	g := testGraph(t, 5)
+	c := New(g, similarity.CommonNeighbors{}, 0) // capacity 0 selects 4096
+	st := c.Stats()
+	want := Stats{Capacity: 4096}
+	if st != want {
+		t.Errorf("Stats() = %+v, want %+v", st, want)
+	}
+	if st.HitRatio() != 0 {
+		t.Errorf("empty HitRatio() = %v, want 0", st.HitRatio())
 	}
 }
 
@@ -79,13 +113,13 @@ func TestCacheLRUOrder(t *testing.T) {
 	c.Similar(1)
 	c.Similar(0) // refresh 0; 1 is now the LRU
 	c.Similar(2) // evicts 1
-	_, misses := c.Stats()
+	misses := c.Stats().Misses
 	c.Similar(0)
-	if _, m2 := c.Stats(); m2 != misses {
+	if m2 := c.Stats().Misses; m2 != misses {
 		t.Error("refreshed entry was evicted instead of the LRU one")
 	}
 	c.Similar(1)
-	if _, m3 := c.Stats(); m3 != misses+1 {
+	if m3 := c.Stats().Misses; m3 != misses+1 {
 		t.Error("LRU entry was not evicted")
 	}
 }

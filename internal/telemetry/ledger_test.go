@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLedgerRecordAndSnapshot(t *testing.T) {
+	l := NewLedger()
+	l.Record(ReleaseEvent{Mechanism: "cluster", Epsilon: 0.5, Sensitivity: 1, Values: 1200})
+	l.Record(ReleaseEvent{Mechanism: "cluster", Epsilon: 0.1, Sensitivity: 1, Values: 1200})
+	l.Record(ReleaseEvent{Mechanism: "nou", Epsilon: math.Inf(1), Sensitivity: 40, Values: 300})
+	snap := l.Snapshot()
+	if len(snap.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(snap.Events))
+	}
+	if got, want := snap.TotalEpsilon, 0.6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TotalEpsilon = %v, want %v", got, want)
+	}
+	if snap.InfReleases != 1 {
+		t.Errorf("InfReleases = %d, want 1", snap.InfReleases)
+	}
+	if len(snap.ByMechanism) != 2 || snap.ByMechanism[0].Mechanism != "cluster" {
+		t.Fatalf("ByMechanism = %+v", snap.ByMechanism)
+	}
+	cl := snap.ByMechanism[0]
+	if cl.Releases != 2 || math.Abs(cl.Epsilon-0.6) > 1e-12 {
+		t.Errorf("cluster totals = %+v", cl)
+	}
+	if s := snap.String(); !strings.Contains(s, "3 releases") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestLedgerEpsilonJSON: ε = ∞ must survive JSON encoding (encoding/json
+// rejects infinite floats), since non-private ε=∞ runs are a paper
+// configuration recserve can legitimately serve.
+func TestLedgerEpsilonJSON(t *testing.T) {
+	l := NewLedger()
+	l.Record(ReleaseEvent{Mechanism: "cluster", Epsilon: math.Inf(1)})
+	l.Record(ReleaseEvent{Mechanism: "cluster", Epsilon: 0.25})
+	data, err := json.Marshal(l.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"epsilon":"inf"`) {
+		t.Errorf("inf epsilon not rendered: %s", data)
+	}
+	if !strings.Contains(string(data), `"epsilon":"0.25"`) {
+		t.Errorf("finite epsilon not rendered: %s", data)
+	}
+}
+
+// TestLedgerRejectsDynamicMechanismNames: like metric labels, mechanism
+// names must be static identifiers; anything else is recorded under
+// "invalid_mechanism" so caller bugs cannot leak data into the export.
+func TestLedgerRejectsDynamicMechanismNames(t *testing.T) {
+	l := NewLedger()
+	l.Record(ReleaseEvent{Mechanism: "user 42 release", Epsilon: 0.5})
+	snap := l.Snapshot()
+	if snap.Events[0].Mechanism != "invalid_mechanism" {
+		t.Errorf("dynamic mechanism name exported verbatim: %+v", snap.Events[0])
+	}
+}
+
+func TestLedgerCapsRawEvents(t *testing.T) {
+	l := NewLedger()
+	for i := 0; i < maxLedgerEvents+10; i++ {
+		l.Record(ReleaseEvent{Mechanism: "cluster", Epsilon: 0.001})
+	}
+	snap := l.Snapshot()
+	if len(snap.Events) != maxLedgerEvents {
+		t.Errorf("events = %d, want cap %d", len(snap.Events), maxLedgerEvents)
+	}
+	if snap.Dropped != 10 {
+		t.Errorf("dropped = %d, want 10", snap.Dropped)
+	}
+	// Totals keep counting past the cap.
+	if snap.ByMechanism[0].Releases != maxLedgerEvents+10 {
+		t.Errorf("releases = %d, want %d", snap.ByMechanism[0].Releases, maxLedgerEvents+10)
+	}
+	l.Reset()
+	if s := l.Snapshot(); len(s.Events) != 0 || len(s.ByMechanism) != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+func TestDefaultSingletons(t *testing.T) {
+	if Default() == nil || Budget() == nil || Stages() == nil {
+		t.Fatal("default singletons missing")
+	}
+	if Default() != Default() {
+		t.Error("Default() not a singleton")
+	}
+}

@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "total requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value() = %d, want 5", c.Value())
+	}
+	// Idempotent re-registration returns the same instrument.
+	if r.NewCounter("requests_total", "total requests") != c {
+		t.Error("re-registration did not return the existing counter")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("in_flight", "in-flight requests")
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Errorf("Value() = %d, want 2", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Errorf("Value() = %d, want 7", g.Value())
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.NewGaugeFunc("cache_len", "cached entries", func() float64 { return v })
+	snap := r.Snapshot()
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Value != 1.5 {
+		t.Fatalf("snapshot gauges = %+v", snap.Gauges)
+	}
+	// Re-registration replaces the callback (engine swap).
+	r.NewGaugeFunc("cache_len", "cached entries", func() float64 { return 9 })
+	if got := r.Snapshot().Gauges[0].Value; got != 9 {
+		t.Errorf("after re-registration value = %v, want 9", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "request latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count() = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Sum() = %v, want %v", got, want)
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms[0]
+	wantCum := []uint64{1, 2, 3} // cumulative ≤0.01, ≤0.1, ≤1; +Inf is Count
+	for i, b := range hs.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "boundaries", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: counts as ≤ 1
+	if got := r.Snapshot().Histograms[0].Buckets[0].Count; got != 1 {
+		t.Errorf("bucket[le=1] = %d, want 1", got)
+	}
+}
+
+// TestVecRejectsDynamicLabelValues is the no-sensitive-labels invariant
+// test the acceptance criteria require: a label value that was not declared
+// as a static string at registration cannot obtain an instrument, so
+// request data (user tokens, item ids) can never mint a time series.
+func TestVecRejectsDynamicLabelValues(t *testing.T) {
+	r := NewRegistry()
+	vec := r.NewCounterVec("http_requests_total", "requests by endpoint", "endpoint",
+		"recommend", "stats")
+	if _, err := vec.With("recommend"); err != nil {
+		t.Fatalf("declared value rejected: %v", err)
+	}
+	dynamic := "user_" + strings.Repeat("4", 2) // simulates request-derived data
+	if _, err := vec.With(dynamic); err == nil {
+		t.Fatal("undeclared label value accepted; dynamic labels must be rejected")
+	}
+	if _, err := vec.With(""); err == nil {
+		t.Fatal("empty label value accepted")
+	}
+	hv := r.NewHistogramVec("http_latency_seconds", "latency by endpoint", "endpoint",
+		nil, "recommend")
+	if _, err := hv.With("alice"); err == nil {
+		t.Fatal("undeclared histogram label value accepted")
+	}
+	// MustWith panics rather than minting a series.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustWith on an undeclared value did not panic")
+			}
+		}()
+		vec.MustWith(dynamic)
+	}()
+}
+
+// TestInvalidNamesRejected proves the registry cannot express names outside
+// the static-identifier shape, the other half of the invariant.
+func TestInvalidNamesRejected(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "User42Count", "with-dash", "has space", "9starts_with_digit", "_leading", "ütf"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q accepted; want panic", bad)
+				}
+			}()
+			r.NewCounter(bad, "x")
+		}()
+	}
+	// Label values pass through the same gate at registration.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid label value accepted at registration")
+			}
+		}()
+		r.NewCounterVec("ok_name", "x", "endpoint", "UPPER")
+	}()
+}
+
+func TestConflictingRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dual", "x")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-kind re-registration did not panic")
+			}
+		}()
+		r.NewGauge("dual", "x")
+	}()
+	r.NewCounterVec("famv", "x", "endpoint", "a", "b")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("vec re-registration with different label set did not panic")
+			}
+		}()
+		r.NewCounterVec("famv", "x", "endpoint", "a", "c")
+	}()
+	// Identical vec spec is idempotent.
+	vec := r.NewCounterVec("famv", "x", "endpoint", "a", "b")
+	if _, err := vec.With("a"); err != nil {
+		t.Errorf("idempotent vec lost its children: %v", err)
+	}
+}
+
+func TestSnapshotIsStable(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zeta", "z")
+	r.NewCounter("alpha", "a")
+	vec := r.NewCounterVec("mid", "m", "class", "c2xx", "c4xx")
+	vec.MustWith("c4xx").Inc()
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if len(s1.Counters) != 4 {
+		t.Fatalf("counters = %d, want 4", len(s1.Counters))
+	}
+	for i := range s1.Counters {
+		if s1.Counters[i] != s2.Counters[i] {
+			t.Errorf("snapshot order unstable at %d: %+v vs %+v", i, s1.Counters[i], s2.Counters[i])
+		}
+	}
+}
+
+// TestConcurrentInstruments gives the race detector real interleavings on
+// the lock-free hot paths.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("ops_total", "ops")
+	g := r.NewGauge("in_flight", "in flight")
+	h := r.NewHistogram("lat", "latency", nil)
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				g.Add(-1)
+				if i%50 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*rounds {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*rounds)
+	}
+	if h.Count() != workers*rounds {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*rounds)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Metric is one counter or gauge value at snapshot time.
+type Metric struct {
+	Name       string  `json:"name"`
+	LabelKey   string  `json:"label_key,omitempty"`
+	LabelValue string  `json:"label_value,omitempty"`
+	Value      float64 `json:"value"`
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// ≤ Le. The implicit +Inf bucket is HistogramSnapshot.Count (JSON cannot
+// carry an infinite float).
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Name       string   `json:"name"`
+	LabelKey   string   `json:"label_key,omitempty"`
+	LabelValue string   `json:"label_value,omitempty"`
+	Count      uint64   `json:"count"`
+	Sum        float64  `json:"sum"`
+	Buckets    []Bucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry's instruments. Taking one
+// reads every atomic once; concurrent updates continue unhindered
+// (snapshot-on-read, no stop-the-world).
+type Snapshot struct {
+	Counters   []Metric            `json:"counters"`
+	Gauges     []Metric            `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state, evaluating polled gauges.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	var snap Snapshot
+	for _, k := range sortedKeys(r.counters) {
+		c := r.counters[k]
+		snap.Counters = append(snap.Counters, Metric{
+			Name: c.name, LabelKey: c.labelKey, LabelValue: c.labelValue,
+			Value: float64(c.Value()),
+		})
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		g := r.gauges[k]
+		snap.Gauges = append(snap.Gauges, Metric{Name: g.name, Value: float64(g.Value())})
+	}
+	for _, k := range sortedKeys(r.histograms) {
+		h := r.histograms[k]
+		hs := HistogramSnapshot{
+			Name: h.name, LabelKey: h.labelKey, LabelValue: h.labelValue,
+			Count: h.Count(), Sum: h.Sum(),
+		}
+		var cum uint64
+		for i, le := range h.bounds {
+			cum += h.buckets[i].Load()
+			hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: cum})
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	// Polled gauges are evaluated outside the registry lock: the callbacks
+	// belong to other subsystems and must be free to take their own locks.
+	polled := make([]*gaugeFunc, 0, len(r.gaugeFuncs))
+	for _, k := range sortedKeys(r.gaugeFuncs) {
+		polled = append(polled, r.gaugeFuncs[k])
+	}
+	r.mu.Unlock()
+	for _, gf := range polled {
+		v := gf.fn()
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			v = 0
+		}
+		snap.Gauges = append(snap.Gauges, Metric{Name: gf.name, Value: v})
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as one indented JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// promLabel renders the {key="value"} selector, optionally with an le pair.
+func promLabel(key, value, le string) string {
+	var parts []string
+	if key != "" {
+		parts = append(parts, key+`="`+value+`"`)
+	}
+	if le != "" {
+		parts = append(parts, `le="`+le+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (one TYPE line per family, cumulative histogram buckets with a
+// final le="+Inf").
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := map[string]bool{}
+	emitType := func(name, typ string) error {
+		if typed[name] {
+			return nil
+		}
+		typed[name] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		return err
+	}
+	for _, c := range s.Counters {
+		if err := emitType(c.Name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", c.Name, promLabel(c.LabelKey, c.LabelValue, ""), formatFloat(c.Value)); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := emitType(g.Name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", g.Name, promLabel(g.LabelKey, g.LabelValue, ""), formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := emitType(h.Name, "histogram"); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, promLabel(h.LabelKey, h.LabelValue, formatFloat(b.Le)), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, promLabel(h.LabelKey, h.LabelValue, "+Inf"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", h.Name, promLabel(h.LabelKey, h.LabelValue, ""), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", h.Name, promLabel(h.LabelKey, h.LabelValue, ""), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer aggregates wall-clock spans by stage name. It is designed for the
+// two rhythms this repository has: the offline release pipeline (a handful
+// of long stages — graph load, clustering, MergeSmall, Laplace release) and
+// the serving path (millions of short stages — similarity batch,
+// reconstruction). Span bookkeeping is lock-free after a stage's first use,
+// so tracing the serving path is safe.
+//
+// Stage names follow the same rule as metric names (static [a-z][a-z0-9_]*
+// strings); anything else is aggregated under "invalid_stage" rather than
+// exported, upholding the no-sensitive-labels invariant.
+type Tracer struct {
+	stages sync.Map // string → *stageStats
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+type stageStats struct {
+	count    atomic.Int64
+	nanos    atomic.Int64
+	minNanos atomic.Int64 // math.MaxInt64 until the first observation
+	maxNanos atomic.Int64
+}
+
+// Span is one in-flight timing; obtain with Tracer.Start, finish with End.
+// The zero Span is inert: End on it records nothing.
+type Span struct {
+	stats *stageStats
+	start time.Time
+}
+
+func (t *Tracer) stats(stage string) *stageStats {
+	if s, ok := t.stages.Load(stage); ok {
+		return s.(*stageStats)
+	}
+	if !validName(stage) {
+		return t.stats("invalid_stage")
+	}
+	s := &stageStats{}
+	s.minNanos.Store(math.MaxInt64)
+	actual, _ := t.stages.LoadOrStore(stage, s)
+	return actual.(*stageStats)
+}
+
+// Start opens a span for the named stage.
+func (t *Tracer) Start(stage string) Span {
+	return Span{stats: t.stats(stage), start: time.Now()}
+}
+
+// End closes the span, folds its duration into the stage aggregate, and
+// returns the duration.
+func (sp Span) End() time.Duration {
+	if sp.stats == nil {
+		return 0
+	}
+	d := time.Since(sp.start)
+	n := d.Nanoseconds()
+	sp.stats.count.Add(1)
+	sp.stats.nanos.Add(n)
+	for {
+		old := sp.stats.minNanos.Load()
+		if n >= old || sp.stats.minNanos.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	for {
+		old := sp.stats.maxNanos.Load()
+		if n <= old || sp.stats.maxNanos.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	return d
+}
+
+// Time runs f under a span for the named stage.
+func (t *Tracer) Time(stage string, f func()) {
+	sp := t.Start(stage)
+	defer sp.End()
+	f()
+}
+
+// StageTiming is the aggregate for one stage at snapshot time.
+type StageTiming struct {
+	Stage string        `json:"stage"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Avg returns the mean span duration.
+func (s StageTiming) Avg() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Snapshot returns the per-stage aggregates, sorted by descending total
+// time (the order a profiler reader wants).
+func (t *Tracer) Snapshot() []StageTiming {
+	var out []StageTiming
+	t.stages.Range(func(k, v any) bool {
+		s := v.(*stageStats)
+		count := s.count.Load()
+		if count == 0 {
+			return true
+		}
+		out = append(out, StageTiming{
+			Stage: k.(string),
+			Count: count,
+			Total: time.Duration(s.nanos.Load()),
+			Min:   time.Duration(s.minNanos.Load()),
+			Max:   time.Duration(s.maxNanos.Load()),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// Reset discards all recorded spans.
+func (t *Tracer) Reset() {
+	t.stages.Range(func(k, _ any) bool {
+		t.stages.Delete(k)
+		return true
+	})
+}
+
+// Table formats the snapshot as an aligned text table for CLI output:
+//
+//	stage                 count      total        avg        min        max
+//	laplace_release           1     1.203s     1.203s     1.203s     1.203s
+//
+// An empty tracer yields "(no stages recorded)\n".
+func (t *Tracer) Table() string {
+	stages := t.Snapshot()
+	if len(stages) == 0 {
+		return "(no stages recorded)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %10s %10s %10s %10s\n", "stage", "count", "total", "avg", "min", "max")
+	for _, s := range stages {
+		fmt.Fprintf(&b, "%-24s %8d %10s %10s %10s %10s\n",
+			s.Stage, s.Count, fmtDur(s.Total), fmtDur(s.Avg()), fmtDur(s.Min), fmtDur(s.Max))
+	}
+	return b.String()
+}
+
+// fmtDur renders a duration with three significant decimals in a unit the
+// magnitude suggests, shorter than time.Duration's default formatting.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Nanoseconds())/1e6)
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerAggregates(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("louvain")
+		time.Sleep(time.Millisecond)
+		if d := sp.End(); d <= 0 {
+			t.Fatalf("span duration = %v", d)
+		}
+	}
+	tr.Time("merge_small", func() { time.Sleep(time.Millisecond) })
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("stages = %d, want 2", len(snap))
+	}
+	var louvain *StageTiming
+	for i := range snap {
+		if snap[i].Stage == "louvain" {
+			louvain = &snap[i]
+		}
+	}
+	if louvain == nil {
+		t.Fatal("louvain stage missing from snapshot")
+	}
+	if louvain.Count != 3 {
+		t.Errorf("count = %d, want 3", louvain.Count)
+	}
+	if louvain.Min <= 0 || louvain.Max < louvain.Min || louvain.Total < louvain.Max {
+		t.Errorf("inconsistent aggregates: %+v", louvain)
+	}
+	if avg := louvain.Avg(); avg < louvain.Min || avg > louvain.Max {
+		t.Errorf("avg %v outside [min, max]", avg)
+	}
+}
+
+func TestTracerSortsByTotalDescending(t *testing.T) {
+	tr := NewTracer()
+	tr.Time("fast", func() {})
+	tr.Time("slow", func() { time.Sleep(5 * time.Millisecond) })
+	snap := tr.Snapshot()
+	if snap[0].Stage != "slow" {
+		t.Errorf("snapshot order = %v, want slow first", []string{snap[0].Stage, snap[1].Stage})
+	}
+}
+
+// TestTracerRejectsDynamicStageNames: stage names outside the static-
+// identifier shape are folded into "invalid_stage" instead of being
+// exported — a request-derived string cannot become a stage.
+func TestTracerRejectsDynamicStageNames(t *testing.T) {
+	tr := NewTracer()
+	tr.Time("user 42's request", func() {})
+	tr.Time("Another-Bad-Name", func() {})
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].Stage != "invalid_stage" {
+		t.Fatalf("snapshot = %+v, want a single invalid_stage entry", snap)
+	}
+	if snap[0].Count != 2 {
+		t.Errorf("invalid_stage count = %d, want 2", snap[0].Count)
+	}
+}
+
+func TestZeroSpanIsInert(t *testing.T) {
+	var sp Span
+	if d := sp.End(); d != 0 {
+		t.Errorf("zero span End() = %v, want 0", d)
+	}
+}
+
+func TestTracerTable(t *testing.T) {
+	tr := NewTracer()
+	if got := tr.Table(); !strings.Contains(got, "no stages") {
+		t.Errorf("empty table = %q", got)
+	}
+	tr.Time("laplace_release", func() { time.Sleep(time.Millisecond) })
+	table := tr.Table()
+	for _, want := range []string{"stage", "count", "total", "laplace_release"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	tr.Reset()
+	if len(tr.Snapshot()) != 0 {
+		t.Error("Reset left stages behind")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 400
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				sp := tr.Start("similarity_batch")
+				sp.End()
+				if i%97 == 0 {
+					tr.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].Count != workers*rounds {
+		t.Fatalf("snapshot = %+v, want one stage with %d spans", snap, workers*rounds)
+	}
+}

@@ -1,0 +1,219 @@
+// Command benchdiff converts `go test -bench` text output into a stable
+// JSON baseline and compares two such baselines, failing when a benchmark's
+// ns/op regressed beyond a threshold. It exists so `make bench` can record
+// a checked-in baseline (BENCH_PR2.json) and CI or a reviewer can ask "did
+// this change make serving slower?" with one command, no external tooling.
+//
+// Usage:
+//
+//	go run ./scripts -parse bench.txt -out BENCH.json
+//	go run ./scripts -old BENCH_PR2.json -new /tmp/bench_new.json [-threshold 10]
+//
+// Parsing keeps the MINIMUM ns/op across `-count` repetitions of each
+// benchmark: minimum is the standard noise-robust statistic for
+// wall-clock microbenchmarks (noise is strictly additive).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's recorded performance.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the file format: benchmark results keyed by
+// "<package>.<BenchmarkName>".
+type Baseline struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		parsePath = flag.String("parse", "", "go test -bench output to convert to JSON")
+		outPath   = flag.String("out", "", "with -parse: where to write the JSON baseline (default stdout)")
+		oldPath   = flag.String("old", "", "baseline JSON to compare against")
+		newPath   = flag.String("new", "", "candidate JSON to compare")
+		threshold = flag.Float64("threshold", 10, "max allowed ns/op regression, percent")
+	)
+	flag.Parse()
+
+	switch {
+	case *parsePath != "":
+		if err := runParse(*parsePath, *outPath); err != nil {
+			fatalf("%v", err)
+		}
+	case *oldPath != "" && *newPath != "":
+		regressed, err := runDiff(*oldPath, *newPath, *threshold)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+	default:
+		fatalf("need either -parse FILE or -old FILE -new FILE")
+	}
+}
+
+func runParse(path, outPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b, err := parseBench(f)
+	if err != nil {
+		return err
+	}
+	if len(b.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", path)
+	}
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(outPath, enc, 0o644)
+}
+
+// parseBench reads `go test -bench` text output. Lines look like:
+//
+//	pkg: socialrec/internal/server
+//	BenchmarkRecommendHandler   31236   36505 ns/op   13363 B/op   176 allocs/op
+func parseBench(f *os.File) (*Baseline, error) {
+	b := &Baseline{Benchmarks: map[string]Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then unit pairs: <value> <unit> ...
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -<GOMAXPROCS> suffix go test appends (Benchmark-8).
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := Result{}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+				seen = true
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "." + name
+		}
+		if prev, ok := b.Benchmarks[key]; ok && prev.NsPerOp < r.NsPerOp {
+			// Keep the fastest repetition.
+			continue
+		}
+		b.Benchmarks[key] = r
+	}
+	return b, sc.Err()
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return b, nil
+}
+
+func runDiff(oldPath, newPath string, threshold float64) (regressed bool, err error) {
+	oldB, err := readBaseline(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newB, err := readBaseline(newPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(oldB.Benchmarks))
+	for name := range oldB.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-55s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o := oldB.Benchmarks[name]
+		n, ok := newB.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-55s %12.0f %12s %8s\n", name, o.NsPerOp, "-", "gone")
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		mark := ""
+		if pct > threshold {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-55s %12.0f %12.0f %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, pct, mark)
+	}
+	for name := range newB.Benchmarks {
+		if _, ok := oldB.Benchmarks[name]; !ok {
+			fmt.Printf("%-55s %12s %12.0f %8s\n", name, "-", newB.Benchmarks[name].NsPerOp, "new")
+		}
+	}
+	if regressed {
+		fmt.Printf("FAIL: at least one benchmark regressed more than %.0f%%\n", threshold)
+	}
+	return regressed, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

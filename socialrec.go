@@ -41,6 +41,7 @@ import (
 	"socialrec/internal/release"
 	"socialrec/internal/simcache"
 	"socialrec/internal/similarity"
+	"socialrec/internal/telemetry"
 )
 
 // Recommendation pairs an item id with its estimated utility for the target
@@ -86,16 +87,24 @@ func (cfg Config) cluster(social *graph.Social) (*community.Clustering, error) {
 	var clusters *community.Clustering
 	switch cfg.Clusterer {
 	case "", "louvain":
-		clusters, _ = community.BestOf(social, runs, cfg.Seed, community.Options{})
+		telemetry.Stages().Time("cluster_louvain", func() {
+			clusters, _ = community.BestOf(social, runs, cfg.Seed, community.Options{})
+		})
 	case "labelprop":
-		clusters = community.LabelPropagation(social, cfg.Seed, 0)
+		telemetry.Stages().Time("cluster_labelprop", func() {
+			clusters = community.LabelPropagation(social, cfg.Seed, 0)
+		})
 	case "cnm":
-		clusters = community.CNM(social)
+		telemetry.Stages().Time("cluster_cnm", func() {
+			clusters = community.CNM(social)
+		})
 	default:
 		return nil, fmt.Errorf("socialrec: unknown clusterer %q (want louvain, labelprop or cnm)", cfg.Clusterer)
 	}
 	if cfg.MinClusterSize > 1 {
+		span := telemetry.Stages().Start("merge_small")
 		merged, err := community.MergeSmall(social, clusters, cfg.MinClusterSize)
+		span.End()
 		if err != nil {
 			return nil, err
 		}
@@ -156,6 +165,8 @@ type Engine struct {
 	// cluster is the sanitized release backing the engine; nil for exact
 	// engines (which have nothing safe to persist).
 	cluster *mechanism.Cluster
+	// simCache is the similarity cache, nil until EnableSimilarityCache.
+	simCache *simcache.Cache
 }
 
 // NewEngine clusters the social graph, performs the private release of
@@ -371,6 +382,19 @@ var NoPrivacy = math.Inf(1)
 // changes performance, not privacy. Call before serving; not safe to call
 // concurrently with Recommend.
 func (e *Engine) EnableSimilarityCache(capacity int) {
-	cache := simcache.New(e.social, e.measure, capacity)
-	e.rec.SimilaritySource = cache.Similar
+	e.simCache = simcache.New(e.social, e.measure, capacity)
+	e.rec.SimilaritySource = e.simCache.Similar
+}
+
+// CacheStats is a point-in-time summary of the similarity cache. It
+// describes cache behaviour over public similarity data only.
+type CacheStats = simcache.Stats
+
+// CacheStats reports the similarity cache's counters; ok is false when no
+// cache is installed.
+func (e *Engine) CacheStats() (stats CacheStats, ok bool) {
+	if e.simCache == nil {
+		return CacheStats{}, false
+	}
+	return e.simCache.Stats(), true
 }
