@@ -11,7 +11,7 @@ BENCH_COUNT ?= 5
 BENCH_OUT ?= BENCH_PR2.json
 BENCH_BASE ?= BENCH_PR2.json
 
-.PHONY: build test race lint fuzz-smoke ci fmt bench benchdiff
+.PHONY: build test race lint fuzz-smoke chaos ci fmt bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,12 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadSocialTSV$$' -fuzztime=10s ./internal/dataset
 	$(GO) test -run='^$$' -fuzz='^FuzzReadPreferenceTSV$$' -fuzztime=10s ./internal/dataset
 	$(GO) test -run='^$$' -fuzz='^FuzzRead$$' -fuzztime=10s ./internal/release
+
+# chaos drives the hardened server benchmark under -race with mixed
+# error/panic/latency fault injection; it fails on any escaped panic,
+# deadlock, or unexpected response status.
+chaos:
+	$(GO) test -race -run='^$$' -bench='^BenchmarkServerChaos$$' -benchtime=2000x ./internal/server
 
 ci:
 	./scripts/ci.sh

@@ -9,18 +9,30 @@
 //
 // Endpoints (see internal/server):
 //
-//	GET  /healthz                         liveness probe
+//	GET  /healthz                         liveness probe (process up)
+//	GET  /readyz                          readiness: release version, load time, degraded state
 //	GET  /stats                           dataset + clustering summary
 //	GET  /users?limit=N                   known user tokens
 //	GET  /recommend?user=<id>&n=<count>   top-n list for one user
 //	POST /recommend/batch                 {"users": [...], "n": 10}
+//	POST /admin/reload                    hot-reload the release (also SIGHUP)
 //	GET  /metrics                         telemetry (JSON; ?format=prometheus)
 //	GET  /debug/vars                      expvar
+//
+// With -release-dir releases live in a crash-safe versioned store
+// (internal/release.Store): a build persists the new release there, and a
+// serve-only start (no -prefs) recovers the newest valid version, skipping
+// corrupt files. SIGHUP or POST /admin/reload hot-swaps the newest release
+// into the serving path without dropping in-flight requests; a failed
+// reload keeps the last-good release serving and marks /readyz degraded.
 //
 // With -debug-addr a second listener additionally serves net/http/pprof
 // under /debug/pprof/. Profiles expose goroutine stacks and allocation
 // sites, never user or preference data, but the endpoint is still kept off
 // the public listener by default.
+//
+// -chaos arms deterministic fault injection on the request path (see
+// internal/faults) for resilience testing; never set it in production.
 package main
 
 import (
@@ -35,11 +47,15 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
 	"socialrec"
 	"socialrec/internal/dataset"
+	"socialrec/internal/faults"
+	"socialrec/internal/graph"
+	"socialrec/internal/release"
 	"socialrec/internal/server"
 	"socialrec/internal/telemetry"
 )
@@ -54,14 +70,17 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for clustering order and noise")
 		maxN       = flag.Int("max-n", 100, "largest list length a request may ask for")
 		minWeight  = flag.Float64("min-weight", 1, "discard raw preference edges below this weight")
-		loadRel    = flag.String("load-release", "", "serve from a persisted release instead of raw preferences")
+		loadRel    = flag.String("load-release", "", "serve from a persisted release file instead of raw preferences")
 		saveRel    = flag.String("save-release", "", "persist the sanitized release to this path after building")
+		releaseDir = flag.String("release-dir", "", "crash-safe versioned release store: builds save here; without -prefs the newest valid release is served from it")
 		simCache   = flag.Int("simcache", -1, "similarity LRU cache capacity; 0 disables, -1 selects the default 4096")
 		debugAddr  = flag.String("debug-addr", "", "optional second listen address for net/http/pprof")
+		chaosOn    = flag.Bool("chaos", false, "arm deterministic fault injection on the request path (testing only)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the -chaos fault schedule")
 	)
 	flag.Parse()
-	if *socialPath == "" || (*prefsPath == "" && *loadRel == "") {
-		log.Fatal("recserve: -social and one of -prefs / -load-release are required")
+	if *socialPath == "" || (*prefsPath == "" && *loadRel == "" && *releaseDir == "") {
+		log.Fatal("recserve: -social and one of -prefs / -load-release / -release-dir are required")
 	}
 
 	eps := math.Inf(1)
@@ -85,104 +104,93 @@ func main() {
 	}
 	loadSpan.End()
 
+	var store *release.Store
+	if *releaseDir != "" {
+		store, err = release.OpenStore(*releaseDir, release.StoreOptions{})
+		if err != nil {
+			log.Fatalf("recserve: opening release store: %v", err)
+		}
+	}
+
 	var (
 		engine  *socialrec.Engine
 		itemTok []string
 		stats   dataset.Stats
+		version uint64 = 1
 	)
-	if *loadRel != "" {
-		// Serve a previously persisted release: the raw preference data
-		// never enters this process.
-		rf, err := os.Open(*loadRel)
-		if err != nil {
-			log.Fatalf("recserve: %v", err)
+	switch {
+	case *prefsPath != "":
+		engine, itemTok, stats = buildEngine(social, userIDs, *prefsPath, *measure, eps, *seed, *minWeight)
+		if store != nil {
+			rel, err := engine.Release()
+			if err != nil {
+				log.Fatalf("recserve: %v", err)
+			}
+			version, err = store.Save(rel)
+			if err != nil {
+				log.Fatalf("recserve: saving release to store: %v", err)
+			}
+			log.Printf("recserve: sanitized release saved to %s as version %d", store.Dir(), version)
 		}
-		engine, err = socialrec.LoadEngine(rf, social)
-		_ = rf.Close()
+		if *saveRel != "" {
+			saveReleaseFile(engine, *saveRel)
+		}
+	case *loadRel != "":
+		// Serve a previously persisted release file: the raw preference
+		// data never enters this process.
+		engine, err = loadEngineFile(*loadRel, social)
 		if err != nil {
 			log.Fatalf("recserve: loading release %s: %v", *loadRel, err)
 		}
 		stats.Users = social.NumUsers()
 		stats.SocialEdges = social.NumEdges()
-	} else {
-		pf, err := os.Open(*prefsPath)
+	default:
+		// Serve the newest valid release from the store, recovering past
+		// any corrupt or torn versions.
+		engine, version, err = loadEngineStore(store, social)
 		if err != nil {
-			log.Fatalf("recserve: %v", err)
+			log.Fatalf("recserve: loading from release store %s: %v", store.Dir(), err)
 		}
-		raw, itemIDs, err := dataset.ReadPreferenceTSV(pf, userIDs)
-		_ = pf.Close()
-		if err != nil {
-			log.Fatalf("recserve: parsing %s: %v", *prefsPath, err)
-		}
-		prefs, _, err := dataset.BuildPreferences(social.NumUsers(), len(itemIDs), raw, *minWeight)
-		if err != nil {
-			log.Fatalf("recserve: %v", err)
-		}
-		engine, err = socialrec.NewEngineFromGraphs(social, prefs, socialrec.Config{
-			Measure: *measure, Epsilon: eps, Seed: *seed,
-		})
-		if err != nil {
-			log.Fatalf("recserve: %v", err)
-		}
-		itemTok = make([]string, len(itemIDs))
-		for tok, id := range itemIDs {
-			itemTok[id] = tok
-		}
-		ds := &dataset.Dataset{Name: "served", Social: social, Prefs: prefs}
-		stats = ds.Summarize()
-		if *saveRel != "" {
-			out, err := os.Create(*saveRel)
-			if err != nil {
-				log.Fatalf("recserve: %v", err)
-			}
-			if err := engine.SaveRelease(out); err != nil {
-				log.Fatalf("recserve: saving release: %v", err)
-			}
-			if err := out.Close(); err != nil {
-				log.Fatalf("recserve: saving release: %v", err)
-			}
-			log.Printf("recserve: sanitized release written to %s", *saveRel)
-		}
+		log.Printf("recserve: serving release version %d from %s", version, store.Dir())
+		stats.Users = social.NumUsers()
+		stats.SocialEdges = social.NumEdges()
 	}
 
 	reg := telemetry.Default()
+	hot := server.NewHot(engine, version)
+
+	cacheCap := -1
 	if *simCache != 0 {
-		capacity := *simCache
-		if capacity < 0 {
-			capacity = 0 // simcache.New maps < 1 to its default
+		cacheCap = *simCache
+		if cacheCap < 0 {
+			cacheCap = 0 // simcache.New maps < 1 to its default
 		}
-		engine.EnableSimilarityCache(capacity)
-		// Gauge funcs snapshot the cache on scrape; cache counters describe
-		// which public similarity vectors are resident, nothing protected.
-		reg.NewGaugeFunc("simcache_hits_total", "similarity cache hits", func() float64 {
-			st, _ := engine.CacheStats()
-			return float64(st.Hits)
-		})
-		reg.NewGaugeFunc("simcache_misses_total", "similarity cache misses", func() float64 {
-			st, _ := engine.CacheStats()
-			return float64(st.Misses)
-		})
-		reg.NewGaugeFunc("simcache_evictions_total", "similarity cache evictions", func() float64 {
-			st, _ := engine.CacheStats()
-			return float64(st.Evictions)
-		})
-		reg.NewGaugeFunc("simcache_entries", "similarity vectors resident", func() float64 {
-			st, _ := engine.CacheStats()
-			return float64(st.Len)
-		})
-		reg.NewGaugeFunc("simcache_hit_ratio", "similarity cache hit ratio", func() float64 {
-			st, _ := engine.CacheStats()
-			return st.HitRatio()
-		})
+		engine.EnableSimilarityCache(cacheCap)
+		registerCacheGauges(reg, hot)
 	}
 
+	var freg *faults.Registry
+	if *chaosOn {
+		freg = faults.New(*chaosSeed)
+		// Background chaos: a small fraction of requests fail with an
+		// injected 500, a rarer fraction panic into the recovery
+		// middleware, all firings add latency jitter.
+		freg.Arm(faults.PointHandler, faults.Plan{Prob: 0.05, Delay: 2 * time.Millisecond})
+		log.Printf("recserve: CHAOS MODE armed on %v (seed %d) — do not run in production",
+			freg.Points(), *chaosSeed)
+	}
+
+	reload := makeReload(hot, store, *loadRel, social, cacheCap)
+
 	srv, err := server.New(server.Config{
-		Engine:     engine,
+		Engine:     hot,
 		UserIDs:    userIDs,
 		ItemTokens: itemTok,
 		Stats:      stats,
 		MaxN:       *maxN,
 		Metrics:    reg,
+		Reload:     reload,
+		Faults:     freg,
 	})
 	if err != nil {
 		log.Fatalf("recserve: %v", err)
@@ -208,9 +216,34 @@ func main() {
 		}()
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	// Header/read timeouts bound slow-loris clients, the write timeout
+	// bounds stuck responses, and the idle timeout reaps dead keep-alive
+	// connections. Per-request handler deadlines live in internal/server.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if reload != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				log.Print("recserve: SIGHUP: reloading release")
+				if err := reload(); err != nil {
+					log.Printf("recserve: reload failed (still serving last-good release): %v", err)
+				} else {
+					log.Printf("recserve: reloaded, serving release version %d", hot.Status().Version)
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -233,4 +266,146 @@ func main() {
 
 	log.Printf("recserve: final privacy budget: %s", telemetry.Budget().Snapshot())
 	log.Printf("recserve: final stage timings:\n%s", telemetry.Stages().Table())
+}
+
+// buildEngine constructs a private engine from raw preference data.
+func buildEngine(social *graph.Social, userIDs map[string]int, prefsPath, measure string,
+	eps float64, seed int64, minWeight float64) (*socialrec.Engine, []string, dataset.Stats) {
+	pf, err := os.Open(prefsPath)
+	if err != nil {
+		log.Fatalf("recserve: %v", err)
+	}
+	raw, itemIDs, err := dataset.ReadPreferenceTSV(pf, userIDs)
+	_ = pf.Close()
+	if err != nil {
+		log.Fatalf("recserve: parsing %s: %v", prefsPath, err)
+	}
+	prefs, _, err := dataset.BuildPreferences(social.NumUsers(), len(itemIDs), raw, minWeight)
+	if err != nil {
+		log.Fatalf("recserve: %v", err)
+	}
+	engine, err := socialrec.NewEngineFromGraphs(social, prefs, socialrec.Config{
+		Measure: measure, Epsilon: eps, Seed: seed,
+	})
+	if err != nil {
+		log.Fatalf("recserve: %v", err)
+	}
+	itemTok := make([]string, len(itemIDs))
+	for tok, id := range itemIDs {
+		itemTok[id] = tok
+	}
+	ds := &dataset.Dataset{Name: "served", Social: social, Prefs: prefs}
+	return engine, itemTok, ds.Summarize()
+}
+
+// saveReleaseFile persists the release to a plain file (the pre-store
+// format, still useful for shipping a single artifact between machines).
+func saveReleaseFile(engine *socialrec.Engine, path string) {
+	out, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("recserve: %v", err)
+	}
+	if err := engine.SaveRelease(out); err != nil {
+		log.Fatalf("recserve: saving release: %v", err)
+	}
+	if err := out.Close(); err != nil {
+		log.Fatalf("recserve: saving release: %v", err)
+	}
+	log.Printf("recserve: sanitized release written to %s", path)
+}
+
+func loadEngineFile(path string, social *graph.Social) (*socialrec.Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	return socialrec.LoadEngine(f, social)
+}
+
+func loadEngineStore(store *release.Store, social *graph.Social) (*socialrec.Engine, uint64, error) {
+	rel, version, skipped, err := store.Load()
+	for _, sk := range skipped {
+		log.Printf("recserve: release store: skipped corrupt %s: %v", sk.Name, sk.Err)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	engine, err := socialrec.EngineFromRelease(rel, social)
+	if err != nil {
+		return nil, 0, err
+	}
+	return engine, version, nil
+}
+
+// makeReload builds the closure shared by POST /admin/reload and SIGHUP: it
+// loads a fresh release from the store (or release file), re-enables the
+// similarity cache, and swaps it into the serving path. On failure the
+// last-good engine keeps serving and the slot is marked degraded, which
+// /readyz surfaces. Returns nil when no reload source is configured (the
+// server then answers 501).
+func makeReload(hot *server.Hot, store *release.Store, loadRel string,
+	social *graph.Social, cacheCap int) func() error {
+	if store == nil && loadRel == "" {
+		return nil
+	}
+	var (
+		mu          sync.Mutex // serializes HTTP- and SIGHUP-triggered reloads
+		fileVersion = hot.Status().Version
+	)
+	return func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		var (
+			engine  *socialrec.Engine
+			version uint64
+			err     error
+		)
+		if store != nil {
+			engine, version, err = loadEngineStore(store, social)
+		} else {
+			engine, err = loadEngineFile(loadRel, social)
+			version = fileVersion + 1
+		}
+		if err != nil {
+			hot.Fail(err.Error())
+			return err
+		}
+		if cacheCap >= 0 {
+			engine.EnableSimilarityCache(cacheCap)
+		}
+		hot.Swap(engine, version)
+		fileVersion = version
+		return nil
+	}
+}
+
+// registerCacheGauges exposes similarity-cache statistics read through the
+// hot slot, so the gauges keep following the serving engine across reloads.
+// Cache counters describe which public similarity vectors are resident,
+// nothing protected.
+func registerCacheGauges(reg *telemetry.Registry, hot *server.Hot) {
+	stat := func(f func(socialrec.CacheStats) float64) func() float64 {
+		return func() float64 {
+			e, ok := hot.Engine().(*socialrec.Engine)
+			if !ok {
+				return 0
+			}
+			st, ok := e.CacheStats()
+			if !ok {
+				return 0
+			}
+			return f(st)
+		}
+	}
+	reg.NewGaugeFunc("simcache_hits_total", "similarity cache hits",
+		stat(func(st socialrec.CacheStats) float64 { return float64(st.Hits) }))
+	reg.NewGaugeFunc("simcache_misses_total", "similarity cache misses",
+		stat(func(st socialrec.CacheStats) float64 { return float64(st.Misses) }))
+	reg.NewGaugeFunc("simcache_evictions_total", "similarity cache evictions",
+		stat(func(st socialrec.CacheStats) float64 { return float64(st.Evictions) }))
+	reg.NewGaugeFunc("simcache_entries", "similarity vectors resident",
+		stat(func(st socialrec.CacheStats) float64 { return float64(st.Len) }))
+	reg.NewGaugeFunc("simcache_hit_ratio", "similarity cache hit ratio",
+		stat(func(st socialrec.CacheStats) float64 { return st.HitRatio() }))
 }

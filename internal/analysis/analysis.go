@@ -76,6 +76,7 @@ func All() []Analyzer {
 		DroppedErr{},
 		TimeNow{},
 		TelemetryImports{},
+		FatalScope{},
 	}
 }
 

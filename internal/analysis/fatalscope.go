@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// FatalScope reports log.Fatal / log.Fatalf / log.Fatalln and os.Exit
+// calls outside package main. Library code that exits the process on error
+// silently skips every deferred cleanup on the stack — the release store's
+// temp-file removal and fsync ordering, the server's graceful drain, a
+// test's t.Cleanup — and turns a failure the caller could have degraded
+// around (serve the last-good release, mark /readyz degraded) into an
+// outage. Process-exit policy belongs to the binary: libraries return
+// errors or, for programming errors, panic into the recovery middleware.
+type FatalScope struct{}
+
+// Name returns "fatalscope".
+func (FatalScope) Name() string { return "fatalscope" }
+
+// Doc describes the invariant.
+func (FatalScope) Doc() string {
+	return "log.Fatal*/os.Exit only in package main; libraries return errors so callers can degrade instead of dying"
+}
+
+// fatalCalls maps package path to the function names that terminate the
+// process without unwinding.
+var fatalCalls = map[string]map[string]bool{
+	"log": {"Fatal": true, "Fatalf": true, "Fatalln": true},
+	"os":  {"Exit": true},
+}
+
+// Run checks every non-test file of non-main packages. Test files are
+// exempt alongside main: `go test` runs them in a dedicated binary whose
+// process they own (testing.M conventionally ends in os.Exit).
+func (FatalScope) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		if f.Name.Name == "main" || pass.IsTestFile(f) {
+			continue
+		}
+		aliases := importAliases(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			pkg, name, ok := calleePkgFunc(pass, aliases, call)
+			if !ok || !fatalCalls[pkg][name] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s exits the process from library code, skipping deferred cleanup; return an error and let package main decide", pkg, name)
+			return true
+		})
+	}
+}
+
+var _ Analyzer = FatalScope{}

@@ -24,6 +24,15 @@ var goldenCases = []struct {
 	{DroppedErr{}, "droppederr", "socialrec/internal/fixture"},
 	{TimeNow{}, "timenow", "socialrec/internal/fixture"},
 	{TelemetryImports{}, "telemetryimports", "socialrec/internal/telemetry"},
+	{FatalScope{}, "fatalscope/lib", "socialrec/internal/fixture"},
+	{FatalScope{}, "fatalscope/mainpkg", "socialrec/cmd/fixture"},
+}
+
+// cleanOnlyFixtures are fixture dirs that deliberately carry no // want
+// annotations: they prove the analyzer stays silent on exempt code.
+var cleanOnlyFixtures = map[string]bool{
+	"noisesource/other":  true,
+	"fatalscope/mainpkg": true,
 }
 
 var wantRE = regexp.MustCompile(`^// want "(.*)"$`)
@@ -58,7 +67,7 @@ func TestGolden(t *testing.T) {
 				t.Errorf("fixture type error (fixtures must type-check): %v", terr)
 			}
 			wants := collectWants(pkg.Fset, pkg.Files)
-			if len(wants) == 0 && tc.dir != "noisesource/other" {
+			if len(wants) == 0 && !cleanOnlyFixtures[tc.dir] {
 				t.Fatal("fixture has no // want annotations; golden test would be vacuous")
 			}
 			for _, f := range Run(pkg, []Analyzer{tc.analyzer}) {

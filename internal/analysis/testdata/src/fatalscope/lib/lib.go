@@ -1,0 +1,53 @@
+// Package fixture exercises the fatalscope analyzer on library code.
+package fixture
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// BadFatal kills the whole process on a recoverable condition.
+func BadFatal(err error) {
+	if err != nil {
+		log.Fatal(err) // want "exits the process from library code"
+	}
+}
+
+// BadFatalf is flagged for the formatting variants too.
+func BadFatalf(path string) {
+	log.Fatalf("cannot open %s", path) // want "exits the process from library code"
+	log.Fatalln("unreachable")         // want "exits the process from library code"
+}
+
+// BadExit is the bare-os form of the same mistake.
+func BadExit(code int) {
+	os.Exit(code) // want "return an error and let package main decide"
+}
+
+// GoodReturn propagates the failure so the caller can degrade.
+func GoodReturn(err error) error {
+	if err != nil {
+		return fmt.Errorf("fixture: %w", err)
+	}
+	return nil
+}
+
+// GoodLogging is fine: non-fatal logging does not terminate the process.
+func GoodLogging(err error) {
+	log.Printf("fixture: %v", err)
+}
+
+// GoodPanic is fine: a panic unwinds through deferred cleanup and can be
+// contained by recovery middleware.
+func GoodPanic(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// SuppressedExit shows the escape hatch for a deliberate exit.
+func SuppressedExit() {
+	//sociolint:ignore fatalscope fixture demonstrating the suppression directive
+	os.Exit(3)
+}

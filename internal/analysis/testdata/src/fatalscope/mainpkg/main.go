@@ -1,0 +1,17 @@
+// Command fixture exercises the fatalscope analyzer's package-main
+// exemption: a binary owns its process, so fatal exits are its call.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func run() error { return nil }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatalf("fixture: %v", err)
+	}
+	os.Exit(0)
+}

@@ -3,6 +3,7 @@ package dynamic
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"socialrec/internal/dp"
@@ -147,6 +148,55 @@ func TestManagerRejectsMismatchedSnapshot(t *testing.T) {
 	}
 	if m.Spent() != 0 {
 		t.Error("failed publish must not consume budget")
+	}
+}
+
+// TestManagerConcurrentPublishBudget races more publishers than the budget
+// can admit: with 1.0 total and 0.3 per release, exactly 3 of the 8
+// concurrent publishes may succeed, no matter how they interleave. Runs
+// under -race in CI; a lost check-then-charge race would show up either as
+// a 4th success or as Spent exceeding the total.
+func TestManagerConcurrentPublishBudget(t *testing.T) {
+	m, err := NewManager(Config{TotalBudget: 1.0, PerRelease: 0.3, LouvainRuns: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	social, prefs := snapshot(t, 60)
+
+	const publishers = 8
+	var (
+		wg        sync.WaitGroup
+		successes atomic.Int64
+	)
+	start := make(chan struct{})
+	for g := 0; g < publishers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start // maximize contention on the check-then-charge window
+			if err := m.Publish(social, prefs); err == nil {
+				successes.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := successes.Load(); got != 3 {
+		t.Errorf("concurrent publishes admitted = %d, want exactly 3", got)
+	}
+	if m.Releases() != 3 {
+		t.Errorf("releases = %d, want 3", m.Releases())
+	}
+	if got := float64(m.Spent()); got > 1.0+1e-9 {
+		t.Errorf("budget overspent under contention: spent = %v > total 1.0", got)
+	}
+	if m.CanPublish() {
+		t.Error("remaining 0.1 cannot cover another 0.3 release")
+	}
+	// The budget invariant must also hold for publishes after the race.
+	if err := m.Publish(social, prefs); err == nil {
+		t.Error("post-race over-budget publish should fail")
 	}
 }
 

@@ -1,0 +1,176 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryInjectsNothing(t *testing.T) {
+	var r *Registry
+	r.Arm(PointFSSync, Plan{})
+	r.Disarm(PointFSSync)
+	r.DisarmAll()
+	if err := r.Check(PointFSSync); err != nil {
+		t.Fatalf("nil registry injected %v", err)
+	}
+	if r.Checks(PointFSSync) != 0 || r.Fired(PointFSSync) != 0 || r.Points() != nil {
+		t.Error("nil registry reported state")
+	}
+}
+
+func TestUnarmedPointPasses(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10; i++ {
+		if err := r.Check(PointFSWrite); err != nil {
+			t.Fatalf("unarmed point injected %v", err)
+		}
+	}
+	if r.Checks(PointFSWrite) != 0 {
+		t.Error("unarmed point counted checks")
+	}
+}
+
+func TestZeroPlanAlwaysFires(t *testing.T) {
+	r := New(1)
+	r.Arm(PointFSSync, Plan{})
+	for i := 0; i < 5; i++ {
+		if err := r.Check(PointFSSync); !errors.Is(err, ErrInjected) {
+			t.Fatalf("check %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if got := r.Fired(PointFSSync); got != 5 {
+		t.Errorf("fired = %d, want 5", got)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	r := New(1)
+	// Succeed twice, fail once, then recover — a transient fault.
+	r.Arm(PointFSWrite, Plan{After: 2, Times: 1})
+	var errs []bool
+	for i := 0; i < 5; i++ {
+		errs = append(errs, r.Check(PointFSWrite) != nil)
+	}
+	want := []bool{false, false, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("check sequence = %v, want %v", errs, want)
+		}
+	}
+}
+
+func TestCustomErrorWrapsSentinel(t *testing.T) {
+	r := New(1)
+	sentinel := errors.New("disk on fire")
+	r.Arm(PointFSSync, Plan{Err: sentinel})
+	err := r.Check(PointFSSync)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want both ErrInjected and the custom error", err)
+	}
+}
+
+func TestProbIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		r := New(42)
+		r.Arm(PointHandler, Plan{Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = r.Check(PointHandler) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at check %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	// A 0.5 schedule over 64 draws that fires never or always would mean
+	// the stream is broken, not unlucky (each has probability 2^-64).
+	if fired == 0 || fired == 64 {
+		t.Errorf("Prob 0.5 fired %d/64 times", fired)
+	}
+}
+
+func TestDistinctPointsGetDistinctStreams(t *testing.T) {
+	r := New(7)
+	r.Arm(PointFSRead, Plan{Prob: 0.5})
+	r.Arm(PointFSWrite, Plan{Prob: 0.5})
+	same := true
+	for i := 0; i < 64; i++ {
+		if (r.Check(PointFSRead) != nil) != (r.Check(PointFSWrite) != nil) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("two points produced identical 64-draw schedules; streams are not independent")
+	}
+}
+
+func TestPanicPlan(t *testing.T) {
+	r := New(1)
+	r.Arm(PointHandler, Plan{Panic: true})
+	defer func() {
+		v := recover()
+		ip, ok := v.(InjectedPanic)
+		if !ok || ip.Point != PointHandler {
+			t.Errorf("recovered %v, want InjectedPanic{http.handler}", v)
+		}
+	}()
+	_ = r.Check(PointHandler)
+	t.Fatal("Check did not panic")
+}
+
+func TestDelayOnly(t *testing.T) {
+	r := New(1)
+	r.Arm(PointHandler, Plan{Delay: 10 * time.Millisecond, DelayOnly: true})
+	start := time.Now()
+	if err := r.Check(PointHandler); err != nil {
+		t.Fatalf("DelayOnly returned error %v", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Error("DelayOnly did not sleep")
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	r := New(1)
+	r.Arm(PointFSSync, Plan{})
+	r.Arm(PointFSWrite, Plan{})
+	if got := len(r.Points()); got != 2 {
+		t.Fatalf("points = %d, want 2", got)
+	}
+	r.Disarm(PointFSSync)
+	if err := r.Check(PointFSSync); err != nil {
+		t.Error("disarmed point still fires")
+	}
+	r.DisarmAll()
+	if err := r.Check(PointFSWrite); err != nil {
+		t.Error("DisarmAll left a point armed")
+	}
+}
+
+func TestConcurrentChecks(t *testing.T) {
+	r := New(1)
+	r.Arm(PointHandler, Plan{Prob: 0.5})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				_ = r.Check(PointHandler)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := r.Checks(PointHandler); got != 4000 {
+		t.Errorf("checks = %d, want 4000", got)
+	}
+}

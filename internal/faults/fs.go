@@ -1,0 +1,195 @@
+package faults
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the slice of *os.File the release store needs. Sync is explicit
+// because crash safety depends on it: a write that was never synced may
+// vanish in a crash, and the store's tests inject exactly that.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+}
+
+// FS is the slice of the os package the release store needs, abstracted so
+// tests can inject failures at every operation. Implementations: OS (the
+// real filesystem) and NewFS (a fault-injecting wrapper around any FS).
+type FS interface {
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Create creates (or truncates) a file for writing.
+	Create(name string) (File, error)
+	// Rename atomically replaces newname with oldname, per os.Rename.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists the names (not paths) of the directory's entries.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir fsyncs the directory itself, making a preceding rename
+	// durable. (An atomic rename that is not followed by a directory sync
+	// can still be lost in a crash.)
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// SyncDir implements FS.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // the sync error is the one worth reporting
+		return err
+	}
+	return d.Close()
+}
+
+// faultFS wraps an FS, consulting a registry's PointFS* points before each
+// operation.
+type faultFS struct {
+	base FS
+	reg  *Registry
+}
+
+// NewFS wraps base so every operation first consults reg at the
+// corresponding PointFS* point. With a nil registry the wrapper is
+// transparent.
+func NewFS(base FS, reg *Registry) FS {
+	return &faultFS{base: base, reg: reg}
+}
+
+func (f *faultFS) Open(name string) (File, error) {
+	if err := f.reg.Check(PointFSOpen); err != nil {
+		return nil, err
+	}
+	file, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, reg: f.reg}, nil
+}
+
+func (f *faultFS) Create(name string) (File, error) {
+	if err := f.reg.Check(PointFSCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, reg: f.reg}, nil
+}
+
+func (f *faultFS) Rename(oldname, newname string) error {
+	if err := f.reg.Check(PointFSRename); err != nil {
+		return err
+	}
+	return f.base.Rename(oldname, newname)
+}
+
+func (f *faultFS) Remove(name string) error {
+	if err := f.reg.Check(PointFSRemove); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+func (f *faultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.reg.Check(PointFSReadDir); err != nil {
+		return nil, err
+	}
+	return f.base.ReadDir(dir)
+}
+
+func (f *faultFS) MkdirAll(dir string) error { return f.base.MkdirAll(dir) }
+
+func (f *faultFS) SyncDir(dir string) error {
+	if err := f.reg.Check(PointFSSyncDir); err != nil {
+		return err
+	}
+	return f.base.SyncDir(dir)
+}
+
+// faultFile consults the registry on every read, write, sync and close. A
+// firing write plan performs a torn half-write before reporting the error,
+// so downstream CRC validation is exercised by genuinely corrupt bytes.
+type faultFile struct {
+	File
+	reg *Registry
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.reg.Check(PointFSRead); err != nil {
+		return 0, err
+	}
+	return f.File.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.reg.Check(PointFSWrite); err != nil {
+		n, werr := f.File.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.reg.Check(PointFSSync); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if err := f.reg.Check(PointFSClose); err != nil {
+		_ = f.File.Close() // release the descriptor even when injecting
+		return err
+	}
+	return f.File.Close()
+}

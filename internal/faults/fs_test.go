@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+// writeFile writes content through fsys, returning any error along the way.
+func writeFile(fsys FS, path, content string) error {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS{}
+	sub := filepath.Join(dir, "a", "b")
+	if err := fsys.MkdirAll(sub); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(sub, "file.bin")
+	if err := writeFile(fsys, path, "payload"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Errorf("read back %q", got)
+	}
+	names, err := fsys.ReadDir(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "file.bin" {
+		t.Errorf("ReadDir = %v", names)
+	}
+	renamed := filepath.Join(sub, "renamed.bin")
+	if err := fsys.Rename(path, renamed); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(renamed); err != nil {
+		t.Fatal(err)
+	}
+	names, err = fsys.ReadDir(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("dir not empty after remove: %v", names)
+	}
+}
+
+func TestFaultFSInjectsPerOperation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	cases := []struct {
+		point Point
+		op    func(fsys FS) error
+	}{
+		{PointFSCreate, func(fsys FS) error { _, err := fsys.Create(path); return err }},
+		{PointFSOpen, func(fsys FS) error { _, err := fsys.Open(path); return err }},
+		{PointFSRename, func(fsys FS) error { return fsys.Rename(path, path+"2") }},
+		{PointFSRemove, func(fsys FS) error { return fsys.Remove(path) }},
+		{PointFSReadDir, func(fsys FS) error { _, err := fsys.ReadDir(dir); return err }},
+		{PointFSSyncDir, func(fsys FS) error { return fsys.SyncDir(dir) }},
+	}
+	for _, tc := range cases {
+		reg := New(1)
+		reg.Arm(tc.point, Plan{})
+		fsys := NewFS(OS{}, reg)
+		if err := tc.op(fsys); !errors.Is(err, ErrInjected) {
+			t.Errorf("%s: err = %v, want ErrInjected", tc.point, err)
+		}
+		if reg.Fired(tc.point) != 1 {
+			t.Errorf("%s: fired = %d, want 1", tc.point, reg.Fired(tc.point))
+		}
+	}
+}
+
+func TestFaultFSTornWriteThenFailedSync(t *testing.T) {
+	dir := t.TempDir()
+	reg := New(1)
+	fsys := NewFS(OS{}, reg)
+	path := filepath.Join(dir, "torn.bin")
+
+	// The write plan fires on the second write: the first 8 bytes land,
+	// the next write tears in half — a realistic mid-persist crash image.
+	reg.Arm(PointFSWrite, Plan{After: 1})
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("SOCRECv1")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write err = %v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Errorf("torn write wrote %d bytes, want 4", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The torn prefix is really on disk: CRC-style readers must see it.
+	rf, err := fsys.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "SOCRECv1abcd" {
+		t.Errorf("on-disk bytes = %q", got)
+	}
+
+	// A sync plan fails the durability step even when writes succeed.
+	reg.DisarmAll()
+	reg.Arm(PointFSSync, Plan{})
+	if err := writeFile(fsys, path, "x"); !errors.Is(err, ErrInjected) {
+		t.Errorf("sync fault not delivered: %v", err)
+	}
+}
+
+func TestFaultFSReadFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.bin")
+	if err := writeFile(OS{}, path, "content"); err != nil {
+		t.Fatal(err)
+	}
+	reg := New(1)
+	reg.Arm(PointFSRead, Plan{})
+	fsys := NewFS(OS{}, reg)
+	f, err := fsys.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	if _, err := io.ReadAll(f); !errors.Is(err, ErrInjected) {
+		t.Errorf("read err = %v, want ErrInjected", err)
+	}
+}
+
+func TestFaultFSCloseFaultStillClosesDescriptor(t *testing.T) {
+	dir := t.TempDir()
+	reg := New(1)
+	reg.Arm(PointFSClose, Plan{})
+	fsys := NewFS(OS{}, reg)
+	f, err := fsys.Create(filepath.Join(dir, "c.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrInjected) {
+		t.Errorf("close err = %v, want ErrInjected", err)
+	}
+}

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// FailingReader passes reads through until Limit total bytes have been
+// delivered, then returns Err (wrapping ErrInjected). The final read before
+// the limit may be short — exactly how a truncated file or a dying
+// connection behaves.
+type FailingReader struct {
+	R io.Reader
+	// Limit is the number of bytes delivered before failure.
+	Limit int64
+	// Err is returned once the limit is reached; nil selects ErrInjected.
+	Err error
+
+	n int64
+}
+
+// Read implements io.Reader.
+func (f *FailingReader) Read(p []byte) (int, error) {
+	if f.n >= f.Limit {
+		return 0, injected("read", f.Err)
+	}
+	if rem := f.Limit - f.n; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := f.R.Read(p)
+	f.n += int64(n)
+	return n, err
+}
+
+// FailingWriter accepts writes until Limit total bytes, then fails. The
+// write that crosses the limit is a short write: bytes up to the limit
+// reach the underlying writer, the rest are dropped and an error is
+// returned — the observable behaviour of a crash or a full disk partway
+// through a persist.
+type FailingWriter struct {
+	W io.Writer
+	// Limit is the number of bytes accepted before failure.
+	Limit int64
+	// Err is returned at the limit; nil selects ErrInjected.
+	Err error
+
+	n int64
+}
+
+// Write implements io.Writer.
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	if f.n >= f.Limit {
+		return 0, injected("write", f.Err)
+	}
+	if rem := f.Limit - f.n; int64(len(p)) > rem {
+		n, err := f.W.Write(p[:rem])
+		f.n += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, injected("short write", f.Err)
+	}
+	n, err := f.W.Write(p)
+	f.n += int64(n)
+	return n, err
+}
+
+// SlowReader sleeps Delay before every Read — deadline and timeout fuel.
+type SlowReader struct {
+	R     io.Reader
+	Delay time.Duration
+}
+
+// Read implements io.Reader.
+func (s *SlowReader) Read(p []byte) (int, error) {
+	time.Sleep(s.Delay)
+	return s.R.Read(p)
+}
+
+// SlowWriter sleeps Delay before every Write.
+type SlowWriter struct {
+	W     io.Writer
+	Delay time.Duration
+}
+
+// Write implements io.Writer.
+func (s *SlowWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.Delay)
+	return s.W.Write(p)
+}
+
+// FlakyReader consults a registry point before every Read, so a seeded
+// schedule decides which reads fail.
+type FlakyReader struct {
+	R   io.Reader
+	Reg *Registry
+	P   Point
+}
+
+// Read implements io.Reader.
+func (f *FlakyReader) Read(p []byte) (int, error) {
+	if err := f.Reg.Check(f.P); err != nil {
+		return 0, err
+	}
+	return f.R.Read(p)
+}
+
+// FlakyWriter consults a registry point before every Write. A firing plan
+// produces a short write of half the buffer — injected failures model torn
+// writes, not clean refusals.
+type FlakyWriter struct {
+	R   io.Writer
+	Reg *Registry
+	P   Point
+}
+
+// Write implements io.Writer.
+func (f *FlakyWriter) Write(p []byte) (int, error) {
+	if err := f.Reg.Check(f.P); err != nil {
+		n, werr := f.R.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return f.R.Write(p)
+}
+
+// injected wraps err (or ErrInjected when nil) with an operation label.
+func injected(op string, err error) error {
+	if err == nil {
+		return fmt.Errorf("%w: %s", ErrInjected, op)
+	}
+	return fmt.Errorf("%w: %s: %w", ErrInjected, op, err)
+}

@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFailingReader(t *testing.T) {
+	fr := &FailingReader{R: strings.NewReader("hello world"), Limit: 5}
+	got, err := io.ReadAll(fr)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("read %q, want %q", got, "hello")
+	}
+}
+
+func TestFailingReaderCustomErr(t *testing.T) {
+	sentinel := errors.New("cable pulled")
+	fr := &FailingReader{R: strings.NewReader("abc"), Limit: 0, Err: sentinel}
+	if _, err := fr.Read(make([]byte, 1)); !errors.Is(err, sentinel) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want the custom error wrapping ErrInjected", err)
+	}
+}
+
+func TestFailingWriterShortWrite(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &FailingWriter{W: &buf, Limit: 5}
+	n, err := fw.Write([]byte("hello world"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 5 || buf.String() != "hello" {
+		t.Errorf("wrote %d bytes %q, want the 5-byte prefix", n, buf.String())
+	}
+	// Every subsequent write fails immediately.
+	if _, err := fw.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Error("writer recovered after its failure point")
+	}
+}
+
+func TestFailingWriterExactBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &FailingWriter{W: &buf, Limit: 5}
+	if _, err := fw.Write([]byte("hello")); err != nil {
+		t.Fatalf("write up to the limit failed: %v", err)
+	}
+	if _, err := fw.Write([]byte("!")); !errors.Is(err, ErrInjected) {
+		t.Fatal("write past the limit succeeded")
+	}
+}
+
+func TestSlowReaderWriter(t *testing.T) {
+	const d = 5 * time.Millisecond
+	sr := &SlowReader{R: strings.NewReader("x"), Delay: d}
+	start := time.Now()
+	if _, err := io.ReadAll(sr); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < d {
+		t.Error("SlowReader did not delay")
+	}
+	var buf bytes.Buffer
+	sw := &SlowWriter{W: &buf, Delay: d}
+	start = time.Now()
+	if _, err := sw.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < d {
+		t.Error("SlowWriter did not delay")
+	}
+}
+
+func TestFlakyReader(t *testing.T) {
+	reg := New(1)
+	reg.Arm(PointFSRead, Plan{After: 1}) // first read ok, rest fail
+	fr := &FlakyReader{R: strings.NewReader("abcdef"), Reg: reg, P: PointFSRead}
+	buf := make([]byte, 3)
+	if _, err := fr.Read(buf); err != nil {
+		t.Fatalf("first read failed: %v", err)
+	}
+	if _, err := fr.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read err = %v, want ErrInjected", err)
+	}
+}
+
+func TestFlakyWriterTornWrite(t *testing.T) {
+	reg := New(1)
+	reg.Arm(PointFSWrite, Plan{})
+	var buf bytes.Buffer
+	fw := &FlakyWriter{R: &buf, Reg: reg, P: PointFSWrite}
+	n, err := fw.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 4 || buf.String() != "abcd" {
+		t.Errorf("torn write delivered %d bytes %q, want the half prefix", n, buf.String())
+	}
+}
+
+func TestFlakyWrappersWithNilRegistryPassThrough(t *testing.T) {
+	fr := &FlakyReader{R: strings.NewReader("ok"), P: PointFSRead}
+	got, err := io.ReadAll(fr)
+	if err != nil || string(got) != "ok" {
+		t.Errorf("nil-registry FlakyReader = %q, %v", got, err)
+	}
+	var buf bytes.Buffer
+	fw := &FlakyWriter{R: &buf, P: PointFSWrite}
+	if _, err := fw.Write([]byte("ok")); err != nil || buf.String() != "ok" {
+		t.Errorf("nil-registry FlakyWriter = %q, %v", buf.String(), err)
+	}
+}

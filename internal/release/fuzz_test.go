@@ -26,9 +26,19 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte{})
 	truncated := good.Bytes()[:len(good.Bytes())/2]
 	f.Add(truncated)
+	// The systematic corruption corpus (every truncation, every byte
+	// flipped, mangled magic) seeds the mutator with inputs that reach
+	// deep into the parser: valid headers with poisoned bodies, checksums
+	// over torn payloads, dimension fields a bit off.
+	for _, data := range corruptCorpus(goodReleaseBytes(f)) {
+		f.Add(data)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := Read(bytes.NewReader(data))
 		if err != nil {
+			if r != nil {
+				t.Fatalf("Read returned a partial release alongside error %v", err)
+			}
 			return
 		}
 		if err := r.Validate(); err != nil {

@@ -1,0 +1,273 @@
+package release
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"socialrec/internal/faults"
+	"socialrec/internal/telemetry"
+)
+
+// Store filename layout: each persisted release is one immutable versioned
+// file; an in-progress save is a ".tmp" sibling that becomes visible only
+// through an atomic rename. Version numbers are monotonically increasing
+// and zero-padded so lexical and numeric order agree.
+const (
+	filePrefix = "release-"
+	fileSuffix = ".socrec"
+	tmpSuffix  = ".tmp"
+)
+
+// Store persists releases crash-safely in one directory and recovers the
+// newest valid version on open.
+//
+// Durability protocol (Save): write to a temporary file in the same
+// directory, fsync the file, close it, atomically rename it to its
+// versioned final name, fsync the directory. A crash at any point leaves
+// either the previous versions untouched (the temp file is invisible
+// debris, removed on the next Open) or the new version fully durable —
+// never a half-written file under a final name. Should a torn file appear
+// under a final name anyway (disk corruption, an external writer), Load's
+// CRC validation skips it and falls back to the next-newest valid version,
+// reporting what was skipped.
+//
+// Store methods are not safe for concurrent use with each other; callers
+// (cmd/recserve's reload path) serialize them. The *Release values they
+// return are immutable and safe to share.
+type Store struct {
+	dir  string
+	fsys faults.FS
+	logf func(format string, args ...any)
+
+	saves        *telemetry.Counter
+	saveFailures *telemetry.Counter
+	recoveries   *telemetry.Counter
+	tempCleaned  *telemetry.Counter
+}
+
+// StoreOptions configures OpenStore. The zero value selects the real
+// filesystem, telemetry.Default() and log.Printf.
+type StoreOptions struct {
+	// FS is the filesystem the store operates on; nil selects faults.OS.
+	// Tests inject a faults.NewFS wrapper here.
+	FS faults.FS
+	// Metrics receives the store's counters; nil selects
+	// telemetry.Default().
+	Metrics *telemetry.Registry
+	// Logf receives recovery notices (corrupt versions skipped, temp
+	// debris removed); nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Skipped records one release file that recovery passed over and why.
+type Skipped struct {
+	// Name is the file's name within the store directory.
+	Name string
+	// Err is the validation failure (truncation, CRC mismatch, bad magic).
+	Err error
+}
+
+// OpenStore opens (creating if needed) a release store rooted at dir and
+// removes any temporary-file debris a crashed save left behind.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faults.OS{}
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	s := &Store{
+		dir:  dir,
+		fsys: fsys,
+		logf: logf,
+		saves: reg.NewCounter("release_store_saves_total",
+			"releases persisted successfully"),
+		saveFailures: reg.NewCounter("release_store_save_failures_total",
+			"release persists that failed before becoming durable"),
+		recoveries: reg.NewCounter("release_store_recoveries_total",
+			"corrupt or truncated release files skipped during load"),
+		tempCleaned: reg.NewCounter("release_store_temp_cleaned_total",
+			"crashed-save temporary files removed on open"),
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("release: opening store %s: %w", dir, err)
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("release: opening store %s: %w", dir, err)
+	}
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) && strings.HasPrefix(name, filePrefix) {
+			// Debris from a save that crashed before its rename; the
+			// version it was building was never visible, so removal is
+			// safe and keeps the directory scan-clean.
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+				logf("release: store %s: removing stale temp %s: %v", dir, name, err)
+				continue
+			}
+			s.tempCleaned.Inc()
+			logf("release: store %s: removed stale temp %s (crashed save)", dir, name)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileName renders the versioned filename for v.
+func fileName(v uint64) string {
+	return fmt.Sprintf("%s%012d%s", filePrefix, v, fileSuffix)
+}
+
+// parseVersion extracts the version from a store filename; ok is false for
+// temp files and foreign names.
+func parseVersion(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, filePrefix), fileSuffix)
+	if digits == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Versions lists the persisted version numbers in ascending order, without
+// validating file contents.
+func (s *Store) Versions() ([]uint64, error) {
+	names, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("release: listing store %s: %w", s.dir, err)
+	}
+	var out []uint64
+	for _, name := range names {
+		if v, ok := parseVersion(name); ok {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Save persists r as the next version, returning the version number it
+// became. On any failure nothing becomes visible: the half-written temp
+// file is removed (best-effort) and previously saved versions are
+// untouched, so a reopened store keeps serving the last good release.
+func (s *Store) Save(r *Release) (uint64, error) {
+	v, err := s.save(r)
+	if err != nil {
+		s.saveFailures.Inc()
+		return 0, err
+	}
+	s.saves.Inc()
+	return v, nil
+}
+
+func (s *Store) save(r *Release) (uint64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	versions, err := s.Versions()
+	if err != nil {
+		return 0, err
+	}
+	next := uint64(1)
+	if len(versions) > 0 {
+		next = versions[len(versions)-1] + 1
+	}
+	final := filepath.Join(s.dir, fileName(next))
+	tmp := final + tmpSuffix
+
+	f, err := s.fsys.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("release: saving version %d: %w", next, err)
+	}
+	// Any failure past this point must leave no debris under the final
+	// name; the temp file is removed best-effort (Open also sweeps it).
+	fail := func(step string, err error) (uint64, error) {
+		_ = s.fsys.Remove(tmp)
+		return 0, fmt.Errorf("release: saving version %d: %s: %w", next, step, err)
+	}
+	if err := Write(f, r); err != nil {
+		_ = f.Close()
+		return fail("write", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		return fail("close", err)
+	}
+	if err := s.fsys.Rename(tmp, final); err != nil {
+		return fail("rename", err)
+	}
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		// The rename happened; without the directory sync it may not
+		// survive a crash. Remove the final file so the store never
+		// reports a version of uncertain durability as saved.
+		_ = s.fsys.Remove(final)
+		return 0, fmt.Errorf("release: saving version %d: syncing directory: %w", next, err)
+	}
+	return next, nil
+}
+
+// ErrStoreEmpty is returned by Load when the store holds no valid release.
+var ErrStoreEmpty = errors.New("release: store holds no valid release")
+
+// Load opens the newest valid release, working backwards over corrupt or
+// truncated versions. skipped lists what recovery passed over, newest
+// first; each skip is also counted on release_store_recoveries_total and
+// logged. The error is ErrStoreEmpty when no version validates.
+func (s *Store) Load() (rel *Release, version uint64, skipped []Skipped, err error) {
+	versions, err := s.Versions()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	for i := len(versions) - 1; i >= 0; i-- {
+		v := versions[i]
+		rel, err := s.LoadVersion(v)
+		if err != nil {
+			s.recoveries.Inc()
+			s.logf("release: store %s: skipping version %d: %v", s.dir, v, err)
+			skipped = append(skipped, Skipped{Name: fileName(v), Err: err})
+			continue
+		}
+		return rel, v, skipped, nil
+	}
+	return nil, 0, skipped, fmt.Errorf("%w (dir %s, %d file(s) skipped)", ErrStoreEmpty, s.dir, len(skipped))
+}
+
+// LoadVersion opens one specific version, validating its checksum.
+func (s *Store) LoadVersion(v uint64) (*Release, error) {
+	f, err := s.fsys.Open(filepath.Join(s.dir, fileName(v)))
+	if err != nil {
+		return nil, fmt.Errorf("release: loading version %d: %w", v, err)
+	}
+	rel, err := Read(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		// The release was fully read and checksummed; a close failure
+		// afterwards cannot have corrupted it. Surface it anyway.
+		return nil, fmt.Errorf("release: loading version %d: close: %w", v, cerr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("release: loading version %d: %w", v, err)
+	}
+	return rel, nil
+}

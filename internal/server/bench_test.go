@@ -2,12 +2,16 @@ package server
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"socialrec/internal/dataset"
+	"socialrec/internal/faults"
+	"socialrec/internal/telemetry"
 )
 
 func benchServer(b *testing.B) *httptest.Server {
@@ -42,6 +46,66 @@ func BenchmarkRecommendHandler(b *testing.B) {
 		}
 		resp.Body.Close()
 	}
+}
+
+// BenchmarkServerChaos drives the hardened request path with a mixed fault
+// plan — probabilistic errors, panics on a schedule, and latency jitter —
+// and fails if any request produces an unexpected status or the process
+// stops answering. `make chaos` runs it under -race to prove the stack
+// survives sustained injected failure without panics or deadlocks.
+func BenchmarkServerChaos(b *testing.B) {
+	reg := faults.New(42)
+	// Baseline plan: 10% of requests fail with an injected 500 plus a
+	// little latency; every 50th iteration swaps in a one-shot panic so the
+	// run also exercises the recovery middleware.
+	reg.Arm(faults.PointHandler, faults.Plan{Prob: 0.1, Delay: 50 * time.Microsecond})
+	s, err := New(Config{
+		Engine:         NewHot(&fakeEngine{users: 100, failOn: -1}, 1),
+		UserIDs:        map[string]int{"alice": 0, "bob": 1},
+		Stats:          dataset.Stats{Users: 100},
+		MaxN:           50,
+		Logf:           func(string, ...any) {}, // panic stacks would swamp -v output
+		Metrics:        telemetry.NewRegistry(),
+		Faults:         reg,
+		MaxInFlight:    8,
+		RequestTimeout: time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	b.Cleanup(ts.Close)
+	url := ts.URL + "/recommend?user=alice&n=10"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%50 == 0 {
+			// Periodically switch the plan to a panicking one and back, so
+			// the run exercises both containment paths.
+			reg.Arm(faults.PointHandler, faults.Plan{Times: 1, Panic: true})
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatalf("request %d: server stopped answering: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusOK &&
+			resp.StatusCode != http.StatusInternalServerError &&
+			resp.StatusCode != http.StatusServiceUnavailable {
+			b.Fatalf("request %d: unexpected status %d", i, resp.StatusCode)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if i%50 == 0 {
+			reg.Arm(faults.PointHandler, faults.Plan{Prob: 0.1, Delay: 50 * time.Microsecond})
+		}
+	}
+	// The process must still be fully healthy after sustained chaos.
+	b.StopTimer()
+	reg.DisarmAll()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		b.Fatalf("post-chaos healthz: %v / %v", resp, err)
+	}
+	resp.Body.Close()
 }
 
 func BenchmarkBatchHandler(b *testing.B) {

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"socialrec/internal/core"
+)
+
+// Hot is an atomically swappable Engine for hot-reload serving. Requests
+// read the current engine through one atomic pointer load; Swap installs a
+// new release without blocking in-flight requests, which finish against
+// the engine they started with. A failed reload calls Fail instead, which
+// keeps the last-good engine serving and marks the slot degraded — the
+// readiness endpoint surfaces that state so operators see "stale but
+// serving" rather than an outage.
+//
+// Hot itself implements Engine by delegation, so it can be wired into
+// Config.Engine unchanged.
+type Hot struct {
+	slot atomic.Pointer[hotSlot]
+}
+
+// hotSlot is the immutable state one atomic load observes. Degradation
+// replaces the whole slot (copying the engine pointer) rather than
+// mutating it, so a reader never sees a half-updated status.
+type hotSlot struct {
+	engine   Engine
+	version  uint64
+	loadedAt time.Time
+	degraded bool
+	reason   string
+}
+
+// HotStatus is a point-in-time view of the serving slot.
+type HotStatus struct {
+	// Version identifies the release generation being served (the release
+	// store's version number, or a load counter for file-based serving).
+	Version uint64
+	// LoadedAt is when the serving engine was installed.
+	LoadedAt time.Time
+	// Degraded reports that a reload failed after this engine was
+	// installed: serving continues from the last-good (stale) release.
+	Degraded bool
+	// Reason is the failure description for a degraded slot.
+	Reason string
+}
+
+// NewHot returns a Hot serving engine at the given release version.
+func NewHot(engine Engine, version uint64) *Hot {
+	h := &Hot{}
+	h.slot.Store(&hotSlot{engine: engine, version: version, loadedAt: time.Now()})
+	return h
+}
+
+// Engine returns the currently serving engine.
+func (h *Hot) Engine() Engine { return h.slot.Load().engine }
+
+// Swap atomically installs a new engine and version, clearing any degraded
+// state. In-flight requests keep the engine they already loaded.
+func (h *Hot) Swap(engine Engine, version uint64) {
+	h.slot.Store(&hotSlot{engine: engine, version: version, loadedAt: time.Now()})
+}
+
+// Fail records a failed reload: the current engine keeps serving, the slot
+// becomes degraded with the given reason.
+func (h *Hot) Fail(reason string) {
+	cur := h.slot.Load()
+	h.slot.Store(&hotSlot{
+		engine:   cur.engine,
+		version:  cur.version,
+		loadedAt: cur.loadedAt,
+		degraded: true,
+		reason:   reason,
+	})
+}
+
+// Status reports the serving slot's provenance and degradation state.
+func (h *Hot) Status() HotStatus {
+	s := h.slot.Load()
+	return HotStatus{Version: s.version, LoadedAt: s.loadedAt, Degraded: s.degraded, Reason: s.reason}
+}
+
+// Recommend implements Engine.
+func (h *Hot) Recommend(user, n int) ([]core.Recommendation, error) {
+	return h.slot.Load().engine.Recommend(user, n)
+}
+
+// ClusterOf implements Engine.
+func (h *Hot) ClusterOf(user int) int { return h.slot.Load().engine.ClusterOf(user) }
+
+// Epsilon implements Engine.
+func (h *Hot) Epsilon() float64 { return h.slot.Load().engine.Epsilon() }
+
+// NumClusters implements Engine.
+func (h *Hot) NumClusters() int { return h.slot.Load().engine.NumClusters() }
+
+// Modularity implements Engine.
+func (h *Hot) Modularity() float64 { return h.slot.Load().engine.Modularity() }
+
+// statuser is the optional interface the readiness endpoint uses to report
+// release provenance; *Hot implements it.
+type statuser interface{ Status() HotStatus }
+
+var _ Engine = (*Hot)(nil)
+var _ statuser = (*Hot)(nil)

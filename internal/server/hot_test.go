@@ -1,0 +1,229 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"socialrec/internal/dataset"
+	"socialrec/internal/telemetry"
+)
+
+func TestHotSwapAndStatus(t *testing.T) {
+	e1 := &fakeEngine{users: 5, failOn: -1}
+	h := NewHot(e1, 1)
+	if h.Engine() != Engine(e1) {
+		t.Fatal("Engine() is not the installed engine")
+	}
+	st := h.Status()
+	if st.Version != 1 || st.Degraded || st.LoadedAt.IsZero() {
+		t.Errorf("fresh status = %+v", st)
+	}
+
+	e2 := &fakeEngine{users: 9, failOn: -1}
+	h.Swap(e2, 2)
+	if h.Engine() != Engine(e2) || h.Status().Version != 2 {
+		t.Error("swap did not install the new engine")
+	}
+
+	h.Fail("release store unreadable")
+	st = h.Status()
+	if !st.Degraded || st.Reason != "release store unreadable" || st.Version != 2 {
+		t.Errorf("degraded status = %+v", st)
+	}
+	if h.Engine() != Engine(e2) {
+		t.Error("Fail replaced the serving engine")
+	}
+
+	// A later successful swap clears degradation.
+	h.Swap(e1, 3)
+	if st := h.Status(); st.Degraded || st.Version != 3 {
+		t.Errorf("post-recovery status = %+v", st)
+	}
+}
+
+func TestHotDelegatesEngine(t *testing.T) {
+	h := NewHot(&fakeEngine{users: 5, failOn: -1}, 1)
+	recs, err := h.Recommend(0, 3)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("Recommend = %v, %v", recs, err)
+	}
+	if h.Epsilon() != 0.5 || h.NumClusters() != 3 || h.ClusterOf(1) != 1 || h.Modularity() != 0.42 {
+		t.Error("delegated accessors disagree with the underlying engine")
+	}
+}
+
+func TestHotConcurrentSwapAndServe(t *testing.T) {
+	h := NewHot(&fakeEngine{users: 5, failOn: -1}, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch {
+				case g == 0 && i%10 == 0:
+					h.Swap(&fakeEngine{users: 5, failOn: -1}, uint64(i))
+				case g == 1 && i%25 == 0:
+					h.Fail("injected")
+				default:
+					if _, err := h.Recommend(i%5, 2); err != nil {
+						t.Errorf("recommend during swap: %v", err)
+						return
+					}
+					_ = h.Status()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// reloadServer builds a server over a Hot engine whose reload closure
+// behaves like cmd/recserve's: success swaps, failure marks degraded.
+func reloadServer(t *testing.T, hot *Hot, reload func() error) *httptest.Server {
+	t.Helper()
+	s, err := New(Config{
+		Engine:  hot,
+		UserIDs: map[string]int{"alice": 0, "bob": 1},
+		Stats:   dataset.Stats{Users: 5},
+		MaxN:    10,
+		Logf:    t.Logf,
+		Metrics: telemetry.NewRegistry(),
+		Reload:  reload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	return decodeBody(t, resp)
+}
+
+// TestFailedReloadKeepsServingDegraded is acceptance criterion (b): a
+// failed hot-reload keeps the old engine serving and readiness reports
+// degraded; a subsequent successful reload recovers.
+func TestFailedReloadKeepsServingDegraded(t *testing.T) {
+	hot := NewHot(&fakeEngine{users: 5, failOn: -1}, 1)
+	fail := true
+	reload := func() error {
+		if fail {
+			hot.Fail("store corrupt")
+			return fmt.Errorf("store corrupt")
+		}
+		hot.Swap(&fakeEngine{users: 5, failOn: -1}, 2)
+		return nil
+	}
+	ts := reloadServer(t, hot, reload)
+
+	// Fresh server: ready, version 1, not degraded.
+	body := getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if body["release_version"].(float64) != 1 || body["degraded"].(bool) {
+		t.Fatalf("fresh readyz = %v", body)
+	}
+	if _, ok := body["loaded_at"].(string); !ok {
+		t.Fatalf("readyz missing loaded_at: %v", body)
+	}
+
+	// Reload fails: 500, still serving version 1, readiness degraded.
+	postJSON(t, ts.URL+"/admin/reload", http.StatusInternalServerError)
+	body = getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if body["release_version"].(float64) != 1 || !body["degraded"].(bool) {
+		t.Fatalf("post-failure readyz = %v", body)
+	}
+	if body["degraded_reason"] != "store corrupt" {
+		t.Errorf("degraded_reason = %v", body["degraded_reason"])
+	}
+	if got := getJSON(t, ts.URL+"/recommend?user=alice&n=2", http.StatusOK); got["user"] != "alice" {
+		t.Fatalf("degraded server stopped serving: %v", got)
+	}
+
+	// Recovery: reload succeeds, degradation clears, version advances.
+	fail = false
+	body = postJSON(t, ts.URL+"/admin/reload", http.StatusOK)
+	if body["release_version"].(float64) != 2 {
+		t.Errorf("reload response = %v", body)
+	}
+	body = getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if body["release_version"].(float64) != 2 || body["degraded"].(bool) {
+		t.Errorf("post-recovery readyz = %v", body)
+	}
+}
+
+func TestReloadCounters(t *testing.T) {
+	hot := NewHot(&fakeEngine{users: 5, failOn: -1}, 1)
+	fail := true
+	reg := telemetry.NewRegistry()
+	s, err := New(Config{
+		Engine:  hot,
+		UserIDs: map[string]int{"alice": 0},
+		MaxN:    10,
+		Logf:    t.Logf,
+		Metrics: reg,
+		Reload: func() error {
+			if fail {
+				return fmt.Errorf("nope")
+			}
+			hot.Swap(&fakeEngine{users: 5, failOn: -1}, 2)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	postJSON(t, ts.URL+"/admin/reload", http.StatusInternalServerError)
+	fail = false
+	postJSON(t, ts.URL+"/admin/reload", http.StatusOK)
+	if got := s.metrics.reloadFailure.Value(); got != 1 {
+		t.Errorf("reload_failure_total = %d, want 1", got)
+	}
+	if got := s.metrics.reloadSuccess.Value(); got != 1 {
+		t.Errorf("reload_success_total = %d, want 1", got)
+	}
+}
+
+func TestReloadWithoutSourceIs501(t *testing.T) {
+	ts := newTestServer(t)
+	postJSON(t, ts.URL+"/admin/reload", http.StatusNotImplemented)
+}
+
+func TestReadyzWithoutHotEngine(t *testing.T) {
+	// A plain (non-Hot) engine still reports ready; provenance fields are
+	// simply absent.
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if body["ready"] != true {
+		t.Errorf("readyz = %v", body)
+	}
+	if _, present := body["release_version"]; present {
+		t.Errorf("non-hot engine reported a release version: %v", body)
+	}
+}
+
+func decodeBody(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body
+}

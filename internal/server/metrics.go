@@ -13,13 +13,15 @@ import (
 // them; see internal/telemetry's no-sensitive-labels invariant).
 const (
 	epHealthz   = "healthz"
+	epReadyz    = "readyz"
 	epStats     = "stats"
 	epUsers     = "users"
 	epRecommend = "recommend"
 	epBatch     = "batch"
+	epReload    = "reload"
 )
 
-var endpoints = []string{epHealthz, epStats, epUsers, epRecommend, epBatch}
+var endpoints = []string{epHealthz, epReadyz, epStats, epUsers, epRecommend, epBatch, epReload}
 
 // Status classes for response accounting.
 var statusClasses = []string{"status_2xx", "status_3xx", "status_4xx", "status_5xx"}
@@ -34,6 +36,12 @@ type metrics struct {
 	latency        map[string]*telemetry.Histogram // by endpoint
 	responses      map[string]*telemetry.Counter   // by status class
 	encodeFailures *telemetry.Counter
+	panics         *telemetry.Counter
+	shed           *telemetry.Counter
+	timeouts       *telemetry.Counter
+	chaosInjected  *telemetry.Counter
+	reloadSuccess  *telemetry.Counter
+	reloadFailure  *telemetry.Counter
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
@@ -49,6 +57,18 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		responses: map[string]*telemetry.Counter{},
 		encodeFailures: reg.NewCounter("http_encode_failures_total",
 			"responses whose JSON encoding failed before any bytes were written"),
+		panics: reg.NewCounter("http_panics_recovered_total",
+			"handler panics converted to 500s by the recovery middleware"),
+		shed: reg.NewCounter("http_shed_total",
+			"requests rejected with 503 by the concurrency limiter"),
+		timeouts: reg.NewCounter("http_request_timeouts_total",
+			"requests whose per-request deadline expired"),
+		chaosInjected: reg.NewCounter("http_chaos_injected_total",
+			"requests failed deliberately by -chaos fault injection"),
+		reloadSuccess: reg.NewCounter("reload_success_total",
+			"hot reloads that swapped in a new release"),
+		reloadFailure: reg.NewCounter("reload_failure_total",
+			"hot reloads that failed, leaving the last-good release serving"),
 	}
 	reqVec := reg.NewCounterVec("http_requests_total",
 		"requests handled, by endpoint", "endpoint", endpoints...)
@@ -69,15 +89,24 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 	return m
 }
 
-// statusWriter captures the status code a handler writes.
+// statusWriter captures the status code a handler writes and whether a
+// response has been committed (so the recovery middleware knows if a 500
+// can still be sent).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 func statusClass(status int) string {

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"socialrec/internal/faults"
+)
+
+// Hardening middleware for the request path. The serving endpoints run the
+// full stack, assembled outermost-first by harden():
+//
+//	instrument → limit → recover → deadline → chaos → handler
+//
+// instrument stays outermost so shed and panicked requests are still
+// counted per endpoint; limit sheds before any work is spent; recover
+// contains everything below it, including injected chaos panics; deadline
+// bounds the handler's context; chaos (active only when Config.Faults is
+// armed) injects deterministic faults at the innermost point so every
+// injected failure exercises the entire recovery stack above it.
+//
+// The health endpoints deliberately run only instrument+recover: liveness
+// and readiness probes must keep answering while the serving path is
+// saturated, or an overloaded-but-healthy process gets restarted into a
+// thundering herd.
+
+// harden wraps a serving handler with the full middleware stack.
+func (s *Server) harden(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	h = s.chaos(h)
+	h = s.deadline(h)
+	h = s.recovery(h)
+	h = s.limit(h)
+	return s.instrument(endpoint, h)
+}
+
+// recovery converts a handler panic into a 500 response and a counter
+// increment, keeping the process serving. The panic value and stack are
+// logged; neither reaches the response body (stacks can name internal
+// state; clients get a generic error).
+func (s *Server) recovery(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			s.metrics.panics.Inc()
+			s.cfg.Logf("server: panic recovered: %v\n%s", v, debug.Stack())
+			if sw, ok := w.(*statusWriter); ok && sw.wrote {
+				// The handler already committed a response; nothing more
+				// can be sent, but the connection and process survive.
+				return
+			}
+			s.writeError(w, http.StatusInternalServerError, "internal error")
+		}()
+		h(w, r)
+	}
+}
+
+// limit sheds load once maxInFlight requests are already in the serving
+// path: excess requests get an immediate 503 with Retry-After instead of
+// queueing into memory exhaustion or timeout cascades.
+func (s *Server) limit(h http.HandlerFunc) http.HandlerFunc {
+	if s.sem == nil {
+		return h
+	}
+	retryAfter := strconv.Itoa(int(s.cfg.RetryAfter / time.Second))
+	if s.cfg.RetryAfter%time.Second != 0 || s.cfg.RetryAfter == 0 {
+		retryAfter = "1"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h(w, r)
+		default:
+			s.metrics.shed.Inc()
+			w.Header().Set("Retry-After", retryAfter)
+			s.writeError(w, http.StatusServiceUnavailable, "server saturated, retry later")
+		}
+	}
+}
+
+// deadline attaches a per-request deadline to the request context, so
+// handler work (batch loops, future engine calls) has a bound to observe.
+// A handler that returns with the deadline expired is counted.
+func (s *Server) deadline(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.RequestTimeout <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+		if ctx.Err() != nil {
+			s.metrics.timeouts.Inc()
+		}
+	}
+}
+
+// chaos consults the fault-injection registry once per request. Unarmed
+// (the production default, Config.Faults nil) it is free; under -chaos the
+// armed plan injects deterministic delays, errors, or panics — the panics
+// deliberately crash into the recovery middleware to prove containment.
+func (s *Server) chaos(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.Faults == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.cfg.Faults.Check(faults.PointHandler); err != nil {
+			s.metrics.chaosInjected.Inc()
+			s.writeError(w, http.StatusInternalServerError, "injected fault")
+			return
+		}
+		h(w, r)
+	}
+}

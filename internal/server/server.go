@@ -1,23 +1,33 @@
 // Package server implements the HTTP API served by cmd/recserve: JSON
-// endpoints for recommendations, dataset statistics and liveness over a
-// private recommendation engine.
+// endpoints for recommendations, dataset statistics, liveness/readiness
+// and hot reload over a private recommendation engine.
 //
 // The engine performs its differentially private release once at
 // construction; every request handled here is post-processing over that
 // sanitized state, so request volume never erodes the privacy guarantee.
+//
+// The request path is hardened for production faults (see middleware.go):
+// panics become 500s without killing the process, a concurrency limiter
+// sheds overload with 503 + Retry-After, every request carries a deadline,
+// and an optional fault-injection registry (Config.Faults) drives chaos
+// testing. Hot reload swaps releases through an atomic pointer (Hot) so a
+// failed reload degrades to "stale but serving" instead of an outage.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 
 	"socialrec/internal/core"
 	"socialrec/internal/dataset"
+	"socialrec/internal/faults"
 	"socialrec/internal/telemetry"
 )
 
@@ -56,6 +66,25 @@ type Config struct {
 	// telemetry.Default(). Registration is idempotent, so several servers
 	// (e.g. tests) may share one registry.
 	Metrics *telemetry.Registry
+	// RequestTimeout bounds each serving request's context; 0 selects
+	// 10 s, negative disables the deadline middleware.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently handled serving requests; excess
+	// requests are shed with 503 + Retry-After. 0 selects 1024, negative
+	// disables shedding. Health endpoints are never shed.
+	MaxInFlight int
+	// RetryAfter is the Retry-After hint on shed responses, rounded to
+	// whole seconds; 0 selects 1 s.
+	RetryAfter time.Duration
+	// Reload, when non-nil, enables POST /admin/reload: it must attempt to
+	// swap in a fresh release (typically via a *Hot engine) and return nil
+	// on success. On failure the server answers 500 and keeps serving the
+	// current engine. nil answers 501 Not Implemented.
+	Reload func() error
+	// Faults, when non-nil, arms the chaos middleware: every hardened
+	// request consults faults.PointHandler. Production servers leave it
+	// nil; cmd/recserve -chaos and fault-injection tests set it.
+	Faults *faults.Registry
 }
 
 // Server routes HTTP requests to a private recommendation engine.
@@ -63,6 +92,7 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	metrics *metrics
+	sem     chan struct{} // concurrency limiter; nil disables shedding
 }
 
 // New validates the configuration and builds the server.
@@ -79,12 +109,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 1024
+	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), metrics: newMetrics(cfg.Metrics)}
-	s.mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
-	s.mux.HandleFunc("GET /stats", s.instrument(epStats, s.handleStats))
-	s.mux.HandleFunc("GET /recommend", s.instrument(epRecommend, s.handleRecommend))
-	s.mux.HandleFunc("POST /recommend/batch", s.instrument(epBatch, s.handleBatch))
-	s.mux.HandleFunc("GET /users", s.instrument(epUsers, s.handleUsers))
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	// Health and admin endpoints bypass the limiter and deadline: probes
+	// must answer while the serving path is saturated, and a reload is
+	// exactly what an operator reaches for under duress.
+	s.mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.recovery(s.handleHealthz)))
+	s.mux.HandleFunc("GET /readyz", s.instrument(epReadyz, s.recovery(s.handleReadyz)))
+	s.mux.HandleFunc("POST /admin/reload", s.instrument(epReload, s.recovery(s.handleReload)))
+	s.mux.HandleFunc("GET /stats", s.harden(epStats, s.handleStats))
+	s.mux.HandleFunc("GET /recommend", s.harden(epRecommend, s.handleRecommend))
+	s.mux.HandleFunc("POST /recommend/batch", s.harden(epBatch, s.handleBatch))
+	s.mux.HandleFunc("GET /users", s.harden(epUsers, s.handleUsers))
 	return s, nil
 }
 
@@ -93,10 +137,59 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// handleHealthz is the liveness probe: the process is up and the router
+// answers. It deliberately checks nothing else — a degraded or reloading
+// server is still alive, and restarting it would only lose the last-good
+// release it is serving.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	// Best-effort: a failed health-check write means the client is gone.
 	_, _ = fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: which release is being served, when
+// it was loaded, and whether the server is degraded (a reload failed and
+// the last-good, now stale, release is still serving). Degraded is 200 —
+// the server IS serving — with degraded: true for dashboards and rollout
+// gates to act on.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{
+		"ready":   true,
+		"epsilon": fmt.Sprintf("%g", s.cfg.Engine.Epsilon()),
+	}
+	if st, ok := s.cfg.Engine.(statuser); ok {
+		status := st.Status()
+		body["release_version"] = status.Version
+		body["loaded_at"] = status.LoadedAt.UTC().Format(time.RFC3339)
+		body["degraded"] = status.Degraded
+		if status.Degraded {
+			body["degraded_reason"] = status.Reason
+		}
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+// handleReload triggers the configured reload hook. Success answers 200
+// with the new release version; failure answers 500 while the last-good
+// engine keeps serving (visible as degraded on /readyz when the engine is
+// a *Hot).
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Reload == nil {
+		s.writeError(w, http.StatusNotImplemented, "no reload source configured")
+		return
+	}
+	if err := s.cfg.Reload(); err != nil {
+		s.metrics.reloadFailure.Inc()
+		s.cfg.Logf("server: reload failed: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "reload failed: "+err.Error())
+		return
+	}
+	s.metrics.reloadSuccess.Inc()
+	body := map[string]any{"status": "reloaded"}
+	if st, ok := s.cfg.Engine.(statuser); ok {
+		body["release_version"] = st.Status().Version
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -145,7 +238,12 @@ type recItem struct {
 	Utility float64 `json:"utility"`
 }
 
-func (s *Server) recommendFor(userTok string, n int) (map[string]any, int, error) {
+func (s *Server) recommendFor(ctx context.Context, userTok string, n int) (map[string]any, int, error) {
+	if err := ctx.Err(); err != nil {
+		// The deadline expired (or the client left) before this user's
+		// work started; don't spend engine time on an answer nobody reads.
+		return nil, http.StatusGatewayTimeout, fmt.Errorf("request deadline exceeded")
+	}
 	user, ok := s.cfg.UserIDs[userTok]
 	if !ok {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown user %q", userTok)
@@ -194,7 +292,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	body, status, err := s.recommendFor(userTok, n)
+	body, status, err := s.recommendFor(r.Context(), userTok, n)
 	if err != nil {
 		s.writeError(w, status, err.Error())
 		return
@@ -225,12 +323,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([]map[string]any, 0, len(req.Users))
 	for _, tok := range req.Users {
-		body, status, err := s.recommendFor(tok, req.N)
+		body, status, err := s.recommendFor(r.Context(), tok, req.N)
 		if err != nil {
 			if status == http.StatusNotFound {
 				results = append(results, map[string]any{"user": tok, "error": "unknown user"})
 				continue
 			}
+			// Deadline expiry mid-batch aborts the whole request: a batch
+			// is one response, and a silently truncated one would be
+			// indistinguishable from a complete one.
 			s.writeError(w, status, err.Error())
 			return
 		}

@@ -2,10 +2,12 @@
 # ci.sh — the repository's standing correctness gate.
 #
 # Runs, in order: formatting check, go vet, build, race-enabled tests, the
-# sociolint privacy-invariant analyzers, and a short fuzz smoke over the
-# dataset and release parsers. Every step must pass; the first failure
-# aborts with a non-zero exit. `make ci` is the one-command entry point,
-# locally and in any future pipeline.
+# sociolint privacy-invariant analyzers, the deterministic fault-injection
+# suite (crash-safe store recovery, reload degradation, panic containment,
+# load shedding — under -race), and a short fuzz smoke over the dataset and
+# release parsers. Every step must pass; the first failure aborts with a
+# non-zero exit. `make ci` is the one-command entry point, locally and in
+# any future pipeline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +34,15 @@ go test -race ./...
 
 step "sociolint (privacy invariants)"
 go run ./cmd/sociolint ./...
+
+step "fault injection (crash safety, reload degradation, panic containment, shedding)"
+# The full ./... -race run above already includes these; re-running the
+# failure-path suites by name keeps them un-skippable and makes this gate's
+# coverage explicit even if package lists change.
+go test -race ./internal/faults
+go test -race -run 'TestStore|TestReadCorruptCorpus' ./internal/release
+go test -race -run 'TestHot|TestFailedReload|TestReload|TestPanicRecovery|TestChaos|TestLimiterSheds|TestDeadline' ./internal/server
+go test -race -run 'TestManagerConcurrentPublishBudget' ./internal/dynamic
 
 step "fuzz smoke (10s per target)"
 go test -run='^$' -fuzz='^FuzzReadSocialTSV$' -fuzztime=10s ./internal/dataset

@@ -267,16 +267,28 @@ func newEngine(social *graph.Social, prefs *graph.Preference, cfg Config) (*Engi
 // shipped to other processes and served forever without further budget.
 // Exact (non-private) engines refuse — their state IS the raw data.
 func (e *Engine) SaveRelease(w io.Writer) error {
-	if e.cluster == nil {
-		return fmt.Errorf("socialrec: engine has no sanitized release to save (exact or weighted engines are not persistable)")
+	rel, err := e.Release()
+	if err != nil {
+		return err
 	}
-	return release.Write(w, &release.Release{
+	return release.Write(w, rel)
+}
+
+// Release returns the engine's sanitized release as a value, for callers
+// that persist through release.Store rather than a plain io.Writer. The
+// same post-processing safety as SaveRelease applies; exact (non-private)
+// engines refuse.
+func (e *Engine) Release() (*release.Release, error) {
+	if e.cluster == nil {
+		return nil, fmt.Errorf("socialrec: engine has no sanitized release to save (exact or weighted engines are not persistable)")
+	}
+	return &release.Release{
 		Epsilon:  float64(e.eps),
 		Measure:  e.measure.Name(),
 		Clusters: e.clusters,
 		NumItems: e.numItems,
 		Avg:      e.cluster.Averages(),
-	})
+	}, nil
 }
 
 // LoadEngine reconstructs a serving engine from a persisted release and the
@@ -287,6 +299,12 @@ func LoadEngine(r io.Reader, social *graph.Social) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return EngineFromRelease(rel, social)
+}
+
+// EngineFromRelease reconstructs a serving engine from an already-decoded
+// release, as produced by release.Store recovery. See LoadEngine.
+func EngineFromRelease(rel *release.Release, social *graph.Social) (*Engine, error) {
 	if rel.Clusters.NumUsers() != social.NumUsers() {
 		return nil, fmt.Errorf("socialrec: release covers %d users but social graph has %d",
 			rel.Clusters.NumUsers(), social.NumUsers())
