@@ -11,7 +11,7 @@ BENCH_COUNT ?= 5
 BENCH_OUT ?= BENCH_PR2.json
 BENCH_BASE ?= BENCH_PR2.json
 
-.PHONY: build test race lint fuzz-smoke chaos ci fmt bench benchdiff
+.PHONY: build test race lint fuzz-smoke chaos resume-chaos ci fmt bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,12 @@ fuzz-smoke:
 # deadlock, or unexpected response status.
 chaos:
 	$(GO) test -race -run='^$$' -bench='^BenchmarkServerChaos$$' -benchtime=2000x ./internal/server
+
+# resume-chaos kills the checkpointed offline pipeline at every fault
+# point and proves each resumed run converges to the byte-identical
+# release with ε journaled exactly once (see scripts/resume_chaos.sh).
+resume-chaos:
+	./scripts/resume_chaos.sh
 
 ci:
 	./scripts/ci.sh

@@ -9,11 +9,19 @@
 //
 //	evaluate -social data/social.tsv -prefs data/preferences.tsv \
 //	         -epsilon 0.5 -n 10 -sample 300
+//
+// -lenient quarantines malformed TSV rows (reported on stderr) instead of
+// failing on the first one. With -checkpoint-dir the offline precompute
+// (ingestion, similarity shards, clustering, release) runs through the
+// resumable stage orchestrator: an interrupted run resumes from the first
+// incomplete stage on the next invocation, and -fresh discards checkpoints.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"os"
 	"strconv"
@@ -21,8 +29,11 @@ import (
 	"socialrec"
 	"socialrec/internal/core"
 	"socialrec/internal/dataset"
+	"socialrec/internal/dp"
 	"socialrec/internal/experiment"
 	"socialrec/internal/metrics"
+	"socialrec/internal/pipeline"
+	"socialrec/internal/release"
 	"socialrec/internal/similarity"
 	"socialrec/internal/telemetry"
 )
@@ -36,6 +47,11 @@ func main() {
 		sample     = flag.Int("sample", 300, "users to evaluate")
 		measure    = flag.String("measure", "CN", "similarity measure: CN, GD, AA or KZ")
 		seed       = flag.Int64("seed", 1, "seed")
+		lenient    = flag.Bool("lenient", false, "quarantine malformed TSV rows instead of failing on the first")
+		ckptDir    = flag.String("checkpoint-dir", "", "run the offline precompute through the resumable checkpoint pipeline, storing stage outputs here")
+		resume     = flag.Bool("resume", true, "reuse matching checkpoints in -checkpoint-dir")
+		fresh      = flag.Bool("fresh", false, "discard existing checkpoints before running")
+		runs       = flag.Int("runs", 10, "Louvain restarts (checkpointed pipeline)")
 	)
 	flag.Parse()
 	if *socialPath == "" || *prefsPath == "" {
@@ -50,43 +66,40 @@ func main() {
 		}
 	}
 
-	loadSpan := telemetry.Stages().Start("graph_load")
-	sf, err := os.Open(*socialPath)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	social, userIDs, err := dataset.ReadSocialTSV(sf)
-	_ = sf.Close()
-	if err != nil {
-		fatalf("parsing %s: %v", *socialPath, err)
-	}
-	loadSpan.End()
-	pf, err := os.Open(*prefsPath)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	raw, itemIDs, err := dataset.ReadPreferenceTSV(pf, userIDs)
-	_ = pf.Close()
-	if err != nil {
-		fatalf("parsing %s: %v", *prefsPath, err)
-	}
-	prefs, _, err := dataset.BuildPreferences(social.NumUsers(), len(itemIDs), raw, 1)
+	m, err := similarity.ByName(*measure)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	private, err := socialrec.NewEngineFromGraphs(social, prefs, socialrec.Config{
-		Measure: *measure, Epsilon: eps, Seed: *seed,
-	})
-	if err != nil {
-		fatalf("%v", err)
+	var (
+		ds        *dataset.Dataset
+		evalUsers []int32
+		sims      []similarity.Scores
+		private   *socialrec.Engine
+	)
+	if *ckptDir != "" {
+		ds, evalUsers, sims, private = checkpointedPrecompute(
+			*socialPath, *prefsPath, m, dp.Epsilon(eps), *sample, *runs, *seed,
+			*lenient, *ckptDir, *resume, *fresh)
+	} else {
+		ds = loadDataset(*socialPath, *prefsPath, *lenient)
+		private, err = socialrec.NewEngineFromGraphs(ds.Social, ds.Prefs, socialrec.Config{
+			Measure: *measure, Epsilon: eps, Seed: *seed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		evalUsers = experiment.SampleUsers(ds.Social.NumUsers(), *sample, *seed+99)
+		// Per-user scoring needs true utilities; recompute them via the
+		// measure (public data).
+		sims = similarity.ComputeAll(ds.Social, m, evalUsers, 0)
 	}
-	exact, err := socialrec.NewExactEngineFromGraphs(social, prefs, *measure)
+
+	exact, err := socialrec.NewExactEngineFromGraphs(ds.Social, ds.Prefs, *measure)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	evalUsers := experiment.SampleUsers(social.NumUsers(), *sample, *seed+99)
 	users := make([]int, len(evalUsers))
 	for i, u := range evalUsers {
 		users[i] = int(u)
@@ -100,22 +113,15 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	// Per-user scoring needs true utilities; recompute them via the
-	// measure (public data).
-	m, err := similarity.ByName(*measure)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	sims := similarity.ComputeAll(social, m, evalUsers, 0)
 	var ndcg, prec, rec, jac float64
-	truth := make([]float64, prefs.NumItems())
+	truth := make([]float64, ds.Prefs.NumItems())
 	for k := range users {
 		for i := range truth {
 			truth[i] = 0
 		}
 		s := sims[k]
 		for j, v := range s.Users {
-			for _, item := range prefs.Items(int(v)) {
+			for _, item := range ds.Prefs.Items(int(v)) {
 				truth[item] += s.Vals[j]
 			}
 		}
@@ -141,13 +147,117 @@ func main() {
 	fmt.Printf("  recall@%d:            %.3f\n", *n, rec/cnt)
 	fmt.Printf("  Jaccard vs exact:     %.3f\n", jac/cnt)
 	fmt.Printf("  catalog coverage:     %.3f (private) vs %.3f (exact)\n",
-		metrics.CatalogCoverage(toCore(privLists), prefs.NumItems()),
-		metrics.CatalogCoverage(toCore(exactLists), prefs.NumItems()))
+		metrics.CatalogCoverage(toCore(privLists), ds.Prefs.NumItems()),
+		metrics.CatalogCoverage(toCore(exactLists), ds.Prefs.NumItems()))
 	fmt.Printf("  recommendation Gini:  %.3f (private) vs %.3f (exact)\n",
 		metrics.RecommendationGini(toCore(privLists)),
 		metrics.RecommendationGini(toCore(exactLists)))
 	fmt.Printf("\npipeline stage timings:\n%s", telemetry.Stages().Table())
 	fmt.Printf("\nprivacy budget ledger:\n%s", telemetry.Budget().Snapshot())
+}
+
+// loadDataset reads and assembles the two graphs, honoring -lenient by
+// quarantining malformed rows (summarized on stderr) instead of aborting.
+func loadDataset(socialPath, prefsPath string, lenient bool) *dataset.Dataset {
+	opts := dataset.ReadOptions{Lenient: lenient}
+	loadSpan := telemetry.Stages().Start("graph_load")
+	sf, err := os.Open(socialPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	social, userIDs, srep, err := dataset.ReadSocialTSVOpts(sf, opts)
+	_ = sf.Close()
+	if err != nil {
+		fatalf("parsing %s: %v", socialPath, err)
+	}
+	if srep.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "evaluate: %s: quarantined %d malformed row(s):\n%s\n", socialPath, srep.Dropped, srep.Summary())
+	}
+	loadSpan.End()
+	pf, err := os.Open(prefsPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	raw, itemIDs, prep, err := dataset.ReadPreferenceTSVOpts(pf, userIDs, opts)
+	_ = pf.Close()
+	if err != nil {
+		fatalf("parsing %s: %v", prefsPath, err)
+	}
+	if prep.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "evaluate: %s: quarantined %d malformed row(s):\n%s\n", prefsPath, prep.Dropped, prep.Summary())
+	}
+	prefs, _, err := dataset.BuildPreferences(social.NumUsers(), len(itemIDs), raw, 1)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return &dataset.Dataset{Name: socialPath, Social: social, Prefs: prefs}
+}
+
+// checkpointedPrecompute runs ingestion, similarity precompute, clustering
+// and the mechanism release through the resumable pipeline, then builds the
+// private engine from the released (already-noised) averages. Checkpoints
+// are keyed by a content hash of both input files, so editing the data
+// invalidates them.
+func checkpointedPrecompute(socialPath, prefsPath string, m similarity.Measure, eps dp.Epsilon, sample, runs int, seed int64, lenient bool, ckptDir string, resume, fresh bool) (*dataset.Dataset, []int32, []similarity.Scores, *socialrec.Engine) {
+	h := fnv.New64a()
+	for _, p := range []string{socialPath, prefsPath} {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		h.Write(raw)
+	}
+	spec := experiment.ReleaseSpec{
+		Load: func(ctx context.Context) (*dataset.Dataset, error) {
+			return loadDataset(socialPath, prefsPath, lenient), nil
+		},
+		DatasetFingerprint: h.Sum64(),
+		Measure:            m,
+		Eps:                eps,
+		EvalSample:         sample,
+		LouvainRuns:        runs,
+		Seed:               seed,
+	}
+	pipe, err := experiment.BuildReleasePipeline(spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := pipe.Run(context.Background(), pipeline.Options{
+		CheckpointDir: ckptDir,
+		Resume:        resume,
+		Fresh:         fresh,
+		Config:        spec.Fingerprint(),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "evaluate: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatalf("checkpointed precompute: %v (rerun with the same flags to resume)", err)
+	}
+	fmt.Fprintf(os.Stderr, "evaluate: pipeline: %d stage(s) run, %d resumed from checkpoint\n",
+		len(res.Stages)-res.Resumed(), res.Resumed())
+
+	ds, err := pipeline.Get[*dataset.Dataset](res.State, experiment.KeyDataset)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	evalUsers, err := pipeline.Get[[]int32](res.State, experiment.KeyEvalUsers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sims, err := pipeline.Get[[]similarity.Scores](res.State, experiment.KeyEvalSims)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rel, err := pipeline.Get[*release.Release](res.State, experiment.KeyRelease)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	private, err := socialrec.EngineFromRelease(rel, ds.Social)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return ds, evalUsers, sims, private
 }
 
 func fatalf(format string, args ...any) {

@@ -11,35 +11,61 @@
 //	experiments -exp fig4               # baseline mechanism comparison
 //	experiments -exp clusters           # §6.2 clustering statistics
 //	experiments -exp decompose          # Eq. 5 approximation/perturbation split
+//	experiments -exp release            # checkpointed offline release pipeline
 //
 // -repeats, -sample and -runs trade fidelity for speed; the paper's own
 // settings are -repeats 10 and (for the big dataset) -sample 10000.
+//
+// The release experiment runs the offline path (load → similarity shards →
+// Louvain runs → pick → mechanism release → persist) through the resumable
+// stage orchestrator. With -checkpoint-dir, completed stages are
+// checkpointed and a rerun resumes from the first invalidated stage;
+// -fresh discards checkpoints, -resume=false ignores them. -faults arms a
+// deterministic fault-injection point (e.g. fs.rename) so crash/resume
+// drills are scriptable: the interrupted run exits non-zero, the resumed
+// run must produce the byte-identical release with the ε-spend journaled
+// exactly once.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
 	"time"
 
+	"socialrec/internal/dataset"
 	"socialrec/internal/dp"
 	"socialrec/internal/experiment"
+	"socialrec/internal/faults"
 	"socialrec/internal/generator"
+	"socialrec/internal/pipeline"
+	"socialrec/internal/release"
 	"socialrec/internal/similarity"
 	"socialrec/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, fig1, fig2, fig3, fig4, clusters or decompose")
+		exp     = flag.String("exp", "all", "experiment: all, table1, fig1, fig2, fig3, fig4, clusters, decompose or release")
 		repeats = flag.Int("repeats", 3, "noise repeats per measurement (paper: 10)")
 		sample  = flag.Int("sample", 400, "evaluation-user sample size")
 		runs    = flag.Int("runs", 10, "Louvain restarts")
 		seed    = flag.Int64("seed", 7, "master seed")
 		lrmRank = flag.Int("lrm-rank", 200, "decomposition rank for the LRM comparator")
 		csvDir  = flag.String("csv-dir", "", "also write tidy CSVs (fig1.csv, ...) into this directory")
+
+		preset     = flag.String("preset", "lastfm", "dataset preset for -exp release: lastfm, flixster or tiny")
+		epsArg     = flag.Float64("eps", 0.5, "release budget ε for -exp release")
+		ckptDir    = flag.String("checkpoint-dir", "", "checkpoint stage outputs here; reruns resume from the first invalidated stage")
+		resume     = flag.Bool("resume", true, "reuse matching checkpoints in -checkpoint-dir")
+		fresh      = flag.Bool("fresh", false, "discard existing checkpoints before running")
+		releaseDir = flag.String("release-dir", "", "persist the final release into a release store here")
+		faultPoint = flag.String("faults", "", "arm a fault-injection point for crash drills (fs.create, fs.write, fs.sync, fs.close, fs.rename, fs.syncdir, ...)")
+		faultAfter = flag.Uint64("fault-after", 0, "let the armed point succeed this many times before it fires")
 	)
 	flag.Parse()
 
@@ -156,6 +182,23 @@ func main() {
 			return nil
 		})
 	}
+	if *exp == "release" {
+		run("checkpointed release pipeline", func() error {
+			return runReleasePipeline(releaseFlags{
+				preset:     *preset,
+				eps:        *epsArg,
+				sample:     *sample,
+				runs:       *runs,
+				seed:       *seed,
+				ckptDir:    *ckptDir,
+				resume:     *resume,
+				fresh:      *fresh,
+				releaseDir: *releaseDir,
+				faultPoint: *faultPoint,
+				faultAfter: *faultAfter,
+			})
+		})
+	}
 	if want("fig4") {
 		run("Fig 4: baseline mechanisms on Last.fm-like", func() error {
 			bl, err := experiment.BaselineComparison(
@@ -171,4 +214,116 @@ func main() {
 	fmt.Println("=== pipeline stage timings ===")
 	fmt.Print(telemetry.Stages().Table())
 	fmt.Printf("\n=== privacy budget ledger ===\n%s", telemetry.Budget().Snapshot())
+}
+
+// releaseFlags carries the -exp release configuration.
+type releaseFlags struct {
+	preset     string
+	eps        float64
+	sample     int
+	runs       int
+	seed       int64
+	ckptDir    string
+	resume     bool
+	fresh      bool
+	releaseDir string
+	faultPoint string
+	faultAfter uint64
+}
+
+// runReleasePipeline executes the offline release path through the
+// checkpointed stage orchestrator.
+func runReleasePipeline(f releaseFlags) error {
+	var p generator.Preset
+	switch f.preset {
+	case "lastfm":
+		p = generator.LastFMLike(f.seed)
+	case "flixster":
+		p = generator.FlixsterLike(f.seed)
+	case "tiny":
+		p = generator.TinyTest(f.seed)
+	default:
+		return fmt.Errorf("unknown -preset %q (want lastfm, flixster or tiny)", f.preset)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(p.Name))
+	spec := experiment.ReleaseSpec{
+		Load: func(ctx context.Context) (*dataset.Dataset, error) {
+			ds, _, err := experiment.BuildDataset(p)
+			return ds, err
+		},
+		DatasetFingerprint: h.Sum64(),
+		Eps:                dp.Epsilon(f.eps),
+		EvalSample:         f.sample,
+		LouvainRuns:        f.runs,
+		Seed:               f.seed,
+		StoreDir:           f.releaseDir,
+	}
+	pipe, err := experiment.BuildReleasePipeline(spec)
+	if err != nil {
+		return err
+	}
+
+	opts := pipeline.Options{
+		CheckpointDir: f.ckptDir,
+		Resume:        f.resume,
+		Fresh:         f.fresh,
+		Config:        spec.Fingerprint(),
+		Retries:       0,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	if f.faultPoint != "" {
+		reg := faults.New(f.seed)
+		reg.Arm(faults.Point(f.faultPoint), faults.Plan{After: f.faultAfter, Times: 1})
+		opts.FS = faults.NewFS(faults.OS{}, reg)
+	}
+
+	res, err := pipe.Run(context.Background(), opts)
+	if err != nil {
+		// An injected fault aborted the run exactly where a crash would;
+		// exit non-zero so crash/resume drills can script around it.
+		return err
+	}
+
+	fmt.Printf("stages: %d run, %d resumed from checkpoint\n", len(res.Stages)-res.Resumed(), res.Resumed())
+	rel, err := pipeline.Get[*release.Release](res.State, experiment.KeyRelease)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("release: eps=%g measure=%s clusters=%d items=%d\n",
+		rel.Epsilon, rel.Measure, rel.Clusters.NumClusters(), rel.NumItems)
+	if f.releaseDir != "" {
+		v, err := pipeline.Get[uint64](res.State, experiment.KeyVersion)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("persisted as version %d in %s\n", v, f.releaseDir)
+	}
+	if f.ckptDir != "" {
+		store, _, err := pipeline.OpenStore(f.ckptDir, nil)
+		if err != nil {
+			return err
+		}
+		records, skipped, err := store.Ledger()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("durable ε ledger: %d record(s), Σε=%g (%d unreadable receipt(s))\n",
+			len(records), pipeline.SpentEpsilon(records), len(skipped))
+	}
+
+	// Exercise the checkpoint-fed evaluation path: score the released
+	// mechanism without recomputing similarities or clusterings.
+	runner, err := experiment.RunnerFromState(res.State, similarity.CommonNeighbors{})
+	if err != nil {
+		return err
+	}
+	score, err := runner.EvaluateCluster(spec.Eps, f.seed, []int{10})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("NDCG@10 of the released mechanism: %.3f\n", score.Mean(10))
+	return nil
 }

@@ -77,6 +77,7 @@ func All() []Analyzer {
 		TimeNow{},
 		TelemetryImports{},
 		FatalScope{},
+		CtxStage{},
 	}
 }
 

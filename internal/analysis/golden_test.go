@@ -26,6 +26,7 @@ var goldenCases = []struct {
 	{TelemetryImports{}, "telemetryimports", "socialrec/internal/telemetry"},
 	{FatalScope{}, "fatalscope/lib", "socialrec/internal/fixture"},
 	{FatalScope{}, "fatalscope/mainpkg", "socialrec/cmd/fixture"},
+	{CtxStage{}, "ctxstage", "socialrec/internal/fixture"},
 }
 
 // cleanOnlyFixtures are fixture dirs that deliberately carry no // want

@@ -1,0 +1,81 @@
+// Package fixture exercises the ctxstage analyzer.
+package fixture
+
+import "context"
+
+// stage mimics the shape of a pipeline stage.
+type stage struct{ work func() error }
+
+// goodStage honors its context before doing work.
+type goodStage struct{ inner stage }
+
+// Run checks cancellation up front — the canonical stage preamble.
+func (s goodStage) Run(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.inner.work()
+}
+
+// forwardingStage passes the context on, which also counts as honoring it.
+type forwardingStage struct{ next goodStage }
+
+// Run delegates, threading the context through.
+func (s forwardingStage) Run(ctx context.Context) error {
+	return s.next.Run(ctx)
+}
+
+// deafStage accepts the context and then ignores it: the orchestrator's
+// timeout and Ctrl-C cannot interrupt it.
+type deafStage struct{ inner stage }
+
+// Run never consults ctx.
+func (s deafStage) Run(ctx context.Context) error { // want "never uses its context.Context"
+	return s.inner.work()
+}
+
+// blankStage discards the context at the signature.
+type blankStage struct{ inner stage }
+
+// Run blanks the parameter outright.
+func (s blankStage) Run(_ context.Context) error { // want "discards its context.Context"
+	return s.inner.work()
+}
+
+// unnamedStage declares the parameter type only.
+type unnamedStage struct{ inner stage }
+
+// Run leaves the context unnamed.
+func (s unnamedStage) Run(context.Context) error { // want "discards its context.Context"
+	return s.inner.work()
+}
+
+// shadowStage names the parameter but only ever uses a shadowing local of
+// the same name — object identity, not name matching, must decide.
+type shadowStage struct{ inner stage }
+
+// Run uses a shadowed ctx, not the parameter.
+func (s shadowStage) Run(ctx context.Context) error { // want "never uses its context.Context"
+	{
+		ctx := context.Background()
+		_ = ctx
+	}
+	return s.inner.work()
+}
+
+// Run is a plain function, not a method; the invariant applies to it too.
+func Run(ctx context.Context, s stage) error { // want "never uses its context.Context"
+	return s.work()
+}
+
+// Process is not named Run: other context plumbing is vet's business, not
+// this analyzer's.
+func (s deafStage) Process(ctx context.Context) error {
+	return s.inner.work()
+}
+
+// Run without a leading context is out of scope (e.g. a CLI's Run(args)).
+type argsRunner struct{}
+
+// Run takes no context at all.
+func (argsRunner) Run(args []string) error { return nil }

@@ -109,46 +109,11 @@ func BuildPreferences(numUsers, numItems int, raw []RawEdge, minWeight float64) 
 // ReadSocialTSV parses a HetRec-style friendship file: one "userA<TAB>userB"
 // pair per line, with an optional header line. External ids are remapped to
 // dense internal ids in order of first appearance; the mapping is returned.
+// It reads in strict mode with the default caps; see ReadSocialTSVOpts for
+// lenient ingestion of corrupt files.
 func ReadSocialTSV(r io.Reader) (*graph.Social, map[string]int, error) {
-	type pair struct{ a, b int }
-	ids := make(map[string]int)
-	intern := func(tok string) int {
-		if id, ok := ids[tok]; ok {
-			return id
-		}
-		id := len(ids)
-		ids[tok] = id
-		return id
-	}
-	var pairs []pair
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, nil, fmt.Errorf("dataset: social line %d: want 2 fields, got %d", lineNo, len(fields))
-		}
-		if lineNo == 1 && !isNumeric(fields[0]) {
-			continue // header
-		}
-		pairs = append(pairs, pair{intern(fields[0]), intern(fields[1])})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("dataset: reading social edges: %w", err)
-	}
-	b := graph.NewSocialBuilder(len(ids))
-	for _, p := range pairs {
-		if err := b.AddEdge(p.a, p.b); err != nil {
-			return nil, nil, err
-		}
-	}
-	return b.Build(), ids, nil
+	g, ids, _, err := ReadSocialTSVOpts(r, ReadOptions{})
+	return g, ids, err
 }
 
 // ReadPreferenceTSV parses a HetRec-style interaction file: one
@@ -156,50 +121,11 @@ func ReadSocialTSV(r io.Reader) (*graph.Social, map[string]int, error) {
 // with an optional header. User tokens are resolved through userIDs (users
 // absent from the social graph are skipped, as the paper uses the social
 // graph's user set); item ids are remapped densely and returned.
+// It reads in strict mode with the default caps; see ReadPreferenceTSVOpts
+// for lenient ingestion of corrupt files.
 func ReadPreferenceTSV(r io.Reader, userIDs map[string]int) ([]RawEdge, map[string]int, error) {
-	itemIDs := make(map[string]int)
-	var raw []RawEdge
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, nil, fmt.Errorf("dataset: preference line %d: want >= 2 fields, got %d", lineNo, len(fields))
-		}
-		// Header heuristic: the first line is a header when its user token
-		// is neither a known user nor numeric (e.g. "userID artistID weight").
-		if _, known := userIDs[fields[0]]; lineNo == 1 && !known && !isNumeric(fields[0]) {
-			continue
-		}
-		u, ok := userIDs[fields[0]]
-		if !ok {
-			continue
-		}
-		item, ok := itemIDs[fields[1]]
-		if !ok {
-			item = len(itemIDs)
-			itemIDs[fields[1]] = item
-		}
-		w := 1.0
-		if len(fields) >= 3 {
-			var err error
-			w, err = strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("dataset: preference line %d: bad weight %q: %v", lineNo, fields[2], err)
-			}
-		}
-		raw = append(raw, RawEdge{User: u, Item: item, Weight: w})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("dataset: reading preference edges: %w", err)
-	}
-	return raw, itemIDs, nil
+	raw, itemIDs, _, err := ReadPreferenceTSVOpts(r, userIDs, ReadOptions{})
+	return raw, itemIDs, err
 }
 
 // BuildWeightedPreferences assembles raw weighted interactions into a

@@ -17,20 +17,41 @@ func FuzzReadSocialTSV(f *testing.F) {
 	f.Add("a\tb\tc\td\n")
 	f.Add("1\t1\n")
 	f.Add(strings.Repeat("9\t9\n", 100))
+	// Corrupt-TSV seeds for the hardened path: oversized lines, truncated
+	// rows mid-file, binary junk, missing trailing newline.
+	f.Add("1\t2\n" + strings.Repeat("z", 4096) + "\n3\t4\n")
+	f.Add("1\t2\nbroken\n3\t4")
+	f.Add("1\t2\n\x00\xff\x00\n3\t4\n")
+	f.Add(strings.Repeat("\t", 64) + "\n1\t2\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		g, ids, err := ReadSocialTSV(strings.NewReader(input))
-		if err != nil {
-			return
+		if err == nil {
+			if g.NumUsers() != len(ids) {
+				t.Fatalf("graph has %d users but %d ids", g.NumUsers(), len(ids))
+			}
+			degSum := 0
+			for u := 0; u < g.NumUsers(); u++ {
+				degSum += g.Degree(u)
+			}
+			if degSum != 2*g.NumEdges() {
+				t.Fatal("degree sum does not match edge count")
+			}
 		}
-		if g.NumUsers() != len(ids) {
-			t.Fatalf("graph has %d users but %d ids", g.NumUsers(), len(ids))
+		// Lenient mode with a tight line cap must absorb any malformed
+		// input, and what strict mode accepts lenient mode must preserve.
+		lg, _, rep, lerr := ReadSocialTSVOpts(strings.NewReader(input),
+			ReadOptions{Lenient: true, MaxLineBytes: 128, MaxQuarantine: 4})
+		if lerr != nil {
+			t.Fatalf("lenient read failed: %v", lerr)
 		}
-		degSum := 0
-		for u := 0; u < g.NumUsers(); u++ {
-			degSum += g.Degree(u)
+		if len(rep.Quarantined) > 4 {
+			t.Fatalf("quarantine cap not honored: %d entries", len(rep.Quarantined))
 		}
-		if degSum != 2*g.NumEdges() {
-			t.Fatal("degree sum does not match edge count")
+		if rep.Dropped > len(rep.Quarantined) && !rep.Truncated {
+			t.Fatal("dropped rows beyond cap without Truncated flag")
+		}
+		if err == nil && rep.Dropped == 0 && lg.NumEdges() != g.NumEdges() {
+			t.Fatalf("lenient read lost edges: %d vs %d", lg.NumEdges(), g.NumEdges())
 		}
 	})
 }
@@ -45,18 +66,34 @@ func FuzzReadPreferenceTSV(f *testing.F) {
 	f.Add("u1\ti1\tNaN\n")
 	f.Add("u1\ti1\t\x00\n")
 	f.Add("5\t5\t5\n")
+	// Corrupt-TSV seeds: oversized line, bad weight mid-file, binary junk.
+	f.Add("u1\ti1\t1\n" + strings.Repeat("q", 4096) + "\nu2\ti2\t2\n")
+	f.Add("u1\ti1\t1\nu2\ti2\tbogus\nu1\ti3\n")
+	f.Add("u1\t\x00\t1\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		raw, items, err := ReadPreferenceTSV(strings.NewReader(input), users)
-		if err != nil {
-			return
+		if err == nil {
+			for _, e := range raw {
+				if e.User < 0 || e.User >= len(users) {
+					t.Fatalf("edge references unknown user %d", e.User)
+				}
+				if e.Item < 0 || e.Item >= len(items) {
+					t.Fatalf("edge references unknown item %d", e.Item)
+				}
+			}
 		}
-		for _, e := range raw {
-			if e.User < 0 || e.User >= len(users) {
-				t.Fatalf("edge references unknown user %d", e.User)
+		lraw, litems, rep, lerr := ReadPreferenceTSVOpts(strings.NewReader(input), users,
+			ReadOptions{Lenient: true, MaxLineBytes: 128, MaxQuarantine: 4})
+		if lerr != nil {
+			t.Fatalf("lenient read failed: %v", lerr)
+		}
+		for _, e := range lraw {
+			if e.User < 0 || e.User >= len(users) || e.Item < 0 || e.Item >= len(litems) {
+				t.Fatalf("lenient edge out of range: %+v", e)
 			}
-			if e.Item < 0 || e.Item >= len(items) {
-				t.Fatalf("edge references unknown item %d", e.Item)
-			}
+		}
+		if err == nil && rep.Dropped == 0 && len(lraw) != len(raw) {
+			t.Fatalf("lenient read changed edge count: %d vs %d", len(lraw), len(raw))
 		}
 	})
 }

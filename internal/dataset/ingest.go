@@ -1,0 +1,303 @@
+package dataset
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"socialrec/internal/graph"
+)
+
+// Ingestion hardening: the TSV readers accept adversarial or corrupt input
+// (the raw files cross the trust boundary before any privacy machinery
+// runs), so they enforce byte caps and can quarantine malformed rows
+// instead of dying mid-file.
+
+// DefaultMaxLineBytes caps one input line, matching the historical scanner
+// buffer limit.
+const DefaultMaxLineBytes = 1 << 22
+
+// DefaultMaxQuarantine caps how many quarantined rows a report retains.
+const DefaultMaxQuarantine = 100
+
+// ErrInputTooLarge reports that the input exceeded ReadOptions.MaxBytes.
+// It is fatal even in lenient mode: a byte bomb is a resource attack, not
+// a malformed row.
+var ErrInputTooLarge = errors.New("dataset: input exceeds byte cap")
+
+// ReadOptions harden a TSV read. The zero value is strict mode with the
+// historical limits: fail fast on the first malformed row, 4 MiB line cap,
+// no total cap.
+type ReadOptions struct {
+	// MaxLineBytes caps a single line; 0 selects DefaultMaxLineBytes.
+	MaxLineBytes int
+	// MaxBytes caps the total input size; 0 means unlimited. Exceeding it
+	// is fatal in both modes (ErrInputTooLarge).
+	MaxBytes int64
+	// Lenient quarantines malformed rows (wrong field count, bad weight,
+	// oversized line) into the report instead of failing fast.
+	Lenient bool
+	// MaxQuarantine caps the retained quarantine entries; 0 selects
+	// DefaultMaxQuarantine. Rows beyond the cap are still counted and
+	// dropped, just not itemized.
+	MaxQuarantine int
+}
+
+func (o ReadOptions) maxLineBytes() int {
+	if o.MaxLineBytes > 0 {
+		return o.MaxLineBytes
+	}
+	return DefaultMaxLineBytes
+}
+
+func (o ReadOptions) maxQuarantine() int {
+	if o.MaxQuarantine > 0 {
+		return o.MaxQuarantine
+	}
+	return DefaultMaxQuarantine
+}
+
+// QuarantinedRow records one malformed input row a lenient read dropped.
+type QuarantinedRow struct {
+	// Line is the 1-based physical line number.
+	Line int
+	// Reason says what was wrong ("want 2 fields, got 1", "line exceeds
+	// 4194304 bytes", …). It never echoes row contents: quarantine reports
+	// may end up in logs, and raw rows are exactly the sensitive data this
+	// framework exists to protect.
+	Reason string
+}
+
+// IngestReport summarizes one hardened TSV read.
+type IngestReport struct {
+	// Lines is the number of physical lines consumed.
+	Lines int
+	// Bytes is the number of input bytes consumed.
+	Bytes int64
+	// Rows is the number of data rows accepted.
+	Rows int
+	// Dropped counts every quarantined row, including those beyond the
+	// retention cap.
+	Dropped int
+	// Quarantined itemizes the first MaxQuarantine dropped rows.
+	Quarantined []QuarantinedRow
+	// Truncated is true when Dropped exceeded the retention cap.
+	Truncated bool
+}
+
+func (rep *IngestReport) quarantine(line int, reason string, cap int) {
+	rep.Dropped++
+	if len(rep.Quarantined) < cap {
+		rep.Quarantined = append(rep.Quarantined, QuarantinedRow{Line: line, Reason: reason})
+	} else {
+		rep.Truncated = true
+	}
+}
+
+// Summary renders the report for operator logs.
+func (rep *IngestReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d line(s), %d byte(s), %d row(s) accepted, %d dropped", rep.Lines, rep.Bytes, rep.Rows, rep.Dropped)
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(&b, "\n  line %d: %s", q.Line, q.Reason)
+	}
+	if rep.Truncated {
+		fmt.Fprintf(&b, "\n  … further dropped rows not itemized (cap reached)")
+	}
+	return b.String()
+}
+
+// lineScanner reads capped lines without bufio.Scanner's unrecoverable
+// token-too-long failure: an oversized line is consumed and reported, so a
+// lenient caller can skip it and keep going.
+type lineScanner struct {
+	r        *bufio.Reader
+	maxLine  int
+	maxBytes int64
+	bytes    int64
+	line     int
+}
+
+func newLineScanner(r io.Reader, opts ReadOptions) *lineScanner {
+	return &lineScanner{r: bufio.NewReader(r), maxLine: opts.maxLineBytes(), maxBytes: opts.MaxBytes}
+}
+
+// next returns the next line (without its newline). tooLong marks a line
+// that exceeded the cap; its content is discarded but the stream stays
+// consumable. io.EOF signals clean end of input.
+func (s *lineScanner) next() (text string, tooLong bool, err error) {
+	var buf []byte
+	overflow := false
+	for {
+		chunk, err := s.r.ReadSlice('\n')
+		s.bytes += int64(len(chunk))
+		if s.maxBytes > 0 && s.bytes > s.maxBytes {
+			return "", false, fmt.Errorf("%w (%d > %d bytes)", ErrInputTooLarge, s.bytes, s.maxBytes)
+		}
+		if !overflow {
+			if len(buf)+len(chunk) > s.maxLine {
+				overflow = true
+				buf = nil
+			} else {
+				buf = append(buf, chunk...)
+			}
+		}
+		switch {
+		case err == nil:
+			// Reached the newline.
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		case errors.Is(err, io.EOF):
+			if len(chunk) == 0 && len(buf) == 0 && !overflow {
+				return "", false, io.EOF
+			}
+			// Final line without a trailing newline.
+		default:
+			return "", false, err
+		}
+		s.line++
+		if overflow {
+			return "", true, nil
+		}
+		return strings.TrimSuffix(string(buf), "\n"), false, nil
+	}
+}
+
+// ReadSocialTSVOpts is ReadSocialTSV with hardening options. In lenient
+// mode malformed rows are quarantined into the returned report; in strict
+// mode the first malformed row fails the read (the report still describes
+// what was consumed up to that point).
+func ReadSocialTSVOpts(r io.Reader, opts ReadOptions) (*graph.Social, map[string]int, *IngestReport, error) {
+	type pair struct{ a, b int }
+	ids := make(map[string]int)
+	intern := func(tok string) int {
+		if id, ok := ids[tok]; ok {
+			return id
+		}
+		id := len(ids)
+		ids[tok] = id
+		return id
+	}
+	rep := &IngestReport{}
+	ls := newLineScanner(r, opts)
+	var pairs []pair
+	for {
+		text, tooLong, err := ls.next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			rep.Lines, rep.Bytes = ls.line, ls.bytes
+			return nil, nil, rep, fmt.Errorf("dataset: reading social edges: %w", err)
+		}
+		lineNo := ls.line
+		if tooLong {
+			if opts.Lenient {
+				rep.quarantine(lineNo, fmt.Sprintf("line exceeds %d bytes", opts.maxLineBytes()), opts.maxQuarantine())
+				continue
+			}
+			rep.Lines, rep.Bytes = ls.line, ls.bytes
+			return nil, nil, rep, fmt.Errorf("dataset: social line %d: line exceeds %d bytes", lineNo, opts.maxLineBytes())
+		}
+		line := strings.TrimSpace(text)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			if opts.Lenient {
+				rep.quarantine(lineNo, fmt.Sprintf("want 2 fields, got %d", len(fields)), opts.maxQuarantine())
+				continue
+			}
+			rep.Lines, rep.Bytes = ls.line, ls.bytes
+			return nil, nil, rep, fmt.Errorf("dataset: social line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		if lineNo == 1 && !isNumeric(fields[0]) {
+			continue // header
+		}
+		pairs = append(pairs, pair{intern(fields[0]), intern(fields[1])})
+		rep.Rows++
+	}
+	rep.Lines, rep.Bytes = ls.line, ls.bytes
+	b := graph.NewSocialBuilder(len(ids))
+	for _, p := range pairs {
+		if err := b.AddEdge(p.a, p.b); err != nil {
+			return nil, nil, rep, err
+		}
+	}
+	return b.Build(), ids, rep, nil
+}
+
+// ReadPreferenceTSVOpts is ReadPreferenceTSV with hardening options; see
+// ReadSocialTSVOpts for the strict/lenient contract.
+func ReadPreferenceTSVOpts(r io.Reader, userIDs map[string]int, opts ReadOptions) ([]RawEdge, map[string]int, *IngestReport, error) {
+	itemIDs := make(map[string]int)
+	var raw []RawEdge
+	rep := &IngestReport{}
+	ls := newLineScanner(r, opts)
+	for {
+		text, tooLong, err := ls.next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			rep.Lines, rep.Bytes = ls.line, ls.bytes
+			return nil, nil, rep, fmt.Errorf("dataset: reading preference edges: %w", err)
+		}
+		lineNo := ls.line
+		if tooLong {
+			if opts.Lenient {
+				rep.quarantine(lineNo, fmt.Sprintf("line exceeds %d bytes", opts.maxLineBytes()), opts.maxQuarantine())
+				continue
+			}
+			rep.Lines, rep.Bytes = ls.line, ls.bytes
+			return nil, nil, rep, fmt.Errorf("dataset: preference line %d: line exceeds %d bytes", lineNo, opts.maxLineBytes())
+		}
+		line := strings.TrimSpace(text)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			if opts.Lenient {
+				rep.quarantine(lineNo, fmt.Sprintf("want >= 2 fields, got %d", len(fields)), opts.maxQuarantine())
+				continue
+			}
+			rep.Lines, rep.Bytes = ls.line, ls.bytes
+			return nil, nil, rep, fmt.Errorf("dataset: preference line %d: want >= 2 fields, got %d", lineNo, len(fields))
+		}
+		// Header heuristic: the first line is a header when its user token
+		// is neither a known user nor numeric (e.g. "userID artistID weight").
+		if _, known := userIDs[fields[0]]; lineNo == 1 && !known && !isNumeric(fields[0]) {
+			continue
+		}
+		u, ok := userIDs[fields[0]]
+		if !ok {
+			continue
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				if opts.Lenient {
+					rep.quarantine(lineNo, "unparsable weight", opts.maxQuarantine())
+					continue
+				}
+				rep.Lines, rep.Bytes = ls.line, ls.bytes
+				return nil, nil, rep, fmt.Errorf("dataset: preference line %d: bad weight %q: %v", lineNo, fields[2], err)
+			}
+		}
+		item, ok := itemIDs[fields[1]]
+		if !ok {
+			item = len(itemIDs)
+			itemIDs[fields[1]] = item
+		}
+		raw = append(raw, RawEdge{User: u, Item: item, Weight: w})
+		rep.Rows++
+	}
+	rep.Lines, rep.Bytes = ls.line, ls.bytes
+	return raw, itemIDs, rep, nil
+}

@@ -1,0 +1,188 @@
+package dataset
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLenientSocialQuarantinesMalformedRows(t *testing.T) {
+	in := "1\t2\nbroken\n2\t3\n\n# comment\nonly_one_field\n3\t1\n"
+	g, ids, rep, err := ReadSocialTSVOpts(strings.NewReader(in), ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if g.NumUsers() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d users %d edges, want 3 and 3", g.NumUsers(), g.NumEdges())
+	}
+	if len(ids) != 3 {
+		t.Fatalf("got %d ids, want 3", len(ids))
+	}
+	if rep.Rows != 3 || rep.Dropped != 2 {
+		t.Fatalf("report rows=%d dropped=%d, want 3 and 2", rep.Rows, rep.Dropped)
+	}
+	want := []QuarantinedRow{
+		{Line: 2, Reason: "want 2 fields, got 1"},
+		{Line: 6, Reason: "want 2 fields, got 1"},
+	}
+	if len(rep.Quarantined) != len(want) {
+		t.Fatalf("quarantined %v, want %v", rep.Quarantined, want)
+	}
+	for i, q := range rep.Quarantined {
+		if q != want[i] {
+			t.Errorf("quarantined[%d] = %+v, want %+v", i, q, want[i])
+		}
+	}
+	if rep.Truncated {
+		t.Error("report truncated below the cap")
+	}
+}
+
+func TestStrictSocialFailsFastOnMalformedRow(t *testing.T) {
+	in := "1\t2\nbroken\n2\t3\n"
+	_, _, rep, err := ReadSocialTSVOpts(strings.NewReader(in), ReadOptions{})
+	if err == nil || !strings.Contains(err.Error(), "social line 2") {
+		t.Fatalf("err = %v, want social line 2 failure", err)
+	}
+	if rep == nil || rep.Lines != 2 {
+		t.Fatalf("report = %+v, want Lines=2", rep)
+	}
+}
+
+func TestOversizedLineLenientSkipsStrictFails(t *testing.T) {
+	long := strings.Repeat("x", 100)
+	in := "1\t2\n" + long + "\n2\t3\n"
+	opts := ReadOptions{MaxLineBytes: 32}
+
+	_, _, _, err := ReadSocialTSVOpts(strings.NewReader(in), opts)
+	if err == nil || !strings.Contains(err.Error(), "exceeds 32 bytes") {
+		t.Fatalf("strict err = %v, want line-cap failure", err)
+	}
+
+	opts.Lenient = true
+	g, _, rep, err := ReadSocialTSVOpts(strings.NewReader(in), opts)
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("got %d edges, want 2 (oversized line skipped)", g.NumEdges())
+	}
+	if rep.Dropped != 1 || len(rep.Quarantined) != 1 || rep.Quarantined[0].Line != 2 {
+		t.Fatalf("report = %+v, want 1 drop at line 2", rep)
+	}
+	if !strings.Contains(rep.Quarantined[0].Reason, "exceeds 32 bytes") {
+		t.Fatalf("reason = %q", rep.Quarantined[0].Reason)
+	}
+	if strings.Contains(rep.Summary(), "xxx") {
+		t.Fatal("quarantine report leaked row contents")
+	}
+}
+
+func TestTotalByteCapFatalEvenInLenientMode(t *testing.T) {
+	in := strings.Repeat("1\t2\n", 100)
+	for _, lenient := range []bool{false, true} {
+		_, _, _, err := ReadSocialTSVOpts(strings.NewReader(in), ReadOptions{MaxBytes: 64, Lenient: lenient})
+		if !errors.Is(err, ErrInputTooLarge) {
+			t.Fatalf("lenient=%v: err = %v, want ErrInputTooLarge", lenient, err)
+		}
+	}
+}
+
+func TestQuarantineRetentionCap(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("1\t2\n")
+	for i := 0; i < 5; i++ {
+		b.WriteString("bad\n")
+	}
+	_, _, rep, err := ReadSocialTSVOpts(strings.NewReader(b.String()), ReadOptions{Lenient: true, MaxQuarantine: 2})
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if rep.Dropped != 5 || len(rep.Quarantined) != 2 || !rep.Truncated {
+		t.Fatalf("report = %+v, want 5 dropped, 2 retained, truncated", rep)
+	}
+	if !strings.Contains(rep.Summary(), "not itemized") {
+		t.Fatalf("summary = %q, want truncation note", rep.Summary())
+	}
+}
+
+func TestLenientPreferenceQuarantinesBadWeight(t *testing.T) {
+	users := map[string]int{"1": 0, "2": 1}
+	in := "1\talpha\t3.5\n2\tbeta\tNOPE\nunknown\tgamma\t1\n2\talpha\n"
+	raw, items, rep, err := ReadPreferenceTSVOpts(strings.NewReader(in), users, ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if len(raw) != 2 {
+		t.Fatalf("got %d edges, want 2", len(raw))
+	}
+	// The quarantined row must not have interned its item token.
+	if _, ok := items["beta"]; ok {
+		t.Error("bad-weight row polluted the item id map")
+	}
+	// Unknown users are skipped silently (paper semantics), not quarantined.
+	if rep.Dropped != 1 || rep.Quarantined[0].Line != 2 || rep.Quarantined[0].Reason != "unparsable weight" {
+		t.Fatalf("report = %+v, want one bad-weight drop at line 2", rep)
+	}
+	if strings.Contains(rep.Summary(), "NOPE") {
+		t.Fatal("quarantine report leaked the raw weight token")
+	}
+}
+
+func TestStrictOptsMatchLegacyReaders(t *testing.T) {
+	social := "userA\tuserB\n1\t2\n2\t3\n3\t1\n4\t1"
+	prefs := "user\titem\tweight\n1\t10\t2\n2\t11\n3\t10\t0.5"
+
+	g1, ids1, err := ReadSocialTSV(strings.NewReader(social))
+	if err != nil {
+		t.Fatalf("legacy social: %v", err)
+	}
+	g2, ids2, rep, err := ReadSocialTSVOpts(strings.NewReader(social), ReadOptions{})
+	if err != nil {
+		t.Fatalf("opts social: %v", err)
+	}
+	if g1.NumUsers() != g2.NumUsers() || g1.NumEdges() != g2.NumEdges() || len(ids1) != len(ids2) {
+		t.Fatal("strict opts social read diverged from legacy")
+	}
+	if rep.Rows != 4 || rep.Lines != 5 || rep.Bytes != int64(len(social)) {
+		t.Fatalf("report = %+v, want 4 rows, 5 lines, %d bytes", rep, len(social))
+	}
+
+	raw1, items1, err := ReadPreferenceTSV(strings.NewReader(prefs), ids1)
+	if err != nil {
+		t.Fatalf("legacy prefs: %v", err)
+	}
+	raw2, items2, _, err := ReadPreferenceTSVOpts(strings.NewReader(prefs), ids2, ReadOptions{})
+	if err != nil {
+		t.Fatalf("opts prefs: %v", err)
+	}
+	if len(raw1) != len(raw2) || len(items1) != len(items2) {
+		t.Fatal("strict opts preference read diverged from legacy")
+	}
+	for i := range raw1 {
+		if raw1[i] != raw2[i] {
+			t.Fatalf("edge %d: %+v vs %+v", i, raw1[i], raw2[i])
+		}
+	}
+}
+
+func TestLineScannerHandlesMissingTrailingNewline(t *testing.T) {
+	g, _, rep, err := ReadSocialTSVOpts(strings.NewReader("1\t2\n3\t4"), ReadOptions{})
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if g.NumEdges() != 2 || rep.Lines != 2 {
+		t.Fatalf("got %d edges over %d lines, want 2 and 2", g.NumEdges(), rep.Lines)
+	}
+}
+
+func TestOversizedFinalLineWithoutNewline(t *testing.T) {
+	in := "1\t2\n" + strings.Repeat("y", 64)
+	g, _, rep, err := ReadSocialTSVOpts(strings.NewReader(in), ReadOptions{MaxLineBytes: 16, Lenient: true})
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if g.NumEdges() != 1 || rep.Dropped != 1 {
+		t.Fatalf("got %d edges, %d dropped; want 1 and 1", g.NumEdges(), rep.Dropped)
+	}
+}

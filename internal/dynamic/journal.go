@@ -1,0 +1,79 @@
+package dynamic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"math"
+
+	"socialrec/internal/faults"
+)
+
+// Budget journal: a tiny crash-safe record of the ε spent across restarts.
+// The journal is written durably BEFORE the accountant is charged and the
+// new release goes live, so a crash at any point leaves the persisted spend
+// at or above the ε actually exposed — a restarted Manager can over-count a
+// release that never served, but can never re-spend budget it already used.
+
+// journalMagic versions the on-disk format.
+const journalMagic = "SOCBDG01"
+
+// journalState is the durable budget accounting.
+type journalState struct {
+	// Releases is the number of publishes journaled (including any that
+	// crashed before going live).
+	Releases uint64
+	// Spent is the total ε journaled against the preference partition.
+	Spent float64
+}
+
+// errJournalCorrupt reports an unreadable journal. It is fatal: serving
+// with untrusted spend accounting could re-spend budget.
+var errJournalCorrupt = errors.New("dynamic: budget journal corrupt")
+
+// readJournal loads the journal. ok is false when the file does not exist
+// (a fresh deployment).
+func readJournal(fsys faults.FS, path string) (st journalState, ok bool, err error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return journalState{}, false, nil
+		}
+		return journalState{}, false, err
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(io.LimitReader(f, 64))
+	if err != nil {
+		return journalState{}, false, err
+	}
+	if len(raw) != len(journalMagic)+20 || string(raw[:len(journalMagic)]) != journalMagic {
+		return journalState{}, false, fmt.Errorf("%w: %s", errJournalCorrupt, path)
+	}
+	body := raw[len(journalMagic) : len(journalMagic)+16]
+	sum := binary.BigEndian.Uint32(raw[len(journalMagic)+16:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return journalState{}, false, fmt.Errorf("%w: %s: checksum mismatch", errJournalCorrupt, path)
+	}
+	st.Releases = binary.BigEndian.Uint64(body[:8])
+	st.Spent = math.Float64frombits(binary.BigEndian.Uint64(body[8:]))
+	if math.IsNaN(st.Spent) || math.IsInf(st.Spent, 0) || st.Spent < 0 {
+		return journalState{}, false, fmt.Errorf("%w: %s: spend %v out of range", errJournalCorrupt, path, st.Spent)
+	}
+	return st, true, nil
+}
+
+// writeJournal persists the journal with the same-dir-temp + fsync +
+// atomic-rename discipline, so a crash mid-write leaves either the old
+// journal or the new one, never a torn file.
+func writeJournal(fsys faults.FS, path string, st journalState) error {
+	buf := make([]byte, len(journalMagic)+20)
+	copy(buf, journalMagic)
+	body := buf[len(journalMagic) : len(journalMagic)+16]
+	binary.BigEndian.PutUint64(body[:8], st.Releases)
+	binary.BigEndian.PutUint64(body[8:], math.Float64bits(st.Spent))
+	binary.BigEndian.PutUint32(buf[len(journalMagic)+16:], crc32.ChecksumIEEE(body))
+	return faults.WriteAtomic(fsys, path, buf)
+}

@@ -1,0 +1,177 @@
+package dynamic
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"socialrec/internal/faults"
+)
+
+func journaledConfig(path string, fsys faults.FS) Config {
+	return Config{
+		TotalBudget: 1.2,
+		PerRelease:  0.4,
+		LouvainRuns: 2,
+		Seed:        7,
+		JournalPath: path,
+		FS:          fsys,
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budget.journal")
+	want := journalState{Releases: 3, Spent: 1.2}
+	if err := writeJournal(faults.OS{}, path, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, ok, err := readJournal(faults.OS{}, path)
+	if err != nil || !ok {
+		t.Fatalf("read: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestJournalMissingFileIsFreshStart(t *testing.T) {
+	_, ok, err := readJournal(faults.OS{}, filepath.Join(t.TempDir(), "absent"))
+	if err != nil || ok {
+		t.Fatalf("missing journal: ok=%v err=%v, want false, nil", ok, err)
+	}
+}
+
+func TestJournalCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budget.journal")
+	if err := writeJournal(faults.OS{}, path, journalState{Releases: 1, Spent: 0.4}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-6] ^= 0xff // flip a bit in the spend field
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readJournal(faults.OS{}, path); !errors.Is(err, errJournalCorrupt) {
+		t.Fatalf("err = %v, want errJournalCorrupt", err)
+	}
+	// A manager must refuse to start on a corrupt journal rather than risk
+	// re-spending.
+	if _, err := NewManager(journaledConfig(path, nil)); err == nil {
+		t.Fatal("NewManager accepted a corrupt journal")
+	}
+}
+
+// TestManagerRestartCannotRespend is the crash/restart drill: publish twice,
+// "crash" (drop the manager), restart from the same journal, and verify the
+// restarted manager sees the prior spend and refuses releases the original
+// could not have afforded either.
+func TestManagerRestartCannotRespend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budget.journal")
+	social, prefs := snapshot(t, 10)
+
+	m1, err := NewManager(journaledConfig(path, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Publish(social, prefs); err != nil {
+		t.Fatalf("publish 1: %v", err)
+	}
+	if err := m1.Publish(social, prefs); err != nil {
+		t.Fatalf("publish 2: %v", err)
+	}
+	if got := float64(m1.Spent()); got != 0.8 {
+		t.Fatalf("spent = %v, want 0.8", got)
+	}
+
+	// Crash: m1 is abandoned; a new process recovers from the journal.
+	m2, err := NewManager(journaledConfig(path, nil))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if got := float64(m2.Spent()); got != 0.8 {
+		t.Fatalf("recovered spent = %v, want 0.8 (restart must not reset the ledger)", got)
+	}
+	if m2.Releases() != 2 {
+		t.Fatalf("recovered releases = %d, want 2", m2.Releases())
+	}
+	// Budget 1.2 at 0.4/release: exactly one release remains after restart.
+	if !m2.CanPublish() {
+		t.Fatal("one release should still fit")
+	}
+	if err := m2.Publish(social, prefs); err != nil {
+		t.Fatalf("publish 3 after restart: %v", err)
+	}
+	if err := m2.Publish(social, prefs); err == nil {
+		t.Fatal("publish 4 exceeded the lifetime budget: the restart re-spent ε")
+	}
+
+	// A third restart still sees the full lifetime spend.
+	m3, err := NewManager(journaledConfig(path, nil))
+	if err != nil {
+		t.Fatalf("second restart: %v", err)
+	}
+	if got := float64(m3.Spent()); got < 1.2-1e-9 || got > 1.2+1e-9 {
+		t.Fatalf("final recovered spent = %v, want 1.2", got)
+	}
+	if m3.CanPublish() {
+		t.Fatal("exhausted budget must survive restarts")
+	}
+}
+
+// TestManagerCrashDuringJournalWrite injects faults into the journal write
+// path at every fs operation and verifies the conservative invariant: after
+// an interrupted Publish plus restart, the durable spend is at least the ε
+// of every release that went live, and never resets.
+func TestManagerCrashDuringJournalWrite(t *testing.T) {
+	for _, point := range []faults.Point{"fs.create", "fs.write", "fs.sync", "fs.close", "fs.rename", "fs.syncdir"} {
+		t.Run(string(point), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "budget.journal")
+			social, prefs := snapshot(t, 10)
+
+			// First release on a healthy filesystem.
+			m1, err := NewManager(journaledConfig(path, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m1.Publish(social, prefs); err != nil {
+				t.Fatal(err)
+			}
+
+			// Second release crashes inside the journal write. Arm only
+			// after construction so recovery's own reads stay healthy.
+			reg := faults.New(99)
+			faulty, err := NewManager(journaledConfig(path, faults.NewFS(faults.OS{}, reg)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Times 2: the atomic-write helper probes the final path first,
+			// and the probe's close must not absorb an armed fs.close.
+			reg.Arm(point, faults.Plan{Times: 2})
+			if err := faulty.Publish(social, prefs); err == nil {
+				t.Fatalf("%s: publish should fail when the journal cannot be written", point)
+			}
+			if reg.Fired(point) == 0 {
+				t.Fatalf("%s never fired", point)
+			}
+			// The failed publish must not have gone live or charged memory.
+			if got := float64(faulty.Spent()); got != 0.4 {
+				t.Fatalf("%s: in-memory spent = %v after failed publish, want 0.4", point, got)
+			}
+
+			// Restart: the journal reflects at least release 1; release 2
+			// may have been journaled before the crash (over-count), but
+			// the recovered spend can never be below what went live.
+			m2, err := NewManager(journaledConfig(path, nil))
+			if err != nil {
+				t.Fatalf("%s: restart: %v", point, err)
+			}
+			if got := float64(m2.Spent()); got < 0.4 {
+				t.Fatalf("%s: recovered spent = %v, want >= 0.4", point, got)
+			}
+		})
+	}
+}

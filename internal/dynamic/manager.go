@@ -21,6 +21,7 @@ import (
 	"socialrec/internal/community"
 	"socialrec/internal/core"
 	"socialrec/internal/dp"
+	"socialrec/internal/faults"
 	"socialrec/internal/graph"
 	"socialrec/internal/mechanism"
 	"socialrec/internal/similarity"
@@ -42,6 +43,14 @@ type Config struct {
 	LouvainRuns int
 	// Seed derives per-release clustering orders and noise streams.
 	Seed int64
+	// JournalPath, when non-empty, persists the budget accounting
+	// crash-safely: each Publish journals the new total spend durably
+	// before the release goes live, and NewManager recovers the spend on
+	// restart so a crashed-and-restarted manager cannot re-spend ε.
+	JournalPath string
+	// FS abstracts the filesystem for the journal (fault injection in
+	// tests); nil selects the real one.
+	FS faults.FS
 }
 
 // Manager serves recommendations over a sequence of graph snapshots while
@@ -50,6 +59,7 @@ type Config struct {
 type Manager struct {
 	cfg  Config
 	acct *dp.Accountant
+	fsys faults.FS
 
 	mu       sync.RWMutex
 	rec      *core.Recommender
@@ -83,7 +93,28 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.LouvainRuns <= 0 {
 		cfg.LouvainRuns = 10
 	}
-	return &Manager{cfg: cfg, acct: dp.NewAccountant()}, nil
+	if cfg.FS == nil {
+		cfg.FS = faults.OS{}
+	}
+	m := &Manager{cfg: cfg, acct: dp.NewAccountant(), fsys: cfg.FS}
+	if cfg.JournalPath != "" {
+		st, ok, err := readJournal(m.fsys, cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: recovering budget journal: %w", err)
+		}
+		if ok {
+			// Recover the durable spend. The recovered total may exceed
+			// TotalBudget (e.g. the config was tightened between runs);
+			// that only means CanPublish stays false, which is the point.
+			if st.Spent > 0 {
+				if err := m.acct.Charge(budgetPartition, dp.Epsilon(st.Spent)); err != nil {
+					return nil, fmt.Errorf("dynamic: recovering budget journal: %w", err)
+				}
+			}
+			m.releases = int(st.Releases)
+		}
+	}
+	return m, nil
 }
 
 // Spent reports the privacy budget consumed so far.
@@ -135,6 +166,20 @@ func (m *Manager) Publish(social *graph.Social, prefs *graph.Preference) error {
 	est, err := mechanism.NewCluster(clusters, prefs, m.cfg.PerRelease, dp.SourceFor(m.cfg.PerRelease, seed+1))
 	if err != nil {
 		return err
+	}
+	// Journal the spend durably BEFORE charging and going live: if we crash
+	// after the journal write, a restarted manager counts this release as
+	// spent even though it never served — over-counting is safe,
+	// re-spending is not. If the journal write itself fails, nothing is
+	// charged and nothing is served.
+	if m.cfg.JournalPath != "" {
+		st := journalState{
+			Releases: uint64(seq) + 1,
+			Spent:    float64(m.acct.SpentOn(budgetPartition)) + float64(m.cfg.PerRelease),
+		}
+		if err := writeJournal(m.fsys, m.cfg.JournalPath, st); err != nil {
+			return fmt.Errorf("dynamic: journaling budget spend: %w", err)
+		}
 	}
 	if err := m.acct.Charge(budgetPartition, m.cfg.PerRelease); err != nil {
 		return err

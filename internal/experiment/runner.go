@@ -44,6 +44,14 @@ type Runner struct {
 // valid user ids; clusters may be nil if only mechanisms that do not need a
 // clustering will be evaluated.
 func NewRunner(ds *dataset.Dataset, m similarity.Measure, clusters *community.Clustering, evalUsers []int32) (*Runner, error) {
+	return NewRunnerWithSims(ds, m, clusters, evalUsers, nil)
+}
+
+// NewRunnerWithSims is NewRunner with the evaluation users' similarity
+// vectors already computed (e.g. resumed from a pipeline checkpoint);
+// evalSims must be parallel to evalUsers. A nil evalSims computes them
+// here, exactly as NewRunner does.
+func NewRunnerWithSims(ds *dataset.Dataset, m similarity.Measure, clusters *community.Clustering, evalUsers []int32, evalSims []similarity.Scores) (*Runner, error) {
 	seen := make(map[int32]struct{}, len(evalUsers))
 	for _, u := range evalUsers {
 		if u < 0 || int(u) >= ds.Social.NumUsers() {
@@ -54,13 +62,20 @@ func NewRunner(ds *dataset.Dataset, m similarity.Measure, clusters *community.Cl
 		}
 		seen[u] = struct{}{}
 	}
+	if evalSims != nil && len(evalSims) != len(evalUsers) {
+		return nil, fmt.Errorf("experiment: %d similarity vectors for %d eval users", len(evalSims), len(evalUsers))
+	}
 	r := &Runner{
 		DS:        ds,
 		Measure:   m,
 		Clusters:  clusters,
 		EvalUsers: append([]int32(nil), evalUsers...),
 	}
-	r.evalSims = similarity.ComputeAll(ds.Social, m, r.EvalUsers, 0)
+	if evalSims != nil {
+		r.evalSims = evalSims
+	} else {
+		r.evalSims = similarity.ComputeAll(ds.Social, m, r.EvalUsers, 0)
+	}
 	r.truth = make([][]float64, len(r.EvalUsers))
 	for k := range r.truth {
 		r.truth[k] = make([]float64, ds.Prefs.NumItems())
@@ -282,8 +297,17 @@ func (r *Runner) EvaluateLRM(eps dp.Epsilon, rank int, seed int64, ns []int) (*R
 // SampleUsers draws a uniform sample (without replacement) of size n from
 // the user population, sorted ascending, mirroring the paper's 10,000-user
 // Flixster evaluation sample. If n >= the population, all users are
-// returned.
+// returned. The sample is a deterministic function of seed via the
+// dp.NewRand stream (identical to the historical rand.NewSource stream, so
+// existing seeds reproduce existing samples).
 func SampleUsers(numUsers, n int, seed int64) []int32 {
+	return SampleUsersFrom(dp.NewRand(seed), numUsers, n)
+}
+
+// SampleUsersFrom is SampleUsers with the random source threaded
+// explicitly, for callers that manage seeding themselves (the checkpointed
+// pipeline's sampling stage). No package-global randomness is consumed.
+func SampleUsersFrom(rng *rand.Rand, numUsers, n int) []int32 {
 	if n >= numUsers {
 		all := make([]int32, numUsers)
 		for i := range all {
@@ -291,7 +315,6 @@ func SampleUsers(numUsers, n int, seed int64) []int32 {
 		}
 		return all
 	}
-	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(numUsers)[:n]
 	out := make([]int32, n)
 	for i, u := range perm {

@@ -1,0 +1,668 @@
+// Stage-graph decomposition of the offline release path for
+// internal/pipeline: load dataset → similarity shards → Louvain runs →
+// merge/pick → mechanism release → persist. Each similarity shard and each
+// Louvain restart is its own checkpointable unit, so a crash during the
+// expensive precompute resumes mid-phase instead of from scratch.
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"socialrec/internal/community"
+	"socialrec/internal/dataset"
+	"socialrec/internal/dp"
+	"socialrec/internal/graph"
+	"socialrec/internal/mechanism"
+	"socialrec/internal/pipeline"
+	"socialrec/internal/release"
+	"socialrec/internal/similarity"
+	"socialrec/internal/telemetry"
+)
+
+// Pipeline state keys published by the release stages.
+const (
+	KeyDataset   pipeline.Key = "dataset"
+	KeyEvalUsers pipeline.Key = "eval_users"
+	KeyEvalSims  pipeline.Key = "eval_sims"
+	KeyClusters  pipeline.Key = "clusters"
+	KeyRelease   pipeline.Key = "released"
+	KeyVersion   pipeline.Key = "release_version"
+)
+
+// ReleaseSpec configures the checkpointed release pipeline.
+type ReleaseSpec struct {
+	// Load materializes the dataset (generator preset, TSV ingestion, …).
+	// It runs only when the dataset checkpoint is absent or invalidated.
+	Load func(ctx context.Context) (*dataset.Dataset, error)
+	// DatasetFingerprint identifies the dataset source (preset parameters,
+	// input-file content hash); a change invalidates every checkpoint.
+	DatasetFingerprint uint64
+	// Measure is the similarity measure; nil selects Common Neighbors.
+	Measure similarity.Measure
+	// Eps is the release budget for the cluster mechanism.
+	Eps dp.Epsilon
+	// EvalSample is the evaluation-user sample size; 0 selects 400.
+	EvalSample int
+	// LouvainRuns is the best-of restart count; 0 selects 10.
+	LouvainRuns int
+	// SimShards is how many checkpointable units the similarity precompute
+	// is split into; 0 selects 4.
+	SimShards int
+	// Seed drives sampling, clustering order and noise, exactly as
+	// Opts.Seed does for the figures (clustering at Seed+100, sampling at
+	// Seed+200, noise at Seed).
+	Seed int64
+	// SnapGrain rounds the sanitized averages before they leave the trust
+	// boundary (0 leaves them untouched).
+	SnapGrain float64
+	// StoreDir, when non-empty, appends the release to a release.Store
+	// there (idempotently: a byte-identical newest version is reused).
+	StoreDir string
+}
+
+func (s ReleaseSpec) measure() similarity.Measure {
+	if s.Measure == nil {
+		return similarity.CommonNeighbors{}
+	}
+	return s.Measure
+}
+
+func (s ReleaseSpec) evalSample() int {
+	if s.EvalSample > 0 {
+		return s.EvalSample
+	}
+	return 400
+}
+
+func (s ReleaseSpec) louvainRuns() int {
+	if s.LouvainRuns > 0 {
+		return s.LouvainRuns
+	}
+	return 10
+}
+
+func (s ReleaseSpec) simShards() int {
+	if s.SimShards > 0 {
+		return s.SimShards
+	}
+	return 4
+}
+
+// Fingerprint hashes every spec field that determines stage outputs; pass
+// it as pipeline.Options.Config so any configuration change re-runs the
+// pipeline from the first affected stage.
+func (s ReleaseSpec) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(s.DatasetFingerprint)
+	h.Write([]byte(s.measure().Name()))
+	put(math.Float64bits(float64(s.Eps)))
+	put(uint64(s.evalSample()))
+	put(uint64(s.louvainRuns()))
+	put(uint64(s.simShards()))
+	put(uint64(s.Seed))
+	put(math.Float64bits(s.SnapGrain))
+	return h.Sum64()
+}
+
+// funcStage adapts a closure to pipeline.Stage.
+type funcStage struct {
+	name    string
+	version int
+	fp      uint64
+	inputs  []pipeline.Key
+	outputs []pipeline.Port
+	run     func(ctx context.Context, st *pipeline.State) error
+}
+
+func (s *funcStage) Name() string             { return s.name }
+func (s *funcStage) Version() int             { return s.version }
+func (s *funcStage) Fingerprint() uint64      { return s.fp }
+func (s *funcStage) Inputs() []pipeline.Key   { return s.inputs }
+func (s *funcStage) Outputs() []pipeline.Port { return s.outputs }
+func (s *funcStage) Run(ctx context.Context, st *pipeline.State) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.run(ctx, st)
+}
+
+// ClusterRun is one Louvain restart's checkpointable result.
+type ClusterRun struct {
+	Clusters   *community.Clustering
+	Modularity float64
+}
+
+// BuildReleasePipeline assembles the checkpointed offline path. Stage
+// versions are bumped when a stage's algorithm changes incompatibly;
+// everything else is invalidated through ReleaseSpec.Fingerprint.
+func BuildReleasePipeline(spec ReleaseSpec) (*pipeline.Pipeline, error) {
+	if spec.Load == nil {
+		return nil, fmt.Errorf("experiment: ReleaseSpec.Load is required")
+	}
+	shards := spec.simShards()
+	runs := spec.louvainRuns()
+
+	stages := []pipeline.Stage{
+		&funcStage{
+			name: "load_dataset", version: 1, fp: spec.DatasetFingerprint,
+			outputs: []pipeline.Port{datasetPort(KeyDataset)},
+			run: func(ctx context.Context, st *pipeline.State) error {
+				ds, err := spec.Load(ctx)
+				if err != nil {
+					return err
+				}
+				st.Put(KeyDataset, ds)
+				return nil
+			},
+		},
+		&funcStage{
+			name: "sample_eval", version: 1,
+			inputs:  []pipeline.Key{KeyDataset},
+			outputs: []pipeline.Port{usersPort(KeyEvalUsers)},
+			run: func(ctx context.Context, st *pipeline.State) error {
+				ds, err := pipeline.Get[*dataset.Dataset](st, KeyDataset)
+				if err != nil {
+					return err
+				}
+				st.Put(KeyEvalUsers, SampleUsersFrom(dp.NewRand(spec.Seed+200), ds.Social.NumUsers(), spec.evalSample()))
+				return nil
+			},
+		},
+	}
+
+	// Similarity precompute, sharded over the evaluation users: shard i
+	// computes rows i, i+shards, i+2·shards … so the shards stay balanced
+	// even when the sample is sorted by user id.
+	shardKeys := make([]pipeline.Key, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		shardKeys[i] = pipeline.Key(fmt.Sprintf("sim_shard_%d", i))
+		stages = append(stages, &funcStage{
+			name: fmt.Sprintf("sim_shard_%d", i), version: 1,
+			inputs:  []pipeline.Key{KeyDataset, KeyEvalUsers},
+			outputs: []pipeline.Port{simsPort(shardKeys[i])},
+			run: func(ctx context.Context, st *pipeline.State) error {
+				ds, err := pipeline.Get[*dataset.Dataset](st, KeyDataset)
+				if err != nil {
+					return err
+				}
+				users, err := pipeline.Get[[]int32](st, KeyEvalUsers)
+				if err != nil {
+					return err
+				}
+				var mine []int32
+				for k := i; k < len(users); k += shards {
+					mine = append(mine, users[k])
+				}
+				st.Put(shardKeys[i], similarity.ComputeAll(ds.Social, spec.measure(), mine, 0))
+				return ctx.Err()
+			},
+		})
+	}
+	stages = append(stages, &funcStage{
+		name: "sim_merge", version: 1,
+		inputs:  append([]pipeline.Key{KeyEvalUsers}, shardKeys...),
+		outputs: []pipeline.Port{simsPort(KeyEvalSims)},
+		run: func(ctx context.Context, st *pipeline.State) error {
+			users, err := pipeline.Get[[]int32](st, KeyEvalUsers)
+			if err != nil {
+				return err
+			}
+			merged := make([]similarity.Scores, len(users))
+			for i := 0; i < shards; i++ {
+				shard, err := pipeline.Get[[]similarity.Scores](st, shardKeys[i])
+				if err != nil {
+					return err
+				}
+				for j, sc := range shard {
+					merged[i+j*shards] = sc
+				}
+			}
+			st.Put(KeyEvalSims, merged)
+			return ctx.Err()
+		},
+	})
+
+	// Louvain restarts: run r seeds at Seed+100+r, exactly the stream
+	// community.BestOf(g, runs, Seed+100, …) would consume, so the picked
+	// clustering matches the monolithic path bit for bit.
+	runKeys := make([]pipeline.Key, runs)
+	for r := 0; r < runs; r++ {
+		r := r
+		runKeys[r] = pipeline.Key(fmt.Sprintf("louvain_run_%d", r))
+		stages = append(stages, &funcStage{
+			name: fmt.Sprintf("louvain_run_%d", r), version: 1,
+			inputs:  []pipeline.Key{KeyDataset},
+			outputs: []pipeline.Port{clusterPort(runKeys[r])},
+			run: func(ctx context.Context, st *pipeline.State) error {
+				ds, err := pipeline.Get[*dataset.Dataset](st, KeyDataset)
+				if err != nil {
+					return err
+				}
+				c := community.Louvain(ds.Social, community.Options{Seed: spec.Seed + 100 + int64(r)})
+				st.Put(runKeys[r], &ClusterRun{Clusters: c, Modularity: community.Modularity(ds.Social, c)})
+				return ctx.Err()
+			},
+		})
+	}
+	stages = append(stages, &funcStage{
+		name: "louvain_pick", version: 1,
+		inputs:  runKeys,
+		outputs: []pipeline.Port{clusterPort(KeyClusters)},
+		run: func(ctx context.Context, st *pipeline.State) error {
+			var best *ClusterRun
+			for r := 0; r < runs; r++ {
+				cr, err := pipeline.Get[*ClusterRun](st, runKeys[r])
+				if err != nil {
+					return err
+				}
+				// Strictly-greater keeps the earliest of tied runs,
+				// matching community.BestOf.
+				if best == nil || cr.Modularity > best.Modularity {
+					best = cr
+				}
+			}
+			st.Put(KeyClusters, best)
+			return ctx.Err()
+		},
+	})
+
+	stages = append(stages, &funcStage{
+		name: "mechanism_release", version: 1,
+		inputs:  []pipeline.Key{KeyDataset, KeyClusters},
+		outputs: []pipeline.Port{releasePort(KeyRelease)},
+		run: func(ctx context.Context, st *pipeline.State) error {
+			ds, err := pipeline.Get[*dataset.Dataset](st, KeyDataset)
+			if err != nil {
+				return err
+			}
+			cr, err := pipeline.Get[*ClusterRun](st, KeyClusters)
+			if err != nil {
+				return err
+			}
+			est, err := mechanism.NewCluster(cr.Clusters, ds.Prefs, spec.Eps, dp.SourceFor(spec.Eps, spec.Seed))
+			if err != nil {
+				return err
+			}
+			rel := &release.Release{
+				Epsilon:  float64(spec.Eps),
+				Measure:  spec.measure().Name(),
+				Clusters: cr.Clusters,
+				NumItems: ds.Prefs.NumItems(),
+				Avg:      est.Averages(),
+			}
+			rel.Snap(spec.SnapGrain)
+			// Journal the spend into the stage receipt: this is what makes
+			// the ε durable exactly once across crash/resume sequences. The
+			// noise is seeded, so a re-run after a crash reproduces the
+			// identical draw — one release, not two.
+			st.RecordSpend(telemetry.ReleaseEvent{
+				Mechanism:   "cluster",
+				Epsilon:     float64(spec.Eps),
+				Sensitivity: 1,
+				Values:      cr.Clusters.NumClusters() * ds.Prefs.NumItems(),
+			})
+			st.Put(KeyRelease, rel)
+			return ctx.Err()
+		},
+	})
+
+	if spec.StoreDir != "" {
+		stages = append(stages, &funcStage{
+			name: "persist", version: 1,
+			inputs:  []pipeline.Key{KeyRelease},
+			outputs: []pipeline.Port{versionPort(KeyVersion)},
+			run: func(ctx context.Context, st *pipeline.State) error {
+				rel, err := pipeline.Get[*release.Release](st, KeyRelease)
+				if err != nil {
+					return err
+				}
+				v, err := persistRelease(spec.StoreDir, rel)
+				if err != nil {
+					return err
+				}
+				st.Put(KeyVersion, v)
+				return ctx.Err()
+			},
+		})
+	}
+	return pipeline.New(stages...)
+}
+
+// persistRelease appends rel to the store at dir unless the newest stored
+// version is already byte-identical — the idempotence that keeps the
+// persist stage safe to re-run after a crash between its store write and
+// its checkpoint receipt.
+func persistRelease(dir string, rel *release.Release) (uint64, error) {
+	store, err := release.OpenStore(dir, release.StoreOptions{
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		return 0, err
+	}
+	var fresh bytes.Buffer
+	if err := release.Write(&fresh, rel); err != nil {
+		return 0, err
+	}
+	if prev, version, _, err := store.Load(); err == nil {
+		var have bytes.Buffer
+		if err := release.Write(&have, prev); err == nil && bytes.Equal(have.Bytes(), fresh.Bytes()) {
+			return version, nil
+		}
+	}
+	return store.Save(rel)
+}
+
+// RunnerFromState builds an evaluation Runner from a (possibly resumed)
+// release-pipeline state, reusing the checkpointed similarity vectors and
+// clustering instead of recomputing them.
+func RunnerFromState(st *pipeline.State, m similarity.Measure) (*Runner, error) {
+	ds, err := pipeline.Get[*dataset.Dataset](st, KeyDataset)
+	if err != nil {
+		return nil, err
+	}
+	users, err := pipeline.Get[[]int32](st, KeyEvalUsers)
+	if err != nil {
+		return nil, err
+	}
+	sims, err := pipeline.Get[[]similarity.Scores](st, KeyEvalSims)
+	if err != nil {
+		return nil, err
+	}
+	cr, err := pipeline.Get[*ClusterRun](st, KeyClusters)
+	if err != nil {
+		return nil, err
+	}
+	return NewRunnerWithSims(ds, m, cr.Clusters, users, sims)
+}
+
+// Checkpoint codecs. All are deterministic (fixed iteration order,
+// little-endian integers) as pipeline.Port requires.
+
+func writeU32(w io.Writer, v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
+func writeU64(w io.Writer, v uint64) error { return binary.Write(w, binary.LittleEndian, v) }
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+func readU64(r io.Reader) (uint64, error) {
+	var v uint64
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func writeInt32s(w io.Writer, s []int32) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, s)
+}
+
+func readInt32s(r io.Reader) ([]int32, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	s := make([]int32, n)
+	if err := binary.Read(r, binary.LittleEndian, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// datasetPort round-trips a *dataset.Dataset: name, social edges (each
+// undirected edge once, endpoints ascending), preference edges.
+func datasetPort(k pipeline.Key) pipeline.Port {
+	return pipeline.Port{
+		Key: k,
+		Encode: func(w io.Writer, v any) error {
+			ds, ok := v.(*dataset.Dataset)
+			if !ok {
+				return fmt.Errorf("experiment: dataset codec got %T", v)
+			}
+			if err := writeString(w, ds.Name); err != nil {
+				return err
+			}
+			nu := ds.Social.NumUsers()
+			if err := writeU32(w, uint32(nu)); err != nil {
+				return err
+			}
+			if err := writeU64(w, uint64(ds.Social.NumEdges())); err != nil {
+				return err
+			}
+			for u := 0; u < nu; u++ {
+				for _, v := range ds.Social.Neighbors(u) {
+					if int(v) > u {
+						if err := writeU32(w, uint32(u)); err != nil {
+							return err
+						}
+						if err := writeU32(w, uint32(v)); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			if err := writeU32(w, uint32(ds.Prefs.NumItems())); err != nil {
+				return err
+			}
+			if err := writeU64(w, uint64(ds.Prefs.NumEdges())); err != nil {
+				return err
+			}
+			for u := 0; u < ds.Prefs.NumUsers(); u++ {
+				for _, it := range ds.Prefs.Items(u) {
+					if err := writeU32(w, uint32(u)); err != nil {
+						return err
+					}
+					if err := writeU32(w, uint32(it)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		Decode: func(r io.Reader) (any, error) {
+			name, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			nu, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			ne, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			sb := graph.NewSocialBuilder(int(nu))
+			for e := uint64(0); e < ne; e++ {
+				u, err := readU32(r)
+				if err != nil {
+					return nil, err
+				}
+				v, err := readU32(r)
+				if err != nil {
+					return nil, err
+				}
+				if err := sb.AddEdge(int(u), int(v)); err != nil {
+					return nil, err
+				}
+			}
+			ni, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			pe, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			pb := graph.NewPreferenceBuilder(int(nu), int(ni))
+			for e := uint64(0); e < pe; e++ {
+				u, err := readU32(r)
+				if err != nil {
+					return nil, err
+				}
+				it, err := readU32(r)
+				if err != nil {
+					return nil, err
+				}
+				if err := pb.AddEdge(int(u), int(it)); err != nil {
+					return nil, err
+				}
+			}
+			return &dataset.Dataset{Name: name, Social: sb.Build(), Prefs: pb.Build()}, nil
+		},
+	}
+}
+
+func usersPort(k pipeline.Key) pipeline.Port {
+	return pipeline.Port{
+		Key: k,
+		Encode: func(w io.Writer, v any) error {
+			s, ok := v.([]int32)
+			if !ok {
+				return fmt.Errorf("experiment: users codec got %T", v)
+			}
+			return writeInt32s(w, s)
+		},
+		Decode: func(r io.Reader) (any, error) { return readInt32s(r) },
+	}
+}
+
+func simsPort(k pipeline.Key) pipeline.Port {
+	return pipeline.Port{
+		Key: k,
+		Encode: func(w io.Writer, v any) error {
+			sims, ok := v.([]similarity.Scores)
+			if !ok {
+				return fmt.Errorf("experiment: sims codec got %T", v)
+			}
+			if err := writeU32(w, uint32(len(sims))); err != nil {
+				return err
+			}
+			for _, s := range sims {
+				if err := writeInt32s(w, s.Users); err != nil {
+					return err
+				}
+				if err := binary.Write(w, binary.LittleEndian, s.Vals); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Decode: func(r io.Reader) (any, error) {
+			n, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			sims := make([]similarity.Scores, n)
+			for i := range sims {
+				users, err := readInt32s(r)
+				if err != nil {
+					return nil, err
+				}
+				vals := make([]float64, len(users))
+				if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
+					return nil, err
+				}
+				sims[i] = similarity.Scores{Users: users, Vals: vals}
+			}
+			return sims, nil
+		},
+	}
+}
+
+func clusterPort(k pipeline.Key) pipeline.Port {
+	return pipeline.Port{
+		Key: k,
+		Encode: func(w io.Writer, v any) error {
+			cr, ok := v.(*ClusterRun)
+			if !ok {
+				return fmt.Errorf("experiment: cluster codec got %T", v)
+			}
+			if err := writeInt32s(w, cr.Clusters.Assignment()); err != nil {
+				return err
+			}
+			return binary.Write(w, binary.LittleEndian, cr.Modularity)
+		},
+		Decode: func(r io.Reader) (any, error) {
+			assign, err := readInt32s(r)
+			if err != nil {
+				return nil, err
+			}
+			var q float64
+			if err := binary.Read(r, binary.LittleEndian, &q); err != nil {
+				return nil, err
+			}
+			c, err := community.FromAssignment(assign)
+			if err != nil {
+				return nil, err
+			}
+			return &ClusterRun{Clusters: c, Modularity: q}, nil
+		},
+	}
+}
+
+// releasePort reuses the production release serialization, so the
+// checkpointed bytes are exactly the bytes a release.Store would persist.
+func releasePort(k pipeline.Key) pipeline.Port {
+	return pipeline.Port{
+		Key: k,
+		Encode: func(w io.Writer, v any) error {
+			rel, ok := v.(*release.Release)
+			if !ok {
+				return fmt.Errorf("experiment: release codec got %T", v)
+			}
+			return release.Write(w, rel)
+		},
+		Decode: func(r io.Reader) (any, error) { return release.Read(r) },
+	}
+}
+
+func versionPort(k pipeline.Key) pipeline.Port {
+	return pipeline.Port{
+		Key: k,
+		Encode: func(w io.Writer, v any) error {
+			ver, ok := v.(uint64)
+			if !ok {
+				return fmt.Errorf("experiment: version codec got %T", v)
+			}
+			return writeU64(w, ver)
+		},
+		Decode: func(r io.Reader) (any, error) { return readU64(r) },
+	}
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("experiment: string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

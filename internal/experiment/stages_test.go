@@ -1,0 +1,360 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"socialrec/internal/community"
+	"socialrec/internal/dataset"
+	"socialrec/internal/dp"
+	"socialrec/internal/faults"
+	"socialrec/internal/generator"
+	"socialrec/internal/mechanism"
+	"socialrec/internal/pipeline"
+	"socialrec/internal/release"
+	"socialrec/internal/similarity"
+	"socialrec/internal/telemetry"
+)
+
+func tinySpec(seed int64, storeDir string) ReleaseSpec {
+	preset := generator.TinyTest(seed)
+	return ReleaseSpec{
+		Load: func(ctx context.Context) (*dataset.Dataset, error) {
+			ds, _, err := BuildDataset(preset)
+			return ds, err
+		},
+		DatasetFingerprint: 42,
+		Eps:                0.5,
+		EvalSample:         30,
+		LouvainRuns:        3,
+		SimShards:          3,
+		Seed:               seed,
+		StoreDir:           storeDir,
+	}
+}
+
+func quietOpts(dir string) pipeline.Options {
+	return pipeline.Options{
+		CheckpointDir: dir,
+		Resume:        true,
+		Metrics:       telemetry.NewRegistry(),
+		Tracer:        telemetry.NewTracer(),
+		Sleep:         func(time.Duration) {},
+	}
+}
+
+// TestPipelineMatchesMonolithicPath proves stage-graph decomposition did
+// not change the computation: sampling, similarity, clustering and the
+// released averages all equal the direct (non-checkpointed) path.
+func TestPipelineMatchesMonolithicPath(t *testing.T) {
+	const seed = 11
+	spec := tinySpec(seed, "")
+	p, err := BuildReleasePipeline(spec)
+	if err != nil {
+		t.Fatalf("BuildReleasePipeline: %v", err)
+	}
+	opts := quietOpts("")
+	opts.Config = spec.Fingerprint()
+	res, err := p.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	ds, _, err := BuildDataset(generator.TinyTest(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUsers := SampleUsers(ds.Social.NumUsers(), spec.evalSample(), seed+200)
+	gotUsers, err := pipeline.Get[[]int32](res.State, KeyEvalUsers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotUsers, wantUsers) {
+		t.Fatalf("eval users diverge: got %v want %v", gotUsers, wantUsers)
+	}
+
+	wantSims := similarity.ComputeAll(ds.Social, similarity.CommonNeighbors{}, wantUsers, 0)
+	gotSims, err := pipeline.Get[[]similarity.Scores](res.State, KeyEvalSims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSims, wantSims) {
+		t.Fatalf("similarity vectors diverge")
+	}
+
+	wantClusters, wantQ := ClusterSocial(ds, spec.louvainRuns(), seed+100)
+	gotCR, err := pipeline.Get[*ClusterRun](res.State, KeyClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCR.Modularity != wantQ {
+		t.Fatalf("modularity %v, want %v", gotCR.Modularity, wantQ)
+	}
+	if !reflect.DeepEqual(gotCR.Clusters.Assignment(), wantClusters.Assignment()) {
+		t.Fatalf("clustering diverges from community.BestOf")
+	}
+
+	est, err := mechanism.NewCluster(wantClusters, ds.Prefs, spec.Eps, dp.SourceFor(spec.Eps, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pipeline.Get[*release.Release](res.State, KeyRelease)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rel.Avg, est.Averages()) {
+		t.Fatalf("released averages diverge from direct mechanism")
+	}
+}
+
+// TestPipelineResumeAndPersistIdempotent checks the full-system invariant:
+// resuming re-uses every checkpoint, produces an identical release, the
+// persist stage never duplicates a store version, and the durable ledger
+// records the ε-spend exactly once.
+func TestPipelineResumeAndPersistIdempotent(t *testing.T) {
+	const seed = 11
+	ckpt := t.TempDir()
+	storeDir := filepath.Join(t.TempDir(), "releases")
+	spec := tinySpec(seed, storeDir)
+	opts := quietOpts(ckpt)
+	opts.Config = spec.Fingerprint()
+
+	run := func() *pipeline.Result {
+		p, err := BuildReleasePipeline(spec)
+		if err != nil {
+			t.Fatalf("BuildReleasePipeline: %v", err)
+		}
+		res, err := p.Run(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	res1 := run()
+	res2 := run()
+	if got, want := res2.Resumed(), len(res2.Stages); got != want {
+		t.Fatalf("second run resumed %d of %d stages", got, want)
+	}
+
+	rel1, err := pipeline.Get[*release.Release](res1.State, KeyRelease)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := pipeline.Get[*release.Release](res2.State, KeyRelease)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := release.Write(&b1, rel1); err != nil {
+		t.Fatal(err)
+	}
+	if err := release.Write(&b2, rel2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("resumed release is not byte-identical")
+	}
+
+	store, err := release.OpenStore(storeDir, release.StoreOptions{Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions, err := store.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 1 {
+		t.Fatalf("store has %d versions after two runs, want 1 (persist not idempotent)", len(versions))
+	}
+
+	ckptStore, _, err := pipeline.OpenStore(ckpt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, skipped, err := ckptStore.Ledger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped receipts: %v", skipped)
+	}
+	spends := 0
+	for _, r := range records {
+		if r.Event.Epsilon != 0 {
+			spends++
+			if r.Stage != "mechanism_release" || r.Event.Epsilon != 0.5 {
+				t.Fatalf("unexpected spend %+v", r)
+			}
+		}
+	}
+	if spends != 1 {
+		t.Fatalf("durable ledger has %d ε-spends, want exactly 1", spends)
+	}
+	if got := pipeline.SpentEpsilon(records); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("SpentEpsilon = %g, want 0.5", got)
+	}
+}
+
+// TestPipelineCrashMidPersistThenResume injects a fault at the release
+// store's rename (the last possible failure before the persist stage's
+// receipt) and checks the resumed run converges without duplicating the
+// stored release or the ε record.
+func TestPipelineCrashMidPersistThenResume(t *testing.T) {
+	const seed = 11
+	ckpt := t.TempDir()
+	storeDir := filepath.Join(t.TempDir(), "releases")
+	spec := tinySpec(seed, storeDir)
+
+	reg := faults.New(1)
+	// The pipeline checkpoints several artifacts before the persist stage
+	// touches the store, so fail a late rename: occurrence indices walk the
+	// run until the injected failure lands inside persist/commit territory.
+	reg.Arm(faults.PointFSRename, faults.Plan{After: 12, Times: 1})
+	opts := quietOpts(ckpt)
+	opts.Config = spec.Fingerprint()
+	opts.FS = faults.NewFS(faults.OS{}, reg)
+
+	p, err := BuildReleasePipeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(context.Background(), opts); err == nil && reg.Fired(faults.PointFSRename) > 0 {
+		t.Fatalf("run succeeded despite injected rename failure")
+	}
+
+	// Resume on a healthy filesystem.
+	opts.FS = nil
+	p2, err := BuildReleasePipeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Run(context.Background(), opts); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	store, err := release.OpenStore(storeDir, release.StoreOptions{Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions, err := store.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 1 {
+		t.Fatalf("store has %d versions after crash/resume, want 1", len(versions))
+	}
+}
+
+// TestRunnerFromState proves the checkpoint-fed runner scores identically
+// to one that recomputes everything.
+func TestRunnerFromState(t *testing.T) {
+	const seed = 11
+	spec := tinySpec(seed, "")
+	p, err := BuildReleasePipeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quietOpts("")
+	opts.Config = spec.Fingerprint()
+	res, err := p.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromState, err := RunnerFromState(res.State, similarity.CommonNeighbors{})
+	if err != nil {
+		t.Fatalf("RunnerFromState: %v", err)
+	}
+
+	ds, _, err := BuildDataset(generator.TinyTest(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, _ := ClusterSocial(ds, spec.louvainRuns(), seed+100)
+	eval := SampleUsers(ds.Social.NumUsers(), spec.evalSample(), seed+200)
+	direct, err := NewRunner(ds, similarity.CommonNeighbors{}, clusters, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := fromState.EvaluateCluster(0.5, seed, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := direct.EvaluateCluster(0.5, seed, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.NDCG, r2.NDCG) {
+		t.Fatalf("checkpoint-fed runner scores diverge: %v vs %v", r1.Mean(10), r2.Mean(10))
+	}
+}
+
+// TestDatasetCodecRoundTrip covers isolated users and empty preference
+// rows, which a TSV round-trip would lose.
+func TestDatasetCodecRoundTrip(t *testing.T) {
+	ds, _, err := BuildDataset(generator.TinyTest(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := datasetPort(KeyDataset)
+	var buf bytes.Buffer
+	if err := port.Encode(&buf, ds); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := port.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	ds2 := got.(*dataset.Dataset)
+	if ds2.Name != ds.Name ||
+		ds2.Social.NumUsers() != ds.Social.NumUsers() ||
+		ds2.Social.NumEdges() != ds.Social.NumEdges() ||
+		ds2.Prefs.NumItems() != ds.Prefs.NumItems() ||
+		ds2.Prefs.NumEdges() != ds.Prefs.NumEdges() {
+		t.Fatalf("round-trip changed dataset shape")
+	}
+	for u := 0; u < ds.Social.NumUsers(); u++ {
+		if !reflect.DeepEqual(ds2.Social.Neighbors(u), ds.Social.Neighbors(u)) {
+			t.Fatalf("user %d neighbors diverge", u)
+		}
+		if !reflect.DeepEqual(ds2.Prefs.Items(u), ds.Prefs.Items(u)) {
+			t.Fatalf("user %d items diverge", u)
+		}
+	}
+	// Deterministic encoding: same value, same bytes.
+	var buf2 bytes.Buffer
+	if err := port.Encode(&buf2, ds2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("dataset encoding is not deterministic")
+	}
+}
+
+// TestClusterRunFromAssignment guards the clustering codec against
+// community.FromAssignment rejecting Louvain output.
+func TestClusterCodecRoundTrip(t *testing.T) {
+	ds, _, err := BuildDataset(generator.TinyTest(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := community.Louvain(ds.Social, community.Options{Seed: 3})
+	cr := &ClusterRun{Clusters: c, Modularity: community.Modularity(ds.Social, c)}
+	port := clusterPort(KeyClusters)
+	var buf bytes.Buffer
+	if err := port.Encode(&buf, cr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := port.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr2 := got.(*ClusterRun)
+	if cr2.Modularity != cr.Modularity || !reflect.DeepEqual(cr2.Clusters.Assignment(), cr.Clusters.Assignment()) {
+		t.Fatalf("cluster round-trip diverged")
+	}
+}

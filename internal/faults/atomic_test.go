@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := WriteAtomic(OS{}, path, []byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if _, err := os.Stat(path + AtomicTmpSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	// Overwrite through the same path.
+	if err := WriteAtomic(OS{}, path, []byte("world")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "world" {
+		t.Fatalf("after overwrite got %q", got)
+	}
+}
+
+// TestWriteAtomicFreshFileRemovedOnDirSyncFailure: when the final name held
+// nothing before, a failed directory sync must leave no file of uncertain
+// durability behind.
+func TestWriteAtomicFreshFileRemovedOnDirSyncFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh")
+	reg := New(1)
+	reg.Arm(PointFSSyncDir, Plan{Times: 1})
+	err := WriteAtomic(NewFS(OS{}, reg), path, []byte("new"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("fresh file survived a failed dir sync: %v", err)
+	}
+}
+
+// TestWriteAtomicOverwriteKeptOnDirSyncFailure: when the final name already
+// held durable data, the failed-dir-sync cleanup must NOT delete the
+// replacement — the previous contents are gone after the rename, so
+// removing the new file would destroy the only remaining copy.
+func TestWriteAtomicOverwriteKeptOnDirSyncFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	if err := WriteAtomic(OS{}, path, []byte("gen1")); err != nil {
+		t.Fatal(err)
+	}
+	reg := New(1)
+	reg.Arm(PointFSSyncDir, Plan{Times: 1})
+	err := WriteAtomic(NewFS(OS{}, reg), path, []byte("gen2"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	got, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatalf("overwritten file vanished after failed dir sync: %v", readErr)
+	}
+	if string(got) != "gen2" {
+		t.Fatalf("file holds %q, want the renamed replacement gen2", got)
+	}
+}
+
+// TestWriteAtomicFailedWriteKeepsPreviousFile: a failure before the rename
+// must leave the previous generation untouched and sweep its own temp.
+func TestWriteAtomicFailedWriteKeepsPreviousFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	if err := WriteAtomic(OS{}, path, []byte("gen1")); err != nil {
+		t.Fatal(err)
+	}
+	for _, point := range []Point{PointFSCreate, PointFSWrite, PointFSSync, PointFSRename} {
+		reg := New(2)
+		reg.Arm(point, Plan{Times: 1})
+		if err := WriteAtomic(NewFS(OS{}, reg), path, []byte("gen2")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("%s: err = %v, want injected", point, err)
+		}
+		if got, _ := os.ReadFile(path); string(got) != "gen1" {
+			t.Fatalf("%s: previous generation clobbered: %q", point, got)
+		}
+	}
+}
+
+func TestSweepTmpRemovesOnlyMatchingDebris(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a.art" + AtomicTmpSuffix)
+	mk("b.stage" + AtomicTmpSuffix)
+	mk("keep.art")
+	mk("other" + AtomicTmpSuffix)
+	removed, err := SweepTmp(OS{}, dir, "a.", "b.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed %v, want the two prefixed temp files", removed)
+	}
+	for _, name := range removed {
+		if !strings.HasSuffix(name, AtomicTmpSuffix) {
+			t.Fatalf("removed non-temp file %q", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "keep.art")); err != nil {
+		t.Fatalf("final-name file swept: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "other"+AtomicTmpSuffix)); err != nil {
+		t.Fatalf("non-matching temp swept: %v", err)
+	}
+}

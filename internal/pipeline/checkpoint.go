@@ -1,0 +1,425 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"math"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"socialrec/internal/faults"
+	"socialrec/internal/telemetry"
+)
+
+// Checkpoint file layout. Each completed stage leaves one artifact file
+// per output plus one receipt file; the receipt is written last and is the
+// stage's commit point. All files are CRC'd and written via
+// faults.WriteAtomicFunc, so a crash at any moment leaves either the
+// previous checkpoint intact or the new one fully durable — never a torn
+// file under a final name.
+//
+//	<key>.art      one stage output (header + payload + CRC)
+//	<stage>.stage  stage receipt (fingerprint, output keys, ε-spends + CRC)
+//	*.tmp          in-progress atomic writes; swept on open
+//
+// Artifact (integers little-endian):
+//
+//	magic    [8]byte "SOCKPT01"
+//	stage    uint16-prefixed UTF-8 string (producing stage)
+//	key      uint16-prefixed UTF-8 string
+//	version  uint32   (stage code version)
+//	fp       uint64   (artifact fingerprint: chain(stage fp, key))
+//	paylen   uint64
+//	payload  paylen bytes (Port.Encode output)
+//	crc32    uint32   (IEEE, over everything after the magic)
+//
+// Receipt:
+//
+//	magic    [8]byte "SOCRCT01"
+//	stage    uint16-prefixed UTF-8 string
+//	version  uint32
+//	fp       uint64   (stage fingerprint)
+//	nkeys    uint16, then nkeys × uint16-prefixed output key
+//	nspends  uint16, then nspends × {mechanism uint16-str, epsilon float64,
+//	         sensitivity float64, values uint32}
+//	crc32    uint32   (IEEE, over everything after the magic)
+const (
+	artifactMagic   = "SOCKPT01"
+	receiptMagic    = "SOCRCT01"
+	artifactSuffix  = ".art"
+	receiptSuffix   = ".stage"
+	maxHeaderString = 1<<16 - 1
+)
+
+// Artifact is one checkpointed stage output.
+type Artifact struct {
+	Stage       string
+	Key         Key
+	Version     int
+	Fingerprint uint64
+	Payload     []byte
+}
+
+// Receipt is a stage's commit record: it exists if and only if every
+// output artifact of the stage became durable, and it carries the stage's
+// ε-spends so the checkpoint directory doubles as a persistent budget
+// journal.
+type Receipt struct {
+	Stage       string
+	Version     int
+	Fingerprint uint64
+	Outputs     []Key
+	Spends      []telemetry.ReleaseEvent
+}
+
+// SpendRecord is one persisted ε-spend read back from a stage receipt.
+type SpendRecord struct {
+	Stage       string
+	Fingerprint uint64
+	Event       telemetry.ReleaseEvent
+}
+
+// Store reads and writes checkpoint files in one directory through a
+// (possibly fault-injecting) filesystem. Methods are not safe for
+// concurrent use; the runner serializes them.
+type Store struct {
+	dir  string
+	fsys faults.FS
+}
+
+// OpenStore opens (creating if needed) a checkpoint directory and sweeps
+// temp debris left by crashed writes. swept reports what was removed.
+func OpenStore(dir string, fsys faults.FS) (s *Store, swept []string, err error) {
+	if fsys == nil {
+		fsys = faults.OS{}
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("pipeline: opening checkpoint dir %s: %w", dir, err)
+	}
+	// Sweep all *.tmp regardless of prefix: every atomic write in this
+	// directory is ours.
+	swept, err = faults.SweepTmp(fsys, dir)
+	if err != nil {
+		return nil, swept, fmt.Errorf("pipeline: sweeping checkpoint dir %s: %w", dir, err)
+	}
+	return &Store{dir: dir, fsys: fsys}, swept, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Clear removes every checkpoint file (artifacts, receipts and temp
+// debris), implementing -fresh. Foreign files are left alone.
+func (s *Store) Clear() error {
+	names, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("pipeline: clearing checkpoint dir %s: %w", s.dir, err)
+	}
+	for _, name := range names {
+		if strings.HasSuffix(name, artifactSuffix) ||
+			strings.HasSuffix(name, receiptSuffix) ||
+			strings.HasSuffix(name, faults.AtomicTmpSuffix) {
+			if err := s.fsys.Remove(filepath.Join(s.dir, name)); err != nil {
+				return fmt.Errorf("pipeline: clearing checkpoint dir %s: %w", s.dir, err)
+			}
+		}
+	}
+	return nil
+}
+
+// header helpers: every multi-byte integer is little-endian; strings are
+// uint16-length-prefixed UTF-8.
+
+func writeString16(w io.Writer, s string) error {
+	if len(s) > maxHeaderString {
+		return fmt.Errorf("pipeline: string too long (%d bytes)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString16(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// SaveArtifact durably writes one artifact.
+func (s *Store) SaveArtifact(a Artifact) error {
+	var body bytes.Buffer
+	if err := writeString16(&body, a.Stage); err != nil {
+		return err
+	}
+	if err := writeString16(&body, string(a.Key)); err != nil {
+		return err
+	}
+	if err := binary.Write(&body, binary.LittleEndian, uint32(a.Version)); err != nil {
+		return err
+	}
+	if err := binary.Write(&body, binary.LittleEndian, a.Fingerprint); err != nil {
+		return err
+	}
+	if err := binary.Write(&body, binary.LittleEndian, uint64(len(a.Payload))); err != nil {
+		return err
+	}
+	body.Write(a.Payload)
+	return s.writeChecked(string(a.Key)+artifactSuffix, artifactMagic, body.Bytes())
+}
+
+// LoadArtifact reads and validates one artifact. Any validation failure —
+// missing file, bad magic, truncation, CRC mismatch — is an error; the
+// runner treats all of them as "checkpoint absent".
+func (s *Store) LoadArtifact(key Key) (*Artifact, error) {
+	body, err := s.readChecked(string(key)+artifactSuffix, artifactMagic)
+	if err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(body)
+	a := &Artifact{}
+	if a.Stage, err = readString16(r); err != nil {
+		return nil, fmt.Errorf("pipeline: artifact %s: %w", key, err)
+	}
+	k, err := readString16(r)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: artifact %s: %w", key, err)
+	}
+	a.Key = Key(k)
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("pipeline: artifact %s: %w", key, err)
+	}
+	a.Version = int(version)
+	if err := binary.Read(r, binary.LittleEndian, &a.Fingerprint); err != nil {
+		return nil, fmt.Errorf("pipeline: artifact %s: %w", key, err)
+	}
+	var paylen uint64
+	if err := binary.Read(r, binary.LittleEndian, &paylen); err != nil {
+		return nil, fmt.Errorf("pipeline: artifact %s: %w", key, err)
+	}
+	if paylen != uint64(r.Len()) {
+		return nil, fmt.Errorf("pipeline: artifact %s: payload length %d does not match remaining %d bytes", key, paylen, r.Len())
+	}
+	a.Payload = body[len(body)-r.Len():]
+	if a.Key != key {
+		return nil, fmt.Errorf("pipeline: artifact %s: header names key %q", key, a.Key)
+	}
+	return a, nil
+}
+
+// SaveReceipt durably writes a stage receipt. Callers must only invoke it
+// after every artifact the receipt lists is durable: the receipt is the
+// stage's commit point.
+func (s *Store) SaveReceipt(rc Receipt) error {
+	var body bytes.Buffer
+	if err := writeString16(&body, rc.Stage); err != nil {
+		return err
+	}
+	if err := binary.Write(&body, binary.LittleEndian, uint32(rc.Version)); err != nil {
+		return err
+	}
+	if err := binary.Write(&body, binary.LittleEndian, rc.Fingerprint); err != nil {
+		return err
+	}
+	if len(rc.Outputs) > maxHeaderString || len(rc.Spends) > maxHeaderString {
+		return fmt.Errorf("pipeline: receipt %s: too many outputs or spends", rc.Stage)
+	}
+	if err := binary.Write(&body, binary.LittleEndian, uint16(len(rc.Outputs))); err != nil {
+		return err
+	}
+	for _, k := range rc.Outputs {
+		if err := writeString16(&body, string(k)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(&body, binary.LittleEndian, uint16(len(rc.Spends))); err != nil {
+		return err
+	}
+	for _, ev := range rc.Spends {
+		if err := writeString16(&body, ev.Mechanism); err != nil {
+			return err
+		}
+		if err := binary.Write(&body, binary.LittleEndian, ev.Epsilon); err != nil {
+			return err
+		}
+		if err := binary.Write(&body, binary.LittleEndian, ev.Sensitivity); err != nil {
+			return err
+		}
+		if err := binary.Write(&body, binary.LittleEndian, uint32(ev.Values)); err != nil {
+			return err
+		}
+	}
+	return s.writeChecked(rc.Stage+receiptSuffix, receiptMagic, body.Bytes())
+}
+
+// LoadReceipt reads and validates a stage receipt.
+func (s *Store) LoadReceipt(stage string) (*Receipt, error) {
+	body, err := s.readChecked(stage+receiptSuffix, receiptMagic)
+	if err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(body)
+	rc := &Receipt{}
+	if rc.Stage, err = readString16(r); err != nil {
+		return nil, fmt.Errorf("pipeline: receipt %s: %w", stage, err)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("pipeline: receipt %s: %w", stage, err)
+	}
+	rc.Version = int(version)
+	if err := binary.Read(r, binary.LittleEndian, &rc.Fingerprint); err != nil {
+		return nil, fmt.Errorf("pipeline: receipt %s: %w", stage, err)
+	}
+	var nkeys uint16
+	if err := binary.Read(r, binary.LittleEndian, &nkeys); err != nil {
+		return nil, fmt.Errorf("pipeline: receipt %s: %w", stage, err)
+	}
+	for i := 0; i < int(nkeys); i++ {
+		k, err := readString16(r)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: receipt %s: %w", stage, err)
+		}
+		rc.Outputs = append(rc.Outputs, Key(k))
+	}
+	var nspends uint16
+	if err := binary.Read(r, binary.LittleEndian, &nspends); err != nil {
+		return nil, fmt.Errorf("pipeline: receipt %s: %w", stage, err)
+	}
+	for i := 0; i < int(nspends); i++ {
+		var ev telemetry.ReleaseEvent
+		if ev.Mechanism, err = readString16(r); err != nil {
+			return nil, fmt.Errorf("pipeline: receipt %s: %w", stage, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &ev.Epsilon); err != nil {
+			return nil, fmt.Errorf("pipeline: receipt %s: %w", stage, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &ev.Sensitivity); err != nil {
+			return nil, fmt.Errorf("pipeline: receipt %s: %w", stage, err)
+		}
+		var values uint32
+		if err := binary.Read(r, binary.LittleEndian, &values); err != nil {
+			return nil, fmt.Errorf("pipeline: receipt %s: %w", stage, err)
+		}
+		ev.Values = int(values)
+		rc.Spends = append(rc.Spends, ev)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("pipeline: receipt %s: %d trailing bytes", stage, r.Len())
+	}
+	if rc.Stage != stage {
+		return nil, fmt.Errorf("pipeline: receipt %s: header names stage %q", stage, rc.Stage)
+	}
+	return rc, nil
+}
+
+// RemoveReceipt deletes a stage's receipt (invalidating its checkpoint
+// before a re-run). Missing receipts are not an error.
+func (s *Store) RemoveReceipt(stage string) error {
+	err := s.fsys.Remove(filepath.Join(s.dir, stage+receiptSuffix))
+	if err != nil && !isNotExist(err) {
+		return fmt.Errorf("pipeline: removing receipt %s: %w", stage, err)
+	}
+	return nil
+}
+
+// Ledger scans the durable stage receipts and returns every persisted
+// ε-spend, sorted by stage name. Receipts that fail validation are skipped
+// and reported by name: a torn receipt means its stage never committed, so
+// its spend is (correctly) absent. Infinite-ε events (deliberately
+// non-private runs) are included; the caller decides how to count them.
+func (s *Store) Ledger() (records []SpendRecord, skipped []string, err error) {
+	names, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pipeline: scanning checkpoint dir %s: %w", s.dir, err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		stage, ok := strings.CutSuffix(name, receiptSuffix)
+		if !ok {
+			continue
+		}
+		rc, err := s.LoadReceipt(stage)
+		if err != nil {
+			skipped = append(skipped, name)
+			continue
+		}
+		for _, ev := range rc.Spends {
+			records = append(records, SpendRecord{Stage: rc.Stage, Fingerprint: rc.Fingerprint, Event: ev})
+		}
+	}
+	return records, skipped, nil
+}
+
+// SpentEpsilon sums the finite ε of the given records — the sequential-
+// composition bound on what the checkpointed pipeline has durably spent.
+func SpentEpsilon(records []SpendRecord) float64 {
+	var total float64
+	for _, r := range records {
+		if !math.IsInf(r.Event.Epsilon, 1) {
+			total += r.Event.Epsilon
+		}
+	}
+	return total
+}
+
+// writeChecked atomically writes magic + body + CRC32(body).
+func (s *Store) writeChecked(name, magic string, body []byte) error {
+	path := filepath.Join(s.dir, name)
+	return faults.WriteAtomicFunc(s.fsys, path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, magic); err != nil {
+			return err
+		}
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(body))
+	})
+}
+
+// readChecked reads a checked file and returns its body after verifying
+// magic and CRC.
+func (s *Store) readChecked(name, magic string) ([]byte, error) {
+	f, err := s.fsys.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: opening %s: %w", name, err)
+	}
+	data, err := io.ReadAll(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		return nil, fmt.Errorf("pipeline: reading %s: close: %w", name, cerr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: reading %s: %w", name, err)
+	}
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("pipeline: %s: truncated (%d bytes)", name, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("pipeline: %s: bad magic %q", name, data[:len(magic)])
+	}
+	body := data[len(magic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("pipeline: %s: checksum mismatch (file corrupted)", name)
+	}
+	return body, nil
+}
+
+// isNotExist matches fs.ErrNotExist through the faults.FS wrappers.
+func isNotExist(err error) bool {
+	return errors.Is(err, fs.ErrNotExist)
+}

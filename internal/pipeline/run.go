@@ -1,0 +1,442 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"socialrec/internal/faults"
+	"socialrec/internal/telemetry"
+)
+
+// Options configures one pipeline run.
+type Options struct {
+	// CheckpointDir is where stage outputs are checkpointed; "" disables
+	// checkpointing entirely (the pipeline still runs, nothing persists).
+	CheckpointDir string
+	// Fresh discards any existing checkpoints before running, forcing
+	// every stage to re-run.
+	Fresh bool
+	// Resume permits reusing matching checkpoints. With Resume false and
+	// Fresh false, existing checkpoints are left in place but ignored and
+	// overwritten as stages complete.
+	Resume bool
+	// Config fingerprints the run configuration (flags, seed, ε, dataset
+	// identity as the caller defines it). It is folded into every stage's
+	// fingerprint, so any config change invalidates all checkpoints.
+	Config uint64
+	// FS is the filesystem checkpoints are written through; nil selects
+	// faults.OS. Tests inject a faults.NewFS wrapper to simulate crashes
+	// mid-checkpoint.
+	FS faults.FS
+	// StageTimeout bounds each stage attempt via context; 0 means no
+	// timeout.
+	StageTimeout time.Duration
+	// Retries is how many times a failed stage attempt is retried (so a
+	// stage runs at most Retries+1 times). Context cancellation is never
+	// retried.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per retry and
+	// capped at 8×Backoff. 0 retries immediately.
+	Backoff time.Duration
+	// HeartbeatEvery logs (and counts) a progress heartbeat for a stage
+	// that has been running this long without completing; 0 disables.
+	HeartbeatEvery time.Duration
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+	// Metrics receives the pipeline counters/gauges; nil selects
+	// telemetry.Default().
+	Metrics *telemetry.Registry
+	// Tracer records per-stage spans; nil selects telemetry.Stages().
+	Tracer *telemetry.Tracer
+	// Sleep replaces time.Sleep for backoff waits (tests); nil selects
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// StageReport describes how one stage completed.
+type StageReport struct {
+	Stage       string
+	Fingerprint uint64
+	// Resumed is true when the stage was skipped because its checkpoint
+	// matched; its outputs were loaded from disk.
+	Resumed bool
+	// Attempts is how many times Run was invoked (0 when resumed).
+	Attempts int
+	Duration time.Duration
+	// Spends are the ε-spends the stage recorded (from its receipt when
+	// resumed).
+	Spends []telemetry.ReleaseEvent
+}
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	// State holds every stage output, resumed or computed.
+	State *State
+	// Stages reports per-stage outcomes in execution order.
+	Stages []StageReport
+	// Swept lists temp debris removed when the checkpoint dir was opened.
+	Swept []string
+}
+
+// Resumed counts the stages that were served from checkpoints.
+func (r *Result) Resumed() int {
+	n := 0
+	for _, s := range r.Stages {
+		if s.Resumed {
+			n++
+		}
+	}
+	return n
+}
+
+// pipelineMetrics are the runner's instruments, registered once per
+// registry (telemetry registration is idempotent).
+type pipelineMetrics struct {
+	run        *telemetry.Counter
+	resumed    *telemetry.Counter
+	retries    *telemetry.Counter
+	failures   *telemetry.Counter
+	ckptWrites *telemetry.Counter
+	ckptBad    *telemetry.Counter
+	heartbeats *telemetry.Counter
+	inflight   *telemetry.Gauge
+}
+
+func newPipelineMetrics(reg *telemetry.Registry) *pipelineMetrics {
+	return &pipelineMetrics{
+		run: reg.NewCounter("pipeline_stages_run_total",
+			"pipeline stages executed (not resumed from checkpoint)"),
+		resumed: reg.NewCounter("pipeline_stages_resumed_total",
+			"pipeline stages skipped because a matching checkpoint existed"),
+		retries: reg.NewCounter("pipeline_stage_retries_total",
+			"pipeline stage attempts retried after a failure"),
+		failures: reg.NewCounter("pipeline_stage_failures_total",
+			"pipeline stages that failed permanently"),
+		ckptWrites: reg.NewCounter("pipeline_checkpoint_writes_total",
+			"checkpoint artifacts and receipts written durably"),
+		ckptBad: reg.NewCounter("pipeline_checkpoint_invalid_total",
+			"checkpoints ignored because they were corrupt, truncated or fingerprint-stale"),
+		heartbeats: reg.NewCounter("pipeline_heartbeats_total",
+			"heartbeat progress ticks emitted by long-running stages"),
+		inflight: reg.NewGauge("pipeline_stages_inflight",
+			"pipeline stages currently executing"),
+	}
+}
+
+// fingerprint chains a stage's cache key from everything that determines
+// its output: stage identity and code version, the stage's external-input
+// hash, the run config, and the fingerprints of its inputs (which chain
+// back to their producers, so an upstream change cascades downstream).
+func fingerprint(s Stage, config uint64, inputFPs []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(s.Name()))
+	put(uint64(s.Version()))
+	put(s.Fingerprint())
+	put(config)
+	for _, fp := range inputFPs {
+		put(fp)
+	}
+	return h.Sum64()
+}
+
+// artifactFingerprint derives an output artifact's fingerprint from its
+// producing stage's fingerprint and its key.
+func artifactFingerprint(stageFP uint64, key Key) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], stageFP)
+	h.Write(buf[:])
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Run executes the pipeline. With a checkpoint directory it resumes from
+// the first stage whose checkpoint is absent, corrupt or fingerprint-stale
+// and checkpoints every stage it runs; without one it simply executes the
+// stages in order. Run returns the first permanent stage error; state
+// already checkpointed remains durable, so a subsequent Run with Resume
+// picks up where this one stopped.
+func (p *Pipeline) Run(ctx context.Context, opts Options) (*Result, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = telemetry.Stages()
+	}
+	met := newPipelineMetrics(reg)
+
+	res := &Result{State: NewState()}
+	var store *Store
+	if opts.CheckpointDir != "" {
+		var err error
+		store, res.Swept, err = OpenStore(opts.CheckpointDir, opts.FS)
+		if err != nil {
+			return res, err
+		}
+		for _, name := range res.Swept {
+			logf("pipeline: swept crashed-write debris %s", name)
+		}
+		if opts.Fresh {
+			if err := store.Clear(); err != nil {
+				return res, err
+			}
+			logf("pipeline: cleared checkpoints in %s (fresh run)", store.Dir())
+		}
+	}
+
+	fps := make(map[Key]uint64)
+	for _, stage := range p.stages {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("pipeline: canceled before stage %s: %w", stage.Name(), err)
+		}
+		inputFPs := make([]uint64, 0, len(stage.Inputs()))
+		for _, in := range stage.Inputs() {
+			inputFPs = append(inputFPs, fps[in])
+		}
+		fp := fingerprint(stage, opts.Config, inputFPs)
+		for _, out := range stage.Outputs() {
+			fps[out.Key] = artifactFingerprint(fp, out.Key)
+		}
+
+		if store != nil && opts.Resume && !opts.Fresh {
+			if spends, ok := p.tryResume(store, stage, fp, res.State, met, logf); ok {
+				met.resumed.Inc()
+				res.Stages = append(res.Stages, StageReport{
+					Stage: stage.Name(), Fingerprint: fp, Resumed: true, Spends: spends,
+				})
+				logf("pipeline: stage %s resumed from checkpoint (fingerprint %016x)", stage.Name(), fp)
+				continue
+			}
+		}
+
+		report, err := p.runStage(ctx, stage, fp, res.State, store, opts, met, tracer, logf, sleep)
+		res.Stages = append(res.Stages, report)
+		if err != nil {
+			met.failures.Inc()
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// tryResume loads a stage's checkpoint if its receipt and every output
+// artifact validate against the expected fingerprint. On any mismatch it
+// reports false and the stage re-runs.
+func (p *Pipeline) tryResume(store *Store, stage Stage, fp uint64, st *State, met *pipelineMetrics, logf func(string, ...any)) ([]telemetry.ReleaseEvent, bool) {
+	rc, err := store.LoadReceipt(stage.Name())
+	if err != nil {
+		if !isNotExist(err) {
+			met.ckptBad.Inc()
+			logf("pipeline: stage %s checkpoint unusable: %v", stage.Name(), err)
+		}
+		return nil, false
+	}
+	if rc.Fingerprint != fp || rc.Version != stage.Version() {
+		met.ckptBad.Inc()
+		logf("pipeline: stage %s checkpoint stale (have fingerprint %016x v%d, want %016x v%d)",
+			stage.Name(), rc.Fingerprint, rc.Version, fp, stage.Version())
+		return nil, false
+	}
+	// Decode into a scratch map first so a corrupt later artifact cannot
+	// leave a half-loaded state.
+	loaded := make(map[Key]any, len(stage.Outputs()))
+	for _, out := range stage.Outputs() {
+		a, err := store.LoadArtifact(out.Key)
+		if err != nil {
+			met.ckptBad.Inc()
+			logf("pipeline: stage %s artifact %s unusable: %v", stage.Name(), out.Key, err)
+			return nil, false
+		}
+		want := artifactFingerprint(fp, out.Key)
+		if a.Fingerprint != want || a.Stage != stage.Name() {
+			met.ckptBad.Inc()
+			logf("pipeline: stage %s artifact %s stale (fingerprint %016x, want %016x)",
+				stage.Name(), out.Key, a.Fingerprint, want)
+			return nil, false
+		}
+		v, err := out.Decode(bytes.NewReader(a.Payload))
+		if err != nil {
+			met.ckptBad.Inc()
+			logf("pipeline: stage %s artifact %s undecodable: %v", stage.Name(), out.Key, err)
+			return nil, false
+		}
+		loaded[out.Key] = v
+	}
+	for k, v := range loaded {
+		st.Put(k, v)
+	}
+	return rc.Spends, true
+}
+
+// runStage executes one stage with retries, timeout, heartbeat and
+// checkpointing.
+func (p *Pipeline) runStage(ctx context.Context, stage Stage, fp uint64, st *State, store *Store, opts Options, met *pipelineMetrics, tracer *telemetry.Tracer, logf func(string, ...any), sleep func(time.Duration)) (StageReport, error) {
+	report := StageReport{Stage: stage.Name(), Fingerprint: fp}
+	if store != nil {
+		// Invalidate any stale commit point before mutating artifacts, so
+		// a crash mid-rewrite can never pair an old receipt with new
+		// artifacts of a different fingerprint.
+		if err := store.RemoveReceipt(stage.Name()); err != nil {
+			return report, err
+		}
+	}
+
+	start := time.Now()
+	defer func() { report.Duration = time.Since(start) }()
+
+	var lastErr error
+	for attempt := 0; attempt <= opts.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return report, fmt.Errorf("pipeline: stage %s canceled: %w", stage.Name(), err)
+		}
+		if attempt > 0 {
+			met.retries.Inc()
+			backoff := opts.Backoff << (attempt - 1)
+			if max := 8 * opts.Backoff; backoff > max {
+				backoff = max
+			}
+			if backoff > 0 {
+				sleep(backoff)
+			}
+			logf("pipeline: stage %s retrying (attempt %d of %d): %v",
+				stage.Name(), attempt+1, opts.Retries+1, lastErr)
+		}
+		report.Attempts++
+		lastErr = p.attemptStage(ctx, stage, st, opts, met, tracer, logf)
+		if lastErr == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			// The parent context died (operator interrupt, global
+			// deadline): do not burn retries against it.
+			return report, fmt.Errorf("pipeline: stage %s: %w", stage.Name(), lastErr)
+		}
+	}
+	if lastErr != nil {
+		return report, fmt.Errorf("pipeline: stage %s failed after %d attempt(s): %w",
+			stage.Name(), report.Attempts, lastErr)
+	}
+	report.Spends = st.drainSpends()
+	met.run.Inc()
+
+	if store != nil {
+		outputs := stage.Outputs()
+		keys := make([]Key, 0, len(outputs))
+		for _, out := range outputs {
+			v, ok := st.Value(out.Key)
+			if !ok {
+				return report, fmt.Errorf("pipeline: stage %s did not publish declared output %q", stage.Name(), out.Key)
+			}
+			payload, err := encodeValue(out, v)
+			if err != nil {
+				return report, fmt.Errorf("pipeline: stage %s encoding %q: %w", stage.Name(), out.Key, err)
+			}
+			if err := store.SaveArtifact(Artifact{
+				Stage:       stage.Name(),
+				Key:         out.Key,
+				Version:     stage.Version(),
+				Fingerprint: artifactFingerprint(fp, out.Key),
+				Payload:     payload,
+			}); err != nil {
+				return report, fmt.Errorf("pipeline: stage %s checkpointing %q: %w", stage.Name(), out.Key, err)
+			}
+			met.ckptWrites.Inc()
+			keys = append(keys, out.Key)
+		}
+		if err := store.SaveReceipt(Receipt{
+			Stage:       stage.Name(),
+			Version:     stage.Version(),
+			Fingerprint: fp,
+			Outputs:     keys,
+			Spends:      report.Spends,
+		}); err != nil {
+			return report, fmt.Errorf("pipeline: stage %s committing receipt: %w", stage.Name(), err)
+		}
+		met.ckptWrites.Inc()
+	} else {
+		// Without a checkpoint dir, still verify the stage kept its
+		// declared-output contract.
+		for _, out := range stage.Outputs() {
+			if _, ok := st.Value(out.Key); !ok {
+				return report, fmt.Errorf("pipeline: stage %s did not publish declared output %q", stage.Name(), out.Key)
+			}
+		}
+	}
+	logf("pipeline: stage %s completed in %s (%d attempt(s))",
+		stage.Name(), time.Since(start).Round(time.Millisecond), report.Attempts)
+	return report, nil
+}
+
+// attemptStage runs one attempt under the per-stage timeout with panic
+// containment and heartbeat progress.
+func (p *Pipeline) attemptStage(ctx context.Context, stage Stage, st *State, opts Options, met *pipelineMetrics, tracer *telemetry.Tracer, logf func(string, ...any)) (err error) {
+	runCtx := ctx
+	if opts.StageTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, opts.StageTimeout)
+		defer cancel()
+	}
+
+	stop := make(chan struct{})
+	if opts.HeartbeatEvery > 0 {
+		started := time.Now()
+		go func() {
+			tick := time.NewTicker(opts.HeartbeatEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					met.heartbeats.Inc()
+					logf("pipeline: stage %s still running (%s elapsed)",
+						stage.Name(), time.Since(started).Round(time.Second))
+				}
+			}
+		}()
+	}
+	defer close(stop)
+
+	met.inflight.Add(1)
+	defer met.inflight.Add(-1)
+	span := tracer.Start(stage.Name())
+	defer span.End()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline: stage %s panicked: %v", stage.Name(), r)
+		}
+	}()
+	if err := stage.Run(runCtx, st); err != nil {
+		return err
+	}
+	// A stage that swallowed its context's cancellation must still not
+	// commit: a timed-out attempt is a failed attempt.
+	return runCtx.Err()
+}
+
+func encodeValue(out Port, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := out.Encode(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

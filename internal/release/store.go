@@ -3,6 +3,7 @@ package release
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"path/filepath"
 	"sort"
@@ -20,7 +21,7 @@ import (
 const (
 	filePrefix = "release-"
 	fileSuffix = ".socrec"
-	tmpSuffix  = ".tmp"
+	tmpSuffix  = faults.AtomicTmpSuffix
 )
 
 // Store persists releases crash-safely in one directory and recovers the
@@ -103,22 +104,16 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("release: opening store %s: %w", dir, err)
 	}
-	names, err := fsys.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("release: opening store %s: %w", dir, err)
+	// Sweep debris from saves that crashed before their rename; the
+	// versions they were building were never visible, so removal is safe
+	// and keeps the directory scan-clean.
+	removed, err := faults.SweepTmp(fsys, dir, filePrefix)
+	for _, name := range removed {
+		s.tempCleaned.Inc()
+		logf("release: store %s: removed stale temp %s (crashed save)", dir, name)
 	}
-	for _, name := range names {
-		if strings.HasSuffix(name, tmpSuffix) && strings.HasPrefix(name, filePrefix) {
-			// Debris from a save that crashed before its rename; the
-			// version it was building was never visible, so removal is
-			// safe and keeps the directory scan-clean.
-			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
-				logf("release: store %s: removing stale temp %s: %v", dir, name, err)
-				continue
-			}
-			s.tempCleaned.Inc()
-			logf("release: store %s: removed stale temp %s (crashed save)", dir, name)
-		}
+	if err != nil {
+		logf("release: store %s: sweeping stale temps: %v", dir, err)
 	}
 	return s, nil
 }
@@ -192,38 +187,10 @@ func (s *Store) save(r *Release) (uint64, error) {
 		next = versions[len(versions)-1] + 1
 	}
 	final := filepath.Join(s.dir, fileName(next))
-	tmp := final + tmpSuffix
-
-	f, err := s.fsys.Create(tmp)
-	if err != nil {
+	if err := faults.WriteAtomicFunc(s.fsys, final, func(w io.Writer) error {
+		return Write(w, r)
+	}); err != nil {
 		return 0, fmt.Errorf("release: saving version %d: %w", next, err)
-	}
-	// Any failure past this point must leave no debris under the final
-	// name; the temp file is removed best-effort (Open also sweeps it).
-	fail := func(step string, err error) (uint64, error) {
-		_ = s.fsys.Remove(tmp)
-		return 0, fmt.Errorf("release: saving version %d: %s: %w", next, step, err)
-	}
-	if err := Write(f, r); err != nil {
-		_ = f.Close()
-		return fail("write", err)
-	}
-	if err := f.Sync(); err != nil {
-		_ = f.Close()
-		return fail("sync", err)
-	}
-	if err := f.Close(); err != nil {
-		return fail("close", err)
-	}
-	if err := s.fsys.Rename(tmp, final); err != nil {
-		return fail("rename", err)
-	}
-	if err := s.fsys.SyncDir(s.dir); err != nil {
-		// The rename happened; without the directory sync it may not
-		// survive a crash. Remove the final file so the store never
-		// reports a version of uncertain durability as saved.
-		_ = s.fsys.Remove(final)
-		return 0, fmt.Errorf("release: saving version %d: syncing directory: %w", next, err)
 	}
 	return next, nil
 }

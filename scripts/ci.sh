@@ -4,10 +4,12 @@
 # Runs, in order: formatting check, go vet, build, race-enabled tests, the
 # sociolint privacy-invariant analyzers, the deterministic fault-injection
 # suite (crash-safe store recovery, reload degradation, panic containment,
-# load shedding — under -race), and a short fuzz smoke over the dataset and
-# release parsers. Every step must pass; the first failure aborts with a
-# non-zero exit. `make ci` is the one-command entry point, locally and in
-# any future pipeline.
+# load shedding — under -race), the crash/resume matrix for the
+# checkpointed offline pipeline and the budget journal (scripts/
+# resume_chaos.sh), and a short fuzz smoke over the dataset and release
+# parsers. Every step must pass; the first failure aborts with a non-zero
+# exit. `make ci` is the one-command entry point, locally and in any future
+# pipeline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +45,9 @@ go test -race ./internal/faults
 go test -race -run 'TestStore|TestReadCorruptCorpus' ./internal/release
 go test -race -run 'TestHot|TestFailedReload|TestReload|TestPanicRecovery|TestChaos|TestLimiterSheds|TestDeadline' ./internal/server
 go test -race -run 'TestManagerConcurrentPublishBudget' ./internal/dynamic
+
+step "crash/resume matrix (checkpointed pipeline, budget journal)"
+./scripts/resume_chaos.sh
 
 step "fuzz smoke (10s per target)"
 go test -run='^$' -fuzz='^FuzzReadSocialTSV$' -fuzztime=10s ./internal/dataset
