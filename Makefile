@@ -5,11 +5,13 @@
 GO ?= go
 
 # Benchmark knobs: BENCH_OUT is where `make bench` records the JSON
-# baseline; BENCH_BASE is what `make benchdiff` compares a fresh run to.
-BENCH_PKGS ?= ./internal/server ./internal/core
+# baseline; BENCH_BASE is what `make benchdiff` compares a fresh run to;
+# BENCH_THRESHOLD is the max tolerated ns/op regression in percent.
+BENCH_PKGS ?= ./internal/server ./internal/core ./internal/trace
 BENCH_COUNT ?= 5
-BENCH_OUT ?= BENCH_PR2.json
-BENCH_BASE ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR5.json
+BENCH_THRESHOLD ?= 10
 
 .PHONY: build test race lint fuzz-smoke chaos resume-chaos ci fmt bench benchdiff
 
@@ -57,12 +59,12 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) | tee /tmp/bench_raw.txt
 	$(GO) run ./scripts -parse /tmp/bench_raw.txt -out $(BENCH_OUT)
 
-# benchdiff re-runs the benchmarks and fails if anything regressed >10%
-# against the recorded baseline $(BENCH_BASE).
+# benchdiff re-runs the benchmarks and fails if anything regressed more
+# than $(BENCH_THRESHOLD)% against the recorded baseline $(BENCH_BASE).
 benchdiff:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) > /tmp/bench_new_raw.txt
 	$(GO) run ./scripts -parse /tmp/bench_new_raw.txt -out /tmp/bench_new.json
-	$(GO) run ./scripts -old $(BENCH_BASE) -new /tmp/bench_new.json
+	$(GO) run ./scripts -old $(BENCH_BASE) -new /tmp/bench_new.json -threshold $(BENCH_THRESHOLD)
 
 fmt:
 	gofmt -w $$(find . -name '*.go' -not -path './internal/analysis/testdata/*')

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"math"
 	"os"
 	"strconv"
@@ -227,9 +228,7 @@ func checkpointedPrecompute(socialPath, prefsPath string, m similarity.Measure, 
 		Resume:        resume,
 		Fresh:         fresh,
 		Config:        spec.Fingerprint(),
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "evaluate: "+format+"\n", args...)
-		},
+		Logger:        slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 	if err != nil {
 		fatalf("checkpointed precompute: %v (rerun with the same flags to resume)", err)

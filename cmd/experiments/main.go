@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
@@ -270,9 +271,7 @@ func runReleasePipeline(f releaseFlags) error {
 		Fresh:         f.fresh,
 		Config:        spec.Fingerprint(),
 		Retries:       0,
-		Logf: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
-		},
+		Logger:        slog.New(slog.NewTextHandler(os.Stdout, nil)),
 	}
 	if f.faultPoint != "" {
 		reg := faults.New(f.seed)

@@ -18,6 +18,13 @@
 //	POST /admin/reload                    hot-reload the release (also SIGHUP)
 //	GET  /metrics                         telemetry (JSON; ?format=prometheus)
 //	GET  /debug/vars                      expvar
+//	GET  /debug/traces                    retained request traces (see internal/trace)
+//
+// Every request runs under a root trace span; an inbound W3C traceparent
+// header is continued, the response always carries one back, and logs emit
+// trace_id/span_id for correlation. -trace-sample sets the deterministic
+// head-sampling rate; error and slow-tail traces are always retained and
+// visible at /debug/traces regardless of the rate.
 //
 // With -release-dir releases live in a crash-safe versioned store
 // (internal/release.Store): a build persists the new release there, and a
@@ -27,9 +34,9 @@
 // reload keeps the last-good release serving and marks /readyz degraded.
 //
 // With -debug-addr a second listener additionally serves net/http/pprof
-// under /debug/pprof/. Profiles expose goroutine stacks and allocation
-// sites, never user or preference data, but the endpoint is still kept off
-// the public listener by default.
+// under /debug/pprof/ (and /debug/traces again). Profiles expose goroutine
+// stacks and allocation sites, never user or preference data, but the
+// endpoint is still kept off the public listener by default.
 //
 // -chaos arms deterministic fault injection on the request path (see
 // internal/faults) for resilience testing; never set it in production.
@@ -40,7 +47,8 @@ import (
 	"errors"
 	"expvar"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
@@ -58,7 +66,19 @@ import (
 	"socialrec/internal/release"
 	"socialrec/internal/server"
 	"socialrec/internal/telemetry"
+	"socialrec/internal/trace"
 )
+
+// logger is the process logger: text to stderr, with trace_id/span_id
+// injected on any record logged with a request context.
+var logger = slog.New(trace.NewSlogHandler(slog.NewTextHandler(os.Stderr, nil)))
+
+// fatal logs at error level and exits. Package main owns process-exit
+// policy (sociolint's fatalscope bars libraries from it).
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -74,41 +94,54 @@ func main() {
 		saveRel    = flag.String("save-release", "", "persist the sanitized release to this path after building")
 		releaseDir = flag.String("release-dir", "", "crash-safe versioned release store: builds save here; without -prefs the newest valid release is served from it")
 		simCache   = flag.Int("simcache", -1, "similarity LRU cache capacity; 0 disables, -1 selects the default 4096")
-		debugAddr  = flag.String("debug-addr", "", "optional second listen address for net/http/pprof")
+		debugAddr  = flag.String("debug-addr", "", "optional second listen address for net/http/pprof and /debug/traces")
 		chaosOn    = flag.Bool("chaos", false, "arm deterministic fault injection on the request path (testing only)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the -chaos fault schedule")
+		traceRate  = flag.Float64("trace-sample", 1, "head-sampling rate for request traces in [0, 1]; error and slow-tail traces are retained regardless")
+		traceCap   = flag.Int("trace-capacity", 1024, "how many retained traces /debug/traces keeps before overwriting the oldest")
 	)
 	flag.Parse()
 	if *socialPath == "" || (*prefsPath == "" && *loadRel == "" && *releaseDir == "") {
-		log.Fatal("recserve: -social and one of -prefs / -load-release / -release-dir are required")
+		fatal("recserve: -social and one of -prefs / -load-release / -release-dir are required")
 	}
+
+	// Configure the process tracer before anything can start a span.
+	trace.SetDefault(trace.New(trace.Config{
+		Capacity:     *traceCap,
+		HeadRate:     *traceRate,
+		HeadRateZero: *traceRate <= 0,
+	}))
 
 	eps := math.Inf(1)
 	if *epsArg != "inf" {
 		var err error
 		eps, err = strconv.ParseFloat(*epsArg, 64)
 		if err != nil {
-			log.Fatalf("recserve: bad -epsilon %q: %v", *epsArg, err)
+			fatal("recserve: bad -epsilon", "value", *epsArg, "err", err)
 		}
 	}
 
 	loadSpan := telemetry.Stages().Start("graph_load")
 	sf, err := os.Open(*socialPath)
 	if err != nil {
-		log.Fatalf("recserve: %v", err)
+		fatal("recserve: opening social graph", "err", err)
 	}
 	social, userIDs, err := dataset.ReadSocialTSV(sf)
 	_ = sf.Close()
 	if err != nil {
-		log.Fatalf("recserve: parsing %s: %v", *socialPath, err)
+		fatal("recserve: parsing social graph", "path", *socialPath, "err", err)
 	}
 	loadSpan.End()
 
 	var store *release.Store
 	if *releaseDir != "" {
-		store, err = release.OpenStore(*releaseDir, release.StoreOptions{})
+		store, err = release.OpenStore(*releaseDir, release.StoreOptions{
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
 		if err != nil {
-			log.Fatalf("recserve: opening release store: %v", err)
+			fatal("recserve: opening release store", "err", err)
 		}
 	}
 
@@ -124,13 +157,13 @@ func main() {
 		if store != nil {
 			rel, err := engine.Release()
 			if err != nil {
-				log.Fatalf("recserve: %v", err)
+				fatal("recserve: extracting release", "err", err)
 			}
 			version, err = store.Save(rel)
 			if err != nil {
-				log.Fatalf("recserve: saving release to store: %v", err)
+				fatal("recserve: saving release to store", "err", err)
 			}
-			log.Printf("recserve: sanitized release saved to %s as version %d", store.Dir(), version)
+			logger.Info("recserve: sanitized release saved", "dir", store.Dir(), "version", version)
 		}
 		if *saveRel != "" {
 			saveReleaseFile(engine, *saveRel)
@@ -140,23 +173,25 @@ func main() {
 		// data never enters this process.
 		engine, err = loadEngineFile(*loadRel, social)
 		if err != nil {
-			log.Fatalf("recserve: loading release %s: %v", *loadRel, err)
+			fatal("recserve: loading release", "path", *loadRel, "err", err)
 		}
 		stats.Users = social.NumUsers()
 		stats.SocialEdges = social.NumEdges()
 	default:
 		// Serve the newest valid release from the store, recovering past
 		// any corrupt or torn versions.
-		engine, version, err = loadEngineStore(store, social)
+		engine, version, err = loadEngineStore(context.Background(), store, social)
 		if err != nil {
-			log.Fatalf("recserve: loading from release store %s: %v", store.Dir(), err)
+			fatal("recserve: loading from release store", "dir", store.Dir(), "err", err)
 		}
-		log.Printf("recserve: serving release version %d from %s", version, store.Dir())
+		logger.Info("recserve: serving stored release", "version", version, "dir", store.Dir())
 		stats.Users = social.NumUsers()
 		stats.SocialEdges = social.NumEdges()
 	}
 
 	reg := telemetry.Default()
+	stopRuntime := telemetry.StartRuntimeCollector(reg, 0)
+	defer stopRuntime()
 	hot := server.NewHot(engine, version)
 
 	cacheCap := -1
@@ -176,8 +211,8 @@ func main() {
 		// injected 500, a rarer fraction panic into the recovery
 		// middleware, all firings add latency jitter.
 		freg.Arm(faults.PointHandler, faults.Plan{Prob: 0.05, Delay: 2 * time.Millisecond})
-		log.Printf("recserve: CHAOS MODE armed on %v (seed %d) — do not run in production",
-			freg.Points(), *chaosSeed)
+		logger.Warn("recserve: CHAOS MODE armed — do not run in production",
+			"points", fmt.Sprint(freg.Points()), "seed", *chaosSeed)
 	}
 
 	reload := makeReload(hot, store, *loadRel, social, cacheCap)
@@ -188,18 +223,20 @@ func main() {
 		ItemTokens: itemTok,
 		Stats:      stats,
 		MaxN:       *maxN,
+		Logger:     logger,
 		Metrics:    reg,
 		Reload:     reload,
 		Faults:     freg,
 	})
 	if err != nil {
-		log.Fatalf("recserve: %v", err)
+		fatal("recserve: building server", "err", err)
 	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 	mux.Handle("GET /metrics", telemetry.Handler(reg, telemetry.Stages(), telemetry.Budget()))
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.Handle("GET /debug/traces", trace.Handler(trace.Default()))
 
 	if *debugAddr != "" {
 		dbg := http.NewServeMux()
@@ -208,10 +245,11 @@ func main() {
 		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("GET /debug/traces", trace.Handler(trace.Default()))
 		go func() {
-			log.Printf("recserve: pprof listening on %s", *debugAddr)
+			logger.Info("recserve: debug listener up", "addr", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
-				log.Printf("recserve: pprof listener: %v", err)
+				logger.Error("recserve: debug listener", "err", err)
 			}
 		}()
 	}
@@ -235,11 +273,11 @@ func main() {
 		signal.Notify(hup, syscall.SIGHUP)
 		go func() {
 			for range hup {
-				log.Print("recserve: SIGHUP: reloading release")
-				if err := reload(); err != nil {
-					log.Printf("recserve: reload failed (still serving last-good release): %v", err)
+				logger.Info("recserve: SIGHUP: reloading release")
+				if err := reload(context.Background()); err != nil {
+					logger.Error("recserve: reload failed (still serving last-good release)", "err", err)
 				} else {
-					log.Printf("recserve: reloaded, serving release version %d", hot.Status().Version)
+					logger.Info("recserve: reloaded", "version", hot.Status().Version)
 				}
 			}
 		}()
@@ -247,25 +285,26 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("recserve: %d users, %d clusters, epsilon=%g, listening on %s",
-		social.NumUsers(), engine.NumClusters(), engine.Epsilon(), *addr)
+	logger.Info("recserve: serving",
+		"users", social.NumUsers(), "clusters", engine.NumClusters(),
+		"epsilon", engine.Epsilon(), "addr", *addr)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("recserve: %v", err)
+		fatal("recserve: listener failed", "err", err)
 	case <-ctx.Done():
 	}
 
 	// Graceful drain: stop accepting, give in-flight requests 5 s.
-	log.Print("recserve: shutting down")
+	logger.Info("recserve: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("recserve: shutdown: %v", err)
+		logger.Error("recserve: shutdown", "err", err)
 	}
 
-	log.Printf("recserve: final privacy budget: %s", telemetry.Budget().Snapshot())
-	log.Printf("recserve: final stage timings:\n%s", telemetry.Stages().Table())
+	logger.Info("recserve: final privacy budget", "budget", telemetry.Budget().Snapshot().String())
+	logger.Info("recserve: final stage timings", "table", telemetry.Stages().Table())
 }
 
 // buildEngine constructs a private engine from raw preference data.
@@ -273,22 +312,22 @@ func buildEngine(social *graph.Social, userIDs map[string]int, prefsPath, measur
 	eps float64, seed int64, minWeight float64) (*socialrec.Engine, []string, dataset.Stats) {
 	pf, err := os.Open(prefsPath)
 	if err != nil {
-		log.Fatalf("recserve: %v", err)
+		fatal("recserve: opening preferences", "err", err)
 	}
 	raw, itemIDs, err := dataset.ReadPreferenceTSV(pf, userIDs)
 	_ = pf.Close()
 	if err != nil {
-		log.Fatalf("recserve: parsing %s: %v", prefsPath, err)
+		fatal("recserve: parsing preferences", "path", prefsPath, "err", err)
 	}
 	prefs, _, err := dataset.BuildPreferences(social.NumUsers(), len(itemIDs), raw, minWeight)
 	if err != nil {
-		log.Fatalf("recserve: %v", err)
+		fatal("recserve: building preference graph", "err", err)
 	}
 	engine, err := socialrec.NewEngineFromGraphs(social, prefs, socialrec.Config{
 		Measure: measure, Epsilon: eps, Seed: seed,
 	})
 	if err != nil {
-		log.Fatalf("recserve: %v", err)
+		fatal("recserve: building engine", "err", err)
 	}
 	itemTok := make([]string, len(itemIDs))
 	for tok, id := range itemIDs {
@@ -303,15 +342,15 @@ func buildEngine(social *graph.Social, userIDs map[string]int, prefsPath, measur
 func saveReleaseFile(engine *socialrec.Engine, path string) {
 	out, err := os.Create(path)
 	if err != nil {
-		log.Fatalf("recserve: %v", err)
+		fatal("recserve: creating release file", "err", err)
 	}
 	if err := engine.SaveRelease(out); err != nil {
-		log.Fatalf("recserve: saving release: %v", err)
+		fatal("recserve: saving release", "err", err)
 	}
 	if err := out.Close(); err != nil {
-		log.Fatalf("recserve: saving release: %v", err)
+		fatal("recserve: saving release", "err", err)
 	}
-	log.Printf("recserve: sanitized release written to %s", path)
+	logger.Info("recserve: sanitized release written", "path", path)
 }
 
 func loadEngineFile(path string, social *graph.Social) (*socialrec.Engine, error) {
@@ -323,10 +362,11 @@ func loadEngineFile(path string, social *graph.Social) (*socialrec.Engine, error
 	return socialrec.LoadEngine(f, social)
 }
 
-func loadEngineStore(store *release.Store, social *graph.Social) (*socialrec.Engine, uint64, error) {
-	rel, version, skipped, err := store.Load()
+func loadEngineStore(ctx context.Context, store *release.Store, social *graph.Social) (*socialrec.Engine, uint64, error) {
+	rel, version, skipped, err := store.LoadContext(ctx)
 	for _, sk := range skipped {
-		log.Printf("recserve: release store: skipped corrupt %s: %v", sk.Name, sk.Err)
+		logger.WarnContext(ctx, "recserve: release store skipped corrupt version",
+			"file", sk.Name, "err", sk.Err)
 	}
 	if err != nil {
 		return nil, 0, err
@@ -342,10 +382,12 @@ func loadEngineStore(store *release.Store, social *graph.Social) (*socialrec.Eng
 // loads a fresh release from the store (or release file), re-enables the
 // similarity cache, and swaps it into the serving path. On failure the
 // last-good engine keeps serving and the slot is marked degraded, which
-// /readyz surfaces. Returns nil when no reload source is configured (the
-// server then answers 501).
+// /readyz surfaces. The context is the triggering request's, so a reload's
+// spans and budget events attach to its trace (SIGHUP passes Background).
+// Returns nil when no reload source is configured (the server then answers
+// 501).
 func makeReload(hot *server.Hot, store *release.Store, loadRel string,
-	social *graph.Social, cacheCap int) func() error {
+	social *graph.Social, cacheCap int) func(context.Context) error {
 	if store == nil && loadRel == "" {
 		return nil
 	}
@@ -353,7 +395,7 @@ func makeReload(hot *server.Hot, store *release.Store, loadRel string,
 		mu          sync.Mutex // serializes HTTP- and SIGHUP-triggered reloads
 		fileVersion = hot.Status().Version
 	)
-	return func() error {
+	return func(ctx context.Context) error {
 		mu.Lock()
 		defer mu.Unlock()
 		var (
@@ -362,7 +404,7 @@ func makeReload(hot *server.Hot, store *release.Store, loadRel string,
 			err     error
 		)
 		if store != nil {
-			engine, version, err = loadEngineStore(store, social)
+			engine, version, err = loadEngineStore(ctx, store, social)
 		} else {
 			engine, err = loadEngineFile(loadRel, social)
 			version = fileVersion + 1

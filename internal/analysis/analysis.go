@@ -78,6 +78,7 @@ func All() []Analyzer {
 		TelemetryImports{},
 		FatalScope{},
 		CtxStage{},
+		SpanEnd{},
 	}
 }
 

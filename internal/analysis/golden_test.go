@@ -27,6 +27,7 @@ var goldenCases = []struct {
 	{FatalScope{}, "fatalscope/lib", "socialrec/internal/fixture"},
 	{FatalScope{}, "fatalscope/mainpkg", "socialrec/cmd/fixture"},
 	{CtxStage{}, "ctxstage", "socialrec/internal/fixture"},
+	{SpanEnd{}, "spanend", "socialrec/internal/fixture"},
 }
 
 // cleanOnlyFixtures are fixture dirs that deliberately carry no // want

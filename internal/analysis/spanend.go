@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SpanEnd enforces that every span started through internal/trace is ended
+// on every path. The tracer's retention decision — including the tail
+// sampler that keeps error and slow traces — runs at root End(); a span
+// that is started but never ended pins its trace in limbo forever: the
+// trace is neither exported at /debug/traces nor counted in sampler stats,
+// and its children hold buffer slots until the ring recycles them. The
+// analyzer flags any assignment of a Start/StartChild/StartRoot/StartRemote
+// result whose span is discarded, never ended, or ended only by a call that
+// an intervening return statement can skip. Ending via defer (directly or
+// inside a deferred closure) is always accepted, as is handing the span off
+// (returning it, passing it to a function, storing it) — ownership moved.
+type SpanEnd struct{}
+
+// Name returns "spanend".
+func (SpanEnd) Name() string { return "spanend" }
+
+// Doc describes the invariant.
+func (SpanEnd) Doc() string {
+	return "spans started via internal/trace must be ended on every path (retention and export only happen at End)"
+}
+
+// Run checks every non-test file. The trace package itself is exempt: its
+// internals mint spans below the public Start API.
+func (SpanEnd) Run(pass *Pass) {
+	if pathIsOrEndsWith(pass.Path, "internal/trace") {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		aliases := importAliases(f)
+		for _, decl := range f.Decls {
+			fn, isFn := decl.(*ast.FuncDecl)
+			if !isFn || fn.Body == nil {
+				continue
+			}
+			spanScopes(pass, aliases, fn.Body)
+		}
+	}
+}
+
+// spanScopes checks the span-start assignments belonging to this function
+// body and recurses into nested function literals: defers run when their
+// own frame returns, so each literal is a separate scope.
+func spanScopes(pass *Pass, aliases map[string]string, body *ast.BlockStmt) {
+	var starts []*ast.AssignStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, isLit := n.(*ast.FuncLit); isLit {
+			spanScopes(pass, aliases, lit.Body)
+			return false
+		}
+		if as, isAssign := n.(*ast.AssignStmt); isAssign &&
+			len(as.Rhs) == 1 && isTraceStart(pass, aliases, as.Rhs[0]) {
+			starts = append(starts, as)
+		}
+		return true
+	})
+	for _, as := range starts {
+		checkSpanEnded(pass, body, as)
+	}
+}
+
+// isTraceStart reports whether expr calls a Start* function or method of
+// the module's internal/trace package.
+func isTraceStart(pass *Pass, aliases map[string]string, expr ast.Expr) bool {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || !strings.HasPrefix(sel.Sel.Name, "Start") {
+		return false
+	}
+	// Type information covers both package functions (trace.StartChild) and
+	// Tracer methods (t.StartRoot).
+	if obj, found := pass.Info.Uses[sel.Sel]; found && obj != nil && obj.Pkg() != nil {
+		return pathIsOrEndsWith(obj.Pkg().Path(), "internal/trace")
+	}
+	// Syntactic fallback: package-qualified calls only.
+	if pkgPath, _, ok := calleePkgFunc(pass, aliases, call); ok {
+		return pathIsOrEndsWith(pkgPath, "internal/trace")
+	}
+	return false
+}
+
+// checkSpanEnded verifies that the span assigned by as is ended on every
+// path through body (the innermost enclosing function).
+func checkSpanEnded(pass *Pass, body *ast.BlockStmt, as *ast.AssignStmt) {
+	spanIdent, isIdent := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !isIdent {
+		return // stored into a field or element: ownership handed off
+	}
+	if spanIdent.Name == "_" {
+		pass.Reportf(spanIdent.Pos(), "span is discarded; it can never be ended, so its trace is never retained or exported")
+		return
+	}
+	obj := pass.Info.Defs[spanIdent]
+	if obj == nil {
+		obj = pass.Info.Uses[spanIdent] // plain "=" assignment to an existing var
+	}
+	isSpan := func(id *ast.Ident) bool {
+		if id.Name != spanIdent.Name || id == spanIdent {
+			return false
+		}
+		if obj != nil {
+			if u, found := pass.Info.Uses[id]; found {
+				return u == obj
+			}
+			if d, found := pass.Info.Defs[id]; found {
+				return d == obj
+			}
+		}
+		return true // no type information: a name match has to suffice
+	}
+	isEndCall := func(call *ast.CallExpr) bool {
+		sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !isSel || sel.Sel.Name != "End" {
+			return false
+		}
+		id, isX := ast.Unparen(sel.X).(*ast.Ident)
+		return isX && isSpan(id)
+	}
+	mentionsSpan := func(expr ast.Expr) bool {
+		found := false
+		ast.Inspect(expr, func(n ast.Node) bool {
+			if sel, isSel := n.(*ast.SelectorExpr); isSel {
+				if id, isX := ast.Unparen(sel.X).(*ast.Ident); isX && isSpan(id) {
+					return false // receiver position: reading the span, not moving it
+				}
+			}
+			if id, isIdent := n.(*ast.Ident); isIdent && isSpan(id) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	var (
+		ended   bool
+		escaped bool
+		endPos  token.Pos
+		returns []token.Pos
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ended || escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isEndCall(n.Call) {
+				ended = true
+				return false
+			}
+			if lit, isLit := n.Call.Fun.(*ast.FuncLit); isLit {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, isC := m.(*ast.CallExpr); isC && isEndCall(c) {
+						ended = true
+					}
+					return !ended
+				})
+			}
+		case *ast.FuncLit:
+			// A closure capturing the span is inspected as its own scope by
+			// spanScopes; here it only matters as a potential escape, which
+			// the enclosing call/assign/return cases already detect.
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+			for _, res := range n.Results {
+				if mentionsSpan(res) {
+					escaped = true
+				}
+			}
+		case *ast.CallExpr:
+			if isEndCall(n) {
+				if endPos == token.NoPos || n.Pos() < endPos {
+					endPos = n.Pos()
+				}
+				return true
+			}
+			for _, arg := range n.Args {
+				if mentionsSpan(arg) {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == as {
+				return true
+			}
+			for _, r := range n.Rhs {
+				if mentionsSpan(r) {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if mentionsSpan(e) {
+					escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if mentionsSpan(n.Value) {
+				escaped = true
+			}
+		}
+		return true
+	})
+
+	if ended || escaped {
+		return
+	}
+	if endPos != token.NoPos && endPos > as.End() {
+		intervening := false
+		for _, rp := range returns {
+			if rp > as.End() && rp < endPos {
+				intervening = true
+				break
+			}
+		}
+		if !intervening {
+			return // clean linear End with no way to skip it
+		}
+		pass.Reportf(as.Pos(), "a return between the span start and %s.End() can leak the span; use defer %s.End()", spanIdent.Name, spanIdent.Name)
+		return
+	}
+	pass.Reportf(as.Pos(), "span %q is never ended; add defer %s.End() after the Start call", spanIdent.Name, spanIdent.Name)
+}
+
+var _ Analyzer = SpanEnd{}

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
+
+	"socialrec/internal/similarity"
+	"socialrec/internal/trace"
 )
 
 func BenchmarkTopN50of20K(b *testing.B) {
@@ -30,4 +34,48 @@ func BenchmarkTopN50of20KSparse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = TopN(u, 50, 0)
 	}
+}
+
+// benchEstimator scores deterministically without recording anything, so
+// b.N iterations don't accumulate state.
+type benchEstimator struct{ items int }
+
+func (benchEstimator) Name() string { return "bench" }
+
+func (e benchEstimator) Utilities(users []int32, _ []similarity.Scores, out [][]float64) {
+	for k := range users {
+		for i := 0; i < e.items; i++ {
+			out[k][i] = float64((int(users[k]) + i) % 17)
+		}
+	}
+}
+
+// BenchmarkTracedRecommend quantifies the span overhead of the recommend
+// path: the same batch recommend with and without an active root span (the
+// traced variant pays for three child spans per batch plus root retention).
+func BenchmarkTracedRecommend(b *testing.B) {
+	g := lineGraph(b, 512)
+	r := NewRecommender(g, 64, similarity.CommonNeighbors{}, benchEstimator{items: 64})
+	users := []int32{5, 100, 250, 400}
+
+	b.Run("untraced", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.RecommendContext(ctx, users, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		tr := trace.New(trace.Config{Capacity: 64, HeadRate: 1, Seed: 1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx, sp := tr.StartRoot(context.Background(), "bench_recommend")
+			if _, err := r.RecommendContext(ctx, users, 10); err != nil {
+				b.Fatal(err)
+			}
+			sp.End()
+		}
+	})
 }

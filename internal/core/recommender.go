@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -18,6 +19,15 @@ import (
 	"socialrec/internal/graph"
 	"socialrec/internal/similarity"
 	"socialrec/internal/telemetry"
+	"socialrec/internal/trace"
+)
+
+// Span attribute keys for the traced recommend path — declared up front;
+// values are batch sizes and counts, never preference data.
+var (
+	attrBatchSize = trace.NewKey("batch_size")
+	attrUsers     = trace.NewKey("users")
+	attrTopN      = trace.NewKey("top_n")
 )
 
 // Recommendation pairs an item with the (estimated) utility of recommending
@@ -151,6 +161,16 @@ func (r *Recommender) batchSize() int {
 // R_u of Definition 4 under the wired estimator. The result is parallel to
 // users.
 func (r *Recommender) Recommend(users []int32, n int) ([][]Recommendation, error) {
+	return r.RecommendContext(context.Background(), users, n)
+}
+
+// RecommendContext is Recommend on a caller-supplied context. When ctx
+// carries an active trace span (a served request), the three phases of
+// each batch — similarity lookup, cluster-average reconstruction, top-n
+// selection — open child spans, so a slow request names the phase that
+// made it slow. The aggregate telemetry stage timings are recorded either
+// way.
+func (r *Recommender) RecommendContext(ctx context.Context, users []int32, n int) ([][]Recommendation, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: top-N size must be positive, got %d", n)
 	}
@@ -175,6 +195,8 @@ func (r *Recommender) Recommend(users []int32, n int) ([][]Recommendation, error
 		}
 		batch := users[start:end]
 		var sims []similarity.Scores
+		_, simTrace := trace.StartChild(ctx, "similarity_batch")
+		simTrace.Set(attrBatchSize.Int(int64(len(batch))))
 		simSpan := telemetry.Stages().Start("similarity_batch")
 		if r.SimilaritySource != nil {
 			sims = make([]similarity.Scores, len(batch))
@@ -185,15 +207,22 @@ func (r *Recommender) Recommend(users []int32, n int) ([][]Recommendation, error
 			sims = similarity.ComputeAll(r.social, r.measure, batch, r.Workers)
 		}
 		simSpan.End()
+		simTrace.End()
 		recSpan := telemetry.Stages().Start("reconstruction")
 		buf := rows[:len(batch)]
 		for i := range buf {
 			clear(buf[i])
 		}
+		_, avgTrace := trace.StartChild(ctx, "cluster_average")
+		avgTrace.Set(attrUsers.Int(int64(len(batch))))
 		r.est.Utilities(batch, sims, buf)
+		avgTrace.End()
+		_, topTrace := trace.StartChild(ctx, "top_n")
+		topTrace.Set(attrTopN.Int(int64(n)))
 		for i := range batch {
 			out[start+i] = TopN(buf[i], n, math.Inf(-1))
 		}
+		topTrace.End()
 		recSpan.End()
 	}
 	return out, nil

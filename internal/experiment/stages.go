@@ -291,7 +291,7 @@ func BuildReleasePipeline(spec ReleaseSpec) (*pipeline.Pipeline, error) {
 			if err != nil {
 				return err
 			}
-			est, err := mechanism.NewCluster(cr.Clusters, ds.Prefs, spec.Eps, dp.SourceFor(spec.Eps, spec.Seed))
+			est, err := mechanism.NewClusterCtx(ctx, cr.Clusters, ds.Prefs, spec.Eps, dp.SourceFor(spec.Eps, spec.Seed))
 			if err != nil {
 				return err
 			}
@@ -307,7 +307,7 @@ func BuildReleasePipeline(spec ReleaseSpec) (*pipeline.Pipeline, error) {
 			// the ε durable exactly once across crash/resume sequences. The
 			// noise is seeded, so a re-run after a crash reproduces the
 			// identical draw — one release, not two.
-			st.RecordSpend(telemetry.ReleaseEvent{
+			st.RecordSpendCtx(ctx, telemetry.ReleaseEvent{
 				Mechanism:   "cluster",
 				Epsilon:     float64(spec.Eps),
 				Sensitivity: 1,

@@ -1,6 +1,7 @@
 package mechanism
 
 import (
+	"context"
 	"fmt"
 
 	"socialrec/internal/community"
@@ -8,6 +9,7 @@ import (
 	"socialrec/internal/graph"
 	"socialrec/internal/similarity"
 	"socialrec/internal/telemetry"
+	"socialrec/internal/trace"
 )
 
 // Cluster is the paper's privacy-preserving framework (Algorithm 1). At
@@ -37,6 +39,14 @@ type Cluster struct {
 // the privacy guarantee to hold. eps may be dp.Inf to isolate approximation
 // error (the paper's ε = ∞ runs).
 func NewCluster(clusters *community.Clustering, prefs *graph.Preference, eps dp.Epsilon, noise dp.NoiseSource) (*Cluster, error) {
+	return NewClusterCtx(context.Background(), clusters, prefs, eps, noise)
+}
+
+// NewClusterCtx is NewCluster on a caller-supplied context: a context
+// carrying an active trace (a pipeline run, an admin reload request) gets
+// a "laplace_release" child span, and the recorded budget spend carries
+// the trace id so the ε is attributable to the run that spent it.
+func NewClusterCtx(ctx context.Context, clusters *community.Clustering, prefs *graph.Preference, eps dp.Epsilon, noise dp.NoiseSource) (*Cluster, error) {
 	if err := eps.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,6 +74,8 @@ func NewCluster(clusters *community.Clustering, prefs *graph.Preference, eps dp.
 	// 1/(|c|·ε): one edge changes the cluster's average by at most 1/|c|.
 	span := telemetry.Stages().Start("laplace_release")
 	defer span.End()
+	_, tsp := trace.StartChild(ctx, "laplace_release")
+	defer tsp.End()
 	for cl := 0; cl < nc; cl++ {
 		size := float64(clusters.Size(cl))
 		if size == 0 {
@@ -80,7 +92,7 @@ func NewCluster(clusters *community.Clustering, prefs *graph.Preference, eps dp.
 	}
 	// The whole table is one ε-DP release by parallel composition: each
 	// preference edge perturbs exactly one average by at most 1/|c|.
-	telemetry.Budget().Record(telemetry.ReleaseEvent{
+	telemetry.Budget().RecordCtx(ctx, telemetry.ReleaseEvent{
 		Mechanism:   "cluster",
 		Epsilon:     float64(eps),
 		Sensitivity: 1,

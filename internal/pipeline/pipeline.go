@@ -140,6 +140,16 @@ func (st *State) RecordSpend(ev telemetry.ReleaseEvent) {
 	st.spends = append(st.spends, ev)
 }
 
+// RecordSpendCtx is RecordSpend stamping the context's active trace id into
+// the event (when the event doesn't already carry one), so a checkpointed
+// receipt names the traced run that spent the ε.
+func (st *State) RecordSpendCtx(ctx context.Context, ev telemetry.ReleaseEvent) {
+	if ev.TraceID == "" {
+		ev.TraceID = telemetry.TraceIDFrom(ctx)
+	}
+	st.RecordSpend(ev)
+}
+
 // drainSpends removes and returns the spends accumulated since the last
 // drain; the runner calls it after each stage.
 func (st *State) drainSpends() []telemetry.ReleaseEvent {

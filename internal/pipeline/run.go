@@ -6,10 +6,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"time"
 
 	"socialrec/internal/faults"
 	"socialrec/internal/telemetry"
+	"socialrec/internal/trace"
 )
 
 // Options configures one pipeline run.
@@ -45,8 +47,10 @@ type Options struct {
 	// HeartbeatEvery logs (and counts) a progress heartbeat for a stage
 	// that has been running this long without completing; 0 disables.
 	HeartbeatEvery time.Duration
-	// Logf receives progress lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives progress records; nil discards them. The supplied
+	// handler is wrapped with trace.NewSlogHandler, so every record carries
+	// the run's trace_id for correlation with /debug/traces.
+	Logger *slog.Logger
 	// Metrics receives the pipeline counters/gauges; nil selects
 	// telemetry.Default().
 	Metrics *telemetry.Registry
@@ -165,10 +169,23 @@ func artifactFingerprint(stageFP uint64, key Key) uint64 {
 // stages in order. Run returns the first permanent stage error; state
 // already checkpointed remains durable, so a subsequent Run with Resume
 // picks up where this one stopped.
-func (p *Pipeline) Run(ctx context.Context, opts Options) (*Result, error) {
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+func (p *Pipeline) Run(ctx context.Context, opts Options) (res *Result, err error) {
+	// The whole run is one trace: stage attempts become child spans, and a
+	// caller that passes an already-traced context (an admin request) gets
+	// the run folded into its own trace instead.
+	ctx, rootSpan := trace.Start(ctx, "pipeline_run")
+	defer func() {
+		if err != nil {
+			rootSpan.SetStatus(trace.StatusError)
+		}
+		rootSpan.End()
+	}()
+	logf := func(string, ...any) {}
+	if opts.Logger != nil {
+		logger := slog.New(trace.NewSlogHandler(opts.Logger.Handler()))
+		logf = func(format string, args ...any) {
+			logger.InfoContext(ctx, fmt.Sprintf(format, args...))
+		}
 	}
 	sleep := opts.Sleep
 	if sleep == nil {
@@ -184,7 +201,7 @@ func (p *Pipeline) Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 	met := newPipelineMetrics(reg)
 
-	res := &Result{State: NewState()}
+	res = &Result{State: NewState()}
 	var store *Store
 	if opts.CheckpointDir != "" {
 		var err error
@@ -418,8 +435,19 @@ func (p *Pipeline) attemptStage(ctx context.Context, stage Stage, st *State, opt
 
 	met.inflight.Add(1)
 	defer met.inflight.Add(-1)
+	// Two spans, same stage name: the telemetry span feeds the aggregate
+	// stage table, the trace span joins the run's causal tree. A failed or
+	// panicked attempt marks the trace span errored, which forces the whole
+	// run trace through tail retention.
 	span := tracer.Start(stage.Name())
 	defer span.End()
+	runCtx, tsp := trace.StartChild(runCtx, stage.Name())
+	defer func() {
+		if err != nil {
+			tsp.SetStatus(trace.StatusError)
+		}
+		tsp.End()
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("pipeline: stage %s panicked: %v", stage.Name(), r)

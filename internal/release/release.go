@@ -24,6 +24,7 @@ package release
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash"
@@ -101,6 +102,13 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 
 // Write serializes the release.
 func Write(w io.Writer, r *Release) error {
+	return WriteContext(context.Background(), w, r)
+}
+
+// WriteContext is Write on a caller-supplied context; the recorded
+// release_persist budget event carries the active trace id (if any), so a
+// persist triggered by a pipeline run or admin request is attributable.
+func WriteContext(ctx context.Context, w io.Writer, r *Release) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
@@ -149,7 +157,7 @@ func Write(w io.Writer, r *Release) error {
 	}
 	// Persisting sanitized averages is post-processing: ε = 0 records that
 	// the event happened without charging the budget again.
-	telemetry.Budget().Record(telemetry.ReleaseEvent{
+	telemetry.Budget().RecordCtx(ctx, telemetry.ReleaseEvent{
 		Mechanism: "release_persist",
 		Values:    len(r.Avg),
 	})
@@ -169,6 +177,11 @@ func (c *crcReader) Read(p []byte) (int, error) {
 
 // Read deserializes and validates a release, including its checksum.
 func Read(r io.Reader) (*Release, error) {
+	return ReadContext(context.Background(), r)
+}
+
+// ReadContext is Read on a caller-supplied context; see WriteContext.
+func ReadContext(ctx context.Context, r io.Reader) (*Release, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
@@ -245,7 +258,7 @@ func Read(r io.Reader) (*Release, error) {
 	if err := out.Validate(); err != nil {
 		return nil, err
 	}
-	telemetry.Budget().Record(telemetry.ReleaseEvent{
+	telemetry.Budget().RecordCtx(ctx, telemetry.ReleaseEvent{
 		Mechanism: "release_load",
 		Values:    len(out.Avg),
 	})

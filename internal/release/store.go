@@ -1,6 +1,7 @@
 package release
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 
 	"socialrec/internal/faults"
 	"socialrec/internal/telemetry"
+	"socialrec/internal/trace"
 )
 
 // Store filename layout: each persisted release is one immutable versioned
@@ -165,16 +167,28 @@ func (s *Store) Versions() ([]uint64, error) {
 // file is removed (best-effort) and previously saved versions are
 // untouched, so a reopened store keeps serving the last good release.
 func (s *Store) Save(r *Release) (uint64, error) {
-	v, err := s.save(r)
+	return s.SaveContext(context.Background(), r)
+}
+
+// SaveContext is Save on a caller-supplied context. A context carrying an
+// active trace (an admin-triggered rebuild, a pipeline run) gets a
+// "release_store_save" child span whose attributes are the version number
+// written — never release contents.
+func (s *Store) SaveContext(ctx context.Context, r *Release) (uint64, error) {
+	ctx, sp := trace.StartChild(ctx, "release_store_save")
+	defer sp.End()
+	v, err := s.save(ctx, r)
 	if err != nil {
 		s.saveFailures.Inc()
+		sp.SetStatus(trace.StatusError)
 		return 0, err
 	}
 	s.saves.Inc()
+	sp.Set(attrVersion.Int(int64(v)))
 	return v, nil
 }
 
-func (s *Store) save(r *Release) (uint64, error) {
+func (s *Store) save(ctx context.Context, r *Release) (uint64, error) {
 	if err := r.Validate(); err != nil {
 		return 0, err
 	}
@@ -188,7 +202,7 @@ func (s *Store) save(r *Release) (uint64, error) {
 	}
 	final := filepath.Join(s.dir, fileName(next))
 	if err := faults.WriteAtomicFunc(s.fsys, final, func(w io.Writer) error {
-		return Write(w, r)
+		return WriteContext(ctx, w, r)
 	}); err != nil {
 		return 0, fmt.Errorf("release: saving version %d: %w", next, err)
 	}
@@ -203,31 +217,57 @@ var ErrStoreEmpty = errors.New("release: store holds no valid release")
 // first; each skip is also counted on release_store_recoveries_total and
 // logged. The error is ErrStoreEmpty when no version validates.
 func (s *Store) Load() (rel *Release, version uint64, skipped []Skipped, err error) {
+	return s.LoadContext(context.Background())
+}
+
+// LoadContext is Load on a caller-supplied context. A context carrying an
+// active trace (an admin reload request) gets a "release_store_load" child
+// span recording the version recovered and how many files were skipped.
+func (s *Store) LoadContext(ctx context.Context) (rel *Release, version uint64, skipped []Skipped, err error) {
+	ctx, sp := trace.StartChild(ctx, "release_store_load")
+	defer sp.End()
 	versions, err := s.Versions()
 	if err != nil {
+		sp.SetStatus(trace.StatusError)
 		return nil, 0, nil, err
 	}
 	for i := len(versions) - 1; i >= 0; i-- {
 		v := versions[i]
-		rel, err := s.LoadVersion(v)
+		rel, err := s.LoadVersionContext(ctx, v)
 		if err != nil {
 			s.recoveries.Inc()
 			s.logf("release: store %s: skipping version %d: %v", s.dir, v, err)
 			skipped = append(skipped, Skipped{Name: fileName(v), Err: err})
 			continue
 		}
+		sp.Set(attrVersion.Int(int64(v)))
+		sp.Set(attrSkipped.Int(int64(len(skipped))))
 		return rel, v, skipped, nil
 	}
+	sp.SetStatus(trace.StatusError)
 	return nil, 0, skipped, fmt.Errorf("%w (dir %s, %d file(s) skipped)", ErrStoreEmpty, s.dir, len(skipped))
 }
 
+// Span attribute keys for store spans: version numbers and skip counts only,
+// never release contents.
+var (
+	attrVersion = trace.NewKey("version")
+	attrSkipped = trace.NewKey("skipped")
+)
+
 // LoadVersion opens one specific version, validating its checksum.
 func (s *Store) LoadVersion(v uint64) (*Release, error) {
+	return s.LoadVersionContext(context.Background(), v)
+}
+
+// LoadVersionContext is LoadVersion on a caller-supplied context; see
+// LoadContext.
+func (s *Store) LoadVersionContext(ctx context.Context, v uint64) (*Release, error) {
 	f, err := s.fsys.Open(filepath.Join(s.dir, fileName(v)))
 	if err != nil {
 		return nil, fmt.Errorf("release: loading version %d: %w", v, err)
 	}
-	rel, err := Read(f)
+	rel, err := ReadContext(ctx, f)
 	if cerr := f.Close(); err == nil && cerr != nil {
 		// The release was fully read and checksummed; a close failure
 		// afterwards cannot have corrupted it. Surface it anyway.

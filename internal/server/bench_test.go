@@ -21,7 +21,7 @@ func benchServer(b *testing.B) *httptest.Server {
 		UserIDs: map[string]int{"alice": 0, "bob": 1},
 		Stats:   dataset.Stats{Users: 100},
 		MaxN:    50,
-		Logf:    b.Logf,
+		Logger:  testLogger(b),
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -64,7 +64,7 @@ func BenchmarkServerChaos(b *testing.B) {
 		UserIDs:        map[string]int{"alice": 0, "bob": 1},
 		Stats:          dataset.Stats{Users: 100},
 		MaxN:           50,
-		Logf:           func(string, ...any) {}, // panic stacks would swamp -v output
+		Logger:         discardLogger(), // panic stacks would swamp -v output
 		Metrics:        telemetry.NewRegistry(),
 		Faults:         reg,
 		MaxInFlight:    8,

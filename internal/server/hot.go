@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -81,9 +82,16 @@ func (h *Hot) Status() HotStatus {
 	return HotStatus{Version: s.version, LoadedAt: s.loadedAt, Degraded: s.degraded, Reason: s.reason}
 }
 
-// Recommend implements Engine.
+// RecommendContext implements Engine. The in-flight request keeps the
+// engine it loaded even if a reload swaps the slot mid-call.
+func (h *Hot) RecommendContext(ctx context.Context, user, n int) ([]core.Recommendation, error) {
+	return h.slot.Load().engine.RecommendContext(ctx, user, n)
+}
+
+// Recommend is RecommendContext on a background context, kept for callers
+// outside a request (warmup loops, tests).
 func (h *Hot) Recommend(user, n int) ([]core.Recommendation, error) {
-	return h.slot.Load().engine.Recommend(user, n)
+	return h.slot.Load().engine.RecommendContext(context.Background(), user, n)
 }
 
 // ClusterOf implements Engine.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -84,14 +85,14 @@ func TestHotConcurrentSwapAndServe(t *testing.T) {
 
 // reloadServer builds a server over a Hot engine whose reload closure
 // behaves like cmd/recserve's: success swaps, failure marks degraded.
-func reloadServer(t *testing.T, hot *Hot, reload func() error) *httptest.Server {
+func reloadServer(t *testing.T, hot *Hot, reload func(context.Context) error) *httptest.Server {
 	t.Helper()
 	s, err := New(Config{
 		Engine:  hot,
 		UserIDs: map[string]int{"alice": 0, "bob": 1},
 		Stats:   dataset.Stats{Users: 5},
 		MaxN:    10,
-		Logf:    t.Logf,
+		Logger:  testLogger(t),
 		Metrics: telemetry.NewRegistry(),
 		Reload:  reload,
 	})
@@ -122,7 +123,7 @@ func postJSON(t *testing.T, url string, wantStatus int) map[string]any {
 func TestFailedReloadKeepsServingDegraded(t *testing.T) {
 	hot := NewHot(&fakeEngine{users: 5, failOn: -1}, 1)
 	fail := true
-	reload := func() error {
+	reload := func(context.Context) error {
 		if fail {
 			hot.Fail("store corrupt")
 			return fmt.Errorf("store corrupt")
@@ -174,9 +175,9 @@ func TestReloadCounters(t *testing.T) {
 		Engine:  hot,
 		UserIDs: map[string]int{"alice": 0},
 		MaxN:    10,
-		Logf:    t.Logf,
+		Logger:  testLogger(t),
 		Metrics: reg,
-		Reload: func() error {
+		Reload: func(context.Context) error {
 			if fail {
 				return fmt.Errorf("nope")
 			}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"socialrec/internal/telemetry"
+	"socialrec/internal/trace"
 )
 
 // Endpoint label values, one per route. These are the only strings the
@@ -124,7 +125,11 @@ func statusClass(status int) string {
 
 // instrument wraps a handler with the serving middleware: request and
 // status-class counters, the in-flight gauge and the per-endpoint latency
-// histogram. endpoint must be one of the static endpoint constants.
+// histogram. endpoint must be one of the static endpoint constants. Each
+// latency observation carries the request's trace id as an exemplar, so a
+// latency-bucket spike on a dashboard links to a concrete retained trace.
+// The traced middleware outside already wraps the ResponseWriter; reuse its
+// statusWriter so both layers observe the same committed status.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	requests := s.metrics.requests[endpoint]
 	errors := s.metrics.errors[endpoint]
@@ -132,9 +137,13 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.inFlight.Add(1)
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		}
 		h(sw, r)
-		latency.Observe(time.Since(start).Seconds())
+		tid, _ := trace.FromContext(r.Context()).IDs()
+		latency.ObserveExemplar(time.Since(start).Seconds(), tid)
 		s.metrics.inFlight.Add(-1)
 		requests.Inc()
 		s.metrics.responses[statusClass(sw.status)].Inc()

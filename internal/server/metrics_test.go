@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -19,7 +20,7 @@ func newMeteredServer(t *testing.T) (*Server, *httptest.Server) {
 		UserIDs: map[string]int{"alice": 0, "bob": 1, "evil": 4},
 		Stats:   dataset.Stats{Users: 5},
 		MaxN:    4,
-		Logf:    t.Logf,
+		Logger:  testLogger(t),
 		Metrics: telemetry.NewRegistry(),
 	})
 	if err != nil {
@@ -125,7 +126,7 @@ func TestInFlightGaugeReturnsToZero(t *testing.T) {
 func TestEncodeFailureCounted(t *testing.T) {
 	s, _ := newMeteredServer(t)
 	rec := httptest.NewRecorder()
-	s.writeJSON(rec, http.StatusOK, map[string]any{"bad": func() {}})
+	s.writeJSON(context.Background(), rec, http.StatusOK, map[string]any{"bad": func() {}})
 	if rec.Code != http.StatusInternalServerError {
 		t.Errorf("encode failure status = %d, want 500", rec.Code)
 	}
@@ -139,7 +140,7 @@ func TestEncodeFailureCounted(t *testing.T) {
 func TestContentLengthSet(t *testing.T) {
 	s, _ := newMeteredServer(t)
 	rec := httptest.NewRecorder()
-	s.writeJSON(rec, http.StatusOK, map[string]string{"k": "v"})
+	s.writeJSON(context.Background(), rec, http.StatusOK, map[string]string{"k": "v"})
 	if cl := rec.Header().Get("Content-Length"); cl == "" || cl == "0" {
 		t.Errorf("Content-Length = %q, want body size", cl)
 	}

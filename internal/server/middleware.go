@@ -2,29 +2,33 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"time"
 
 	"socialrec/internal/faults"
+	"socialrec/internal/trace"
 )
 
 // Hardening middleware for the request path. The serving endpoints run the
-// full stack, assembled outermost-first by harden():
+// full stack, assembled outermost-first by traced(harden()):
 //
-//	instrument → limit → recover → deadline → chaos → handler
+//	traced → instrument → limit → recover → deadline → chaos → handler
 //
-// instrument stays outermost so shed and panicked requests are still
-// counted per endpoint; limit sheds before any work is spent; recover
-// contains everything below it, including injected chaos panics; deadline
-// bounds the handler's context; chaos (active only when Config.Faults is
-// armed) injects deterministic faults at the innermost point so every
-// injected failure exercises the entire recovery stack above it.
+// traced is outermost so the root span covers the entire request (shed and
+// panicked requests still produce spans) and every inner layer sees the
+// span through the request context; instrument counts per endpoint; limit
+// sheds before any work is spent; recover contains everything below it,
+// including injected chaos panics; deadline bounds the handler's context;
+// chaos (active only when Config.Faults is armed) injects deterministic
+// faults at the innermost point so every injected failure exercises the
+// entire recovery stack above it.
 //
-// The health endpoints deliberately run only instrument+recover: liveness
-// and readiness probes must keep answering while the serving path is
-// saturated, or an overloaded-but-healthy process gets restarted into a
+// The health endpoints deliberately run only traced+instrument+recover:
+// liveness and readiness probes must keep answering while the serving path
+// is saturated, or an overloaded-but-healthy process gets restarted into a
 // thundering herd.
 
 // harden wraps a serving handler with the full middleware stack.
@@ -34,6 +38,44 @@ func (s *Server) harden(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	h = s.recovery(h)
 	h = s.limit(h)
 	return s.instrument(endpoint, h)
+}
+
+// attrHTTPStatus carries the response status on the root span. Statuses are
+// small static integers; no request content rides along.
+var attrHTTPStatus = trace.NewKey("http_status")
+
+// traced opens the request's root span: an inbound W3C traceparent header
+// is continued (same trace ID, so the deterministic head-sampling decision
+// matches the caller's; remote span as parent), anything else — absent or
+// malformed — starts a fresh root. The response always carries the
+// traceparent of the span that handled it, so clients can quote the id
+// back when reporting a slow or failed request. A 5xx marks the span
+// errored, which forces the whole trace through tail retention.
+func (s *Server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	name := "http_" + endpoint
+	return func(w http.ResponseWriter, r *http.Request) {
+		var (
+			ctx context.Context
+			sp  *trace.Span
+		)
+		if tp, err := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader)); err == nil {
+			ctx, sp = s.tracer.StartRemote(r.Context(), name, tp)
+		} else {
+			ctx, sp = s.tracer.StartRoot(r.Context(), name)
+		}
+		defer sp.End()
+		w.Header().Set(trace.TraceparentHeader, trace.Traceparent{
+			TraceID:  sp.TraceID(),
+			ParentID: sp.SpanID(),
+			Sampled:  sp.HeadSampled(),
+		}.String())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		sp.Set(attrHTTPStatus.Int(int64(sw.status)))
+		if sw.status >= http.StatusInternalServerError {
+			sp.SetStatus(trace.StatusError)
+		}
+	}
 }
 
 // recovery converts a handler panic into a 500 response and a counter
@@ -48,13 +90,14 @@ func (s *Server) recovery(h http.HandlerFunc) http.HandlerFunc {
 				return
 			}
 			s.metrics.panics.Inc()
-			s.cfg.Logf("server: panic recovered: %v\n%s", v, debug.Stack())
+			s.logger.ErrorContext(r.Context(), "server: panic recovered",
+				"panic", fmt.Sprint(v), "stack", string(debug.Stack()))
 			if sw, ok := w.(*statusWriter); ok && sw.wrote {
 				// The handler already committed a response; nothing more
 				// can be sent, but the connection and process survive.
 				return
 			}
-			s.writeError(w, http.StatusInternalServerError, "internal error")
+			s.writeError(r.Context(), w, http.StatusInternalServerError, "internal error")
 		}()
 		h(w, r)
 	}
@@ -79,7 +122,7 @@ func (s *Server) limit(h http.HandlerFunc) http.HandlerFunc {
 		default:
 			s.metrics.shed.Inc()
 			w.Header().Set("Retry-After", retryAfter)
-			s.writeError(w, http.StatusServiceUnavailable, "server saturated, retry later")
+			s.writeError(r.Context(), w, http.StatusServiceUnavailable, "server saturated, retry later")
 		}
 	}
 }
@@ -112,7 +155,7 @@ func (s *Server) chaos(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if err := s.cfg.Faults.Check(faults.PointHandler); err != nil {
 			s.metrics.chaosInjected.Inc()
-			s.writeError(w, http.StatusInternalServerError, "injected fault")
+			s.writeError(r.Context(), w, http.StatusInternalServerError, "injected fault")
 			return
 		}
 		h(w, r)

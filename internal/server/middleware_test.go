@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,7 +14,7 @@ import (
 	"socialrec/internal/telemetry"
 )
 
-// blockingEngine parks every Recommend call until release is closed,
+// blockingEngine parks every recommend call until release is closed,
 // signalling entered first — the tool for saturating the limiter.
 type blockingEngine struct {
 	fakeEngine
@@ -21,21 +22,21 @@ type blockingEngine struct {
 	release chan struct{}
 }
 
-func (b *blockingEngine) Recommend(user, n int) ([]core.Recommendation, error) {
+func (b *blockingEngine) RecommendContext(ctx context.Context, user, n int) ([]core.Recommendation, error) {
 	b.entered <- struct{}{}
 	<-b.release
-	return b.fakeEngine.Recommend(user, n)
+	return b.fakeEngine.RecommendContext(ctx, user, n)
 }
 
-// slowEngine delays every Recommend call, for deadline tests.
+// slowEngine delays every recommend call, for deadline tests.
 type slowEngine struct {
 	fakeEngine
 	delay time.Duration
 }
 
-func (s *slowEngine) Recommend(user, n int) ([]core.Recommendation, error) {
+func (s *slowEngine) RecommendContext(ctx context.Context, user, n int) ([]core.Recommendation, error) {
 	time.Sleep(s.delay)
-	return s.fakeEngine.Recommend(user, n)
+	return s.fakeEngine.RecommendContext(ctx, user, n)
 }
 
 // hardenedServer builds a test server with an isolated telemetry registry
@@ -47,7 +48,7 @@ func hardenedServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Serv
 		UserIDs: map[string]int{"alice": 0, "bob": 1},
 		Stats:   dataset.Stats{Users: 5},
 		MaxN:    10,
-		Logf:    t.Logf,
+		Logger:  testLogger(t),
 		Metrics: telemetry.NewRegistry(),
 	}
 	if mutate != nil {

@@ -19,8 +19,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"time"
@@ -29,13 +30,16 @@ import (
 	"socialrec/internal/dataset"
 	"socialrec/internal/faults"
 	"socialrec/internal/telemetry"
+	"socialrec/internal/trace"
 )
 
 // Engine is the slice of the recommendation engine the server needs;
 // *socialrec.Engine satisfies it.
 type Engine interface {
-	// Recommend returns the top-n list for one user.
-	Recommend(user, n int) ([]core.Recommendation, error)
+	// RecommendContext returns the top-n list for one user. The context is
+	// the request's: it carries the deadline and the active trace span, so
+	// engine phases can open child spans on it.
+	RecommendContext(ctx context.Context, user, n int) ([]core.Recommendation, error)
 	// ClusterOf reports the user's (public) community, or -1 if the
 	// engine is not cluster-based.
 	ClusterOf(user int) int
@@ -60,8 +64,11 @@ type Config struct {
 	Stats dataset.Stats
 	// MaxN caps the list length a request may ask for; 0 selects 100.
 	MaxN int
-	// Logf receives request-handling errors; nil selects log.Printf.
-	Logf func(format string, args ...any)
+	// Logger receives request-handling errors; nil selects a text logger to
+	// stderr. Whatever handler is supplied is wrapped with
+	// trace.NewSlogHandler, so every record emitted with a request context
+	// carries trace_id and span_id.
+	Logger *slog.Logger
 	// Metrics receives the server's instruments; nil selects
 	// telemetry.Default(). Registration is idempotent, so several servers
 	// (e.g. tests) may share one registry.
@@ -79,12 +86,18 @@ type Config struct {
 	// Reload, when non-nil, enables POST /admin/reload: it must attempt to
 	// swap in a fresh release (typically via a *Hot engine) and return nil
 	// on success. On failure the server answers 500 and keeps serving the
-	// current engine. nil answers 501 Not Implemented.
-	Reload func() error
+	// current engine. nil answers 501 Not Implemented. The context is the
+	// triggering request's, so a store-backed reload's spans and budget
+	// events attach to the request's trace.
+	Reload func(ctx context.Context) error
 	// Faults, when non-nil, arms the chaos middleware: every hardened
 	// request consults faults.PointHandler. Production servers leave it
 	// nil; cmd/recserve -chaos and fault-injection tests set it.
 	Faults *faults.Registry
+	// Tracer retains request traces (see internal/trace); nil selects
+	// trace.Default(). Every route opens a root span on it, continuing an
+	// inbound W3C traceparent when the request carries one.
+	Tracer *trace.Tracer
 }
 
 // Server routes HTTP requests to a private recommendation engine.
@@ -92,6 +105,8 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	metrics *metrics
+	logger  *slog.Logger
+	tracer  *trace.Tracer
 	sem     chan struct{} // concurrency limiter; nil disables shedding
 }
 
@@ -106,29 +121,41 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxN <= 0 {
 		cfg.MaxN = 100
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
-	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 10 * time.Second
 	}
 	if cfg.MaxInFlight == 0 {
 		cfg.MaxInFlight = 1024
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux(), metrics: newMetrics(cfg.Metrics)}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	// Re-wrapping an already-wrapped handler is harmless (the inner wrapper
+	// sees a record that merely lacks the ids the outer one adds), so wrap
+	// unconditionally: correlation must not depend on the caller remembering.
+	logger = slog.New(trace.NewSlogHandler(logger.Handler()))
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.Default()
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), metrics: newMetrics(cfg.Metrics),
+		logger: logger, tracer: tracer}
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	// Health and admin endpoints bypass the limiter and deadline: probes
 	// must answer while the serving path is saturated, and a reload is
-	// exactly what an operator reaches for under duress.
-	s.mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.recovery(s.handleHealthz)))
-	s.mux.HandleFunc("GET /readyz", s.instrument(epReadyz, s.recovery(s.handleReadyz)))
-	s.mux.HandleFunc("POST /admin/reload", s.instrument(epReload, s.recovery(s.handleReload)))
-	s.mux.HandleFunc("GET /stats", s.harden(epStats, s.handleStats))
-	s.mux.HandleFunc("GET /recommend", s.harden(epRecommend, s.handleRecommend))
-	s.mux.HandleFunc("POST /recommend/batch", s.harden(epBatch, s.handleBatch))
-	s.mux.HandleFunc("GET /users", s.harden(epUsers, s.handleUsers))
+	// exactly what an operator reaches for under duress. Every route is
+	// traced — root spans are cheap, and a reload trace is the one an
+	// operator most wants to find afterwards.
+	s.mux.HandleFunc("GET /healthz", s.traced(epHealthz, s.instrument(epHealthz, s.recovery(s.handleHealthz))))
+	s.mux.HandleFunc("GET /readyz", s.traced(epReadyz, s.instrument(epReadyz, s.recovery(s.handleReadyz))))
+	s.mux.HandleFunc("POST /admin/reload", s.traced(epReload, s.instrument(epReload, s.recovery(s.handleReload))))
+	s.mux.HandleFunc("GET /stats", s.traced(epStats, s.harden(epStats, s.handleStats)))
+	s.mux.HandleFunc("GET /recommend", s.traced(epRecommend, s.harden(epRecommend, s.handleRecommend)))
+	s.mux.HandleFunc("POST /recommend/batch", s.traced(epBatch, s.harden(epBatch, s.handleBatch)))
+	s.mux.HandleFunc("GET /users", s.traced(epUsers, s.harden(epUsers, s.handleUsers)))
 	return s, nil
 }
 
@@ -152,7 +179,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // the last-good, now stale, release is still serving). Degraded is 200 —
 // the server IS serving — with degraded: true for dashboards and rollout
 // gates to act on.
-func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
 		"ready":   true,
 		"epsilon": fmt.Sprintf("%g", s.cfg.Engine.Epsilon()),
@@ -166,22 +193,23 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			body["degraded_reason"] = status.Reason
 		}
 	}
-	s.writeJSON(w, http.StatusOK, body)
+	s.writeJSON(r.Context(), w, http.StatusOK, body)
 }
 
 // handleReload triggers the configured reload hook. Success answers 200
 // with the new release version; failure answers 500 while the last-good
 // engine keeps serving (visible as degraded on /readyz when the engine is
 // a *Hot).
-func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	if s.cfg.Reload == nil {
-		s.writeError(w, http.StatusNotImplemented, "no reload source configured")
+		s.writeError(ctx, w, http.StatusNotImplemented, "no reload source configured")
 		return
 	}
-	if err := s.cfg.Reload(); err != nil {
+	if err := s.cfg.Reload(ctx); err != nil {
 		s.metrics.reloadFailure.Inc()
-		s.cfg.Logf("server: reload failed: %v", err)
-		s.writeError(w, http.StatusInternalServerError, "reload failed: "+err.Error())
+		s.logger.ErrorContext(ctx, "server: reload failed", "err", err)
+		s.writeError(ctx, w, http.StatusInternalServerError, "reload failed: "+err.Error())
 		return
 	}
 	s.metrics.reloadSuccess.Inc()
@@ -189,11 +217,11 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 	if st, ok := s.cfg.Engine.(statuser); ok {
 		body["release_version"] = st.Status().Version
 	}
-	s.writeJSON(w, http.StatusOK, body)
+	s.writeJSON(ctx, w, http.StatusOK, body)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(r.Context(), w, http.StatusOK, map[string]any{
 		"users":            s.cfg.Stats.Users,
 		"social_edges":     s.cfg.Stats.SocialEdges,
 		"items":            s.cfg.Stats.Items,
@@ -213,7 +241,7 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	if l := r.URL.Query().Get("limit"); l != "" {
 		v, err := strconv.Atoi(l)
 		if err != nil || v < 1 {
-			s.writeError(w, http.StatusBadRequest, "bad limit parameter")
+			s.writeError(r.Context(), w, http.StatusBadRequest, "bad limit parameter")
 			return
 		}
 		limit = v
@@ -226,7 +254,7 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	if len(tokens) > limit {
 		tokens = tokens[:limit]
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(r.Context(), w, http.StatusOK, map[string]any{
 		"users": tokens,
 		"total": len(s.cfg.UserIDs),
 	})
@@ -258,7 +286,7 @@ func (s *Server) recommendFor(ctx context.Context, userTok string, n int) (map[s
 			n = s.cfg.MaxN
 		}
 	}
-	recs, err := s.cfg.Engine.Recommend(user, n)
+	recs, err := s.cfg.Engine.RecommendContext(ctx, user, n)
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
@@ -278,26 +306,27 @@ func (s *Server) recommendFor(ctx context.Context, userTok string, n int) (map[s
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	userTok := r.URL.Query().Get("user")
 	if userTok == "" {
-		s.writeError(w, http.StatusBadRequest, "missing user parameter")
+		s.writeError(ctx, w, http.StatusBadRequest, "missing user parameter")
 		return
 	}
 	n := 0
 	if nArg := r.URL.Query().Get("n"); nArg != "" {
 		v, err := strconv.Atoi(nArg)
 		if err != nil || v < 1 {
-			s.writeError(w, http.StatusBadRequest, "bad n parameter")
+			s.writeError(ctx, w, http.StatusBadRequest, "bad n parameter")
 			return
 		}
 		n = v
 	}
-	body, status, err := s.recommendFor(r.Context(), userTok, n)
+	body, status, err := s.recommendFor(ctx, userTok, n)
 	if err != nil {
-		s.writeError(w, status, err.Error())
+		s.writeError(ctx, w, status, err.Error())
 		return
 	}
-	s.writeJSON(w, status, body)
+	s.writeJSON(ctx, w, status, body)
 }
 
 // batchRequest is the POST /recommend/batch payload.
@@ -307,23 +336,24 @@ type batchRequest struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad JSON body: "+err.Error())
+		s.writeError(ctx, w, http.StatusBadRequest, "bad JSON body: "+err.Error())
 		return
 	}
 	if len(req.Users) == 0 {
-		s.writeError(w, http.StatusBadRequest, "users must be non-empty")
+		s.writeError(ctx, w, http.StatusBadRequest, "users must be non-empty")
 		return
 	}
 	const maxBatch = 1000
 	if len(req.Users) > maxBatch {
-		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("batch too large (max %d)", maxBatch))
+		s.writeError(ctx, w, http.StatusBadRequest, fmt.Sprintf("batch too large (max %d)", maxBatch))
 		return
 	}
 	results := make([]map[string]any, 0, len(req.Users))
 	for _, tok := range req.Users {
-		body, status, err := s.recommendFor(r.Context(), tok, req.N)
+		body, status, err := s.recommendFor(ctx, tok, req.N)
 		if err != nil {
 			if status == http.StatusNotFound {
 				results = append(results, map[string]any{"user": tok, "error": "unknown user"})
@@ -332,22 +362,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// Deadline expiry mid-batch aborts the whole request: a batch
 			// is one response, and a silently truncated one would be
 			// indistinguishable from a complete one.
-			s.writeError(w, status, err.Error())
+			s.writeError(ctx, w, status, err.Error())
 			return
 		}
 		results = append(results, body)
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	s.writeJSON(ctx, w, http.StatusOK, map[string]any{"results": results})
 }
 
 // writeJSON encodes v into a buffer before touching the ResponseWriter, so
 // an encoding failure can still become a clean 500 instead of a truncated
-// body behind an already-committed 200 header.
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+// body behind an already-committed 200 header. ctx is the request's, for
+// trace-correlated error logs.
+func (s *Server) writeJSON(ctx context.Context, w http.ResponseWriter, status int, v any) {
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		s.metrics.encodeFailures.Inc()
-		s.cfg.Logf("server: encoding response: %v", err)
+		s.logger.ErrorContext(ctx, "server: encoding response", "err", err)
 		http.Error(w, `{"error":"internal encoding failure"}`, http.StatusInternalServerError)
 		return
 	}
@@ -358,6 +389,6 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
-	s.writeJSON(w, status, map[string]string{"error": msg})
+func (s *Server) writeError(ctx context.Context, w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(ctx, w, status, map[string]string{"error": msg})
 }

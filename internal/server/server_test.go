@@ -1,8 +1,11 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,15 +13,40 @@ import (
 
 	"socialrec/internal/core"
 	"socialrec/internal/dataset"
+	"socialrec/internal/trace"
 )
 
-// fakeEngine serves deterministic lists: item k has utility 10-k.
+// testLogger routes slog records to the test log.
+func testLogger(tb testing.TB) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testWriter{tb}, nil))
+}
+
+type testWriter struct{ tb testing.TB }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.tb.Logf("%s", p)
+	return len(p), nil
+}
+
+// discardLogger drops every record (benchmarks where panic stacks would
+// swamp the output).
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// fakeEngine serves deterministic lists: item k has utility 10-k. Like the
+// real engine, it opens the recommend-phase child spans on the request
+// context, so handler tests can assert trace propagation end to end.
 type fakeEngine struct {
 	users  int
 	failOn int // user id that triggers an internal error; -1 disables
 }
 
-func (f *fakeEngine) Recommend(user, n int) ([]core.Recommendation, error) {
+func (f *fakeEngine) RecommendContext(ctx context.Context, user, n int) ([]core.Recommendation, error) {
+	for _, phase := range []string{"similarity_batch", "cluster_average", "top_n"} {
+		_, sp := trace.StartChild(ctx, phase)
+		sp.End()
+	}
 	if user == f.failOn {
 		return nil, fmt.Errorf("boom")
 	}
@@ -42,7 +70,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 		ItemTokens: []string{"i0", "i1", "i2", "i3", "i4", "i5"},
 		Stats:      dataset.Stats{Users: 5, Items: 6, PrefEdges: 9},
 		MaxN:       4,
-		Logf:       t.Logf,
+		Logger:     testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,37 @@
+package telemetry
+
+import "context"
+
+// This file is telemetry's half of the trace-correlation handshake.
+// sociolint's telemetryimports analyzer forbids this package from importing
+// any module-internal package, including internal/trace — so the tracer
+// (which may import telemetry) stamps the active trace id into the context
+// through ContextWithTrace, and the ledger reads it back with TraceIDFrom.
+// The id is a plain string here precisely so no trace type needs naming.
+
+type traceCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying traceID (32 lowercase hex digits)
+// for budget attribution. An ill-formed id is ignored.
+func ContextWithTrace(ctx context.Context, traceID string) context.Context {
+	if !isTraceHex(traceID) {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, traceID)
+}
+
+// TraceIDFrom returns the trace id carried by ctx, or "".
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceCtxKey{}).(string)
+	return id
+}
+
+// RecordCtx records ev, attributing it to the trace carried by ctx (if
+// any). Callers on a traced path should prefer this over Record so an ε
+// spend is attributable to the request or pipeline run that caused it.
+func (l *Ledger) RecordCtx(ctx context.Context, ev ReleaseEvent) {
+	if ev.TraceID == "" {
+		ev.TraceID = TraceIDFrom(ctx)
+	}
+	l.Record(ev)
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden audits the text exposition format against
+// the parts of the Prometheus spec the scraper actually depends on: a TYPE
+// line per family, cumulative buckets ending in le="+Inf", _sum/_count
+// lines, and label-value escaping.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("requests_total", "").Add(3)
+	reg.NewGauge("in_flight", "").Set(2)
+	h := reg.NewHistogram("latency_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# TYPE requests_total counter
+requests_total 3
+# TYPE in_flight gauge
+in_flight 2
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 5.55
+latency_seconds_count 3
+`
+	if got != want {
+		t.Errorf("exposition diverged:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	// Label values are static identifiers by construction, so hostile
+	// values can only arrive through a hand-built snapshot — which is
+	// exactly what a compromised or buggy caller would produce, and what
+	// the writer must still emit as well-formed exposition text.
+	snap := Snapshot{
+		Counters: []Metric{{
+			Name: "requests_total", LabelKey: "path",
+			LabelValue: "a\\b\"c\nd", Value: 1,
+		}},
+	}
+	var b strings.Builder
+	if err := snap.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `requests_total{path="a\\b\"c\nd"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaping diverged:\ngot  %q\nwant %q", b.String(), want)
+	}
+	if strings.Count(b.String(), "\n") != 2 { // TYPE line + sample line
+		t.Errorf("raw newline leaked into exposition:\n%q", b.String())
+	}
+}
+
+func TestPrometheusStageAndMechanismEscaping(t *testing.T) {
+	// Report labels (stage, mechanism) go through the same writer; the
+	// output must be prometheus-escaped, not Go %q-quoted.
+	rep := Report{
+		Stages:        []StageTiming{{Stage: "graph_load", Count: 2}},
+		PrivacyBudget: LedgerSnapshot{ByMechanism: []MechanismTotal{{Mechanism: "cluster", Releases: 1, Epsilon: 0.5}}},
+	}
+	var b strings.Builder
+	if err := rep.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`pipeline_stage_count{stage="graph_load"} 2`,
+		`privacy_releases_total{mechanism="cluster"} 1`,
+		`privacy_epsilon_total{mechanism="cluster"} 0.5`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("latency_seconds", "", []float64{0.1, 1})
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	h.ObserveExemplar(0.05, tid)
+	h.ObserveExemplar(0.5, "not-a-trace-id") // scrubbed, still observed
+	h.ObserveExemplar(7, tid)                // +Inf bucket
+
+	snap := reg.Snapshot()
+	hs := snap.Histograms[0]
+	if hs.Count != 3 {
+		t.Fatalf("count = %d, want 3 (invalid exemplar must still observe)", hs.Count)
+	}
+	if ex := hs.Buckets[0].Exemplar; ex == nil || ex.TraceID != tid || ex.Value != 0.05 {
+		t.Errorf("bucket 0 exemplar = %+v", hs.Buckets[0].Exemplar)
+	}
+	if ex := hs.Buckets[1].Exemplar; ex != nil {
+		t.Errorf("invalid trace id became an exemplar: %+v", ex)
+	}
+	if ex := hs.InfExemplar; ex == nil || ex.Value != 7 {
+		t.Errorf("+Inf exemplar = %+v", hs.InfExemplar)
+	}
+	// Exemplars are JSON-only; classic exposition text must not change.
+	var b strings.Builder
+	if err := snap.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), tid) {
+		t.Error("exemplar leaked into classic Prometheus text format")
+	}
+}
+
+func TestLedgerTraceAttribution(t *testing.T) {
+	l := NewLedger()
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	ctx := ContextWithTrace(context.Background(), tid)
+	l.RecordCtx(ctx, ReleaseEvent{Mechanism: "cluster", Epsilon: 0.5, Values: 10})
+	l.RecordCtx(context.Background(), ReleaseEvent{Mechanism: "cluster", Epsilon: 0.5})
+	l.Record(ReleaseEvent{Mechanism: "cluster", Epsilon: 0.5, TraceID: "drop table"})
+
+	snap := l.Snapshot()
+	if snap.Events[0].TraceID != tid {
+		t.Errorf("event 0 trace id = %q", snap.Events[0].TraceID)
+	}
+	if snap.Events[1].TraceID != "" {
+		t.Errorf("untraced ctx produced trace id %q", snap.Events[1].TraceID)
+	}
+	if snap.Events[2].TraceID != "" {
+		t.Errorf("malformed trace id survived: %q", snap.Events[2].TraceID)
+	}
+}
+
+func TestContextWithTraceValidates(t *testing.T) {
+	ctx := ContextWithTrace(context.Background(), "nope")
+	if got := TraceIDFrom(ctx); got != "" {
+		t.Errorf("invalid trace id stored: %q", got)
+	}
+	if got := TraceIDFrom(context.Background()); got != "" {
+		t.Errorf("empty ctx yields %q", got)
+	}
+}

@@ -55,7 +55,7 @@ func (rep Report) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, s := range rep.Stages {
-			if _, err := fmt.Fprintf(w, "pipeline_stage_seconds_total{stage=%q} %s\n", s.Stage, formatFloat(s.Total.Seconds())); err != nil {
+			if _, err := fmt.Fprintf(w, "pipeline_stage_seconds_total%s %s\n", promLabel("stage", s.Stage, ""), formatFloat(s.Total.Seconds())); err != nil {
 				return err
 			}
 		}
@@ -63,7 +63,7 @@ func (rep Report) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, s := range rep.Stages {
-			if _, err := fmt.Fprintf(w, "pipeline_stage_count{stage=%q} %d\n", s.Stage, s.Count); err != nil {
+			if _, err := fmt.Fprintf(w, "pipeline_stage_count%s %d\n", promLabel("stage", s.Stage, ""), s.Count); err != nil {
 				return err
 			}
 		}
@@ -77,7 +77,7 @@ func (rep Report) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, m := range b.ByMechanism {
-			if _, err := fmt.Fprintf(w, "privacy_releases_total{mechanism=%q} %d\n", m.Mechanism, m.Releases); err != nil {
+			if _, err := fmt.Fprintf(w, "privacy_releases_total%s %d\n", promLabel("mechanism", m.Mechanism, ""), m.Releases); err != nil {
 				return err
 			}
 		}
@@ -85,7 +85,7 @@ func (rep Report) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, m := range b.ByMechanism {
-			if _, err := fmt.Fprintf(w, "privacy_epsilon_total{mechanism=%q} %s\n", m.Mechanism, formatFloat(m.Epsilon)); err != nil {
+			if _, err := fmt.Fprintf(w, "privacy_epsilon_total%s %s\n", promLabel("mechanism", m.Mechanism, ""), formatFloat(m.Epsilon)); err != nil {
 				return err
 			}
 		}

@@ -27,6 +27,11 @@ type ReleaseEvent struct {
 	Sensitivity float64
 	// Values is the number of released values (e.g. clusters × items).
 	Values int
+	// TraceID, when non-empty, attributes the spend to the request or
+	// pipeline run (32 lowercase hex digits) whose trace caused the
+	// release. It is an opaque correlation token — anything else is
+	// scrubbed by Record.
+	TraceID string
 }
 
 // MarshalJSON renders Epsilon as a string so ε = ∞ (which encoding/json
@@ -41,7 +46,8 @@ func (e ReleaseEvent) MarshalJSON() ([]byte, error) {
 		Epsilon     string  `json:"epsilon"`
 		Sensitivity float64 `json:"sensitivity"`
 		Values      int     `json:"values"`
-	}{e.Mechanism, eps, e.Sensitivity, e.Values})
+		TraceID     string  `json:"trace_id,omitempty"`
+	}{e.Mechanism, eps, e.Sensitivity, e.Values, e.TraceID})
 }
 
 // maxLedgerEvents bounds the raw event list so a test loop or a re-release
@@ -72,6 +78,9 @@ func NewLedger() *Ledger {
 func (l *Ledger) Record(ev ReleaseEvent) {
 	if !validName(ev.Mechanism) {
 		ev.Mechanism = "invalid_mechanism"
+	}
+	if ev.TraceID != "" && !isTraceHex(ev.TraceID) {
+		ev.TraceID = ""
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -180,6 +180,29 @@ var DefLatencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
 }
 
+// Exemplar links one histogram bucket to a retained trace: the last
+// observed value that landed in the bucket and the trace that produced it.
+// The trace id is the only non-numeric field and is validated to be exactly
+// 32 lowercase hex digits — an opaque correlation token, never request data.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+}
+
+// isTraceHex reports whether s is a W3C trace id: 32 lowercase hex digits.
+func isTraceHex(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Histogram counts observations into fixed buckets chosen at registration.
 // Observe is lock-free: one atomic add on the bucket, one on the count, and
 // a CAS loop on the float sum.
@@ -190,6 +213,7 @@ type Histogram struct {
 	labelValue string
 	bounds     []float64 // sorted upper bounds; an implicit +Inf bucket follows
 	buckets    []atomic.Uint64
+	exemplars  []atomic.Pointer[Exemplar] // one slot per bucket, incl. +Inf
 	count      atomic.Uint64
 	sumBits    atomic.Uint64 // math.Float64bits of the running sum
 }
@@ -205,8 +229,9 @@ func newHistogram(name, help, labelKey, labelValue string, bounds []float64) *Hi
 	copy(b, bounds)
 	return &Histogram{
 		name: name, help: help, labelKey: labelKey, labelValue: labelValue,
-		bounds:  b,
-		buckets: make([]atomic.Uint64, len(b)+1),
+		bounds:    b,
+		buckets:   make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
 	}
 }
 
@@ -222,6 +247,20 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is a well-formed
+// trace id (32 lowercase hex digits), attaches it as the bucket's exemplar
+// so a bad latency bucket links to a retained trace at /debug/traces. An
+// ill-formed traceID degrades to a plain Observe — the validation is what
+// keeps arbitrary request strings out of the exported state.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if !isTraceHex(traceID) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
 }
 
 // Count returns the number of observations.

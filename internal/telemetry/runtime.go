@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// StartRuntimeCollector samples Go runtime health — goroutine count, heap
+// bytes, GC totals — into reg on a ticker, so /metrics answers "is the
+// process itself sick?" alongside the request-level instruments. Runtime
+// numbers are pure process state, never derived from user data, so they
+// are trivially safe to export.
+//
+// The returned stop function halts the ticker; calling it more than once
+// is safe. interval <= 0 selects 10s.
+func StartRuntimeCollector(reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		reg = Default()
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	goroutines := reg.NewGauge("go_goroutines", "Number of live goroutines.")
+	heapAlloc := reg.NewGauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapSys := reg.NewGauge("go_heap_sys_bytes", "Bytes of heap obtained from the OS.")
+	// Cumulative GC figures are exported as gauges (set from MemStats each
+	// tick) rather than counters, so the names avoid the _total suffix the
+	// Prometheus convention reserves for counter types.
+	gcRuns := reg.NewGauge("go_gc_cycles", "Completed GC cycles since process start.")
+	gcPause := reg.NewGauge("go_gc_pause_ns", "Cumulative GC stop-the-world pause since process start, nanoseconds.")
+	nextGC := reg.NewGauge("go_gc_next_target_bytes", "Heap size target of the next GC cycle.")
+
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		gcRuns.Set(int64(ms.NumGC))
+		gcPause.Set(int64(ms.PauseTotalNs))
+		nextGC.Set(int64(ms.NextGC))
+	}
+	sample() // expose real values immediately, not zeros until the first tick
+
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if !stopped {
+			stopped = true
+			close(done)
+		}
+	}
+}

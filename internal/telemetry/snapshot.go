@@ -19,10 +19,14 @@ type Metric struct {
 
 // Bucket is one cumulative histogram bucket: the count of observations
 // ≤ Le. The implicit +Inf bucket is HistogramSnapshot.Count (JSON cannot
-// carry an infinite float).
+// carry an infinite float). Exemplar, when present, links the bucket to a
+// retained trace (see Histogram.ObserveExemplar); exemplars ride only in
+// the JSON export — the classic Prometheus text format has no field for
+// them.
 type Bucket struct {
-	Le    float64 `json:"le"`
-	Count uint64  `json:"count"`
+	Le       float64   `json:"le"`
+	Count    uint64    `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistogramSnapshot is one histogram's state at snapshot time.
@@ -33,6 +37,8 @@ type HistogramSnapshot struct {
 	Count      uint64   `json:"count"`
 	Sum        float64  `json:"sum"`
 	Buckets    []Bucket `json:"buckets"`
+	// InfExemplar is the exemplar of the implicit +Inf bucket.
+	InfExemplar *Exemplar `json:"inf_exemplar,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry's instruments. Taking one
@@ -68,8 +74,9 @@ func (r *Registry) Snapshot() Snapshot {
 		var cum uint64
 		for i, le := range h.bounds {
 			cum += h.buckets[i].Load()
-			hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: cum})
+			hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: cum, Exemplar: h.exemplars[i].Load()})
 		}
+		hs.InfExemplar = h.exemplars[len(h.bounds)].Load()
 		snap.Histograms = append(snap.Histograms, hs)
 	}
 	// Polled gauges are evaluated outside the registry lock: the callbacks
@@ -96,11 +103,37 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// promEscape escapes a label value per the Prometheus text exposition
+// format: backslash, double quote and newline. Label values in this module
+// are static identifiers by construction and never contain these bytes,
+// but the writer must not rely on that — escaping here keeps the output
+// well-formed even for a value that slipped past validation.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
 // promLabel renders the {key="value"} selector, optionally with an le pair.
 func promLabel(key, value, le string) string {
 	var parts []string
 	if key != "" {
-		parts = append(parts, key+`="`+value+`"`)
+		parts = append(parts, key+`="`+promEscape(value)+`"`)
 	}
 	if le != "" {
 		parts = append(parts, `le="`+le+`"`)

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSpanStartEnd measures the hot-path cost of opening and closing
+// one child span under a live root — the overhead every traced operation
+// pays. Gated by scripts/benchdiff.go in CI.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := New(Config{Seed: 1, HeadRateZero: true, Capacity: 64})
+	ctx, root := tr.StartRoot(context.Background(), "bench_root")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "bench_child")
+		sp.Set(testKeyN.Int(int64(i)))
+		sp.End()
+	}
+}
+
+// BenchmarkRootStartEnd measures a full root-span lifecycle including the
+// sampling decision and (discarded) retention path.
+func BenchmarkRootStartEnd(b *testing.B) {
+	tr := New(Config{Seed: 1, HeadRateZero: true, Capacity: 64})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartRoot(context.Background(), "bench_root")
+		sp.End()
+	}
+}

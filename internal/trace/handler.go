@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// tracesResponse is the JSON document served at GET /debug/traces.
+type tracesResponse struct {
+	Traces []*TraceData `json:"traces"`
+	Stats  Stats        `json:"stats"`
+}
+
+// Handler serves retained traces as JSON, newest first.
+//
+// Query parameters:
+//
+//	min_ms=N   only traces whose root lasted at least N milliseconds
+//	status=S   all (default) | error | slow | head (retention reason)
+//	limit=N    at most N traces (default 100)
+//
+// Everything in the response is post-processing of data already validated
+// by the closed-world attribute model, so the endpoint upholds the
+// no-sensitive-labels invariant by construction.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		var minDur time.Duration
+		if v := q.Get("min_ms"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil || ms < 0 {
+				http.Error(w, "min_ms must be a non-negative number", http.StatusBadRequest)
+				return
+			}
+			minDur = time.Duration(ms * float64(time.Millisecond))
+		}
+		status := q.Get("status")
+		switch status {
+		case "", "all", "error", "slow", "head":
+		default:
+			http.Error(w, "status must be one of all, error, slow, head", http.StatusBadRequest)
+			return
+		}
+		limit := 100
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+
+		resp := tracesResponse{Traces: []*TraceData{}, Stats: t.Stats()}
+		for _, td := range t.Snapshot() {
+			if td.Root.Duration < minDur {
+				continue
+			}
+			switch status {
+			case "error":
+				if !td.Err() {
+					continue
+				}
+			case "slow", "head":
+				if td.Retained != status {
+					continue
+				}
+			}
+			resp.Traces = append(resp.Traces, td)
+			if len(resp.Traces) >= limit {
+				break
+			}
+		}
+
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			http.Error(w, "encoding error", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(buf.Bytes())
+	})
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func testTracerWithTraffic(t *testing.T) *Tracer {
+	t.Helper()
+	tr := New(Config{Seed: 37, Capacity: 64, SlowQuantile: 0.9})
+	for i := 0; i < 100; i++ {
+		_, sp := tr.StartRoot(context.Background(), "fast")
+		sp.End()
+	}
+	_, errSp := tr.StartRoot(context.Background(), "failing")
+	errSp.SetStatus(StatusError)
+	errSp.End()
+	_, slow := tr.StartRoot(context.Background(), "slow")
+	time.Sleep(15 * time.Millisecond)
+	slow.End()
+	return tr
+}
+
+func getTraces(t *testing.T, h http.Handler, url string) tracesResponse {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var resp tracesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp
+}
+
+func TestHandlerFilters(t *testing.T) {
+	h := Handler(testTracerWithTraffic(t))
+
+	all := getTraces(t, h, "/debug/traces")
+	if len(all.Traces) == 0 {
+		t.Fatal("no traces")
+	}
+	if all.Stats.Roots != 102 {
+		t.Errorf("stats roots = %d", all.Stats.Roots)
+	}
+
+	errs := getTraces(t, h, "/debug/traces?status=error")
+	if len(errs.Traces) != 1 || errs.Traces[0].Root.Name != "failing" {
+		t.Errorf("status=error returned %+v", errs.Traces)
+	}
+
+	slow := getTraces(t, h, "/debug/traces?status=slow")
+	foundSlow := false
+	for _, td := range slow.Traces {
+		if td.Retained != "slow" {
+			t.Errorf("status=slow leaked retention %q", td.Retained)
+		}
+		if td.Root.Name == "slow" {
+			foundSlow = true
+		}
+	}
+	if !foundSlow {
+		t.Errorf("status=slow missing the slow outlier: %d traces", len(slow.Traces))
+	}
+
+	minms := getTraces(t, h, "/debug/traces?min_ms=10")
+	for _, td := range minms.Traces {
+		if td.Root.Duration < 10*time.Millisecond {
+			t.Errorf("min_ms filter leaked %v", td.Root.Duration)
+		}
+	}
+	if len(minms.Traces) == 0 {
+		t.Error("min_ms=10 excluded the slow trace")
+	}
+
+	lim := getTraces(t, h, "/debug/traces?limit=3")
+	if len(lim.Traces) != 3 {
+		t.Errorf("limit=3 returned %d", len(lim.Traces))
+	}
+}
+
+func TestHandlerBadInputs(t *testing.T) {
+	h := Handler(New(Config{Seed: 41}))
+	for _, url := range []string{
+		"/debug/traces?min_ms=-1",
+		"/debug/traces?min_ms=abc",
+		"/debug/traces?status=weird",
+		"/debug/traces?limit=0",
+		"/debug/traces?limit=x",
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", url, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/debug/traces", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", rec.Code)
+	}
+}
+
+func TestHandlerEmptyTracer(t *testing.T) {
+	resp := getTraces(t, Handler(New(Config{Seed: 43})), "/debug/traces")
+	if resp.Traces == nil {
+		t.Error("traces should encode as [] not null")
+	}
+	if len(resp.Traces) != 0 {
+		t.Errorf("empty tracer returned %d traces", len(resp.Traces))
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is one finished span as exported at /debug/traces.
+type SpanData struct {
+	SpanID   string         `json:"span_id"`
+	ParentID string         `json:"parent_span_id,omitempty"`
+	Name     string         `json:"name"`
+	Start    int64          `json:"start_unix_ns"`
+	Duration time.Duration  `json:"duration_ns"`
+	Status   string         `json:"status"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceData is one retained trace: the root span, its finished children,
+// and why the sampler kept it.
+type TraceData struct {
+	TraceID string `json:"trace_id"`
+	// Retained is the retention reason: "head" (deterministic head
+	// sample), "error" (root or a child errored) or "slow" (root latency
+	// reached the rolling tail threshold).
+	Retained string     `json:"retained"`
+	Root     SpanData   `json:"root"`
+	Spans    []SpanData `json:"spans,omitempty"`
+	// DroppedSpans counts children beyond the per-trace cap.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+
+	endNano int64 // root end time, for newest-first ordering
+}
+
+// Err reports whether the trace contains an errored span.
+func (td *TraceData) Err() bool {
+	if td.Root.Status == "error" {
+		return true
+	}
+	for _, s := range td.Spans {
+		if s.Status == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// ring is a fixed-capacity lock-free overwrite buffer of retained traces.
+// push claims a slot with one atomic add and publishes the trace with one
+// atomic pointer store; concurrent pushes to a wrapped slot resolve to
+// last-writer-wins, which for a newest-wins buffer is the right loss.
+// snapshot reads every slot once with atomic loads — no locks, no
+// coordination with writers.
+type ring struct {
+	mask  uint64
+	next  atomic.Uint64
+	slots []atomic.Pointer[TraceData]
+}
+
+// newRing rounds capacity up to a power of two so slot selection is a mask.
+func newRing(capacity int) *ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &ring{mask: uint64(n - 1), slots: make([]atomic.Pointer[TraceData], n)}
+}
+
+func (r *ring) push(td *TraceData) {
+	i := r.next.Add(1) - 1
+	r.slots[i&r.mask].Store(td)
+}
+
+// snapshot returns the retained traces newest-first.
+func (r *ring) snapshot() []*TraceData {
+	out := make([]*TraceData, 0, len(r.slots))
+	for i := range r.slots {
+		if td := r.slots[i].Load(); td != nil {
+			out = append(out, td)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].endNano > out[j].endNano })
+	return out
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestRingConcurrentPushSnapshot hammers a tiny ring with concurrent
+// writers (forcing constant wraparound) and concurrent snapshotters. Run
+// under -race this is the ring's memory-model proof; without -race it
+// still checks snapshots never observe a torn or nil-holed state.
+func TestRingConcurrentPushSnapshot(t *testing.T) {
+	r := newRing(8)
+	var wg sync.WaitGroup
+	const writers, perWriter, readers = 8, 500, 4
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.push(&TraceData{TraceID: "t", Retained: "head", endNano: int64(w*perWriter + i)})
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				snap := r.snapshot()
+				for j, td := range snap {
+					if td == nil {
+						t.Errorf("nil trace in snapshot")
+						return
+					}
+					if j > 0 && snap[j-1].endNano < td.endNano {
+						t.Errorf("snapshot not newest-first")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.snapshot()); got != 8 {
+		t.Errorf("full ring snapshot has %d entries, want 8", got)
+	}
+}
+
+// TestTracerConcurrentSpans exercises the full span lifecycle — concurrent
+// child start/finish on shared roots, root finish racing child finish, and
+// snapshot/stats readers — under the race detector.
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := New(Config{Seed: 31, Capacity: 16, MaxChildren: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ctx, root := tr.StartRoot(context.Background(), "op")
+				var cwg sync.WaitGroup
+				for c := 0; c < 4; c++ {
+					cwg.Add(1)
+					go func() {
+						defer cwg.Done()
+						_, sp := Start(ctx, "child")
+						sp.Set(testKeyN.Int(1))
+						sp.End()
+					}()
+				}
+				if i%2 == 0 {
+					cwg.Wait() // children beat the root
+				}
+				root.SetStatus(StatusOK)
+				root.End()
+				cwg.Wait() // or race it
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				tr.Snapshot()
+				tr.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	st := tr.Stats()
+	if st.Roots != 800 {
+		t.Errorf("roots = %d, want 800", st.Roots)
+	}
+	if st.Kept+st.Discarded != st.Roots {
+		t.Errorf("kept %d + discarded %d != roots %d", st.Kept, st.Discarded, st.Roots)
+	}
+}
+
+func TestQuantileConcurrent(t *testing.T) {
+	q := newQuantile(0.99)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				q.Observe(1 << (i % 20))
+				if i%100 == 0 {
+					q.Threshold()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

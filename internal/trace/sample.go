@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// quantile is a rolling quantile estimator over span durations, used for
+// the tail-retention threshold ("always keep the slow tail"). Durations are
+// bucketed by log2 (64 buckets cover 1ns..~584y) into atomic counters; the
+// quantile is read by walking the cumulative histogram. Every decayEvery
+// observations all counters are halved, so the estimate follows the recent
+// workload instead of the whole process lifetime.
+//
+// Accuracy is one power of two, which is exactly what a "slow tail"
+// threshold needs: the answer to "is 240ms slow?" does not change if the
+// true p99 is 110ms vs 140ms.
+type quantile struct {
+	q       float64 // target quantile in (0,1), e.g. 0.99
+	buckets [64]atomic.Uint64
+	total   atomic.Uint64 // observations since last decay
+}
+
+const (
+	// quantMinSamples is the number of observations required before the
+	// threshold activates; below it Threshold reports an unreachably large
+	// duration so cold starts never mark everything "slow".
+	quantMinSamples = 32
+	// quantDecayEvery halves all buckets after this many observations.
+	quantDecayEvery = 1024
+)
+
+func newQuantile(q float64) *quantile {
+	if q <= 0 || q >= 1 {
+		q = 0.99
+	}
+	return &quantile{q: q}
+}
+
+// bucketOf maps a duration to its log2 bucket.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d)) - 1
+}
+
+// Observe records one span duration.
+func (e *quantile) Observe(d time.Duration) {
+	e.buckets[bucketOf(d)].Add(1)
+	if e.total.Add(1)%quantDecayEvery == 0 {
+		e.decay()
+	}
+}
+
+// decay halves every bucket. Concurrent Observes may interleave with the
+// halving; the estimate tolerates that slop by design.
+func (e *quantile) decay() {
+	for i := range e.buckets {
+		for {
+			v := e.buckets[i].Load()
+			if e.buckets[i].CompareAndSwap(v, v/2) {
+				break
+			}
+		}
+	}
+}
+
+// Threshold returns the current tail-latency threshold: the UPPER bound of
+// the bucket holding the q-quantile, i.e. one log2 step beyond it. Using
+// the upper bound matters — the quantile bucket itself holds ordinary
+// traffic, and a lower-bound threshold would mark half of it "slow".
+// Before quantMinSamples observations it returns the maximum duration,
+// deactivating tail-slowness retention.
+func (e *quantile) Threshold() time.Duration {
+	var counts [64]uint64
+	var total uint64
+	for i := range e.buckets {
+		counts[i] = e.buckets[i].Load()
+		total += counts[i]
+	}
+	if total < quantMinSamples {
+		return time.Duration(1<<63 - 1)
+	}
+	rank := uint64(e.q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			if i >= 62 {
+				break
+			}
+			return time.Duration(uint64(1) << uint(i+1))
+		}
+	}
+	return time.Duration(1<<63 - 1)
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// slogHandler decorates another slog.Handler, injecting trace_id and
+// span_id attributes from the record's context so log lines correlate with
+// retained traces at /debug/traces.
+type slogHandler struct {
+	inner slog.Handler
+}
+
+// NewSlogHandler wraps inner so every record logged with a context carrying
+// an active span gains trace_id and span_id attributes. Records logged
+// without a span pass through unchanged.
+func NewSlogHandler(inner slog.Handler) slog.Handler {
+	return &slogHandler{inner: inner}
+}
+
+func (h *slogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *slogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := FromContext(ctx); sp != nil {
+		traceID, spanID := sp.IDs()
+		rec.AddAttrs(slog.String("trace_id", traceID), slog.String("span_id", spanID))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *slogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &slogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *slogHandler) WithGroup(name string) slog.Handler {
+	return &slogHandler{inner: h.inner.WithGroup(name)}
+}

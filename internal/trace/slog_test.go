@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+func TestSlogHandlerInjectsIDs(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewSlogHandler(slog.NewJSONHandler(&buf, nil)))
+	tr := New(Config{Seed: 47, Capacity: 8})
+	ctx, sp := tr.StartRoot(context.Background(), "op")
+
+	logger.InfoContext(ctx, "inside span", "k", "v")
+	sp.End()
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	wantTrace, wantSpan := sp.IDs()
+	if rec["trace_id"] != wantTrace {
+		t.Errorf("trace_id = %v, want %s", rec["trace_id"], wantTrace)
+	}
+	if rec["span_id"] != wantSpan {
+		t.Errorf("span_id = %v, want %s", rec["span_id"], wantSpan)
+	}
+	if rec["k"] != "v" {
+		t.Errorf("user attr lost: %v", rec)
+	}
+}
+
+func TestSlogHandlerNoSpanPassthrough(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewSlogHandler(slog.NewJSONHandler(&buf, nil)))
+	logger.Info("no span")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if _, ok := rec["trace_id"]; ok {
+		t.Error("trace_id injected without a span")
+	}
+}
+
+func TestSlogHandlerWithAttrsAndGroup(t *testing.T) {
+	var buf bytes.Buffer
+	base := slog.New(NewSlogHandler(slog.NewJSONHandler(&buf, nil)))
+	logger := base.With("component", "server").WithGroup("req")
+	tr := New(Config{Seed: 53, Capacity: 8})
+	ctx, sp := tr.StartRoot(context.Background(), "op")
+	logger.InfoContext(ctx, "msg", "n", 1)
+	sp.End()
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rec["component"] != "server" {
+		t.Errorf("WithAttrs lost: %v", rec)
+	}
+	group, _ := rec["req"].(map[string]any)
+	if group == nil || group["n"] != float64(1) {
+		t.Errorf("WithGroup lost: %v", rec)
+	}
+	// IDs are added at Handle time, inside the open group — the group keys
+	// them under req.*, which is fine for correlation as long as present.
+	if _, ok := group["trace_id"]; !ok {
+		if _, top := rec["trace_id"]; !top {
+			t.Errorf("trace_id missing entirely: %v", rec)
+		}
+	}
+}

@@ -1,0 +1,569 @@
+// Package trace is the repository's stdlib-only request-scoped tracer: it
+// records causal trees of timed spans for individual recommendation
+// requests and offline pipeline runs, complementing internal/telemetry's
+// aggregates (which answer "how slow on average?") with per-request
+// causality ("which child operation made THIS request slow, and which
+// release did it observe?").
+//
+// # The no-preference-edges invariant
+//
+// Every retained trace is served over HTTP at /debug/traces, so the same
+// discipline that guards telemetry labels guards span state, enforced by
+// construction rather than by review:
+//
+//   - Span names must be static identifiers ([a-z][a-z0-9_]*); anything
+//     else is recorded as "invalid_span".
+//   - Attribute keys are declared up front through NewKey, which validates
+//     the name and registers it in a closed world; a Key cannot be forged
+//     (its field is unexported) and a zero Key is dropped on Set.
+//   - Attribute values are int64, bool, or static-identifier strings.
+//     There is deliberately no float constructor — an item score or a
+//     noisy utility cannot become an attribute — and a string value that
+//     is not a static identifier is replaced by "invalid_value", so a user
+//     token or preference edge cannot ride along either.
+//   - Error state is a status bit, never a message: error details belong
+//     in logs, correlated back to the trace by trace_id (see NewSlogHandler).
+//
+// # Sampling
+//
+// Finished traces pass a two-tier sampler. Head sampling is deterministic
+// on the trace ID (every process keeps the same subset, and an inbound
+// traceparent keeps its fate from the caller's ID); tail retention then
+// ALWAYS keeps traces whose root or any child errored, and traces whose
+// root latency reaches a rolling quantile estimate of the recent latency
+// distribution — the slow tail survives even a 1% head rate. Retained
+// traces live in a fixed-size lock-free ring; old traces are overwritten,
+// never reallocated.
+//
+// The span hot path (Start, Set, End on a non-retained trace) is a few
+// atomics plus one short mutex hold on the trace's own accumulation list;
+// no global lock is taken after tracer construction.
+package trace
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"socialrec/internal/telemetry"
+)
+
+// TraceID identifies one causal tree of spans, 16 bytes as in W3C Trace
+// Context.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String returns the 32-char lowercase hex form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace, 8 bytes as in W3C Trace
+// Context.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 16-char lowercase hex form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// Status is a span's terminal disposition. There is deliberately no error
+// message: messages are dynamic strings and belong in logs, which carry
+// the trace id for correlation.
+type Status uint8
+
+const (
+	// StatusOK is the default: the operation completed normally.
+	StatusOK Status = iota
+	// StatusError marks the operation failed; an errored span forces its
+	// whole trace through tail retention.
+	StatusError
+)
+
+func (s Status) String() string {
+	if s == StatusError {
+		return "error"
+	}
+	return "ok"
+}
+
+// validName reports whether s is a static identifier, the same rule
+// telemetry applies to metric names and label values: non-empty, lower-case
+// letter first, then lower-case letters, digits or underscores.
+func validName(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r == '_' && i > 0:
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Config assembles a Tracer. The zero value selects production defaults.
+type Config struct {
+	// Capacity is how many retained traces the ring holds before the
+	// oldest are overwritten; rounded up to a power of two. 0 selects 1024.
+	Capacity int
+	// HeadRate is the deterministic head-sampling probability in [0, 1],
+	// keyed on the trace ID. 0 selects 1.0 (keep everything); use
+	// HeadRateZero for a true 0 (tail-only retention).
+	HeadRate float64
+	// HeadRateZero forces a 0 head rate (HeadRate 0 otherwise means 1.0).
+	HeadRateZero bool
+	// SlowQuantile is the rolling latency quantile at and above which a
+	// root span is retained regardless of head sampling; 0 selects 0.99.
+	SlowQuantile float64
+	// MaxChildren caps how many finished child spans one trace
+	// accumulates; further children are counted as dropped. 0 selects 256.
+	MaxChildren int
+	// Seed, when non-zero, makes span/trace IDs a deterministic sequence
+	// (tests). 0 seeds the generator from crypto/rand at construction.
+	Seed int64
+}
+
+// Tracer creates spans and retains sampled traces in a ring buffer.
+type Tracer struct {
+	ring        *ring
+	quant       *quantile
+	headBar     uint64 // keep when top 8 ID bytes <= headBar
+	maxChildren int
+
+	ids atomic.Uint64 // splitmix64 state; IDs need uniqueness, not secrecy
+
+	started   atomic.Uint64 // spans started
+	roots     atomic.Uint64 // root spans started
+	kept      atomic.Uint64
+	keptHead  atomic.Uint64
+	keptError atomic.Uint64
+	keptSlow  atomic.Uint64
+	discarded atomic.Uint64 // finished roots not retained
+	lateSpans atomic.Uint64 // children finished after their root ended
+}
+
+// New builds a tracer. See Config for defaults.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1024
+	}
+	if cfg.SlowQuantile <= 0 || cfg.SlowQuantile >= 1 {
+		cfg.SlowQuantile = 0.99
+	}
+	if cfg.MaxChildren <= 0 {
+		cfg.MaxChildren = 256
+	}
+	rate := cfg.HeadRate
+	if cfg.HeadRateZero {
+		rate = 0
+	} else if rate <= 0 || rate > 1 {
+		rate = 1
+	}
+	var bar uint64
+	switch {
+	case rate >= 1:
+		bar = ^uint64(0)
+	case rate <= 0:
+		bar = 0
+	default:
+		bar = uint64(rate * float64(^uint64(0)))
+	}
+	t := &Tracer{
+		ring:        newRing(cfg.Capacity),
+		quant:       newQuantile(cfg.SlowQuantile),
+		headBar:     bar,
+		maxChildren: cfg.MaxChildren,
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			// Entropy exhaustion is effectively impossible; fall back to a
+			// fixed seed rather than failing tracer construction. IDs stay
+			// unique within the process either way.
+			b = [8]byte{0x9e, 0x37, 0x79, 0xb9, 0x7f, 0x4a, 0x7c, 0x15}
+		}
+		seed = int64(binary.LittleEndian.Uint64(b[:]))
+	}
+	t.ids.Store(uint64(seed))
+	return t
+}
+
+var defaultTracer atomic.Pointer[Tracer]
+
+func init() { defaultTracer.Store(New(Config{})) }
+
+// Default returns the process-wide tracer, the one cmd/recserve serves at
+// /debug/traces. Root spans started through the package-level Start use it.
+func Default() *Tracer { return defaultTracer.Load() }
+
+// SetDefault replaces the process-wide tracer (cmd/recserve configures
+// sampling from flags before serving). nil is ignored.
+func SetDefault(t *Tracer) {
+	if t != nil {
+		defaultTracer.Store(t)
+	}
+}
+
+// nextID draws the next 64 pseudo-random bits (splitmix64; the stream is
+// for uniqueness, not secrecy or privacy noise — privacy noise must flow
+// through dp.NoiseSource, which sociolint enforces).
+func (t *Tracer) nextID() uint64 {
+	for {
+		z := t.ids.Add(0x9e3779b97f4a7c15)
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if z != 0 {
+			return z
+		}
+	}
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], t.nextID())
+	binary.BigEndian.PutUint64(id[8:], t.nextID())
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], t.nextID())
+	return id
+}
+
+// headSampled is the deterministic head decision: a pure function of the
+// trace ID, so every hop of a distributed trace keeps or drops the same
+// traces without coordination.
+func (t *Tracer) headSampled(id TraceID) bool {
+	return binary.BigEndian.Uint64(id[:8]) <= t.headBar
+}
+
+// root is the per-trace accumulation shared by every span of one trace.
+type root struct {
+	tracer  *Tracer
+	traceID TraceID
+	head    bool
+
+	mu       sync.Mutex
+	children []SpanData
+	dropped  int
+	errored  bool
+	ended    bool
+}
+
+// Span is one in-flight timed operation. The zero and nil Span are inert:
+// every method is a no-op, so code traced through an un-instrumented
+// context needs no nil checks.
+type Span struct {
+	root     *root
+	name     string
+	spanID   SpanID
+	parentID SpanID
+	isRoot   bool
+	start    time.Time
+
+	mu     sync.Mutex
+	attrs  []Attr
+	status Status
+	ended  bool
+}
+
+type ctxKey struct{}
+
+// FromContext returns the active span, or nil when ctx carries none.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// ContextWithSpan returns ctx carrying sp as the active span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// IDs returns the span's trace and span IDs as lowercase hex ("" for a
+// nil/zero span) — the correlation tokens logs and exemplars carry.
+func (sp *Span) IDs() (traceID, spanID string) {
+	if sp == nil || sp.root == nil {
+		return "", ""
+	}
+	return sp.root.traceID.String(), sp.spanID.String()
+}
+
+// TraceID returns the span's trace ID (zero for a nil/zero span).
+func (sp *Span) TraceID() TraceID {
+	if sp == nil || sp.root == nil {
+		return TraceID{}
+	}
+	return sp.root.traceID
+}
+
+// SpanID returns the span's ID (zero for a nil/zero span).
+func (sp *Span) SpanID() SpanID {
+	if sp == nil || sp.root == nil {
+		return SpanID{}
+	}
+	return sp.spanID
+}
+
+// HeadSampled reports the deterministic head-sampling fate of the span's
+// trace (false for a nil/zero span).
+func (sp *Span) HeadSampled() bool {
+	return sp != nil && sp.root != nil && sp.root.head
+}
+
+// Start opens a span named name. If ctx carries an active span the new
+// span joins its trace as a child; otherwise a new root trace begins on
+// the Default tracer. The returned context carries the new span; callers
+// MUST End the span on every path (sociolint's spanend analyzer enforces
+// this for non-test code).
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if parent := FromContext(ctx); parent != nil && parent.root != nil {
+		sp := parent.root.tracer.newChild(parent, name)
+		return ContextWithSpan(ctx, sp), sp
+	}
+	return Default().StartRoot(ctx, name)
+}
+
+// StartChild opens a child span only when ctx already carries an active
+// span; otherwise it returns ctx unchanged and a nil (inert) span, whose
+// every method is a no-op. Library code on shared paths (engine internals,
+// stores) uses it so an untraced call cannot mint root traces of its own.
+func StartChild(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil || parent.root == nil {
+		return ctx, nil
+	}
+	sp := parent.root.tracer.newChild(parent, name)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// StartRoot opens a new root span (a new trace) on t, ignoring any span
+// already in ctx.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	return t.startRoot(ctx, name, t.newTraceID(), SpanID{})
+}
+
+// StartRemote opens a root span that continues the remote trace described
+// by tp (an inbound W3C traceparent): the trace ID is inherited — so the
+// deterministic head decision matches the caller's — and the remote span
+// becomes the parent.
+func (t *Tracer) StartRemote(ctx context.Context, name string, tp Traceparent) (context.Context, *Span) {
+	if tp.TraceID.IsZero() {
+		return t.StartRoot(ctx, name)
+	}
+	return t.startRoot(ctx, name, tp.TraceID, tp.ParentID)
+}
+
+func (t *Tracer) startRoot(ctx context.Context, name string, traceID TraceID, parent SpanID) (context.Context, *Span) {
+	if !validName(name) {
+		name = "invalid_span"
+	}
+	t.started.Add(1)
+	t.roots.Add(1)
+	sp := &Span{
+		root: &root{
+			tracer:  t,
+			traceID: traceID,
+			head:    t.headSampled(traceID),
+		},
+		name:     name,
+		spanID:   t.newSpanID(),
+		parentID: parent,
+		isRoot:   true,
+		start:    time.Now(),
+	}
+	// Stamp the trace id where telemetry can see it (telemetryimports bars
+	// telemetry from importing this package, so the handshake is a plain
+	// string in the context) — Ledger.RecordCtx attributes ε spends with it.
+	ctx = telemetry.ContextWithTrace(ctx, traceID.String())
+	return ContextWithSpan(ctx, sp), sp
+}
+
+func (t *Tracer) newChild(parent *Span, name string) *Span {
+	if !validName(name) {
+		name = "invalid_span"
+	}
+	t.started.Add(1)
+	return &Span{
+		root:     parent.root,
+		name:     name,
+		spanID:   t.newSpanID(),
+		parentID: parent.spanID,
+		start:    time.Now(),
+	}
+}
+
+// Set attaches declared attributes to the span. Attributes from undeclared
+// (zero) keys are dropped; see NewKey. At most maxAttrsPerSpan stick.
+func (sp *Span) Set(attrs ...Attr) {
+	if sp == nil || sp.root == nil {
+		return
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.ended {
+		return
+	}
+	for _, a := range attrs {
+		if a.key.name == "" || len(sp.attrs) >= maxAttrsPerSpan {
+			continue
+		}
+		sp.attrs = append(sp.attrs, a)
+	}
+}
+
+// SetStatus sets the span's terminal status. StatusError marks the whole
+// trace for tail retention.
+func (sp *Span) SetStatus(s Status) {
+	if sp == nil || sp.root == nil {
+		return
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if !sp.ended {
+		sp.status = s
+	}
+}
+
+// End finishes the span and returns its duration. Ending a child folds it
+// into its trace; ending the root runs the sampling decision and, when
+// retained, commits the whole trace to the ring. End is idempotent —
+// second and later calls are no-ops returning 0.
+func (sp *Span) End() time.Duration {
+	if sp == nil || sp.root == nil {
+		return 0
+	}
+	sp.mu.Lock()
+	if sp.ended {
+		sp.mu.Unlock()
+		return 0
+	}
+	sp.ended = true
+	d := time.Since(sp.start)
+	data := SpanData{
+		SpanID:   sp.spanID.String(),
+		Name:     sp.name,
+		Start:    sp.start.UnixNano(),
+		Duration: d,
+		Status:   sp.status.String(),
+		Attrs:    exportAttrs(sp.attrs),
+	}
+	errored := sp.status == StatusError
+	sp.mu.Unlock()
+	if !sp.parentID.IsZero() || sp.isChild() {
+		data.ParentID = sp.parentID.String()
+	}
+
+	r := sp.root
+	t := r.tracer
+	if sp.isChild() {
+		r.mu.Lock()
+		if r.ended {
+			t.lateSpans.Add(1)
+		} else if len(r.children) >= t.maxChildren {
+			r.dropped++
+		} else {
+			r.children = append(r.children, data)
+		}
+		if errored {
+			r.errored = true
+		}
+		r.mu.Unlock()
+		return d
+	}
+
+	// Root: close the trace and decide retention.
+	t.quant.Observe(d)
+	slow := d >= t.quant.Threshold()
+	r.mu.Lock()
+	r.ended = true
+	children := r.children
+	dropped := r.dropped
+	errored = errored || r.errored
+	r.mu.Unlock()
+
+	keep, why := false, ""
+	switch {
+	case errored:
+		keep, why = true, "error"
+		t.keptError.Add(1)
+	case slow:
+		keep, why = true, "slow"
+		t.keptSlow.Add(1)
+	case r.head:
+		keep, why = true, "head"
+		t.keptHead.Add(1)
+	}
+	if !keep {
+		t.discarded.Add(1)
+		return d
+	}
+	t.kept.Add(1)
+	t.ring.push(&TraceData{
+		TraceID:      r.traceID.String(),
+		Retained:     why,
+		Root:         data,
+		Spans:        children,
+		DroppedSpans: dropped,
+		endNano:      data.Start + int64(d),
+	})
+	return d
+}
+
+// isChild reports whether sp is a child span (its trace's root is some
+// other span). A root may still carry a non-zero parentID from a remote
+// traceparent, so parentID alone cannot distinguish the two.
+func (sp *Span) isChild() bool { return !sp.isRoot }
+
+// Stats is a point-in-time summary of a tracer's sampling behaviour.
+type Stats struct {
+	// Started counts all spans started (roots + children).
+	Started uint64 `json:"spans_started"`
+	// Roots counts root spans (one per trace).
+	Roots uint64 `json:"roots_started"`
+	// Kept counts retained traces, split by retention reason.
+	Kept      uint64 `json:"traces_kept"`
+	KeptHead  uint64 `json:"kept_head"`
+	KeptError uint64 `json:"kept_error"`
+	KeptSlow  uint64 `json:"kept_slow"`
+	// Discarded counts finished traces the sampler dropped.
+	Discarded uint64 `json:"traces_discarded"`
+	// LateSpans counts children that finished after their root ended.
+	LateSpans uint64 `json:"late_spans"`
+	// SlowThresholdNS is the current tail-retention latency threshold
+	// (math.MaxInt64 until enough observations accumulate).
+	SlowThresholdNS int64 `json:"slow_threshold_ns"`
+}
+
+// Stats snapshots the tracer's counters.
+func (t *Tracer) Stats() Stats {
+	return Stats{
+		Started:         t.started.Load(),
+		Roots:           t.roots.Load(),
+		Kept:            t.kept.Load(),
+		KeptHead:        t.keptHead.Load(),
+		KeptError:       t.keptError.Load(),
+		KeptSlow:        t.keptSlow.Load(),
+		Discarded:       t.discarded.Load(),
+		LateSpans:       t.lateSpans.Load(),
+		SlowThresholdNS: int64(t.quant.Threshold()),
+	}
+}
+
+// Snapshot returns the retained traces, newest first.
+func (t *Tracer) Snapshot() []*TraceData {
+	return t.ring.snapshot()
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// TraceparentHeader is the W3C Trace Context header name carried on HTTP
+// requests and responses.
+const TraceparentHeader = "traceparent"
+
+// Traceparent is a parsed W3C traceparent header:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ ^^^^^^^^^^^^^^^^ trace-id ^^^^^^ ^^ parent-id ^^^^ ^^ flags
+//
+// Only version 00 semantics are implemented; higher versions parse
+// leniently per the spec (unknown trailing fields are ignored).
+type Traceparent struct {
+	TraceID  TraceID
+	ParentID SpanID
+	// Sampled is the sampled bit of trace-flags. The tracer records it but
+	// makes its own retention decisions (tail sampling must be able to keep
+	// traces the upstream did not sample).
+	Sampled bool
+}
+
+var errTraceparent = errors.New("trace: malformed traceparent")
+
+// ParseTraceparent parses a traceparent header value. It returns an error
+// for anything malformed — the caller should fall back to starting a new
+// root trace rather than propagating garbage.
+func ParseTraceparent(s string) (Traceparent, error) {
+	var tp Traceparent
+	// version "ff" is forbidden; future versions may append fields after
+	// the flags, so only reject extra data for version 00.
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tp, errTraceparent
+	}
+	version := s[0:2]
+	if !isHexLower(version) || version == "ff" {
+		return tp, errTraceparent
+	}
+	if version == "00" && len(s) != 55 {
+		return tp, errTraceparent
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return tp, errTraceparent
+	}
+	traceHex, parentHex, flagsHex := s[3:35], s[36:52], s[53:55]
+	if !isHexLower(traceHex) || !isHexLower(parentHex) || !isHexLower(flagsHex) {
+		return tp, errTraceparent
+	}
+	if _, err := hex.Decode(tp.TraceID[:], []byte(traceHex)); err != nil {
+		return tp, errTraceparent
+	}
+	if _, err := hex.Decode(tp.ParentID[:], []byte(parentHex)); err != nil {
+		return tp, errTraceparent
+	}
+	if tp.TraceID.IsZero() || tp.ParentID.IsZero() {
+		return tp, errTraceparent
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(flagsHex)); err != nil {
+		return tp, errTraceparent
+	}
+	tp.Sampled = flags[0]&0x01 != 0
+	return tp, nil
+}
+
+// String renders the version-00 header value.
+func (tp Traceparent) String() string {
+	flags := byte(0)
+	if tp.Sampled {
+		flags = 1
+	}
+	return fmt.Sprintf("00-%s-%s-%02x", tp.TraceID, tp.ParentID, flags)
+}
+
+// isHexLower reports whether s is entirely lowercase hex digits, the only
+// alphabet the W3C spec permits.
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -49,6 +49,14 @@ go test -race -run 'TestManagerConcurrentPublishBudget' ./internal/dynamic
 step "crash/resume matrix (checkpointed pipeline, budget journal)"
 ./scripts/resume_chaos.sh
 
+step "benchmark regression gate (>50% vs BENCH_PR5.json fails)"
+# Two quick passes against the recorded baseline. The threshold is
+# deliberately generous — CI machines are noisy; this gate exists to catch
+# order-of-magnitude mistakes (an accidental always-on sampler, a lock on
+# the span hot path), not single-digit drift. `make benchdiff` with the
+# defaults is the precise local check.
+make benchdiff BENCH_COUNT=2 BENCH_THRESHOLD=50
+
 step "fuzz smoke (10s per target)"
 go test -run='^$' -fuzz='^FuzzReadSocialTSV$' -fuzztime=10s ./internal/dataset
 go test -run='^$' -fuzz='^FuzzReadPreferenceTSV$' -fuzztime=10s ./internal/dataset

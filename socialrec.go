@@ -29,6 +29,7 @@
 package socialrec
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -336,7 +337,14 @@ func EngineFromRelease(rel *release.Release, social *graph.Social) (*Engine, err
 // Callers serving lists only to the user themself may filter client-side
 // with the user's own data, which is outside the privacy boundary.
 func (e *Engine) Recommend(user, n int) ([]Recommendation, error) {
-	lists, err := e.rec.Recommend([]int32{int32(user)}, n)
+	return e.RecommendContext(context.Background(), user, n)
+}
+
+// RecommendContext is Recommend on a caller-supplied context. A context
+// carrying an active trace span (a served HTTP request) gets child spans
+// for the similarity/reconstruction/top-n phases; see internal/trace.
+func (e *Engine) RecommendContext(ctx context.Context, user, n int) ([]Recommendation, error) {
+	lists, err := e.rec.RecommendContext(ctx, []int32{int32(user)}, n)
 	if err != nil {
 		return nil, err
 	}
@@ -346,11 +354,16 @@ func (e *Engine) Recommend(user, n int) ([]Recommendation, error) {
 // RecommendBatch returns top-n lists for many users, computed with shared
 // batching. The result is parallel to users.
 func (e *Engine) RecommendBatch(users []int, n int) ([][]Recommendation, error) {
+	return e.RecommendBatchContext(context.Background(), users, n)
+}
+
+// RecommendBatchContext is RecommendBatch on a caller-supplied context.
+func (e *Engine) RecommendBatchContext(ctx context.Context, users []int, n int) ([][]Recommendation, error) {
 	us := make([]int32, len(users))
 	for i, u := range users {
 		us[i] = int32(u)
 	}
-	return e.rec.Recommend(us, n)
+	return e.rec.RecommendContext(ctx, us, n)
 }
 
 // Epsilon reports the privacy budget the engine's release consumed.
