@@ -13,7 +13,7 @@ BENCH_OUT ?= BENCH_PR5.json
 BENCH_BASE ?= BENCH_PR5.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: build test race lint fuzz-smoke chaos resume-chaos ci fmt bench benchdiff
+.PHONY: build test race lint lint-fix-check fuzz-smoke chaos resume-chaos ci fmt bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,12 @@ lint:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/sociolint ./...
+	$(GO) run ./cmd/sociolint -baseline .sociolint-baseline.json ./...
+
+# lint-fix-check additionally fails on stale baseline entries: when a
+# baselined finding gets fixed, its suppression must be deleted too.
+lint-fix-check:
+	$(GO) run ./cmd/sociolint -baseline .sociolint-baseline.json -check-stale ./...
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadSocialTSV$$' -fuzztime=10s ./internal/dataset

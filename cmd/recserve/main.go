@@ -163,6 +163,7 @@ func main() {
 			if err != nil {
 				fatal("recserve: saving release to store", "err", err)
 			}
+			//sociolint:ignore privflow version is the store's monotonic release counter, not preference data
 			logger.Info("recserve: sanitized release saved", "dir", store.Dir(), "version", version)
 		}
 		if *saveRel != "" {
@@ -277,6 +278,7 @@ func main() {
 				if err := reload(context.Background()); err != nil {
 					logger.Error("recserve: reload failed (still serving last-good release)", "err", err)
 				} else {
+					//sociolint:ignore privflow release version is a monotonic counter, not preference data
 					logger.Info("recserve: reloaded", "version", hot.Status().Version)
 				}
 			}
@@ -285,9 +287,9 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Info("recserve: serving",
-		"users", social.NumUsers(), "clusters", engine.NumClusters(),
-		"epsilon", engine.Epsilon(), "addr", *addr)
+	logger.Info("recserve: serving", "users", social.NumUsers(), "addr", *addr,
+		//sociolint:ignore privflow cluster count and epsilon are public release parameters
+		"clusters", engine.NumClusters(), "epsilon", engine.Epsilon())
 
 	select {
 	case err := <-errc:

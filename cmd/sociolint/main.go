@@ -12,14 +12,29 @@
 //
 //	file:line:col: analyzer: message
 //
-// Exit status: 0 for a clean tree, 1 when findings were reported, 2 on
-// usage or load errors.
+// or, with -json, as a single machine-readable document. Known, justified
+// findings can be suppressed by the committed baseline file (-baseline,
+// default .sociolint-baseline.json); -check-stale additionally fails when
+// the baseline carries entries that no longer match anything, so the file
+// can only shrink truthfully.
+//
+// Package loading is sequential (the type-checking loader shares an
+// importer cache), but analysis fans out across packages on a worker pool
+// bounded by GOMAXPROCS.
+//
+// Exit status: 0 for a clean tree, 1 when findings were reported (or, with
+// -check-stale, when stale baseline entries exist), 2 on usage or load
+// errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"time"
 
 	"socialrec/internal/analysis"
 )
@@ -28,11 +43,36 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonFinding is one finding in -json output. Files are module-relative so
+// the document is stable across checkouts.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Findings   []jsonFinding            `json:"findings"`
+	Count      int                      `json:"count"`
+	Suppressed int                      `json:"suppressed"`
+	Stale      []analysis.BaselineEntry `json:"stale_baseline_entries,omitempty"`
+	Packages   int                      `json:"packages"`
+	ElapsedMS  int64                    `json:"elapsed_ms"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("sociolint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the available analyzers and exit")
 	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	tests := fs.Bool("tests", false, "also analyze _test.go files (most analyzers exempt them anyway)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON document on stdout")
+	baselinePath := fs.String("baseline", ".sociolint-baseline.json", "baseline file of justified suppressions (empty to disable)")
+	checkStale := fs.Bool("check-stale", false, "fail when baseline entries match no current finding")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the baseline from current findings (placeholder reasons) and exit")
+	verbose := fs.Bool("v", false, "report wall-clock timing and package counts on stderr")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sociolint [flags] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Privacy-invariant static analysis for this repository. Patterns default to ./...\n\n")
@@ -61,6 +101,7 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	start := time.Now()
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -71,23 +112,122 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	loaded := time.Now()
 
-	found := 0
+	// Type errors degrade precision but do not gate: the build and vet
+	// steps of scripts/ci.sh own compile correctness. Surface them so a
+	// broken loader cannot silently pass a dirty tree.
 	for _, pkg := range pkgs {
-		// Type errors degrade precision but do not gate: the build and
-		// vet steps of scripts/ci.sh own compile correctness. Surface
-		// them so a broken loader cannot silently pass a dirty tree.
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "sociolint: warning: %s: %v\n", pkg.Path, terr)
 		}
-		for _, f := range analysis.Run(pkg, analyzers) {
+	}
+
+	// Analysis is read-only over already-loaded packages, so it
+	// parallelizes cleanly; results land in per-package slots to keep the
+	// loader's deterministic package order.
+	perPkg := make([][]analysis.Finding, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perPkg[i] = analysis.Run(pkg, analyzers)
+		}()
+	}
+	wg.Wait()
+	var findings []analysis.Finding
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
+	}
+
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "sociolint: -write-baseline requires a -baseline path")
+			return 2
+		}
+		if err := analysis.WriteBaseline(*baselinePath, loader.ModuleDir, findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "sociolint: wrote %s from %d finding(s); fill in the TODO reasons before committing\n",
+			*baselinePath, len(findings))
+		return 0
+	}
+
+	suppressed := 0
+	var stale []analysis.BaselineEntry
+	if *baselinePath != "" {
+		baseline, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		findings, suppressed, stale = baseline.Filter(findings, loader.ModuleDir)
+	}
+
+	elapsed := time.Since(start)
+	if *jsonOut {
+		report := jsonReport{
+			Findings:   make([]jsonFinding, 0, len(findings)),
+			Count:      len(findings),
+			Suppressed: suppressed,
+			Packages:   len(pkgs),
+			ElapsedMS:  elapsed.Milliseconds(),
+		}
+		if *checkStale {
+			report.Stale = stale
+		}
+		for _, f := range findings {
+			report.Findings = append(report.Findings, jsonFinding{
+				File:     analysis.RelFindingPath(loader.ModuleDir, f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.AnalyzerName,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
 			fmt.Println(f)
-			found++
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "sociolint: %d finding(s)\n", found)
-		return 1
+
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "sociolint: %d package(s), %d analyzer(s), %d worker(s): load %v, analyze %v, total %v\n",
+			len(pkgs), len(analyzers), workers,
+			loaded.Sub(start).Round(time.Millisecond),
+			elapsed.Round(time.Millisecond)-loaded.Sub(start).Round(time.Millisecond),
+			elapsed.Round(time.Millisecond))
 	}
-	return 0
+
+	status := 0
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sociolint: %d finding(s)", len(findings))
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, " (%d suppressed by baseline)", suppressed)
+		}
+		fmt.Fprintln(os.Stderr)
+		status = 1
+	} else if suppressed > 0 && !*jsonOut {
+		fmt.Fprintf(os.Stderr, "sociolint: clean (%d finding(s) suppressed by baseline)\n", suppressed)
+	}
+	if *checkStale && len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "sociolint: %d stale baseline entr(ies) match no finding; remove them from %s:\n", len(stale), *baselinePath)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "  %s: %s: %s\n", e.File, e.Analyzer, e.Message)
+		}
+		status = 1
+	}
+	return status
 }

@@ -79,6 +79,8 @@ func All() []Analyzer {
 		FatalScope{},
 		CtxStage{},
 		SpanEnd{},
+		PrivFlow{},
+		HotAlloc{},
 	}
 }
 

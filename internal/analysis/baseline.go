@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is a committed suppression file (.sociolint-baseline.json):
+// findings that are known, intentional, and individually justified. It
+// exists for suppressions that span many call sites of one pattern, where
+// per-line //sociolint:ignore comments would be noise; everything else
+// should prefer the inline directive, which lives next to the code it
+// excuses.
+//
+// An entry matches a finding on (analyzer, module-relative file, exact
+// message) — deliberately not on line number, so unrelated edits above a
+// baselined finding do not invalidate the entry. One entry suppresses
+// every identical finding in its file. An entry that matches nothing is
+// stale; `sociolint -check-stale` (wired into CI as `make
+// lint-fix-check`) fails on stale entries so the baseline can only
+// shrink truthfully.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry suppresses one finding pattern.
+type BaselineEntry struct {
+	// Analyzer is the analyzer name, e.g. "privflow".
+	Analyzer string `json:"analyzer"`
+	// File is the module-relative, slash-separated path.
+	File string `json:"file"`
+	// Message is the exact finding message.
+	Message string `json:"message"`
+	// Reason documents why the finding is acceptable. Required: loading
+	// rejects entries without one, so the file cannot accrete bare
+	// suppressions.
+	Reason string `json:"reason"`
+}
+
+// baselineVersion is the current schema version.
+const baselineVersion = 1
+
+// LoadBaseline reads a baseline file. A missing file yields an empty
+// baseline: a repository without suppressions needs no file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: baselineVersion}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("analysis: baseline %s has version %d, want %d", path, b.Version, baselineVersion)
+	}
+	for i, e := range b.Entries {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("analysis: baseline %s entry %d: analyzer, file and message are required", path, i)
+		}
+		if e.Reason == "" {
+			return nil, fmt.Errorf("analysis: baseline %s entry %d (%s in %s): a reason is required", path, i, e.Analyzer, e.File)
+		}
+	}
+	return &b, nil
+}
+
+// baselineKey identifies what an entry matches on.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// Filter partitions findings against the baseline: kept findings (not
+// suppressed, still gate CI), the number suppressed, and the stale entries
+// that matched no finding. File paths are matched module-relative to
+// moduleDir.
+func (b *Baseline) Filter(findings []Finding, moduleDir string) (kept []Finding, suppressed int, stale []BaselineEntry) {
+	index := make(map[baselineKey]int, len(b.Entries)) // key -> entry index
+	matched := make([]bool, len(b.Entries))
+	for i, e := range b.Entries {
+		index[baselineKey{analyzer: e.Analyzer, file: e.File, message: e.Message}] = i
+	}
+	for _, f := range findings {
+		key := baselineKey{
+			analyzer: f.AnalyzerName,
+			file:     RelFindingPath(moduleDir, f.Pos.Filename),
+			message:  f.Message,
+		}
+		if i, ok := index[key]; ok {
+			matched[i] = true
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for i, e := range b.Entries {
+		if !matched[i] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, suppressed, stale
+}
+
+// RelFindingPath renders a finding's file module-relative with forward
+// slashes — the canonical form used in baseline entries and JSON output.
+func RelFindingPath(moduleDir, filename string) string {
+	if rel, err := filepath.Rel(moduleDir, filename); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// WriteBaseline renders findings as a fresh baseline file with placeholder
+// reasons, sorted for stable diffs. It is a bootstrapping aid ("sociolint
+// -write-baseline"): a human still has to replace every placeholder with a
+// real justification before committing.
+func WriteBaseline(path, moduleDir string, findings []Finding) error {
+	seen := map[baselineKey]bool{}
+	b := Baseline{Version: baselineVersion}
+	for _, f := range findings {
+		key := baselineKey{
+			analyzer: f.AnalyzerName,
+			file:     RelFindingPath(moduleDir, f.Pos.Filename),
+			message:  f.Message,
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: key.analyzer,
+			File:     key.file,
+			Message:  key.message,
+			Reason:   "TODO: justify or fix",
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func finding(file string, line int, analyzer, msg string) Finding {
+	return Finding{
+		Pos:          token.Position{Filename: file, Line: line, Column: 1},
+		AnalyzerName: analyzer,
+		Message:      msg,
+	}
+}
+
+func TestBaselineFilter(t *testing.T) {
+	mod := "/mod"
+	b := &Baseline{
+		Version: 1,
+		Entries: []BaselineEntry{
+			{Analyzer: "privflow", File: "internal/a/a.go", Message: "leak one", Reason: "known"},
+			{Analyzer: "privflow", File: "internal/b/b.go", Message: "gone", Reason: "stale entry"},
+		},
+	}
+	findings := []Finding{
+		finding("/mod/internal/a/a.go", 10, "privflow", "leak one"),
+		finding("/mod/internal/a/a.go", 90, "privflow", "leak one"), // same pattern, other line: also suppressed
+		finding("/mod/internal/a/a.go", 11, "privflow", "leak two"), // different message: kept
+		finding("/mod/internal/a/a.go", 12, "hotalloc", "leak one"), // different analyzer: kept
+	}
+	kept, suppressed, stale := b.Filter(findings, mod)
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2", suppressed)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept = %d findings, want 2: %v", len(kept), kept)
+	}
+	if kept[0].Message != "leak two" || kept[1].AnalyzerName != "hotalloc" {
+		t.Errorf("kept the wrong findings: %v", kept)
+	}
+	if len(stale) != 1 || stale[0].File != "internal/b/b.go" {
+		t.Errorf("stale = %v, want the internal/b entry", stale)
+	}
+}
+
+func TestBaselineFilterEmpty(t *testing.T) {
+	b := &Baseline{Version: 1}
+	findings := []Finding{finding("/mod/x.go", 1, "privflow", "m")}
+	kept, suppressed, stale := b.Filter(findings, "/mod")
+	if len(kept) != 1 || suppressed != 0 || len(stale) != 0 {
+		t.Errorf("empty baseline must pass findings through: kept=%d suppressed=%d stale=%d", len(kept), suppressed, len(stale))
+	}
+}
+
+func TestLoadBaselineMissingFile(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing baseline must load as empty, got error: %v", err)
+	}
+	if len(b.Entries) != 0 {
+		t.Errorf("missing baseline has %d entries, want 0", len(b.Entries))
+	}
+}
+
+func TestLoadBaselineRejects(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"bad json", `{`, "parsing"},
+		{"wrong version", `{"version":2,"entries":[]}`, "version"},
+		{"missing reason", `{"version":1,"entries":[{"analyzer":"privflow","file":"a.go","message":"m"}]}`, "reason is required"},
+		{"missing key fields", `{"version":1,"entries":[{"analyzer":"privflow","reason":"r"}]}`, "required"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "b.json")
+			if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadBaseline(path)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("LoadBaseline error = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	findings := []Finding{
+		finding("/mod/z.go", 3, "privflow", "msg z"),
+		finding("/mod/a.go", 9, "hotalloc", "msg a"),
+		finding("/mod/a.go", 20, "hotalloc", "msg a"), // duplicate pattern collapses
+	}
+	if err := WriteBaseline(path, "/mod", findings); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline after write: %v", err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("round-trip has %d entries, want 2 (duplicates collapsed)", len(b.Entries))
+	}
+	if b.Entries[0].File != "a.go" || b.Entries[1].File != "z.go" {
+		t.Errorf("entries not sorted by file: %v", b.Entries)
+	}
+	kept, suppressed, stale := b.Filter(findings, "/mod")
+	if len(kept) != 0 || suppressed != 3 || len(stale) != 0 {
+		t.Errorf("written baseline must suppress its own findings: kept=%d suppressed=%d stale=%d", len(kept), suppressed, len(stale))
+	}
+}
+
+func TestRelFindingPath(t *testing.T) {
+	if got := RelFindingPath("/mod", "/mod/internal/a/a.go"); got != "internal/a/a.go" {
+		t.Errorf("RelFindingPath inside module = %q", got)
+	}
+	if got := RelFindingPath("/mod", "/elsewhere/x.go"); got != "/elsewhere/x.go" {
+		t.Errorf("RelFindingPath outside module = %q, want absolute passthrough", got)
+	}
+}

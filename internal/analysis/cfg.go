@@ -1,0 +1,700 @@
+package analysis
+
+// Control-flow graphs for the flow-sensitive analyzers (privflow, hotalloc).
+//
+// A CFG is built per function body over the plain go/ast, mirroring the
+// shape of golang.org/x/tools/go/cfg but staying inside the standard
+// library like the rest of this framework. Each basic block holds an
+// ordered list of AST nodes — statements, plus the leaf expressions of
+// decomposed short-circuit conditions — and edges to its successors.
+//
+// Modeling decisions, chosen for sound over-approximation in a taint /
+// allocation setting:
+//
+//   - Short-circuit && and || in branch conditions are decomposed into
+//     separate condition blocks, so `if private != nil && log(private)`
+//     presents the second operand as conditionally reached.
+//   - Every return edge and every panic edge routes through the function's
+//     deferred calls (in reverse registration order) before reaching Exit,
+//     matching the language's defer-on-unwind semantics. Conditionally
+//     registered defers are over-approximated as always registered.
+//   - panic(x) transfers to the defer chain (deferred calls observe the
+//     panicking flow); os.Exit and log.Fatal* transfer straight to Exit
+//     (they do not run defers); runtime.Goexit runs defers.
+//   - switch/select route the head block to every clause; an expression
+//     switch without a default also routes to the after block, a select
+//     without a default does not (it blocks until a case is ready).
+//   - goto and labeled break/continue are resolved, including forward
+//     gotos.
+//
+// Unreachable statements end up in blocks with no predecessors; Reachable
+// distinguishes them.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: a maximal sequence of nodes executed in order,
+// followed by a transfer to one of Succs.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Kind labels what created the block ("entry", "if.then", "for.head",
+	// "defer", …) for dumps and tests.
+	Kind string
+	// Nodes are the block's AST nodes in execution order: statements, and
+	// bare expressions for decomposed branch conditions and switch tags.
+	Nodes []ast.Node
+	// Succs are the blocks control may transfer to. For a condition block
+	// the order is [true-target, false-target].
+	Succs []*Block
+	// Preds are the blocks that may transfer here (filled by finish).
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block; Blocks[0] is Entry.
+	Blocks []*Block
+	// Entry is where execution starts.
+	Entry *Block
+	// Exit is the single synthetic exit block (normal return, panic
+	// unwind, and os.Exit-style termination all converge here).
+	Exit *Block
+}
+
+// cfgBuilder carries the state of one build.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block // nil after a terminating transfer (return/branch/panic)
+
+	// exit targets: retBlock collects return edges and (with panics)
+	// feeds the defer chain, which is spliced in by finish.
+	retBlock *Block
+	defers   []*ast.DeferStmt
+
+	// loop/switch context for break and continue, innermost last.
+	breaks    []branchTarget
+	continues []branchTarget
+
+	// labels maps label names to their target blocks (goto) — forward
+	// references get placeholder blocks.
+	labels map[string]*Block
+	// pendingLabel is the label naming the next loop/switch/select
+	// statement, so labeled break/continue resolve to it.
+	pendingLabel string
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+// BuildCFG constructs the CFG of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*Block{},
+	}
+	entry := b.newBlock("entry")
+	b.cfg.Entry = entry
+	b.cfg.Exit = b.newBlock("exit")
+	b.retBlock = b.newBlock("exit.unwind")
+	b.cur = entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is an implicit return.
+	b.edgeTo(b.retBlock)
+	b.finish()
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edgeTo adds an edge from the current block to dst and terminates the
+// current path (callers either set a new current block or leave it dead).
+func (b *cfgBuilder) edgeTo(dst *Block) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Succs = append(b.cur.Succs, dst)
+	b.cur = nil
+}
+
+// flowTo adds an edge from the current block to dst and continues there.
+func (b *cfgBuilder) flowTo(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+	b.cur = dst
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		// Unreachable statement: give it a block anyway so analyzers can
+		// still see (and, via Reachable, discount) it.
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(s, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edgeTo(b.retBlock)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		// The defer's call arguments are evaluated here; the call itself
+		// runs on the unwind path (see finish).
+		b.add(s)
+		b.defers = append(b.defers, s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		b.exprStmtTermination(s.X)
+	case nil:
+		// nothing
+	default:
+		// Assign, Decl, IncDec, Send, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// takeLabel consumes the label attached to the next statement.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// exprStmtTermination terminates the current path after calls that never
+// return: panic and runtime.Goexit unwind through defers; os.Exit and
+// log.Fatal* terminate the process without running them.
+func (b *cfgBuilder) exprStmtTermination(e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			b.edgeTo(b.retBlock)
+		}
+	case *ast.SelectorExpr:
+		pkg, isIdent := fun.X.(*ast.Ident)
+		if !isIdent {
+			return
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit",
+			pkg.Name == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal"):
+			b.edgeTo(b.cfg.Exit)
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			b.edgeTo(b.retBlock)
+		}
+	}
+}
+
+// cond decomposes a branch condition into condition blocks, wiring the
+// true path to t and the false path to f. Short-circuit operators become
+// separate blocks so the second operand is visibly conditional.
+func (b *cfgBuilder) cond(e ast.Expr, t, f *Block) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(e.X, mid, f)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(e.X, t, mid)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			b.cond(e.X, f, t)
+			return
+		}
+	}
+	b.add(e)
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, t, f)
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	then := b.newBlock("if.then")
+	after := b.newBlock("if.after")
+	falseTarget := after
+	var alt *Block
+	if s.Else != nil {
+		alt = b.newBlock("if.else")
+		falseTarget = alt
+	}
+	b.cond(s.Cond, then, falseTarget)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edgeTo(after)
+	if s.Else != nil {
+		b.cur = alt
+		b.stmt(s.Else)
+		b.edgeTo(after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	after := b.newBlock("for.after")
+	cont := head
+	if s.Post != nil {
+		cont = b.newBlock("for.post")
+	}
+	b.registerLabel(label, head)
+	b.flowTo(head)
+	if s.Cond != nil {
+		b.cond(s.Cond, body, after)
+	} else {
+		b.edgeTo(body)
+	}
+	b.pushLoop(label, after, cont)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.popLoop()
+	b.edgeTo(cont)
+	if s.Post != nil {
+		b.cur = cont
+		b.stmt(s.Post)
+		b.edgeTo(head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.after")
+	b.registerLabel(label, head)
+	b.flowTo(head)
+	// The RangeStmt node itself stands for "evaluate the range operand and
+	// bind the iteration variables".
+	b.add(s)
+	b.cur.Succs = append(b.cur.Succs, body, after)
+	b.cur = nil
+	b.pushLoop(label, after, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.popLoop()
+	b.edgeTo(head)
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("switch.head")
+		b.cur = head
+	}
+	after := b.newBlock("switch.after")
+	b.caseClauses(s.Body, head, after, label, false)
+	b.cur = after
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.cur
+	after := b.newBlock("switch.after")
+	b.caseClauses(s.Body, head, after, label, true)
+	b.cur = after
+}
+
+// caseClauses wires an expression or type switch's clauses: the head
+// branches to every clause (order of case tests is immaterial to a may-
+// analysis); each clause body flows to after, or to the next clause's body
+// on fallthrough.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, head, after *Block, label string, typeSwitch bool) {
+	b.registerLabel(label, head)
+	b.cur = nil
+	type clause struct {
+		cc  *ast.CaseClause
+		blk *Block
+	}
+	var clauses []clause
+	hasDefault := false
+	for _, raw := range body.List {
+		cc, ok := raw.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock("switch.case")
+		head.Succs = append(head.Succs, blk)
+		clauses = append(clauses, clause{cc, blk})
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, after)
+	}
+	b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+	for i, c := range clauses {
+		b.cur = c.blk
+		for _, e := range c.cc.List {
+			if !typeSwitch {
+				b.add(e) // case expressions are evaluated
+			}
+		}
+		fallsThrough := false
+		for _, st := range c.cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(clauses) {
+			b.edgeTo(clauses[i+1].blk)
+		} else {
+			b.edgeTo(after)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("select.head")
+	}
+	b.registerLabel(label, head)
+	after := b.newBlock("select.after")
+	b.cur = nil
+	b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+	for _, raw := range s.Body.List {
+		cc, ok := raw.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("select.case")
+		head.Succs = append(head.Succs, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edgeTo(after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	// A select with no ready case blocks; only a default-less empty select
+	// never reaches after, which the clause edges already express.
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breaks, label); t != nil {
+			b.edgeTo(t)
+		} else {
+			b.edgeTo(b.retBlock) // malformed code; fail safe
+		}
+	case token.CONTINUE:
+		if t := findTarget(b.continues, label); t != nil {
+			b.edgeTo(t)
+		} else {
+			b.edgeTo(b.retBlock)
+		}
+	case token.GOTO:
+		b.edgeTo(b.gotoTarget(label))
+	case token.FALLTHROUGH:
+		// Handled by caseClauses; a stray fallthrough is a parse-level
+		// error, treat as straight-line.
+	}
+}
+
+func findTarget(stack []branchTarget, label string) *Block {
+	if label == "" {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+	b.continues = append(b.continues, branchTarget{label: label, block: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// gotoTarget returns (creating a placeholder if needed) the block a goto
+// label jumps to.
+func (b *cfgBuilder) gotoTarget(label string) *Block {
+	if blk, ok := b.labels[label]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + label)
+	b.labels[label] = blk
+	return blk
+}
+
+// registerLabel records that label names target, patching a forward-goto
+// placeholder if one exists.
+func (b *cfgBuilder) registerLabel(label string, target *Block) {
+	if label == "" {
+		return
+	}
+	if ph, ok := b.labels[label]; ok && ph != target {
+		// A forward goto minted a placeholder; splice it onto the target.
+		ph.Succs = append(ph.Succs, target)
+	}
+	b.labels[label] = target
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	switch s.Stmt.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// The loop/switch registers the label itself so labeled break and
+		// continue resolve against its own head/after blocks.
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		return
+	}
+	target := b.gotoTarget(s.Label.Name)
+	b.flowTo(target)
+	b.stmt(s.Stmt)
+}
+
+// finish splices the defer chain between the unwind block and Exit and
+// fills predecessor lists.
+func (b *cfgBuilder) finish() {
+	// Deferred calls run in reverse registration order on every unwind
+	// (normal return or panic). Conditionally registered defers are
+	// over-approximated as always running.
+	tail := b.cfg.Exit
+	for i := 0; i < len(b.defers); i++ { // reverse exec order = forward chain from last defer
+		d := b.defers[len(b.defers)-1-i]
+		blk := b.newBlock("defer")
+		blk.Nodes = append(blk.Nodes, d.Call)
+		if i == 0 {
+			b.retBlock.Succs = append(b.retBlock.Succs, blk)
+		} else {
+			prev := b.cfg.Blocks[len(b.cfg.Blocks)-2]
+			prev.Succs = append(prev.Succs, blk)
+		}
+		tail = blk
+	}
+	if len(b.defers) == 0 {
+		b.retBlock.Succs = append(b.retBlock.Succs, b.cfg.Exit)
+	} else {
+		tail.Succs = append(tail.Succs, b.cfg.Exit)
+	}
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (c *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(c.Entry)
+	return seen
+}
+
+// InLoop returns the set of blocks that lie on a cycle (equivalently: can
+// reach themselves), i.e. code that may execute more than once per call.
+func (c *CFG) InLoop() map[*Block]bool {
+	// Tarjan-free small-n approach: for each block, DFS from its
+	// successors and see whether it comes back. CFGs here are function-
+	// sized, so the quadratic worst case is irrelevant.
+	out := map[*Block]bool{}
+	for _, b := range c.Blocks {
+		seen := map[*Block]bool{}
+		stack := append([]*Block{}, b.Succs...)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == b {
+				out[b] = true
+				break
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, n.Succs...)
+		}
+	}
+	return out
+}
+
+// Dump renders the CFG in a compact textual form for golden tests:
+// one line per block, "i:kind[node, node] => succ,succ".
+func (c *CFG) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "%d:%s[", b.Index, b.Kind)
+		for i, n := range b.Nodes {
+			if i > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(nodeLabel(n))
+		}
+		sb.WriteString("] =>")
+		for i, s := range b.Succs {
+			if i > 0 {
+				sb.WriteString(",")
+			} else {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeLabel is a short stable label for a dumped node.
+func nodeLabel(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.BranchStmt:
+		if n.Label != nil {
+			return n.Tok.String() + " " + n.Label.Name
+		}
+		return n.Tok.String()
+	case *ast.RangeStmt:
+		return "range"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.DeclStmt:
+		return "decl"
+	case *ast.IncDecStmt:
+		return "incdec"
+	case *ast.SendStmt:
+		return "send"
+	case *ast.GoStmt:
+		return "go"
+	case *ast.ExprStmt:
+		return exprLabel(n.X)
+	case ast.Expr:
+		return exprLabel(n)
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+func exprLabel(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return "call " + calleeLabel(e.Fun)
+	case *ast.Ident:
+		return e.Name
+	case *ast.BinaryExpr:
+		return "binop " + e.Op.String()
+	case *ast.UnaryExpr:
+		return "unop " + e.Op.String()
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.SelectorExpr:
+		return exprLabel(e.X) + "." + e.Sel.Name
+	case *ast.TypeAssertExpr:
+		return "typeassert"
+	case *ast.IndexExpr:
+		return "index"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+func calleeLabel(fun ast.Expr) string {
+	switch fun := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return exprLabel(fun.X) + "." + fun.Sel.Name
+	default:
+		return "fn"
+	}
+}

@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFromSource parses src (a single function named fn inside a throwaway
+// package) and builds the CFG of its body. Only the parser runs — the CFG
+// builder is purely syntactic — so the snippets may reference undeclared
+// identifiers freely.
+func buildFromSource(t *testing.T, src, fn string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_input.go", "package p\n"+src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn && fd.Body != nil {
+			return BuildCFG(fd.Body), fset
+		}
+	}
+	t.Fatalf("function %q not found", fn)
+	return nil, nil
+}
+
+// golden CFG dumps: one line per block, "index:kind[nodes] => succs".
+// These pin down the edge structure the flow-sensitive analyzers rely on.
+func TestBuildCFGGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "short-circuit and with else",
+			src: `func f(a, b bool) {
+	if a && b {
+		println("t")
+	} else {
+		println("f")
+	}
+	println("after")
+}`,
+			want: `0:entry[a] => 6,5
+1:exit[] =>
+2:exit.unwind[] => 1
+3:if.then[call println] => 4
+4:if.after[call println] => 2
+5:if.else[call println] => 4
+6:cond.and[b] => 3,5`,
+		},
+		{
+			name: "short-circuit or with negation",
+			src: `func f(a, b bool) {
+	if a || !b {
+		t()
+	}
+	u()
+}`,
+			want: `0:entry[a] => 3,5
+1:exit[] =>
+2:exit.unwind[] => 1
+3:if.then[call t] => 4
+4:if.after[call u] => 2
+5:cond.or[b] => 4,3`,
+		},
+		{
+			name: "for loop with continue and break",
+			src: `func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 5 {
+			break
+		}
+	}
+}`,
+			want: `0:entry[assign] => 3
+1:exit[] =>
+2:exit.unwind[] => 1
+3:for.head[binop <] => 4,5
+4:for.body[binop ==] => 7,8
+5:for.after[] => 2
+6:for.post[incdec] => 3
+7:if.then[continue] => 6
+8:if.after[binop ==] => 9,10
+9:if.then[break] => 5
+10:if.after[] => 6`,
+		},
+		{
+			name: "defer runs on both return and panic paths",
+			src: `func f(fail bool) {
+	defer cleanup()
+	if fail {
+		panic("boom")
+	}
+	work()
+}`,
+			want: `0:entry[defer; fail] => 3,4
+1:exit[] =>
+2:exit.unwind[] => 5
+3:if.then[call panic] => 2
+4:if.after[call work] => 2
+5:defer[call cleanup] => 1`,
+		},
+		{
+			name: "switch with fallthrough and default",
+			src: `func f(x int) {
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+	d()
+}`,
+			want: `0:entry[x] => 4,5,6
+1:exit[] =>
+2:exit.unwind[] => 1
+3:switch.after[call d] => 2
+4:switch.case[1; call a] => 5
+5:switch.case[2; call b] => 3
+6:switch.case[call c] => 3`,
+		},
+		{
+			name: "switch without default reaches after from head",
+			src: `func f(x int) {
+	switch x {
+	case 1:
+		a()
+	}
+	d()
+}`,
+			want: `0:entry[x] => 4,3
+1:exit[] =>
+2:exit.unwind[] => 1
+3:switch.after[call d] => 2
+4:switch.case[1; call a] => 3`,
+		},
+		{
+			name: "select blocks until a case is ready",
+			src: `func f(ch chan int, done chan struct{}) {
+	select {
+	case v := <-ch:
+		use(v)
+	case <-done:
+		return
+	}
+	after()
+}`,
+			want: `0:entry[] => 4,5
+1:exit[] =>
+2:exit.unwind[] => 1
+3:select.after[call after] => 2
+4:select.case[assign; call use] => 3
+5:select.case[unop <-; return] => 2`,
+		},
+		{
+			name: "labeled break exits the outer range loop",
+			src: `func f(xs []int) {
+outer:
+	for _, x := range xs {
+		for {
+			if x > 0 {
+				break outer
+			}
+			break
+		}
+	}
+	done()
+}`,
+			want: `0:entry[] => 3
+1:exit[] =>
+2:exit.unwind[] => 1
+3:range.head[range] => 4,5
+4:range.body[] => 6
+5:range.after[call done] => 2
+6:for.head[] => 7
+7:for.body[binop >] => 9,10
+8:for.after[] => 3
+9:if.then[break outer] => 5
+10:if.after[break] => 8
+`,
+		},
+		{
+			name: "statements after return are unreachable",
+			src: `func f() {
+	return
+	dead()
+}`,
+			want: `0:entry[return] => 2
+1:exit[] =>
+2:exit.unwind[] => 1
+3:unreachable[call dead] => 2`,
+		},
+		{
+			name: "os.Exit skips deferred calls",
+			src: `func f(code int) {
+	defer c()
+	os.Exit(code)
+	after()
+}`,
+			want: `0:entry[defer; call os.Exit] => 1
+1:exit[] =>
+2:exit.unwind[] => 4
+3:unreachable[call after] => 2
+4:defer[call c] => 1`,
+		},
+		{
+			name: "type switch routes head to every clause",
+			src: `func f(v any) {
+	switch x := v.(type) {
+	case int:
+		a(x)
+	case string:
+		b(x)
+	}
+	d()
+}`,
+			want: `0:entry[assign] => 4,5,3
+1:exit[] =>
+2:exit.unwind[] => 1
+3:switch.after[call d] => 2
+4:switch.case[call a] => 3
+5:switch.case[call b] => 3`,
+		},
+		{
+			name: "goto jumps forward over code",
+			src: `func f() {
+	goto skip
+	dead()
+skip:
+	done()
+}`,
+			want: `0:entry[goto skip] => 3
+1:exit[] =>
+2:exit.unwind[] => 1
+3:label.skip[call done] => 2
+4:unreachable[call dead] => 3`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, fset := buildFromSource(t, tc.src, "f")
+			got := strings.TrimSpace(cfg.Dump(fset))
+			want := strings.TrimSpace(tc.want)
+			if got != want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+func TestCFGReachable(t *testing.T) {
+	cfg, _ := buildFromSource(t, `func f() {
+	return
+	dead()
+}`, "f")
+	reach := cfg.Reachable()
+	if !reach[cfg.Entry] || !reach[cfg.Exit] {
+		t.Fatalf("entry/exit must be reachable")
+	}
+	for _, b := range cfg.Blocks {
+		if b.Kind == "unreachable" && reach[b] {
+			t.Errorf("block %d (%s) should be unreachable", b.Index, b.Kind)
+		}
+	}
+}
+
+func TestCFGInLoop(t *testing.T) {
+	cfg, _ := buildFromSource(t, `func f(n int) {
+	before()
+	for i := 0; i < n; i++ {
+		inside()
+	}
+	after()
+}`, "f")
+	inLoop := cfg.InLoop()
+	byKind := map[string]bool{}
+	for b := range inLoop {
+		byKind[b.Kind] = true
+	}
+	for _, k := range []string{"for.head", "for.body", "for.post"} {
+		if !byKind[k] {
+			t.Errorf("expected %s on a cycle; got %v", k, byKind)
+		}
+	}
+	if byKind["entry"] || byKind["for.after"] || byKind["exit"] {
+		t.Errorf("straight-line blocks wrongly marked in-loop: %v", byKind)
+	}
+}
+
+// TestSolveReachingTaint exercises the worklist solver with a tiny
+// "has the block been visited" lattice: the fixpoint must mark exactly
+// the reachable blocks, and loops must converge.
+type visitedFacts struct{ on bool }
+
+func (v *visitedFacts) Copy() Facts { c := *v; return &c }
+func (v *visitedFacts) Merge(o Facts) bool {
+	ov := o.(*visitedFacts)
+	if ov.on && !v.on {
+		v.on = true
+		return true
+	}
+	return false
+}
+
+type visitedAnalysis struct{}
+
+func (visitedAnalysis) Boundary() Facts { return &visitedFacts{on: true} }
+func (visitedAnalysis) Bottom() Facts   { return &visitedFacts{} }
+func (visitedAnalysis) Transfer(b *Block, in Facts) Facts {
+	return in
+}
+
+func TestSolveFixpoint(t *testing.T) {
+	cfg, _ := buildFromSource(t, `func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 2 {
+			continue
+		}
+		work(i)
+	}
+	return
+	dead()
+}`, "f")
+	facts := Solve(cfg, visitedAnalysis{})
+	reach := cfg.Reachable()
+	for _, b := range cfg.Blocks {
+		got := facts[b].In.(*visitedFacts).on || b == cfg.Entry
+		if reach[b] && !facts[b].Out.(*visitedFacts).on {
+			t.Errorf("reachable block %d (%s) not marked at fixpoint", b.Index, b.Kind)
+		}
+		if !reach[b] && facts[b].In.(*visitedFacts).on {
+			t.Errorf("unreachable block %d (%s) wrongly marked (in=%v)", b.Index, b.Kind, got)
+		}
+	}
+}

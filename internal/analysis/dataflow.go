@@ -1,0 +1,111 @@
+package analysis
+
+// Generic forward dataflow over the CFGs built by BuildCFG: a small
+// worklist fixpoint solver in the classic monotone-framework shape.
+// privflow instantiates it with a taint lattice; the solver itself knows
+// nothing about taint.
+
+// Facts is one lattice element: the dataflow facts holding at a program
+// point. Implementations are finite-height join semilattices — Merge must
+// be monotone or the solver will not terminate.
+type Facts interface {
+	// Copy returns an independent copy the solver may mutate.
+	Copy() Facts
+	// Merge joins other into the receiver and reports whether the
+	// receiver changed (grew).
+	Merge(other Facts) bool
+}
+
+// FlowAnalysis defines one forward dataflow problem.
+type FlowAnalysis interface {
+	// Boundary returns the facts holding at function entry.
+	Boundary() Facts
+	// Bottom returns the identity element of Merge (the facts of an
+	// as-yet-unvisited block).
+	Bottom() Facts
+	// Transfer computes the facts after executing b given the facts
+	// before it. It must not retain or mutate in.
+	Transfer(b *Block, in Facts) Facts
+}
+
+// BlockFacts holds the solved facts around one block.
+type BlockFacts struct {
+	In, Out Facts
+}
+
+// maxIterations caps worklist processing per function as a safety net
+// against a non-monotone Transfer; real lattices here converge in a
+// handful of passes.
+const maxIterations = 10000
+
+// Solve runs the worklist algorithm to fixpoint and returns the facts
+// before and after every block. Blocks are seeded in reverse post-order
+// so loop-free code converges in one pass.
+func Solve(cfg *CFG, fa FlowAnalysis) map[*Block]*BlockFacts {
+	facts := make(map[*Block]*BlockFacts, len(cfg.Blocks))
+	for _, b := range cfg.Blocks {
+		facts[b] = &BlockFacts{In: fa.Bottom(), Out: fa.Bottom()}
+	}
+	facts[cfg.Entry].In = fa.Boundary()
+
+	order := postOrder(cfg)
+	// Reverse post-order: process a block after its (non-back-edge)
+	// predecessors.
+	worklist := make([]*Block, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		worklist = append(worklist, order[i])
+	}
+	queued := make(map[*Block]bool, len(worklist))
+	for _, b := range worklist {
+		queued[b] = true
+	}
+
+	for iter := 0; len(worklist) > 0 && iter < maxIterations; iter++ {
+		b := worklist[0]
+		worklist = worklist[1:]
+		queued[b] = false
+
+		bf := facts[b]
+		in := bf.In.Copy()
+		for _, p := range b.Preds {
+			in.Merge(facts[p].Out)
+		}
+		bf.In = in
+		out := fa.Transfer(b, in.Copy())
+		if bf.Out.Merge(out) {
+			for _, s := range b.Succs {
+				if !queued[s] {
+					queued[s] = true
+					worklist = append(worklist, s)
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// postOrder returns the blocks reachable from Entry in DFS post-order.
+// Unreachable blocks are appended at the end so they still get facts
+// (Bottom) without perturbing the ordering of live code.
+func postOrder(cfg *CFG) []*Block {
+	seen := make(map[*Block]bool, len(cfg.Blocks))
+	var order []*Block
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		order = append(order, b)
+	}
+	walk(cfg.Entry)
+	for _, b := range cfg.Blocks {
+		if !seen[b] {
+			order = append(order, b)
+		}
+	}
+	return order
+}

@@ -28,6 +28,9 @@ var goldenCases = []struct {
 	{FatalScope{}, "fatalscope/mainpkg", "socialrec/cmd/fixture"},
 	{CtxStage{}, "ctxstage", "socialrec/internal/fixture"},
 	{SpanEnd{}, "spanend", "socialrec/internal/fixture"},
+	{PrivFlow{}, "privflow/fixture", "socialrec/internal/fixture"},
+	{PrivFlow{}, "privflow/dataset", "socialrec/internal/dataset"},
+	{HotAlloc{}, "hotalloc/fixture", "socialrec/internal/fixture"},
 }
 
 // cleanOnlyFixtures are fixture dirs that deliberately carry no // want

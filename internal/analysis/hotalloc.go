@@ -1,0 +1,507 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotAlloc flags allocation-inducing constructs in functions marked
+// //sociolint:hotpath, using the CFG to limit findings to code that is
+// actually reachable and to recognize per-iteration allocations in loops.
+//
+// The ROADMAP's top open item is reclaiming the zero-allocation serving
+// path that PR 2's observability work eroded (35.7µs → 51.8µs on the
+// recommend handler). hotalloc is the ratchet that keeps it reclaimed:
+// once a function is marked hot, a reviewer adding a closure, an
+// fmt.Sprintf, or an `append` without preallocated capacity gets a finding
+// instead of a silent regression that only benchdiff notices a PR later.
+//
+// Flagged constructs:
+//   - closures that capture enclosing variables (the capture forces a heap
+//     allocation per call)
+//   - fmt.Sprintf / Sprint / Sprintln / Errorf / Appendf calls
+//   - string concatenation with + or +=
+//   - append to a slice the function created without capacity
+//     (var s []T, s := []T{...}, or two-argument make) — append to a slice
+//     made with explicit capacity is clean
+//   - composite literals inside loops (per-iteration allocation)
+//   - scalar values boxed into interface{} arguments (includes variadic
+//     ...any — the slog argument path)
+//   - calls to same-package helpers that themselves contain any of the
+//     above (one level deep), so a hot function cannot hide its
+//     allocations behind a local helper
+//
+// Constructs in CFG-unreachable blocks are not reported. Like all
+// analyzers, a finding can be suppressed with //sociolint:ignore and a
+// reason — the common legitimate case is an error path that formats a
+// message right before the request fails anyway.
+type HotAlloc struct{}
+
+// Name implements Analyzer.
+func (HotAlloc) Name() string { return "hotalloc" }
+
+// Doc implements Analyzer.
+func (HotAlloc) Doc() string {
+	return "functions marked //sociolint:hotpath must not contain reachable " +
+		"allocation-inducing constructs: capturing closures, fmt.Sprintf-style " +
+		"formatting, string concatenation, append without preallocated capacity, " +
+		"composite literals in loops, or scalars boxed into interfaces"
+}
+
+const hotpathDirective = "//sociolint:hotpath"
+
+// Run implements Analyzer.
+func (h HotAlloc) Run(pass *Pass) {
+	hot := hotpathFuncs(pass)
+	if len(hot) == 0 {
+		return
+	}
+	// One-level helper summaries: which same-package functions contain
+	// allocation constructs (syntactically, anywhere in the body).
+	helperAllocs := map[*types.Func]string{}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || hot[fd] {
+				continue
+			}
+			if desc := firstAllocConstruct(pass, fd.Body); desc != "" {
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && obj != nil {
+					helperAllocs[obj] = desc
+				}
+			}
+		}
+	}
+	for fd := range hot {
+		h.checkFunc(pass, fd, helperAllocs)
+	}
+}
+
+// hotpathFuncs finds the //sociolint:hotpath-marked function declarations:
+// the directive may sit in the doc comment or on the line directly above
+// the declaration.
+func hotpathFuncs(pass *Pass) map[*ast.FuncDecl]bool {
+	out := map[*ast.FuncDecl]bool{}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		directiveLines := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if isHotpathComment(c.Text) {
+					directiveLines[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			marked := false
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if isHotpathComment(c.Text) {
+						marked = true
+					}
+				}
+			}
+			if !marked && directiveLines[pass.Fset.Position(fd.Pos()).Line-1] {
+				marked = true
+			}
+			if marked {
+				out[fd] = true
+			}
+		}
+	}
+	return out
+}
+
+func isHotpathComment(text string) bool {
+	rest, ok := strings.CutPrefix(text, hotpathDirective)
+	return ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t')
+}
+
+// checkFunc walks the reachable CFG blocks of one hot function and reports
+// allocation constructs.
+func (h HotAlloc) checkFunc(pass *Pass, fd *ast.FuncDecl, helperAllocs map[*types.Func]string) {
+	cfg := BuildCFG(fd.Body)
+	reach := cfg.Reachable()
+	inLoop := cfg.InLoop()
+	origins := sliceOrigins(pass, fd.Body)
+	for _, b := range cfg.Blocks {
+		if !reach[b] {
+			continue
+		}
+		// Synthetic defer blocks replay calls whose DeferStmt was already
+		// inspected in its registering block; skip to avoid double reports.
+		if b.Kind == "defer" {
+			continue
+		}
+		looped := inLoop[b]
+		for _, n := range b.Nodes {
+			h.checkNode(pass, n, looped, origins, helperAllocs)
+		}
+	}
+}
+
+// checkNode inspects one CFG node's expressions for allocation constructs.
+// It does not descend into function literals: the literal itself is the
+// finding (a hot path should not build closures at all).
+func (h HotAlloc) checkNode(pass *Pass, n ast.Node, inLoop bool, origins map[types.Object]string, helperAllocs map[*types.Func]string) {
+	// += on strings is statement-level, handle before the expression walk.
+	if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if isStringType(pass, as.Lhs[0]) {
+			pass.Reportf(as.Pos(), "hot path: string concatenation %q allocates", types.ExprString(as.Lhs[0])+" += ...")
+		}
+	}
+	// A RangeStmt CFG node stands for the loop head only; its body
+	// statements live in their own blocks and must not be walked twice.
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		n = rs.X
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if caps := capturedVars(pass, x); len(caps) > 0 {
+				pass.Reportf(x.Pos(), "hot path: closure captures %s (heap allocation per call)", strings.Join(caps, ", "))
+			} else {
+				pass.Reportf(x.Pos(), "hot path: function literal allocates per call")
+			}
+			return false
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(pass, x.X) {
+				pass.Reportf(x.Pos(), "hot path: string concatenation %q allocates", types.ExprString(x))
+				return false // one finding per concat chain
+			}
+		case *ast.CompositeLit:
+			if inLoop && isMapOrSliceLit(pass, x) {
+				pass.Reportf(x.Pos(), "hot path: composite literal %s allocated in a loop", compositeTypeString(x))
+				return false
+			}
+			h.checkBoxedLitValues(pass, x)
+		case *ast.CallExpr:
+			return h.checkCall(pass, x, origins, helperAllocs)
+		}
+		return true
+	})
+}
+
+// checkCall handles the call-shaped constructs; the return value tells
+// ast.Inspect whether to descend into the arguments.
+func (h HotAlloc) checkCall(pass *Pass, call *ast.CallExpr, origins map[types.Object]string, helperAllocs map[*types.Func]string) bool {
+	// append without preallocated capacity.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		if root := rootIdent(call.Args[0]); root != nil {
+			if obj := pass.Info.Uses[root]; obj != nil && origins[obj] == "nocap" {
+				pass.Reportf(call.Pos(), "hot path: append to %q without preallocated capacity", root.Name)
+			}
+		}
+		return true
+	}
+
+	fn := calleeTypesFunc(pass, call)
+	if fn != nil {
+		// fmt formatting family.
+		if fnPkgPath(fn) == "fmt" {
+			switch fn.Name() {
+			case "Sprintf", "Sprint", "Sprintln", "Errorf", "Appendf", "Append", "Appendln":
+				pass.Reportf(call.Pos(), "hot path: fmt.%s allocates on every call", fn.Name())
+				return false // boxing inside the args is implied by this finding
+			}
+		}
+		// One-level helper summary: same-package callee that allocates.
+		if desc, ok := helperAllocs[fn]; ok && fn.Pkg() != nil && pass.Pkg != nil && fn.Pkg() == pass.Pkg {
+			pass.Reportf(call.Pos(), "hot path: call to %s allocates (%s)", fn.Name(), desc)
+		}
+	}
+
+	// Scalar-to-interface boxing on argument passing.
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return true
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if b, isBasic := at.Underlying().(*types.Basic); isBasic && b.Info()&(types.IsNumeric|types.IsBoolean) != 0 {
+			pass.Reportf(arg.Pos(), "hot path: %q boxed into interface argument (allocates)", types.ExprString(arg))
+		}
+	}
+	return true
+}
+
+// checkBoxedLitValues flags scalar values stored into interface-valued
+// map/slice literals (e.g. map[string]any{"n": 3}).
+func (h HotAlloc) checkBoxedLitValues(pass *Pass, lit *ast.CompositeLit) {
+	lt := pass.Info.TypeOf(lit)
+	if lt == nil {
+		return
+	}
+	var elem types.Type
+	switch u := lt.Underlying().(type) {
+	case *types.Map:
+		elem = u.Elem()
+	case *types.Slice:
+		elem = u.Elem()
+	default:
+		return
+	}
+	if _, isIface := elem.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	for _, el := range lit.Elts {
+		v := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		vt := pass.Info.TypeOf(v)
+		if vt == nil {
+			continue
+		}
+		if b, isBasic := vt.Underlying().(*types.Basic); isBasic && b.Info()&(types.IsNumeric|types.IsBoolean) != 0 {
+			pass.Reportf(v.Pos(), "hot path: %q boxed into interface value (allocates)", types.ExprString(v))
+		}
+	}
+}
+
+// paramTypeAt resolves the effective parameter type for argument i,
+// expanding the variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if i < params.Len()-1 || (!sig.Variadic() && i < params.Len()) {
+		return params.At(i).Type()
+	}
+	if !sig.Variadic() {
+		return nil
+	}
+	last := params.At(params.Len() - 1).Type()
+	if s, ok := last.(*types.Slice); ok {
+		return s.Elem()
+	}
+	return nil
+}
+
+func isStringType(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isMapOrSliceLit reports whether the literal builds a map or slice —
+// the literal kinds that always allocate; struct literals usually stay on
+// the stack and are not flagged.
+func isMapOrSliceLit(pass *Pass, lit *ast.CompositeLit) bool {
+	t := pass.Info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+func compositeTypeString(lit *ast.CompositeLit) string {
+	if lit.Type != nil {
+		return types.ExprString(lit.Type)
+	}
+	return "literal"
+}
+
+func calleeTypesFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// capturedVars lists (sorted, deduplicated) enclosing-function variables
+// the literal captures.
+func capturedVars(pass *Pass, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured = declared outside the literal but not at package scope.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		if pass.Pkg != nil && obj.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		if !seen[obj.Name()] {
+			seen[obj.Name()] = true
+			names = append(names, obj.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// sliceOrigins classifies local slice variables by how they were created:
+// "nocap" (var s []T, s := []T{...}, or make with no capacity argument) or
+// "cap" (make with explicit capacity). Parameters, fields, and anything
+// else stay unclassified, and append to them is not flagged: the analyzer
+// only reports what it can prove from the local allocation site.
+func sliceOrigins(pass *Pass, body *ast.BlockStmt) map[types.Object]string {
+	origins := map[types.Object]string{}
+	classify := func(e ast.Expr) (string, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					if t := pass.Info.TypeOf(e); t != nil {
+						if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+							if len(e.Args) >= 3 {
+								return "cap", true
+							}
+							return "nocap", true
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.Info.TypeOf(e); t != nil {
+				if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+					return "nocap", true
+				}
+			}
+		}
+		return "", false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if o, ok := classify(n.Rhs[i]); ok {
+					origins[obj] = o
+				} else if !isSelfAppend(n.Rhs[i], obj, pass) {
+					// reassigned from something we can't classify: drop the
+					// claim rather than report a false positive
+					delete(origins, obj)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				obj := pass.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if i < len(n.Values) {
+					if o, ok := classify(n.Values[i]); ok {
+						origins[obj] = o
+					}
+					continue
+				}
+				// var s []T with no initializer: nil slice, no capacity.
+				if t := obj.Type(); t != nil {
+					if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+						origins[obj] = "nocap"
+					}
+				}
+			}
+		}
+		return true
+	})
+	return origins
+}
+
+// isSelfAppend reports whether e is append(obj, ...): the canonical
+// s = append(s, x) keeps s's original capacity classification.
+func isSelfAppend(e ast.Expr, obj types.Object, pass *Pass) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	root := rootIdent(call.Args[0])
+	return root != nil && (pass.Info.Uses[root] == obj || pass.Info.Defs[root] == obj)
+}
+
+// firstAllocConstruct returns a short description of the first allocation
+// construct in body ("" if none) — the one-level summary used to flag
+// helper calls from hot functions.
+func firstAllocConstruct(pass *Pass, body *ast.BlockStmt) string {
+	desc := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if caps := capturedVars(pass, x); len(caps) > 0 {
+				desc = "closure capturing " + strings.Join(caps, ", ")
+			}
+			return false
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(pass, x.X) {
+				desc = "string concatenation"
+			}
+		case *ast.CallExpr:
+			if fn := calleeTypesFunc(pass, x); fn != nil && fnPkgPath(fn) == "fmt" {
+				switch fn.Name() {
+				case "Sprintf", "Sprint", "Sprintln", "Errorf":
+					desc = "fmt." + fn.Name()
+				}
+			}
+		}
+		return true
+	})
+	return desc
+}

@@ -1,0 +1,101 @@
+// Package fixture exercises the hotalloc analyzer: functions marked
+// //sociolint:hotpath must not contain reachable allocation-inducing
+// constructs; unmarked functions are never flagged directly.
+package fixture
+
+import "fmt"
+
+// --- seeded per-request allocation fixture ---
+
+//sociolint:hotpath
+func perRequest(items []int) []string {
+	var out []string
+	for _, it := range items {
+		s := fmt.Sprint(it)  // want "fmt.Sprint allocates on every call"
+		out = append(out, s) // want "append to "out" without preallocated capacity"
+	}
+	return out
+}
+
+//sociolint:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//sociolint:hotpath
+func closure(n int) func() int {
+	return func() int { return n } // want "closure captures n"
+}
+
+//sociolint:hotpath
+func boxed(n int) {
+	record(n) // want "boxed into interface argument"
+}
+
+//sociolint:hotpath
+func boxedVariadic(n int) {
+	recordAll("tag", n) // want "boxed into interface argument"
+}
+
+//sociolint:hotpath
+func litInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		pair := []int{i, i} // want "composite literal []int allocated in a loop"
+		total += pair[0]
+	}
+	return total
+}
+
+//sociolint:hotpath
+func mapBoxing(n int) map[string]any {
+	return map[string]any{
+		"n": n, // want "boxed into interface value"
+	}
+}
+
+//sociolint:hotpath
+func viaHelper(n int) string {
+	return describe(n) // want "call to describe allocates"
+}
+
+// --- clean cases ---
+
+// preallocated: make with explicit capacity keeps append clean.
+//
+//sociolint:hotpath
+func preallocated(items []int, name string) []string {
+	out := make([]string, 0, len(items))
+	for range items {
+		out = append(out, name)
+	}
+	return out
+}
+
+// deadFormat: constructs in CFG-unreachable code are not reported.
+//
+//sociolint:hotpath
+func deadFormat(n int) int {
+	return n
+	_ = fmt.Sprintf("%d", n)
+	return 0
+}
+
+// suppressed: error-path formatting acknowledged with a reason.
+//
+//sociolint:hotpath
+func suppressed(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n) //sociolint:ignore hotalloc error path, request fails anyway
+	}
+	return nil
+}
+
+// cold is unmarked: its own constructs are not flagged (only the hot call
+// site in viaHelper reports it, one level deep).
+func describe(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+func record(v any)        { _ = v }
+func recordAll(vs ...any) { _ = vs }

@@ -1,0 +1,59 @@
+// Package fixture is presented to privflow as socialrec/internal/dataset:
+// inside the ingestion trust boundary, raw input reads (bufio/io/os) are
+// taint sources, and parse errors must not echo row contents.
+package fixture
+
+import (
+	"bufio"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"strings"
+)
+
+// readAndLog leaks a raw input line into a log record.
+func readAndLog(r *bufio.Reader) error {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		// The read error describes the failure, not the payload: clean.
+		return fmt.Errorf("read: %w", err)
+	}
+	slog.Info("ingested", "line", line) // want "reaches slog.Info"
+	return nil
+}
+
+// parseEcho reproduces the classic quarantine bug: the unparsable field —
+// raw row content — is echoed into the error.
+func parseEcho(r *bufio.Reader) (float64, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return 0, fmt.Errorf("bad row: %d fields", len(fields))
+	}
+	w, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad weight %q", fields[2]) // want "reaches fmt.Errorf"
+	}
+	return w, nil
+}
+
+// parseClean is the fixed form: the position is reported, the content is
+// not.
+func parseClean(r *bufio.Reader) (float64, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return 0, fmt.Errorf("bad row: %d fields", len(fields))
+	}
+	w, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return 0, fmt.Errorf("field 3: unparsable weight")
+	}
+	return w, nil
+}

@@ -33,7 +33,10 @@ func FromAssignment(assign []int32) (*Clustering, error) {
 	c := &Clustering{assign: make([]int32, len(assign))}
 	for u, a := range assign {
 		if a < 0 {
-			return nil, fmt.Errorf("community: user %d has negative cluster %d", u, a)
+			// Deliberately does not echo u or a: the assignment is derived
+			// from the private adjacency structure, and this error can
+			// surface in logs and panics.
+			return nil, fmt.Errorf("community: assignment contains a negative cluster id")
 		}
 		id, ok := remap[a]
 		if !ok {

@@ -62,51 +62,17 @@ type Estimator interface {
 // must rank genuinely noisy values, including noise-only negative ones, as
 // the paper's N-vs-accuracy discussion in §6.3 depends on zero-utility items
 // displacing real ones).
+//
+//sociolint:hotpath
 func TopN(utilities []float64, n int, minUtility float64) []Recommendation {
 	if n <= 0 {
 		return nil
 	}
 	// Bounded selection: maintain the current worst of the best n at
-	// heap[0] (a min-heap ordered by (utility, inverted item id)).
-	h := make([]Recommendation, 0, n)
-	less := func(a, b Recommendation) bool {
-		if a.Utility < b.Utility {
-			return true
-		}
-		if a.Utility > b.Utility {
-			return false
-		}
-		return a.Item > b.Item // higher id is "worse" on ties
-	}
-	push := func(r Recommendation) {
-		h = append(h, r)
-		for i := len(h) - 1; i > 0; {
-			p := (i - 1) / 2
-			if !less(h[i], h[p]) {
-				break
-			}
-			h[i], h[p] = h[p], h[i]
-			i = p
-		}
-	}
-	replaceMin := func(r Recommendation) {
-		h[0] = r
-		for i := 0; ; {
-			l, rgt := 2*i+1, 2*i+2
-			small := i
-			if l < len(h) && less(h[l], h[small]) {
-				small = l
-			}
-			if rgt < len(h) && less(h[rgt], h[small]) {
-				small = rgt
-			}
-			if small == i {
-				break
-			}
-			h[i], h[small] = h[small], h[i]
-			i = small
-		}
-	}
+	// h[0] (a min-heap ordered by (utility, inverted item id)). The heap
+	// operations are methods, not closures, so the only allocation per
+	// call is the result slice itself.
+	h := make(topHeap, 0, n)
 	for item, u := range utilities {
 		if u <= minUtility {
 			continue
@@ -114,14 +80,68 @@ func TopN(utilities []float64, n int, minUtility float64) []Recommendation {
 		r := Recommendation{Item: int32(item), Utility: u}
 		switch {
 		case len(h) < n:
-			push(r)
-		case less(h[0], r):
-			replaceMin(r)
+			h.push(r)
+		case h.worse(h[0], r):
+			h.replaceMin(r)
 		}
 	}
-	sort.Slice(h, func(i, j int) bool { return less(h[j], h[i]) })
-	return h
+	sort.Sort(h)
+	return []Recommendation(h)
 }
+
+// topHeap is TopN's bounded min-heap. Its sort.Interface view orders by
+// descending utility (lower item id first on ties), the final output order.
+type topHeap []Recommendation
+
+// worse reports whether a ranks strictly below b: lower utility, or a
+// higher item id on equal utility (ties break toward the lower id).
+func (topHeap) worse(a, b Recommendation) bool {
+	if a.Utility < b.Utility {
+		return true
+	}
+	if a.Utility > b.Utility {
+		return false
+	}
+	return a.Item > b.Item
+}
+
+// push sifts r up from the end of the heap.
+func (h *topHeap) push(r Recommendation) {
+	s := append(*h, r)
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !s.worse(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+// replaceMin overwrites the heap minimum with r and sifts it down.
+func (h topHeap) replaceMin(r Recommendation) {
+	h[0] = r
+	for i := 0; ; {
+		l, rgt := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h.worse(h[l], h[small]) {
+			small = l
+		}
+		if rgt < len(h) && h.worse(h[rgt], h[small]) {
+			small = rgt
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+func (h topHeap) Len() int           { return len(h) }
+func (h topHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h topHeap) Less(i, j int) bool { return h.worse(h[j], h[i]) }
 
 // Recommender generates personalized top-N recommendation lists by running
 // an Estimator over users in bounded-memory batches.
@@ -170,12 +190,16 @@ func (r *Recommender) Recommend(users []int32, n int) ([][]Recommendation, error
 // selection — open child spans, so a slow request names the phase that
 // made it slow. The aggregate telemetry stage timings are recorded either
 // way.
+//
+//sociolint:hotpath
 func (r *Recommender) RecommendContext(ctx context.Context, users []int32, n int) ([][]Recommendation, error) {
 	if n <= 0 {
+		//sociolint:ignore hotalloc validation failure, the call is already rejected
 		return nil, fmt.Errorf("core: top-N size must be positive, got %d", n)
 	}
 	for _, u := range users {
 		if u < 0 || int(u) >= r.social.NumUsers() {
+			//sociolint:ignore hotalloc validation failure, the call is already rejected
 			return nil, fmt.Errorf("core: user %d out of range [0, %d)", u, r.social.NumUsers())
 		}
 	}

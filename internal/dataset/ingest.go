@@ -287,7 +287,9 @@ func ReadPreferenceTSVOpts(r io.Reader, userIDs map[string]int, opts ReadOptions
 					continue
 				}
 				rep.Lines, rep.Bytes = ls.line, ls.bytes
-				return nil, nil, rep, fmt.Errorf("dataset: preference line %d: bad weight %q: %v", lineNo, fields[2], err)
+				// The raw field and the strconv error (which embeds its input)
+				// must not be echoed: strict-mode errors reach operator logs.
+				return nil, nil, rep, fmt.Errorf("dataset: preference line %d: unparsable weight", lineNo)
 			}
 		}
 		item, ok := itemIDs[fields[1]]

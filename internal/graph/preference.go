@@ -48,11 +48,14 @@ func NewPreferenceBuilder(numUsers, numItems int) *PreferenceBuilder {
 // AddEdge records the preference edge (u, i). Duplicates are ignored. It
 // returns an error if either endpoint is out of range.
 func (b *PreferenceBuilder) AddEdge(u, i int) error {
+	// The offending ids are deliberately not echoed: user and item ids are
+	// the raw adjacency data, and builder errors bubble into ingestion
+	// logs. The bounds are structural and safe to report.
 	if u < 0 || u >= b.numUsers {
-		return fmt.Errorf("graph: preference edge user %d out of range [0, %d)", u, b.numUsers)
+		return fmt.Errorf("graph: preference edge user out of range [0, %d)", b.numUsers)
 	}
 	if i < 0 || i >= b.numItems {
-		return fmt.Errorf("graph: preference edge item %d out of range [0, %d)", i, b.numItems)
+		return fmt.Errorf("graph: preference edge item out of range [0, %d)", b.numItems)
 	}
 	b.edges[[2]int32{int32(u), int32(i)}] = struct{}{}
 	return nil

@@ -51,14 +51,16 @@ func NewWeightedPreferenceBuilder(numUsers, numItems int) *WeightedPreferenceBui
 // AddEdge records the weighted preference edge (u, i). Weights must be
 // positive and finite (absent edges implicitly have weight 0, as in §2.1).
 func (b *WeightedPreferenceBuilder) AddEdge(u, i int, w float64) error {
+	// Ids and weights are the raw preference data and are deliberately not
+	// echoed; only the structural bounds appear in the error.
 	if u < 0 || u >= b.numUsers {
-		return fmt.Errorf("graph: weighted edge user %d out of range [0, %d)", u, b.numUsers)
+		return fmt.Errorf("graph: weighted edge user out of range [0, %d)", b.numUsers)
 	}
 	if i < 0 || i >= b.numItems {
-		return fmt.Errorf("graph: weighted edge item %d out of range [0, %d)", i, b.numItems)
+		return fmt.Errorf("graph: weighted edge item out of range [0, %d)", b.numItems)
 	}
 	if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
-		return fmt.Errorf("graph: weighted edge (%d, %d) has invalid weight %v", u, i, w)
+		return fmt.Errorf("graph: weighted edge has non-positive or non-finite weight")
 	}
 	b.edges[[2]int32{int32(u), int32(i)}] = w
 	return nil

@@ -69,8 +69,9 @@ func NewWeightedCluster(clusters *community.Clustering, prefs *graph.WeightedPre
 		return nil, fmt.Errorf("mechanism: maxWeight must be positive, got %v", maxWeight)
 	}
 	if prefs.MaxWeight() > maxWeight {
-		return nil, fmt.Errorf("mechanism: graph contains weight %v above the declared bound %v",
-			prefs.MaxWeight(), maxWeight)
+		// The actual maximum is a data-dependent statistic and must not
+		// leak into the error; the declared bound is public by contract.
+		return nil, fmt.Errorf("mechanism: graph contains a weight above the declared bound %v", maxWeight)
 	}
 	if clusters.NumUsers() != prefs.NumUsers() {
 		return nil, fmt.Errorf("mechanism: clustering covers %d users but preference graph has %d",

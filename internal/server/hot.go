@@ -84,6 +84,8 @@ func (h *Hot) Status() HotStatus {
 
 // RecommendContext implements Engine. The in-flight request keeps the
 // engine it loaded even if a reload swaps the slot mid-call.
+//
+//sociolint:hotpath
 func (h *Hot) RecommendContext(ctx context.Context, user, n int) ([]core.Recommendation, error) {
 	return h.slot.Load().engine.RecommendContext(ctx, user, n)
 }

@@ -266,18 +266,45 @@ type recItem struct {
 	Utility float64 `json:"utility"`
 }
 
-func (s *Server) recommendFor(ctx context.Context, userTok string, n int) (map[string]any, int, error) {
+// recResponse is the GET /recommend body and one successful batch row. It
+// is a typed struct (not an ad-hoc map) so the response surface is a
+// closed, reviewable world and per-request map allocation stays off the
+// hot path.
+type recResponse struct {
+	User            string    `json:"user"`
+	Cluster         int       `json:"cluster"`
+	Recommendations []recItem `json:"recommendations"`
+}
+
+// batchUserError is one failed batch row: the token the client sent plus a
+// fixed error string, never engine internals.
+type batchUserError struct {
+	User  string `json:"user"`
+	Error string `json:"error"`
+}
+
+// batchResponse is the POST /recommend/batch body. Rows are *recResponse
+// or batchUserError.
+type batchResponse struct {
+	Results []any `json:"results"`
+}
+
+//sociolint:hotpath
+func (s *Server) recommendFor(ctx context.Context, userTok string, n int) (*recResponse, int, error) {
 	if err := ctx.Err(); err != nil {
 		// The deadline expired (or the client left) before this user's
 		// work started; don't spend engine time on an answer nobody reads.
+		//sociolint:ignore hotalloc deadline-expiry path, the request already failed
 		return nil, http.StatusGatewayTimeout, fmt.Errorf("request deadline exceeded")
 	}
 	user, ok := s.cfg.UserIDs[userTok]
 	if !ok {
+		//sociolint:ignore hotalloc rejection path, not the per-request steady state
 		return nil, http.StatusNotFound, fmt.Errorf("unknown user %q", userTok)
 	}
 	if n > s.cfg.MaxN {
 		return nil, http.StatusBadRequest,
+			//sociolint:ignore hotalloc rejection path, not the per-request steady state
 			fmt.Errorf("n %d exceeds maximum %d", n, s.cfg.MaxN)
 	}
 	if n < 1 {
@@ -298,13 +325,14 @@ func (s *Server) recommendFor(ctx context.Context, userTok string, n int) (map[s
 		}
 		out[i] = recItem{Item: tok, Utility: rec.Utility}
 	}
-	return map[string]any{
-		"user":            userTok,
-		"cluster":         s.cfg.Engine.ClusterOf(user),
-		"recommendations": out,
+	return &recResponse{
+		User:            userTok,
+		Cluster:         s.cfg.Engine.ClusterOf(user),
+		Recommendations: out,
 	}, http.StatusOK, nil
 }
 
+//sociolint:hotpath
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	userTok := r.URL.Query().Get("user")
@@ -335,10 +363,12 @@ type batchRequest struct {
 	N     int      `json:"n"`
 }
 
+//sociolint:hotpath
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		//sociolint:ignore hotalloc malformed-request path, the request already failed
 		s.writeError(ctx, w, http.StatusBadRequest, "bad JSON body: "+err.Error())
 		return
 	}
@@ -348,15 +378,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	const maxBatch = 1000
 	if len(req.Users) > maxBatch {
+		//sociolint:ignore hotalloc rejection path, not the per-request steady state
 		s.writeError(ctx, w, http.StatusBadRequest, fmt.Sprintf("batch too large (max %d)", maxBatch))
 		return
 	}
-	results := make([]map[string]any, 0, len(req.Users))
+	results := make([]any, 0, len(req.Users))
 	for _, tok := range req.Users {
 		body, status, err := s.recommendFor(ctx, tok, req.N)
 		if err != nil {
 			if status == http.StatusNotFound {
-				results = append(results, map[string]any{"user": tok, "error": "unknown user"})
+				results = append(results, batchUserError{User: tok, Error: "unknown user"})
 				continue
 			}
 			// Deadline expiry mid-batch aborts the whole request: a batch
@@ -367,7 +398,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		results = append(results, body)
 	}
-	s.writeJSON(ctx, w, http.StatusOK, map[string]any{"results": results})
+	s.writeJSON(ctx, w, http.StatusOK, batchResponse{Results: results})
 }
 
 // writeJSON encodes v into a buffer before touching the ResponseWriter, so

@@ -102,7 +102,10 @@ func (r *Registry) NewCounterVec(name, help, labelKey string, values ...string) 
 func (v *CounterVec) With(value string) (*Counter, error) {
 	c, ok := v.children[value]
 	if !ok {
-		return nil, fmt.Errorf("telemetry: label value %q not declared for counter %q (dynamic label values are forbidden)", value, v.name)
+		// The rejected value is deliberately not echoed: a dynamic label
+		// is rejected exactly because it may carry per-user data, and this
+		// error ends up in logs (or a MustWith panic).
+		return nil, fmt.Errorf("telemetry: undeclared label value for counter %q (dynamic label values are forbidden)", v.name)
 	}
 	return c, nil
 }
@@ -332,7 +335,8 @@ func (r *Registry) NewHistogramVec(name, help, labelKey string, bounds []float64
 func (v *HistogramVec) With(value string) (*Histogram, error) {
 	h, ok := v.children[value]
 	if !ok {
-		return nil, fmt.Errorf("telemetry: label value %q not declared for histogram %q (dynamic label values are forbidden)", value, v.name)
+		// As with CounterVec.With: never echo the rejected dynamic value.
+		return nil, fmt.Errorf("telemetry: undeclared label value for histogram %q (dynamic label values are forbidden)", v.name)
 	}
 	return h, nil
 }

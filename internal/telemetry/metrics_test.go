@@ -114,6 +114,36 @@ func TestVecRejectsDynamicLabelValues(t *testing.T) {
 	}()
 }
 
+// TestVecRejectionDoesNotEchoValue pins the rejection errors to a
+// closed-world message: a dynamic label is rejected exactly because it may
+// carry per-user data, so the error (which reaches logs, or a MustWith
+// panic) must not reproduce it.
+func TestVecRejectionDoesNotEchoValue(t *testing.T) {
+	r := NewRegistry()
+	secret := "user_alice_likes_item_42"
+	vec := r.NewCounterVec("rej_counter", "x", "endpoint", "recommend")
+	if _, err := vec.With(secret); err == nil || strings.Contains(err.Error(), secret) {
+		t.Errorf("CounterVec.With error echoes the rejected value: %v", err)
+	}
+	hv := r.NewHistogramVec("rej_hist", "x", "endpoint", nil, "recommend")
+	if _, err := hv.With(secret); err == nil || strings.Contains(err.Error(), secret) {
+		t.Errorf("HistogramVec.With error echoes the rejected value: %v", err)
+	}
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Error("MustWith did not panic on an undeclared value")
+				return
+			}
+			if err, ok := p.(error); ok && strings.Contains(err.Error(), secret) {
+				t.Errorf("MustWith panic echoes the rejected value: %v", err)
+			}
+		}()
+		vec.MustWith(secret)
+	}()
+}
+
 // TestInvalidNamesRejected proves the registry cannot express names outside
 // the static-identifier shape, the other half of the invariant.
 func TestInvalidNamesRejected(t *testing.T) {

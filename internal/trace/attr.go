@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"fmt"
 	"sync"
 )
 
@@ -33,7 +32,10 @@ type Key struct {
 // a name returns an equal Key (subsystems may share one).
 func NewKey(name string) Key {
 	if !validName(name) {
-		panic(fmt.Sprintf("trace: invalid attribute key %q (keys are static identifiers declared up front, never request data)", name))
+		// The offending name is deliberately not echoed: a dynamic name
+		// here is suspected request data, and panic messages land in crash
+		// logs. The stack trace identifies the offending declaration.
+		panic("trace: invalid attribute key (keys are static identifiers declared up front, never request data)")
 	}
 	keyRegistry.mu.Lock()
 	keyRegistry.names[name] = true

@@ -329,6 +329,8 @@ func (sp *Span) HeadSampled() bool {
 // the Default tracer. The returned context carries the new span; callers
 // MUST End the span on every path (sociolint's spanend analyzer enforces
 // this for non-test code).
+//
+//sociolint:hotpath
 func Start(ctx context.Context, name string) (context.Context, *Span) {
 	if parent := FromContext(ctx); parent != nil && parent.root != nil {
 		sp := parent.root.tracer.newChild(parent, name)
@@ -341,6 +343,8 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 // span; otherwise it returns ctx unchanged and a nil (inert) span, whose
 // every method is a no-op. Library code on shared paths (engine internals,
 // stores) uses it so an untraced call cannot mint root traces of its own.
+//
+//sociolint:hotpath
 func StartChild(ctx context.Context, name string) (context.Context, *Span) {
 	parent := FromContext(ctx)
 	if parent == nil || parent.root == nil {
@@ -392,6 +396,7 @@ func (t *Tracer) startRoot(ctx context.Context, name string, traceID TraceID, pa
 	return ContextWithSpan(ctx, sp), sp
 }
 
+//sociolint:hotpath
 func (t *Tracer) newChild(parent *Span, name string) *Span {
 	if !validName(name) {
 		name = "invalid_span"

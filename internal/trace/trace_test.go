@@ -160,8 +160,14 @@ func TestClosedWorldAttributes(t *testing.T) {
 
 func TestNewKeyPanicsOnDynamicName(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		p := recover()
+		if p == nil {
 			t.Fatal("NewKey accepted a non-identifier name")
+		}
+		// A dynamic key name is suspected request data; the panic message
+		// (which lands in crash logs) must not reproduce it.
+		if msg, ok := p.(string); ok && strings.Contains(msg, "User ID") {
+			t.Errorf("NewKey panic echoes the rejected name: %q", msg)
 		}
 	}()
 	NewKey("User ID")

@@ -34,8 +34,12 @@ go build ./...
 step "go test -race"
 go test -race ./...
 
-step "sociolint (privacy invariants)"
-go run ./cmd/sociolint ./...
+step "sociolint (privacy invariants, flow-sensitive; stale baseline entries fail)"
+# Hard gate: any finding not justified in .sociolint-baseline.json or by an
+# inline //sociolint:ignore fails CI, and so does a baseline entry that no
+# longer matches anything (-check-stale), so suppressions can only shrink
+# truthfully.
+go run ./cmd/sociolint -baseline .sociolint-baseline.json -check-stale -v ./...
 
 step "fault injection (crash safety, reload degradation, panic containment, shedding)"
 # The full ./... -race run above already includes these; re-running the
