@@ -7,10 +7,11 @@ GO ?= go
 # Benchmark knobs: BENCH_OUT is where `make bench` records the JSON
 # baseline; BENCH_BASE is what `make benchdiff` compares a fresh run to;
 # BENCH_THRESHOLD is the max tolerated ns/op regression in percent.
+# allocs/op has no threshold: any growth over the baseline fails.
 BENCH_PKGS ?= ./internal/server ./internal/core ./internal/trace
 BENCH_COUNT ?= 5
-BENCH_OUT ?= BENCH_PR5.json
-BENCH_BASE ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR7.json
 BENCH_THRESHOLD ?= 10
 
 .PHONY: build test race lint lint-fix-check fuzz-smoke chaos resume-chaos ci fmt bench benchdiff
@@ -65,7 +66,8 @@ bench:
 	$(GO) run ./scripts -parse /tmp/bench_raw.txt -out $(BENCH_OUT)
 
 # benchdiff re-runs the benchmarks and fails if anything regressed more
-# than $(BENCH_THRESHOLD)% against the recorded baseline $(BENCH_BASE).
+# than $(BENCH_THRESHOLD)% ns/op against the recorded baseline
+# $(BENCH_BASE), or grew allocs/op over it at all (hard ceiling).
 benchdiff:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) > /tmp/bench_new_raw.txt
 	$(GO) run ./scripts -parse /tmp/bench_new_raw.txt -out /tmp/bench_new.json

@@ -28,11 +28,17 @@ import (
 //     (var s []T, s := []T{...}, or two-argument make) — append to a slice
 //     made with explicit capacity is clean
 //   - composite literals inside loops (per-iteration allocation)
-//   - scalar values boxed into interface{} arguments (includes variadic
-//     ...any — the slog argument path)
+//   - scalar and struct values boxed into interface{} arguments (includes
+//     variadic ...any — the slog argument path)
 //   - calls to same-package helpers that themselves contain any of the
 //     above (one level deep), so a hot function cannot hide its
 //     allocations behind a local helper
+//
+// sync.Pool round-trips are explicitly known non-allocating: (*sync.Pool).Get
+// returns an already-boxed value and Put recycles one through its `any`
+// parameter without boxing, so neither call is reported (allocating
+// expressions nested inside a Put argument still are). This is what lets
+// the pooled span/buffer/scratch serving paths be marked hot.
 //
 // Constructs in CFG-unreachable blocks are not reported. Like all
 // analyzers, a finding can be suppressed with //sociolint:ignore and a
@@ -48,7 +54,8 @@ func (HotAlloc) Doc() string {
 	return "functions marked //sociolint:hotpath must not contain reachable " +
 		"allocation-inducing constructs: capturing closures, fmt.Sprintf-style " +
 		"formatting, string concatenation, append without preallocated capacity, " +
-		"composite literals in loops, or scalars boxed into interfaces"
+		"composite literals in loops, or scalars/structs boxed into interfaces; " +
+		"sync.Pool Get/Put round-trips are known non-allocating"
 }
 
 const hotpathDirective = "//sociolint:hotpath"
@@ -208,7 +215,8 @@ func (h HotAlloc) checkCall(pass *Pass, call *ast.CallExpr, origins map[types.Ob
 	}
 
 	fn := calleeTypesFunc(pass, call)
-	if fn != nil {
+	poolCall := isPoolRoundTrip(fn)
+	if fn != nil && !poolCall {
 		// fmt formatting family.
 		if fnPkgPath(fn) == "fmt" {
 			switch fn.Name() {
@@ -223,7 +231,15 @@ func (h HotAlloc) checkCall(pass *Pass, call *ast.CallExpr, origins map[types.Ob
 		}
 	}
 
-	// Scalar-to-interface boxing on argument passing.
+	// Value-to-interface boxing on argument passing. sync.Pool round-trips
+	// are exempt: Get returns an already-boxed value and Put recycles one
+	// — the pooled pointer passes through the `any` parameter without a
+	// fresh allocation, which is the entire point of pooling. (Allocating
+	// expressions nested inside a Put argument are still found by the
+	// normal descent.)
+	if poolCall {
+		return true
+	}
 	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
 	if !ok {
 		return true
@@ -240,11 +256,37 @@ func (h HotAlloc) checkCall(pass *Pass, call *ast.CallExpr, origins map[types.Ob
 		if at == nil {
 			continue
 		}
-		if b, isBasic := at.Underlying().(*types.Basic); isBasic && b.Info()&(types.IsNumeric|types.IsBoolean) != 0 {
+		switch u := at.Underlying().(type) {
+		case *types.Basic:
+			if u.Info()&(types.IsNumeric|types.IsBoolean) != 0 {
+				pass.Reportf(arg.Pos(), "hot path: %q boxed into interface argument (allocates)", types.ExprString(arg))
+			}
+		case *types.Struct:
 			pass.Reportf(arg.Pos(), "hot path: %q boxed into interface argument (allocates)", types.ExprString(arg))
 		}
 	}
 	return true
+}
+
+// isPoolRoundTrip reports whether fn is (*sync.Pool).Get or Put — the two
+// calls a pooled hot path is built from, explicitly known non-allocating.
+func isPoolRoundTrip(fn *types.Func) bool {
+	if fn == nil || fnPkgPath(fn) != "sync" {
+		return false
+	}
+	if fn.Name() != "Get" && fn.Name() != "Put" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
 }
 
 // checkBoxedLitValues flags scalar values stored into interface-valued

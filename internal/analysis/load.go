@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -156,6 +158,41 @@ func (l *Loader) Load(patterns []string, includeTests bool) ([]*Package, error) 
 	return pkgs, nil
 }
 
+// buildConstraintsSatisfied evaluates a file's //go:build line against the
+// default build context (host GOOS/GOARCH, gc, no extra tags). Without this
+// a pair of files gated on a tag like `race` would both load and the type
+// checker would report phantom redeclarations. A file with no constraint —
+// or one this stdlib-only evaluator cannot parse — is kept: over-including
+// degrades to a type warning, silently dropping files hides code from the
+// privacy analyzers.
+func buildConstraintsSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		// Constraints must precede the package clause.
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, "gc":
+					return true
+				case "unix":
+					return runtime.GOOS != "windows" && runtime.GOOS != "plan9" && runtime.GOOS != "js"
+				}
+				return false
+			})
+		}
+	}
+	return true
+}
+
 func hasGoFiles(dir string) bool {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -215,6 +252,9 @@ func (l *Loader) LoadDir(dir, importPath string, includeTests bool) (*Package, e
 		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		if !buildConstraintsSatisfied(f) {
+			continue
 		}
 		pn := f.Name.Name
 		if _, ok := byPkg[pn]; !ok {

@@ -3,7 +3,10 @@
 // constructs; unmarked functions are never flagged directly.
 package fixture
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // --- seeded per-request allocation fixture ---
 
@@ -55,6 +58,11 @@ func mapBoxing(n int) map[string]any {
 }
 
 //sociolint:hotpath
+func structBoxed(p pooledBuf) {
+	record(p) // want "boxed into interface argument"
+}
+
+//sociolint:hotpath
 func viaHelper(n int) string {
 	return describe(n) // want "call to describe allocates"
 }
@@ -89,6 +97,36 @@ func suppressed(n int) error {
 		return fmt.Errorf("negative: %d", n) //sociolint:ignore hotalloc error path, request fails anyway
 	}
 	return nil
+}
+
+// --- pooled paths: sync.Pool round-trips recycle memory, not allocate ---
+
+type pooledBuf struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() any { return new(pooledBuf) }}
+
+// poolRoundTrip: Get, reuse, Put — clean; the whole point of pooling is
+// that the boxed value is recycled, so neither the Get nor the Put through
+// the `any` parameter is a finding.
+//
+//sociolint:hotpath
+func poolRoundTrip() *pooledBuf {
+	p := bufPool.Get().(*pooledBuf)
+	p.b = p.b[:0]
+	return p
+}
+
+//sociolint:hotpath
+func poolRelease(p *pooledBuf) {
+	bufPool.Put(p)
+}
+
+// poolPutHidesNothing: the Put call itself is exempt, but an allocating
+// expression nested in its argument is still reachable code and reported.
+//
+//sociolint:hotpath
+func poolPutHidesNothing(a, b string) {
+	bufPool.Put(a + b) // want "string concatenation"
 }
 
 // cold is unmarked: its own constructs are not flagged (only the hot call

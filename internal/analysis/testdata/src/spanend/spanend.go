@@ -42,7 +42,7 @@ func GoodLinear(ctx context.Context) {
 // GoodReassigned covers conditional starts into one pre-declared span,
 // ended by a single deferred call (the middleware's traceparent branch).
 func GoodReassigned(ctx context.Context, remote bool) {
-	var sp *trace.Span
+	var sp trace.Span
 	if remote {
 		ctx, sp = trace.StartChild(ctx, "good_remote")
 	} else {
@@ -54,7 +54,7 @@ func GoodReassigned(ctx context.Context, remote bool) {
 
 // GoodHandoff transfers ownership to the caller; the analyzer must not
 // demand an End here.
-func GoodHandoff(ctx context.Context) *trace.Span {
+func GoodHandoff(ctx context.Context) trace.Span {
 	_, sp := trace.StartChild(ctx, "good_handoff")
 	return sp
 }
@@ -65,7 +65,7 @@ func GoodDelegated(ctx context.Context) {
 	finish(sp)
 }
 
-func finish(sp *trace.Span) { sp.End() }
+func finish(sp trace.Span) { sp.End() }
 
 // BadNoEnd starts a span and forgets it entirely.
 func BadNoEnd(ctx context.Context) {

@@ -14,7 +14,8 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"socialrec/internal/graph"
 	"socialrec/internal/similarity"
@@ -29,6 +30,44 @@ var (
 	attrUsers     = trace.NewKey("users")
 	attrTopN      = trace.NewKey("top_n")
 )
+
+// scratch is the pooled per-call working set of RecommendContext: the flat
+// utility arena the batch rows slice into, the row headers, and the
+// similarity-vector buffer used on the SimilaritySource path. Pooling it
+// (capacity is kept across calls, grown only when a larger batch arrives)
+// makes the steady-state serving path allocation-free up to the returned
+// recommendation lists themselves.
+type scratch struct {
+	flat []float64
+	rows [][]float64
+	sims []similarity.Scores
+}
+
+var (
+	scratchPool     = sync.Pool{New: func() any { scratchPoolNews.Add(1); return new(scratch) }}
+	scratchPoolGets atomic.Uint64
+	scratchPoolNews atomic.Uint64
+)
+
+func init() {
+	telemetry.RegisterPoolStats("core_scratch", func() telemetry.PoolStats {
+		return telemetry.PoolStats{Gets: scratchPoolGets.Load(), Misses: scratchPoolNews.Load()}
+	})
+}
+
+//sociolint:hotpath
+func getScratch() *scratch {
+	scratchPoolGets.Add(1)
+	return scratchPool.Get().(*scratch)
+}
+
+//sociolint:hotpath
+func putScratch(sc *scratch) {
+	// Similarity vectors can be large (cache entries); drop the references
+	// so a pooled scratch never pins another engine's score memory.
+	clear(sc.sims)
+	scratchPool.Put(sc)
+}
 
 // Recommendation pairs an item with the (estimated) utility of recommending
 // it, as computed by Definition 3's utility query or a private estimate
@@ -85,12 +124,20 @@ func TopN(utilities []float64, n int, minUtility float64) []Recommendation {
 			h.replaceMin(r)
 		}
 	}
-	sort.Sort(h)
+	// In-place heapsort: repeatedly swap the current minimum to the end and
+	// re-sift. Extracting minima back-to-front leaves the array in
+	// descending order — the output order — without the sort.Interface
+	// boxing a sort.Sort call would allocate. worse() is a strict total
+	// order (item id breaks utility ties), so the result is deterministic.
+	for m := len(h) - 1; m > 0; m-- {
+		h[0], h[m] = h[m], h[0]
+		h[:m].replaceMin(h[0])
+	}
 	return []Recommendation(h)
 }
 
-// topHeap is TopN's bounded min-heap. Its sort.Interface view orders by
-// descending utility (lower item id first on ties), the final output order.
+// topHeap is TopN's bounded min-heap, sorted in place by heapsort into the
+// final output order (descending utility, lower item id first on ties).
 type topHeap []Recommendation
 
 // worse reports whether a ranks strictly below b: lower utility, or a
@@ -138,10 +185,6 @@ func (h topHeap) replaceMin(r Recommendation) {
 		i = small
 	}
 }
-
-func (h topHeap) Len() int           { return len(h) }
-func (h topHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h topHeap) Less(i, j int) bool { return h.worse(h[j], h[i]) }
 
 // Recommender generates personalized top-N recommendation lists by running
 // an Estimator over users in bounded-memory batches.
@@ -208,9 +251,19 @@ func (r *Recommender) RecommendContext(ctx context.Context, users []int32, n int
 	if bs > len(users) {
 		bs = len(users)
 	}
-	rows := make([][]float64, bs)
+	// Pooled scratch: rows are windows into one flat arena, so one grow
+	// covers the whole batch and steady-state calls reuse the capacity.
+	sc := getScratch()
+	defer putScratch(sc)
+	if need := bs * r.items; cap(sc.flat) < need {
+		sc.flat = make([]float64, need)
+	}
+	if cap(sc.rows) < bs {
+		sc.rows = make([][]float64, bs)
+	}
+	rows := sc.rows[:bs]
 	for i := range rows {
-		rows[i] = make([]float64, r.items)
+		rows[i] = sc.flat[i*r.items : (i+1)*r.items : (i+1)*r.items]
 	}
 	for start := 0; start < len(users); start += bs {
 		end := start + bs
@@ -219,11 +272,13 @@ func (r *Recommender) RecommendContext(ctx context.Context, users []int32, n int
 		}
 		batch := users[start:end]
 		var sims []similarity.Scores
-		_, simTrace := trace.StartChild(ctx, "similarity_batch")
-		simTrace.Set(attrBatchSize.Int(int64(len(batch))))
+		simTrace := trace.StartLeaf(ctx, "similarity_batch", attrBatchSize.Int(int64(len(batch))))
 		simSpan := telemetry.Stages().Start("similarity_batch")
 		if r.SimilaritySource != nil {
-			sims = make([]similarity.Scores, len(batch))
+			if cap(sc.sims) < len(batch) {
+				sc.sims = make([]similarity.Scores, len(batch))
+			}
+			sims = sc.sims[:len(batch)]
 			for i, u := range batch {
 				sims[i] = r.SimilaritySource(u)
 			}
@@ -237,12 +292,10 @@ func (r *Recommender) RecommendContext(ctx context.Context, users []int32, n int
 		for i := range buf {
 			clear(buf[i])
 		}
-		_, avgTrace := trace.StartChild(ctx, "cluster_average")
-		avgTrace.Set(attrUsers.Int(int64(len(batch))))
+		avgTrace := trace.StartLeaf(ctx, "cluster_average", attrUsers.Int(int64(len(batch))))
 		r.est.Utilities(batch, sims, buf)
 		avgTrace.End()
-		_, topTrace := trace.StartChild(ctx, "top_n")
-		topTrace.Set(attrTopN.Int(int64(n)))
+		topTrace := trace.StartLeaf(ctx, "top_n", attrTopN.Int(int64(n)))
 		for i := range batch {
 			out[start+i] = TopN(buf[i], n, math.Inf(-1))
 		}

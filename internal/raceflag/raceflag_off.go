@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package raceflag reports whether the binary was built with the race
+// detector. Allocation-pinning tests (testing.AllocsPerRun) skip under
+// -race: the detector's instrumentation allocates shadow state, so exact
+// alloc counts are only meaningful in plain builds.
+package raceflag
+
+// Enabled is true when the race detector is compiled in.
+const Enabled = false

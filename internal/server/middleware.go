@@ -56,7 +56,7 @@ func (s *Server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var (
 			ctx context.Context
-			sp  *trace.Span
+			sp  trace.Span
 		)
 		if tp, err := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader)); err == nil {
 			ctx, sp = s.tracer.StartRemote(r.Context(), name, tp)

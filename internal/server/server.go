@@ -24,6 +24,8 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"socialrec/internal/core"
@@ -32,6 +34,80 @@ import (
 	"socialrec/internal/telemetry"
 	"socialrec/internal/trace"
 )
+
+// maxPooledBuf caps the buffer capacity a jsonEnc may carry back into the
+// pool. A one-off giant response (a 1000-user batch) would otherwise pin
+// its megabytes in the pool forever; oversized buffers are dropped to GC
+// and the pool refills with fresh small ones.
+const maxPooledBuf = 1 << 20
+
+// jsonEnc is a pooled response-encoding buffer with a json.Encoder bound to
+// it once at construction, so the steady-state serving path allocates
+// neither the buffer nor the encoder. The encoder never latches an error
+// state across uses: encoding/json only remembers writer errors, and
+// bytes.Buffer writes cannot fail — marshal errors (the only kind our
+// closed response types could ever produce) are returned, not stored.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var (
+	encPool = sync.Pool{New: func() any {
+		encPoolNews.Add(1)
+		e := new(jsonEnc)
+		e.enc = json.NewEncoder(&e.buf)
+		return e
+	}}
+	encPoolGets atomic.Uint64
+	encPoolNews atomic.Uint64
+
+	respPool = sync.Pool{New: func() any {
+		respPoolNews.Add(1)
+		return new(recResponse)
+	}}
+	respPoolGets atomic.Uint64
+	respPoolNews atomic.Uint64
+)
+
+func init() {
+	telemetry.RegisterPoolStats("server_buffer", func() telemetry.PoolStats {
+		return telemetry.PoolStats{Gets: encPoolGets.Load(), Misses: encPoolNews.Load()}
+	})
+	telemetry.RegisterPoolStats("server_response", func() telemetry.PoolStats {
+		return telemetry.PoolStats{Gets: respPoolGets.Load(), Misses: respPoolNews.Load()}
+	})
+}
+
+//sociolint:hotpath
+func getEnc() *jsonEnc {
+	encPoolGets.Add(1)
+	e := encPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	return e
+}
+
+//sociolint:hotpath
+func putEnc(e *jsonEnc) {
+	if e.buf.Cap() > maxPooledBuf {
+		return
+	}
+	encPool.Put(e)
+}
+
+//sociolint:hotpath
+func getRecResponse() *recResponse {
+	respPoolGets.Add(1)
+	return respPool.Get().(*recResponse)
+}
+
+//sociolint:hotpath
+func putRecResponse(rr *recResponse) {
+	// Keep the Recommendations capacity (that is the point of pooling);
+	// item tokens referenced by stale entries are long-lived config
+	// strings, so nothing transient is pinned.
+	respPool.Put(rr)
+}
 
 // Engine is the slice of the recommendation engine the server needs;
 // *socialrec.Engine satisfies it.
@@ -283,27 +359,34 @@ type batchUserError struct {
 	Error string `json:"error"`
 }
 
-// batchResponse is the POST /recommend/batch body. Rows are *recResponse
-// or batchUserError.
+// batchResponse documents the POST /recommend/batch body shape. The handler
+// does not build one: rows (recResponse or batchUserError) are streamed
+// into a pooled buffer one at a time, so a large batch never materializes a
+// []any of boxed rows. The type remains the closed-world record of the
+// response surface and the shape tests decode into.
 type batchResponse struct {
 	Results []any `json:"results"`
 }
 
+// recommendFor computes one user's recommendation list into the pooled
+// *rr (reusing its Recommendations capacity) and returns the HTTP status.
+// On error rr is unspecified and must not be encoded.
+//
 //sociolint:hotpath
-func (s *Server) recommendFor(ctx context.Context, userTok string, n int) (*recResponse, int, error) {
+func (s *Server) recommendFor(ctx context.Context, userTok string, n int, rr *recResponse) (int, error) {
 	if err := ctx.Err(); err != nil {
 		// The deadline expired (or the client left) before this user's
 		// work started; don't spend engine time on an answer nobody reads.
 		//sociolint:ignore hotalloc deadline-expiry path, the request already failed
-		return nil, http.StatusGatewayTimeout, fmt.Errorf("request deadline exceeded")
+		return http.StatusGatewayTimeout, fmt.Errorf("request deadline exceeded")
 	}
 	user, ok := s.cfg.UserIDs[userTok]
 	if !ok {
 		//sociolint:ignore hotalloc rejection path, not the per-request steady state
-		return nil, http.StatusNotFound, fmt.Errorf("unknown user %q", userTok)
+		return http.StatusNotFound, fmt.Errorf("unknown user %q", userTok)
 	}
 	if n > s.cfg.MaxN {
-		return nil, http.StatusBadRequest,
+		return http.StatusBadRequest,
 			//sociolint:ignore hotalloc rejection path, not the per-request steady state
 			fmt.Errorf("n %d exceeds maximum %d", n, s.cfg.MaxN)
 	}
@@ -315,21 +398,23 @@ func (s *Server) recommendFor(ctx context.Context, userTok string, n int) (*recR
 	}
 	recs, err := s.cfg.Engine.RecommendContext(ctx, user, n)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		return http.StatusInternalServerError, err
 	}
-	out := make([]recItem, len(recs))
-	for i, rec := range recs {
+	out := rr.Recommendations[:0]
+	if cap(out) < len(recs) {
+		out = make([]recItem, 0, len(recs))
+	}
+	for _, rec := range recs {
 		tok := strconv.Itoa(int(rec.Item))
 		if s.cfg.ItemTokens != nil && int(rec.Item) < len(s.cfg.ItemTokens) {
 			tok = s.cfg.ItemTokens[rec.Item]
 		}
-		out[i] = recItem{Item: tok, Utility: rec.Utility}
+		out = append(out, recItem{Item: tok, Utility: rec.Utility})
 	}
-	return &recResponse{
-		User:            userTok,
-		Cluster:         s.cfg.Engine.ClusterOf(user),
-		Recommendations: out,
-	}, http.StatusOK, nil
+	rr.User = userTok
+	rr.Cluster = s.cfg.Engine.ClusterOf(user)
+	rr.Recommendations = out
+	return http.StatusOK, nil
 }
 
 //sociolint:hotpath
@@ -349,12 +434,14 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	body, status, err := s.recommendFor(ctx, userTok, n)
+	rr := getRecResponse()
+	defer putRecResponse(rr)
+	status, err := s.recommendFor(ctx, userTok, n, rr)
 	if err != nil {
 		s.writeError(ctx, w, status, err.Error())
 		return
 	}
-	s.writeJSON(ctx, w, status, body)
+	s.writeJSON(ctx, w, status, rr)
 }
 
 // batchRequest is the POST /recommend/batch payload.
@@ -382,42 +469,82 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(ctx, w, http.StatusBadRequest, fmt.Sprintf("batch too large (max %d)", maxBatch))
 		return
 	}
-	results := make([]any, 0, len(req.Users))
-	for _, tok := range req.Users {
-		body, status, err := s.recommendFor(ctx, tok, req.N)
+	// Stream rows into one pooled buffer, reusing a single pooled
+	// recResponse for every successful row (each is encoded before the
+	// next overwrites it). Nothing touches the ResponseWriter until the
+	// buffer holds the complete body, so the PR 2 semantics survive: an
+	// encode failure or a mid-batch deadline expiry still becomes a clean
+	// error status with Content-Length intact, never a truncated 200.
+	e := getEnc()
+	defer putEnc(e)
+	rr := getRecResponse()
+	defer putRecResponse(rr)
+	e.buf.WriteString(`{"results":[`)
+	for i, tok := range req.Users {
+		var row any = rr
+		status, err := s.recommendFor(ctx, tok, req.N, rr)
 		if err != nil {
 			if status == http.StatusNotFound {
-				results = append(results, batchUserError{User: tok, Error: "unknown user"})
-				continue
+				//sociolint:ignore hotalloc unknown-user row, not the per-request steady state
+				row = batchUserError{User: tok, Error: "unknown user"}
+			} else {
+				// Deadline expiry mid-batch aborts the whole request: a batch
+				// is one response, and a silently truncated one would be
+				// indistinguishable from a complete one.
+				s.writeError(ctx, w, status, err.Error())
+				return
 			}
-			// Deadline expiry mid-batch aborts the whole request: a batch
-			// is one response, and a silently truncated one would be
-			// indistinguishable from a complete one.
-			s.writeError(ctx, w, status, err.Error())
+		}
+		if i > 0 {
+			e.buf.WriteByte(',')
+		}
+		if err := e.enc.Encode(row); err != nil {
+			s.encodeFailure(ctx, w, err)
 			return
 		}
-		results = append(results, body)
+		// Encode appends a newline after each value; drop it so the rows
+		// read as one compact JSON array.
+		e.buf.Truncate(e.buf.Len() - 1)
 	}
-	s.writeJSON(ctx, w, http.StatusOK, batchResponse{Results: results})
+	e.buf.WriteString("]}\n")
+	writeBuf(w, http.StatusOK, &e.buf)
 }
 
-// writeJSON encodes v into a buffer before touching the ResponseWriter, so
-// an encoding failure can still become a clean 500 instead of a truncated
-// body behind an already-committed 200 header. ctx is the request's, for
-// trace-correlated error logs.
+// writeJSON encodes v into a pooled buffer before touching the
+// ResponseWriter, so an encoding failure can still become a clean 500
+// instead of a truncated body behind an already-committed 200 header. ctx
+// is the request's, for trace-correlated error logs.
+//
+//sociolint:hotpath
 func (s *Server) writeJSON(ctx context.Context, w http.ResponseWriter, status int, v any) {
-	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(v); err != nil {
-		s.metrics.encodeFailures.Inc()
-		s.logger.ErrorContext(ctx, "server: encoding response", "err", err)
-		http.Error(w, `{"error":"internal encoding failure"}`, http.StatusInternalServerError)
+	e := getEnc()
+	defer putEnc(e)
+	if err := e.enc.Encode(v); err != nil {
+		s.encodeFailure(ctx, w, err)
 		return
 	}
+	writeBuf(w, status, &e.buf)
+}
+
+// writeBuf commits a fully-assembled body: headers (including the exact
+// Content-Length) first, then the bytes.
+//
+//sociolint:hotpath
+func writeBuf(w http.ResponseWriter, status int, buf *bytes.Buffer) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
 	// Best-effort: a failed write means the client is gone.
 	_, _ = w.Write(buf.Bytes())
+}
+
+// encodeFailure answers a response whose JSON encoding failed. Nothing has
+// been committed to w yet (encoding targets the pooled buffer), so the 500
+// is clean.
+func (s *Server) encodeFailure(ctx context.Context, w http.ResponseWriter, err error) {
+	s.metrics.encodeFailures.Inc()
+	s.logger.ErrorContext(ctx, "server: encoding response", "err", err)
+	http.Error(w, `{"error":"internal encoding failure"}`, http.StatusInternalServerError)
 }
 
 func (s *Server) writeError(ctx context.Context, w http.ResponseWriter, status int, msg string) {

@@ -43,8 +43,9 @@ type fakeEngine struct {
 }
 
 func (f *fakeEngine) RecommendContext(ctx context.Context, user, n int) ([]core.Recommendation, error) {
-	for _, phase := range []string{"similarity_batch", "cluster_average", "top_n"} {
-		_, sp := trace.StartChild(ctx, phase)
+	// Mirror the real engine's phase spans (internal/core uses StartLeaf).
+	for _, phase := range [...]string{"similarity_batch", "cluster_average", "top_n"} {
+		sp := trace.StartLeaf(ctx, phase)
 		sp.End()
 	}
 	if user == f.failOn {

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"socialrec/internal/raceflag"
+)
+
+// TestObserveExemplarAllocBudget pins histogram observation — with and
+// without exemplar stamping — at exactly zero allocations: the exemplar
+// lands in a preallocated atomic slot (no boxed Exemplar, no copied trace
+// id). Skipped under -race (detector shadow state allocates).
+func TestObserveExemplarAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are only exact without the race detector")
+	}
+	reg := NewRegistry()
+	h := reg.NewHistogram("alloc_budget_seconds", "test", nil)
+	traceID := strings.Repeat("ab", 16)
+
+	if got := testing.AllocsPerRun(200, func() {
+		h.Observe(0.003)
+	}); got != 0 {
+		t.Errorf("Observe allocs/run = %v, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		h.ObserveExemplar(0.003, traceID)
+	}); got != 0 {
+		t.Errorf("ObserveExemplar allocs/run = %v, want 0", got)
+	}
+
+	// The stamped exemplar must still round-trip losslessly to snapshots.
+	snap := reg.Snapshot()
+	found := false
+	for _, hs := range snap.Histograms {
+		if hs.Name != "alloc_budget_seconds" {
+			continue
+		}
+		for _, b := range hs.Buckets {
+			if b.Exemplar != nil && b.Exemplar.TraceID == traceID && b.Exemplar.Value == 0.003 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("exemplar did not survive the slot round-trip to Snapshot")
+	}
+}
+
+// TestStageTracerAllocBudget pins the aggregate stage tracer at zero
+// steady-state allocations per Start/End pair.
+func TestStageTracerAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are only exact without the race detector")
+	}
+	tr := Stages()
+	tr.Start("alloc_budget_stage").End() // create the stage entry
+	if got := testing.AllocsPerRun(200, func() {
+		tr.Start("alloc_budget_stage").End()
+	}); got != 0 {
+		t.Errorf("stage Start/End allocs/run = %v, want 0", got)
+	}
+}

@@ -1,18 +1,37 @@
 package telemetry
 
-import "context"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // This file is telemetry's half of the trace-correlation handshake.
 // sociolint's telemetryimports analyzer forbids this package from importing
 // any module-internal package, including internal/trace — so the tracer
-// (which may import telemetry) stamps the active trace id into the context
-// through ContextWithTrace, and the ledger reads it back with TraceIDFrom.
-// The id is a plain string here precisely so no trace type needs naming.
+// (which may import telemetry) registers a resolver with SetTraceIDResolver
+// during init, and the ledger reads ids back with TraceIDFrom. The id is a
+// plain string here precisely so no trace type needs naming. The resolver
+// indirection (rather than the tracer eagerly stamping a second context
+// value per root span) keeps span start allocation-free: the hex id is only
+// materialized for the rare calls that attribute an ε spend.
 
 type traceCtxKey struct{}
 
+// traceIDResolver extracts a trace id from a context; registered once at
+// init by the tracing package.
+var traceIDResolver atomic.Pointer[func(context.Context) string]
+
+// SetTraceIDResolver registers the function TraceIDFrom falls back to when
+// ctx carries no explicit id. Intended to be called once, from an init
+// function, by the package that owns span propagation.
+func SetTraceIDResolver(fn func(context.Context) string) {
+	traceIDResolver.Store(&fn)
+}
+
 // ContextWithTrace returns ctx carrying traceID (32 lowercase hex digits)
-// for budget attribution. An ill-formed id is ignored.
+// for budget attribution — the explicit handshake for contexts that outlive
+// their span (the resolver only answers while the span is live). An
+// ill-formed id is ignored.
 func ContextWithTrace(ctx context.Context, traceID string) context.Context {
 	if !isTraceHex(traceID) {
 		return ctx
@@ -20,10 +39,17 @@ func ContextWithTrace(ctx context.Context, traceID string) context.Context {
 	return context.WithValue(ctx, traceCtxKey{}, traceID)
 }
 
-// TraceIDFrom returns the trace id carried by ctx, or "".
+// TraceIDFrom returns the trace id carried by ctx — an explicit
+// ContextWithTrace stamp, or whatever the registered resolver extracts —
+// or "".
 func TraceIDFrom(ctx context.Context) string {
-	id, _ := ctx.Value(traceCtxKey{}).(string)
-	return id
+	if id, _ := ctx.Value(traceCtxKey{}).(string); id != "" {
+		return id
+	}
+	if fn := traceIDResolver.Load(); fn != nil {
+		return (*fn)(ctx)
+	}
+	return ""
 }
 
 // RecordCtx records ev, attributing it to the trace carried by ctx (if

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -206,6 +207,63 @@ func isTraceHex(s string) bool {
 	return true
 }
 
+// exemplarSlot stores one bucket's exemplar in preallocated atomic words —
+// the value as float bits, the 32-hex-digit trace id packed into four
+// uint64s — so stamping an exemplar on the request path boxes nothing and
+// allocates nothing. Consistency uses a seqlock: a writer CASes seq from
+// even to odd, stores the fields, then publishes seq+2; a concurrent
+// writer that loses the CAS simply skips (exemplars are best-effort
+// last-writer state, so dropping one under contention is the right loss).
+// Readers retry while seq is odd or changed mid-read. Every access is an
+// atomic operation, so the race detector sees a data-race-free protocol.
+type exemplarSlot struct {
+	seq   atomic.Uint64 // 0 = never written; odd = write in flight
+	bits  atomic.Uint64 // math.Float64bits of the value
+	trace [4]atomic.Uint64
+}
+
+// store stamps (v, traceID) into the slot without allocating. traceID must
+// already be validated as exactly 32 bytes of lowercase hex.
+//
+//sociolint:hotpath
+func (s *exemplarSlot) store(v float64, traceID string) {
+	seq := s.seq.Load()
+	if seq&1 == 1 || !s.seq.CompareAndSwap(seq, seq+1) {
+		return // another writer is mid-flight; skip, keep the hot path wait-free
+	}
+	s.bits.Store(math.Float64bits(v))
+	var b [32]byte
+	copy(b[:], traceID)
+	for i := range s.trace {
+		s.trace[i].Store(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	s.seq.Store(seq + 2)
+}
+
+// load materializes the slot's exemplar, or nil when none was ever stored
+// (or a writer kept winning during every retry). Called on the snapshot
+// path, where allocation is fine.
+func (s *exemplarSlot) load() *Exemplar {
+	for tries := 0; tries < 8; tries++ {
+		seq := s.seq.Load()
+		if seq == 0 {
+			return nil
+		}
+		if seq&1 == 1 {
+			continue
+		}
+		bits := s.bits.Load()
+		var b [32]byte
+		for i := range s.trace {
+			binary.LittleEndian.PutUint64(b[i*8:], s.trace[i].Load())
+		}
+		if s.seq.Load() == seq {
+			return &Exemplar{Value: math.Float64frombits(bits), TraceID: string(b[:])}
+		}
+	}
+	return nil
+}
+
 // Histogram counts observations into fixed buckets chosen at registration.
 // Observe is lock-free: one atomic add on the bucket, one on the count, and
 // a CAS loop on the float sum.
@@ -216,7 +274,7 @@ type Histogram struct {
 	labelValue string
 	bounds     []float64 // sorted upper bounds; an implicit +Inf bucket follows
 	buckets    []atomic.Uint64
-	exemplars  []atomic.Pointer[Exemplar] // one slot per bucket, incl. +Inf
+	exemplars  []exemplarSlot // one preallocated slot per bucket, incl. +Inf
 	count      atomic.Uint64
 	sumBits    atomic.Uint64 // math.Float64bits of the running sum
 }
@@ -234,7 +292,7 @@ func newHistogram(name, help, labelKey, labelValue string, bounds []float64) *Hi
 		name: name, help: help, labelKey: labelKey, labelValue: labelValue,
 		bounds:    b,
 		buckets:   make([]atomic.Uint64, len(b)+1),
-		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+		exemplars: make([]exemplarSlot, len(b)+1),
 	}
 }
 
@@ -256,14 +314,17 @@ func (h *Histogram) Observe(v float64) {
 // trace id (32 lowercase hex digits), attaches it as the bucket's exemplar
 // so a bad latency bucket links to a retained trace at /debug/traces. An
 // ill-formed traceID degrades to a plain Observe — the validation is what
-// keeps arbitrary request strings out of the exported state.
+// keeps arbitrary request strings out of the exported state. The exemplar
+// lands in a preallocated atomic slot, so the call is allocation-free.
+//
+//sociolint:hotpath
 func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	h.Observe(v)
 	if !isTraceHex(traceID) {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+	h.exemplars[i].store(v, traceID)
 }
 
 // Count returns the number of observations.

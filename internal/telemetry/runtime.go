@@ -1,9 +1,59 @@
 package telemetry
 
 import (
+	"fmt"
 	"runtime"
+	"sync"
 	"time"
 )
+
+// PoolStats is one object pool's cumulative self-accounting: Gets counts
+// acquisitions, Misses counts the subset that had to allocate because the
+// pool was empty (typically right after a GC cycle emptied it). The hit
+// rate is (Gets-Misses)/Gets.
+type PoolStats struct {
+	Gets   uint64
+	Misses uint64
+}
+
+// poolStatsRegistry is the closed world of registered pools. Names are
+// validated static identifiers supplied at package init by the subsystems
+// that own the pools (trace spans, server response buffers), so the metric
+// names derived from them can never carry request data.
+var poolStatsRegistry = struct {
+	mu    sync.Mutex
+	pools map[string]func() PoolStats
+}{pools: map[string]func() PoolStats{}}
+
+// RegisterPoolStats registers a pool's stats callback under a static
+// identifier name. The runtime collector exports each registered pool as
+// pool_<name>_gets / pool_<name>_misses gauges. fn must be safe for
+// concurrent use; it is polled on the collector tick. Re-registering a
+// name replaces the callback. An invalid name panics — registration
+// happens at package init with compile-time-constant names, so a dynamic
+// name here would mean request data is about to become a metric name.
+func RegisterPoolStats(name string, fn func() PoolStats) {
+	if !validName(name) {
+		panic("telemetry: invalid pool name (pool names are static identifiers declared up front, never request data)")
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("telemetry: nil stats func for pool %q", name))
+	}
+	poolStatsRegistry.mu.Lock()
+	poolStatsRegistry.pools[name] = fn
+	poolStatsRegistry.mu.Unlock()
+}
+
+// poolStatsFuncs snapshots the registered (name, callback) pairs.
+func poolStatsFuncs() map[string]func() PoolStats {
+	poolStatsRegistry.mu.Lock()
+	defer poolStatsRegistry.mu.Unlock()
+	out := make(map[string]func() PoolStats, len(poolStatsRegistry.pools))
+	for k, v := range poolStatsRegistry.pools {
+		out[k] = v
+	}
+	return out
+}
 
 // StartRuntimeCollector samples Go runtime health — goroutine count, heap
 // bytes, GC totals — into reg on a ticker, so /metrics answers "is the
@@ -39,6 +89,15 @@ func StartRuntimeCollector(reg *Registry, interval time.Duration) (stop func()) 
 		gcRuns.Set(int64(ms.NumGC))
 		gcPause.Set(int64(ms.PauseTotalNs))
 		nextGC.Set(int64(ms.NextGC))
+		// Pool self-metrics: cumulative gets/misses per registered pool.
+		// Gauges are created lazily (NewGauge is idempotent) so pools
+		// registered after the collector started still show up; the names
+		// are closed-world because RegisterPoolStats validates them.
+		for name, fn := range poolStatsFuncs() {
+			st := fn()
+			reg.NewGauge("pool_"+name+"_gets", "Cumulative pool Get calls.").Set(int64(st.Gets))
+			reg.NewGauge("pool_"+name+"_misses", "Cumulative pool Gets that had to allocate (pool empty).").Set(int64(st.Misses))
+		}
 	}
 	sample() // expose real values immediately, not zeros until the first tick
 

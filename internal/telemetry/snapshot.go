@@ -74,9 +74,9 @@ func (r *Registry) Snapshot() Snapshot {
 		var cum uint64
 		for i, le := range h.bounds {
 			cum += h.buckets[i].Load()
-			hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: cum, Exemplar: h.exemplars[i].Load()})
+			hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: cum, Exemplar: h.exemplars[i].load()})
 		}
-		hs.InfExemplar = h.exemplars[len(h.bounds)].Load()
+		hs.InfExemplar = h.exemplars[len(h.bounds)].load()
 		snap.Histograms = append(snap.Histograms, hs)
 	}
 	// Polled gauges are evaluated outside the registry lock: the callbacks

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"context"
+	"testing"
+
+	"socialrec/internal/raceflag"
+)
+
+// TestSpanAllocBudget pins the span hot path's exact allocation counts:
+// the budget the pooled design buys, enforced so a refactor cannot quietly
+// re-introduce per-span garbage. Skipped under -race (detector shadow
+// state allocates).
+func TestSpanAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are only exact without the race detector")
+	}
+	tr := New(Config{Seed: 1, HeadRateZero: true, Capacity: 8})
+	ctx, root := tr.StartRoot(context.Background(), "alloc_root")
+	defer root.End()
+
+	// Warm the pool so the measurement sees steady state, not first-use.
+	for i := 0; i < 8; i++ {
+		sp := StartLeaf(ctx, "warm")
+		sp.End()
+	}
+
+	if got := testing.AllocsPerRun(200, func() {
+		sp := StartLeaf(ctx, "leaf_child")
+		sp.Set(testKeyN.Int(1))
+		sp.End()
+	}); got != 0 {
+		t.Errorf("StartLeaf+Set+End allocs/run = %v, want 0", got)
+	}
+}
+
+// TestRootAllocBudget pins the per-request root-span cost: pool round-trip
+// plus the unavoidable context plumbing. The trace-id hex and the telemetry
+// handshake are lazy (resolver-based), so a root that nothing logs against
+// pays only for carrying the span in the context.
+func TestRootAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are only exact without the race detector")
+	}
+	tr := New(Config{Seed: 3, HeadRateZero: true, Capacity: 8})
+	for i := 0; i < 8; i++ {
+		_, sp := tr.StartRoot(context.Background(), "warm")
+		sp.End()
+	}
+	const want = 1 // the spanCtx carrier (span rides inline, not boxed)
+	if got := testing.AllocsPerRun(200, func() {
+		_, sp := tr.StartRoot(context.Background(), "alloc_root")
+		sp.End()
+	}); got != want {
+		t.Errorf("StartRoot+End allocs/run = %v, want %v", got, want)
+	}
+}

@@ -7,18 +7,29 @@ import (
 
 // BenchmarkSpanStartEnd measures the hot-path cost of opening and closing
 // one child span under a live root — the overhead every traced operation
-// pays. Gated by scripts/benchdiff.go in CI.
+// pays. The leaf variant (StartLeaf: pooled object, no context derivation)
+// is the engine's hot path and must stay at 0 allocs/op; the ctx variant
+// pays for the derived context. Gated by scripts/benchdiff.go in CI.
 func BenchmarkSpanStartEnd(b *testing.B) {
 	tr := New(Config{Seed: 1, HeadRateZero: true, Capacity: 64})
 	ctx, root := tr.StartRoot(context.Background(), "bench_root")
 	defer root.End()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, sp := Start(ctx, "bench_child")
-		sp.Set(testKeyN.Int(int64(i)))
-		sp.End()
-	}
+	b.Run("leaf", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := StartLeaf(ctx, "bench_child")
+			sp.Set(testKeyN.Int(int64(i)))
+			sp.End()
+		}
+	})
+	b.Run("ctx", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := Start(ctx, "bench_child")
+			sp.Set(testKeyN.Int(int64(i)))
+			sp.End()
+		}
+	})
 }
 
 // BenchmarkRootStartEnd measures a full root-span lifecycle including the
@@ -29,6 +40,20 @@ func BenchmarkRootStartEnd(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, sp := tr.StartRoot(context.Background(), "bench_root")
+		sp.End()
+	}
+}
+
+// BenchmarkRootRetained measures the root lifecycle when every trace is
+// retained (head rate 1) — the copy-on-retain path the ring pays.
+func BenchmarkRootRetained(b *testing.B) {
+	tr := New(Config{Seed: 1, Capacity: 64})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, sp := tr.StartRoot(context.Background(), "bench_root")
+		leaf := StartLeaf(ctx, "bench_child")
+		leaf.End()
 		sp.End()
 	}
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -46,16 +47,97 @@ func (td *TraceData) Err() bool {
 	return false
 }
 
-// ring is a fixed-capacity lock-free overwrite buffer of retained traces.
-// push claims a slot with one atomic add and publishes the trace with one
-// atomic pointer store; concurrent pushes to a wrapped slot resolve to
-// last-writer-wins, which for a newest-wins buffer is the right loss.
-// snapshot reads every slot once with atomic loads — no locks, no
-// coordination with writers.
+// spanRecord is the compact in-ring form of one finished span: fixed-size
+// IDs instead of hex strings, an (offset, count) window into the owning
+// trace's attribute arena instead of a map. Export to SpanData happens at
+// Snapshot time, so the span hot path never builds JSON-shaped state.
+type spanRecord struct {
+	spanID   SpanID
+	parentID SpanID
+	name     string
+	start    int64 // UnixNano
+	dur      time.Duration
+	status   Status
+	attrOff  int
+	attrN    int
+}
+
+// export renders the record for /debug/traces. child forces ParentID out
+// even for spans whose parent id would also be emitted for a root
+// continuing a remote trace.
+func (r spanRecord) export(arena []Attr, child bool) SpanData {
+	sd := SpanData{
+		SpanID:   r.spanID.String(),
+		Name:     r.name,
+		Start:    r.start,
+		Duration: r.dur,
+		Status:   r.status.String(),
+		Attrs:    exportAttrs(arena[r.attrOff : r.attrOff+r.attrN]),
+	}
+	if child || !r.parentID.IsZero() {
+		sd.ParentID = r.parentID.String()
+	}
+	return sd
+}
+
+// retained is one kept trace as stored in a ring slot: the root record,
+// the children records and the attribute arena, all private copies made at
+// retention time (copy-on-retain) so the pooled accumulator they came from
+// could recycle immediately. The slices are owned by the slot and keep
+// their capacity when the ring wraps and the slot is overwritten, which is
+// what makes steady-state retention allocation-free.
+type retained struct {
+	traceID  TraceID
+	why      string
+	root     spanRecord
+	children []spanRecord
+	arena    []Attr
+	dropped  int
+	endNano  int64
+}
+
+// export renders the retained trace to its JSON shape.
+func (rt *retained) export() *TraceData {
+	td := &TraceData{
+		TraceID:      rt.traceID.String(),
+		Retained:     rt.why,
+		Root:         rt.root.export(rt.arena, false),
+		DroppedSpans: rt.dropped,
+		endNano:      rt.endNano,
+	}
+	if len(rt.children) > 0 {
+		spans := make([]SpanData, len(rt.children))
+		for i := range rt.children {
+			spans[i] = rt.children[i].export(rt.arena, true)
+		}
+		td.Spans = spans
+	}
+	return td
+}
+
+// slot is one reusable ring cell: a retained trace plus the mutex guarding
+// its overwrite. full distinguishes a never-written slot from a real trace.
+type slot struct {
+	mu   sync.Mutex
+	full bool
+	data retained
+}
+
+// ring is a fixed-capacity overwrite buffer of retained traces. push claims
+// a slot with one atomic add, then copies the trace into storage the SLOT
+// owns under the slot's mutex — successive pushes land on different slots,
+// so writers only contend after a full wrap, and reusing each slot's slice
+// capacity keeps steady-state retention allocation-free (the earlier
+// allocate-per-trace design spent more on GC assists than on the copies).
+// snapshot takes each slot mutex briefly; it is the rare debug-endpoint
+// path and pays for export, never the span hot path.
+//
+// Lock order: span.mu → root.mu → slot.mu (push is called from endRoot
+// with the first two held); snapshot takes only slot.mu.
 type ring struct {
 	mask  uint64
 	next  atomic.Uint64
-	slots []atomic.Pointer[TraceData]
+	slots []slot
 }
 
 // newRing rounds capacity up to a power of two so slot selection is a mask.
@@ -64,21 +146,44 @@ func newRing(capacity int) *ring {
 	for n < capacity {
 		n <<= 1
 	}
-	return &ring{mask: uint64(n - 1), slots: make([]atomic.Pointer[TraceData], n)}
+	return &ring{mask: uint64(n - 1), slots: make([]slot, n)}
 }
 
-func (r *ring) push(td *TraceData) {
+// push copies one kept trace into the next slot. rootAttrs (the root
+// span's own attributes) are appended after the children's arena and the
+// root record's attribute window is pointed at them, so callers hand over
+// borrowed slices and nothing outlives the call.
+//
+//sociolint:hotpath
+func (r *ring) push(traceID TraceID, why string, root spanRecord, children []spanRecord, arena, rootAttrs []Attr, dropped int, endNano int64) {
 	i := r.next.Add(1) - 1
-	r.slots[i&r.mask].Store(td)
+	sl := &r.slots[i&r.mask]
+	sl.mu.Lock()
+	d := &sl.data
+	d.traceID = traceID
+	d.why = why
+	d.children = append(d.children[:0], children...)
+	a := append(d.arena[:0], arena...)
+	root.attrOff = len(a)
+	root.attrN = len(rootAttrs)
+	d.arena = append(a, rootAttrs...)
+	d.root = root
+	d.dropped = dropped
+	d.endNano = endNano
+	sl.full = true
+	sl.mu.Unlock()
 }
 
-// snapshot returns the retained traces newest-first.
+// snapshot exports the retained traces newest-first.
 func (r *ring) snapshot() []*TraceData {
 	out := make([]*TraceData, 0, len(r.slots))
 	for i := range r.slots {
-		if td := r.slots[i].Load(); td != nil {
-			out = append(out, td)
+		sl := &r.slots[i]
+		sl.mu.Lock()
+		if sl.full {
+			out = append(out, sl.data.export())
 		}
+		sl.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].endNano > out[j].endNano })
 	return out

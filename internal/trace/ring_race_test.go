@@ -19,7 +19,7 @@ func TestRingConcurrentPushSnapshot(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
-				r.push(&TraceData{TraceID: "t", Retained: "head", endNano: int64(w*perWriter + i)})
+				r.push(TraceID{1}, "head", spanRecord{}, nil, nil, nil, 0, int64(w*perWriter+i))
 			}
 		}(w)
 	}

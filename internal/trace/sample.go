@@ -17,7 +17,8 @@ import (
 // threshold needs: the answer to "is 240ms slow?" does not change if the
 // true p99 is 110ms vs 140ms.
 type quantile struct {
-	q       float64 // target quantile in (0,1), e.g. 0.99
+	q       float64      // target quantile in (0,1), e.g. 0.99
+	cached  atomic.Int64 // last computed threshold in ns; see Threshold
 	buckets [64]atomic.Uint64
 	total   atomic.Uint64 // observations since last decay
 }
@@ -29,13 +30,22 @@ const (
 	quantMinSamples = 32
 	// quantDecayEvery halves all buckets after this many observations.
 	quantDecayEvery = 1024
+	// quantRefreshEvery recomputes the cached threshold after this many
+	// observations. The threshold is read on every root-span End, so it
+	// must be one atomic load there; a ≤64-observation lag is well inside
+	// the one-power-of-two accuracy the estimator promises anyway.
+	quantRefreshEvery = 64
 )
+
+const quantInactive = int64(1<<63 - 1)
 
 func newQuantile(q float64) *quantile {
 	if q <= 0 || q >= 1 {
 		q = 0.99
 	}
-	return &quantile{q: q}
+	e := &quantile{q: q}
+	e.cached.Store(quantInactive)
+	return e
 }
 
 // bucketOf maps a duration to its log2 bucket.
@@ -49,8 +59,15 @@ func bucketOf(d time.Duration) int {
 // Observe records one span duration.
 func (e *quantile) Observe(d time.Duration) {
 	e.buckets[bucketOf(d)].Add(1)
-	if e.total.Add(1)%quantDecayEvery == 0 {
+	n := e.total.Add(1)
+	if n%quantDecayEvery == 0 {
 		e.decay()
+	}
+	// Refresh the cached threshold on activation and every
+	// quantRefreshEvery observations thereafter, so readers never pay for
+	// the histogram walk.
+	if n == quantMinSamples || n%quantRefreshEvery == 0 {
+		e.cached.Store(int64(e.compute()))
 	}
 }
 
@@ -73,7 +90,17 @@ func (e *quantile) decay() {
 // traffic, and a lower-bound threshold would mark half of it "slow".
 // Before quantMinSamples observations it returns the maximum duration,
 // deactivating tail-slowness retention.
+//
+// The value is a cached copy refreshed by Observe — one atomic load, so
+// the root-span End path (which reads it on every trace) never walks the
+// histogram.
 func (e *quantile) Threshold() time.Duration {
+	return time.Duration(e.cached.Load())
+}
+
+// compute walks the cumulative histogram for the current threshold; called
+// from Observe at refresh points, never on the read path.
+func (e *quantile) compute() time.Duration {
 	var counts [64]uint64
 	var total uint64
 	for i := range e.buckets {

@@ -24,8 +24,7 @@ func (h *slogHandler) Enabled(ctx context.Context, level slog.Level) bool {
 }
 
 func (h *slogHandler) Handle(ctx context.Context, rec slog.Record) error {
-	if sp := FromContext(ctx); sp != nil {
-		traceID, spanID := sp.IDs()
+	if traceID, spanID := FromContext(ctx).IDs(); traceID != "" {
 		rec.AddAttrs(slog.String("trace_id", traceID), slog.String("span_id", spanID))
 	}
 	return h.inner.Handle(ctx, rec)

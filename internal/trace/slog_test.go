@@ -15,13 +15,15 @@ func TestSlogHandlerInjectsIDs(t *testing.T) {
 	ctx, sp := tr.StartRoot(context.Background(), "op")
 
 	logger.InfoContext(ctx, "inside span", "k", "v")
+	// Capture before End: a finished handle is inert (its pooled object
+	// recycles), so IDs must be read while the span is live.
+	wantTrace, wantSpan := sp.IDs()
 	sp.End()
 
 	var rec map[string]any
 	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	wantTrace, wantSpan := sp.IDs()
 	if rec["trace_id"] != wantTrace {
 		t.Errorf("trace_id = %v, want %s", rec["trace_id"], wantTrace)
 	}

@@ -32,12 +32,25 @@
 // ALWAYS keeps traces whose root or any child errored, and traces whose
 // root latency reaches a rolling quantile estimate of the recent latency
 // distribution — the slow tail survives even a 1% head rate. Retained
-// traces live in a fixed-size lock-free ring; old traces are overwritten,
-// never reallocated.
+// traces live in a fixed-size ring of reusable slots; old traces are
+// overwritten in place, never reallocated.
 //
-// The span hot path (Start, Set, End on a non-retained trace) is a few
-// atomics plus one short mutex hold on the trace's own accumulation list;
-// no global lock is taken after tracer construction.
+// # Pooling and allocation
+//
+// Span and per-trace accumulation objects are pooled (sync.Pool) with
+// fixed-capacity attribute slots, so the span hot path — StartLeaf, Set,
+// End on a child of a live trace — performs zero heap allocations in
+// steady state. Safety under recycling comes from generation counters: the
+// public Span is a small value handle {object, generation}; every method
+// re-checks the generation under the object's own mutex and becomes a
+// no-op once the object has been released, so End stays idempotent and a
+// child that outlives its root is counted late instead of corrupting an
+// unrelated trace. Retention copies-on-retain: the ring stores compact
+// span records copied out of the pooled accumulator at the moment a trace
+// is kept, into slot storage the ring reuses across overwrites (JSON-shaped
+// export is deferred to Snapshot time), so pooled objects recycle
+// immediately regardless of sampling fate and retention itself allocates
+// nothing in steady state.
 package trace
 
 import (
@@ -201,7 +214,22 @@ func New(cfg Config) *Tracer {
 
 var defaultTracer atomic.Pointer[Tracer]
 
-func init() { defaultTracer.Store(New(Config{})) }
+func init() {
+	defaultTracer.Store(New(Config{}))
+	telemetry.RegisterPoolStats("trace_span", func() telemetry.PoolStats {
+		return telemetry.PoolStats{Gets: spanPoolGets.Load(), Misses: spanPoolNews.Load()}
+	})
+	telemetry.RegisterPoolStats("trace_root", func() telemetry.PoolStats {
+		return telemetry.PoolStats{Gets: rootPoolGets.Load(), Misses: rootPoolNews.Load()}
+	})
+	// Telemetry's half of the trace-correlation handshake (it cannot import
+	// this package): ε-spend attribution resolves the active span's trace id
+	// on demand instead of every root span paying to stamp it eagerly.
+	telemetry.SetTraceIDResolver(func(ctx context.Context) string {
+		traceID, _ := FromContext(ctx).IDs()
+		return traceID
+	})
+}
 
 // Default returns the process-wide tracer, the one cmd/recserve serves at
 // /debug/traces. Root spans started through the package-level Start use it.
@@ -250,78 +278,179 @@ func (t *Tracer) headSampled(id TraceID) bool {
 	return binary.BigEndian.Uint64(id[:8]) <= t.headBar
 }
 
-// root is the per-trace accumulation shared by every span of one trace.
+// root is the pooled per-trace accumulator shared by every span of one
+// trace. Finished children fold compact records into children and their
+// attributes into the arena; both slices keep their capacity across
+// recycles, so steady-state folding never allocates. gen is bumped under
+// mu when the root is released: a late child holding a stale generation
+// sees the mismatch and is counted instead of folded. gen is atomic so a
+// fresh owner (startRoot, sole holder right after rootPool.Get) can read
+// it without taking mu; folds still check it under mu, which is what makes
+// the late-child bail race-free.
 type root struct {
-	tracer  *Tracer
-	traceID TraceID
-	head    bool
-
 	mu       sync.Mutex
-	children []SpanData
+	gen      atomic.Uint64
+	children []spanRecord
+	arena    []Attr
 	dropped  int
 	errored  bool
-	ended    bool
 }
 
-// Span is one in-flight timed operation. The zero and nil Span are inert:
-// every method is a no-op, so code traced through an un-instrumented
-// context needs no nil checks.
-type Span struct {
-	root     *root
+// span is the pooled object behind Span handles. All fields are guarded by
+// mu; gen is bumped at release so stale handles become inert before the
+// object is reused.
+type span struct {
+	mu  sync.Mutex
+	gen uint64
+
+	tracer   *Tracer
+	rt       *root
+	rtGen    uint64
+	traceID  TraceID
+	traceHex string // lazily cached by IDs; never eagerly rendered
+	spanHex  string // lazily cached
+	head     bool
+	isRoot   bool
 	name     string
 	spanID   SpanID
 	parentID SpanID
-	isRoot   bool
-	start    time.Time
+	// Timing is anchored at the root: rootStart is the root span's wall+
+	// mono reading (copied to every child) and startOff this span's start
+	// as a monotonic offset from it. Children therefore pay one
+	// time.Since per start instead of a full time.Now — roughly half the
+	// clock cost — and the exported start (rootStartNano+startOff) stays
+	// correct even across wall-clock steps.
+	rootStart     time.Time
+	rootStartNano int64
+	startOff      time.Duration
+	status        Status
+	ended         bool
+	nattrs        int
+	attrs         [maxAttrsPerSpan]Attr
+}
 
-	mu     sync.Mutex
-	attrs  []Attr
-	status Status
-	ended  bool
+// Pools for span and root objects. Gets/news counters feed the pool
+// self-metrics exported by telemetry's runtime collector; a "miss" is a
+// Get that had to allocate (pool empty, typically after a GC cycle).
+var (
+	spanPool     = sync.Pool{New: func() any { spanPoolNews.Add(1); return new(span) }}
+	rootPool     = sync.Pool{New: func() any { rootPoolNews.Add(1); return new(root) }}
+	spanPoolGets atomic.Uint64
+	spanPoolNews atomic.Uint64
+	rootPoolGets atomic.Uint64
+	rootPoolNews atomic.Uint64
+)
+
+// Span is a handle to one in-flight timed operation: a pooled object plus
+// the generation it was valid for. The zero Span is inert — every method
+// is a no-op — and so is any handle whose object has since been released
+// back to the pool (End recycles it), which is what makes pooling safe:
+// double End, Set-after-End and children outliving their root all degrade
+// to no-ops or a late-span count, never to writes into a recycled object.
+type Span struct {
+	sp  *span
+	gen uint64
 }
 
 type ctxKey struct{}
 
-// FromContext returns the active span, or nil when ctx carries none.
-func FromContext(ctx context.Context) *Span {
-	sp, _ := ctx.Value(ctxKey{}).(*Span)
+// spanCtx is the dedicated context carrier for the active span. A plain
+// context.WithValue stamp costs two allocations (the valueCtx plus the
+// 16-byte Span boxed into its any field); boxing this struct into the
+// context.Context return is one. FromContext unwraps it with a concrete
+// type assertion — no interface round-trip — when the caller's context IS
+// the stamp, which is the hot-path shape (a handler or engine receives the
+// context StartRoot returned).
+type spanCtx struct {
+	context.Context
+	sp Span
+}
+
+// Value serves the active span under the package's private key and
+// delegates everything else, so spans derived through WithCancel & friends
+// still find their parent.
+func (c spanCtx) Value(key any) any {
+	if _, ok := key.(ctxKey); ok {
+		return c.sp
+	}
+	return c.Context.Value(key)
+}
+
+// FromContext returns the active span; the zero (inert) Span when ctx
+// carries none.
+func FromContext(ctx context.Context) Span {
+	if c, ok := ctx.(spanCtx); ok {
+		return c.sp
+	}
+	sp, _ := ctx.Value(ctxKey{}).(Span)
 	return sp
 }
 
 // ContextWithSpan returns ctx carrying sp as the active span.
-func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
-	return context.WithValue(ctx, ctxKey{}, sp)
+func ContextWithSpan(ctx context.Context, sp Span) context.Context {
+	return spanCtx{Context: ctx, sp: sp}
 }
 
-// IDs returns the span's trace and span IDs as lowercase hex ("" for a
-// nil/zero span) — the correlation tokens logs and exemplars carry.
-func (sp *Span) IDs() (traceID, spanID string) {
-	if sp == nil || sp.root == nil {
+// IDs returns the span's trace and span IDs as lowercase hex ("" for an
+// inert span) — the correlation tokens logs and exemplars carry. The hex
+// forms are computed once per span and cached.
+func (sp Span) IDs() (traceID, spanID string) {
+	s := sp.sp
+	if s == nil {
 		return "", ""
 	}
-	return sp.root.traceID.String(), sp.spanID.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen != sp.gen {
+		return "", ""
+	}
+	if s.traceHex == "" {
+		s.traceHex = s.traceID.String()
+	}
+	if s.spanHex == "" {
+		s.spanHex = s.spanID.String()
+	}
+	return s.traceHex, s.spanHex
 }
 
-// TraceID returns the span's trace ID (zero for a nil/zero span).
-func (sp *Span) TraceID() TraceID {
-	if sp == nil || sp.root == nil {
+// TraceID returns the span's trace ID (zero for an inert span).
+func (sp Span) TraceID() TraceID {
+	s := sp.sp
+	if s == nil {
 		return TraceID{}
 	}
-	return sp.root.traceID
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen != sp.gen {
+		return TraceID{}
+	}
+	return s.traceID
 }
 
-// SpanID returns the span's ID (zero for a nil/zero span).
-func (sp *Span) SpanID() SpanID {
-	if sp == nil || sp.root == nil {
+// SpanID returns the span's ID (zero for an inert span).
+func (sp Span) SpanID() SpanID {
+	s := sp.sp
+	if s == nil {
 		return SpanID{}
 	}
-	return sp.spanID
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen != sp.gen {
+		return SpanID{}
+	}
+	return s.spanID
 }
 
 // HeadSampled reports the deterministic head-sampling fate of the span's
-// trace (false for a nil/zero span).
-func (sp *Span) HeadSampled() bool {
-	return sp != nil && sp.root != nil && sp.root.head
+// trace (false for an inert span).
+func (sp Span) HeadSampled() bool {
+	s := sp.sp
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen == sp.gen && s.head
 }
 
 // Start opens a span named name. If ctx carries an active span the new
@@ -331,32 +460,59 @@ func (sp *Span) HeadSampled() bool {
 // this for non-test code).
 //
 //sociolint:hotpath
-func Start(ctx context.Context, name string) (context.Context, *Span) {
-	if parent := FromContext(ctx); parent != nil && parent.root != nil {
-		sp := parent.root.tracer.newChild(parent, name)
+func Start(ctx context.Context, name string) (context.Context, Span) {
+	if parent := FromContext(ctx); parent.sp != nil {
+		sp := parent.newChild(name, nil)
+		if sp.sp == nil {
+			// The parent was already recycled (its request finished);
+			// starting a fresh root here would fabricate causality, so the
+			// caller gets an inert span instead.
+			return ctx, sp
+		}
 		return ContextWithSpan(ctx, sp), sp
 	}
 	return Default().StartRoot(ctx, name)
 }
 
 // StartChild opens a child span only when ctx already carries an active
-// span; otherwise it returns ctx unchanged and a nil (inert) span, whose
-// every method is a no-op. Library code on shared paths (engine internals,
+// span; otherwise it returns ctx unchanged and an inert span, whose every
+// method is a no-op. Library code on shared paths (engine internals,
 // stores) uses it so an untraced call cannot mint root traces of its own.
 //
 //sociolint:hotpath
-func StartChild(ctx context.Context, name string) (context.Context, *Span) {
+func StartChild(ctx context.Context, name string) (context.Context, Span) {
 	parent := FromContext(ctx)
-	if parent == nil || parent.root == nil {
-		return ctx, nil
+	if parent.sp == nil {
+		return ctx, Span{}
 	}
-	sp := parent.root.tracer.newChild(parent, name)
+	sp := parent.newChild(name, nil)
+	if sp.sp == nil {
+		return ctx, sp
+	}
 	return ContextWithSpan(ctx, sp), sp
+}
+
+// StartLeaf opens a child of ctx's active span WITHOUT deriving a new
+// context: the allocation-free variant of StartChild for leaf operations
+// that never start children of their own (the engine's per-batch phases).
+// Initial attributes may be attached in the same call — cheaper than a
+// following Set, which pays a second lock round-trip. When ctx carries no
+// active span — or the span was already recycled — the returned Span is
+// inert. Callers MUST End the span on every path (spanend enforces this
+// like every other Start variant).
+//
+//sociolint:hotpath
+func StartLeaf(ctx context.Context, name string, attrs ...Attr) Span {
+	parent := FromContext(ctx)
+	if parent.sp == nil {
+		return Span{}
+	}
+	return parent.newChild(name, attrs)
 }
 
 // StartRoot opens a new root span (a new trace) on t, ignoring any span
 // already in ctx.
-func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, Span) {
 	return t.startRoot(ctx, name, t.newTraceID(), SpanID{})
 }
 
@@ -364,141 +520,261 @@ func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *
 // by tp (an inbound W3C traceparent): the trace ID is inherited — so the
 // deterministic head decision matches the caller's — and the remote span
 // becomes the parent.
-func (t *Tracer) StartRemote(ctx context.Context, name string, tp Traceparent) (context.Context, *Span) {
+func (t *Tracer) StartRemote(ctx context.Context, name string, tp Traceparent) (context.Context, Span) {
 	if tp.TraceID.IsZero() {
 		return t.StartRoot(ctx, name)
 	}
 	return t.startRoot(ctx, name, tp.TraceID, tp.ParentID)
 }
 
-func (t *Tracer) startRoot(ctx context.Context, name string, traceID TraceID, parent SpanID) (context.Context, *Span) {
+func (t *Tracer) startRoot(ctx context.Context, name string, traceID TraceID, parent SpanID) (context.Context, Span) {
 	if !validName(name) {
 		name = "invalid_span"
 	}
 	t.started.Add(1)
 	t.roots.Add(1)
-	sp := &Span{
-		root: &root{
-			tracer:  t,
-			traceID: traceID,
-			head:    t.headSampled(traceID),
-		},
-		name:     name,
-		spanID:   t.newSpanID(),
-		parentID: parent,
-		isRoot:   true,
-		start:    time.Now(),
-	}
-	// Stamp the trace id where telemetry can see it (telemetryimports bars
-	// telemetry from importing this package, so the handshake is a plain
-	// string in the context) — Ledger.RecordCtx attributes ε spends with it.
-	ctx = telemetry.ContextWithTrace(ctx, traceID.String())
+
+	rootPoolGets.Add(1)
+	rt := rootPool.Get().(*root)
+	// This goroutine is the accumulator's sole owner right after Get —
+	// late children from its previous life only ever compare gen under
+	// rt.mu — so an atomic read suffices here; no lock round-trip.
+	rtGen := rt.gen.Load()
+
+	spanPoolGets.Add(1)
+	s := spanPool.Get().(*span)
+	// Initialization runs WITHOUT s.mu. A stale handle from the object's
+	// previous life may still call methods concurrently, but those lock
+	// s.mu and read only s.gen before bailing — and gen was bumped under
+	// s.mu at release, before the Put whose matching Get handed us the
+	// object — so the bail is race-free and init never touches the one
+	// field it reads. Methods on the handle returned below re-lock s.mu,
+	// and reach these fields through whatever synchronization delivered
+	// them the handle.
+	s.tracer = t
+	s.rt = rt
+	s.rtGen = rtGen
+	s.traceID = traceID
+	s.head = t.headSampled(traceID)
+	s.isRoot = true
+	s.name = name
+	s.spanID = t.newSpanID()
+	s.parentID = parent
+	s.rootStart = time.Now()
+	s.rootStartNano = s.rootStart.UnixNano()
+	s.startOff = 0
+	gen := s.gen
+
+	// Telemetry finds the trace id through the resolver registered in this
+	// package's init (telemetryimports bars telemetry from importing this
+	// package), so no second context value is stamped here: root start stays
+	// at its alloc floor and the hex id is only rendered when something —
+	// an ε-spend attribution, a log line, an exemplar — actually asks.
+	sp := Span{sp: s, gen: gen}
 	return ContextWithSpan(ctx, sp), sp
 }
 
+// newChild allocates nothing in steady state: a pooled span object is
+// initialized from the parent's fields, read under the parent's lock so a
+// recycled parent yields an inert child instead of joining a stranger's
+// trace. attrs, when non-empty, are attached during init — same validation
+// as Set, minus Set's extra lock round-trip (a non-escaping variadic slice
+// lives on the caller's stack).
+//
 //sociolint:hotpath
-func (t *Tracer) newChild(parent *Span, name string) *Span {
+func (parent Span) newChild(name string, attrs []Attr) Span {
 	if !validName(name) {
 		name = "invalid_span"
 	}
-	t.started.Add(1)
-	return &Span{
-		root:     parent.root,
-		name:     name,
-		spanID:   t.newSpanID(),
-		parentID: parent.spanID,
-		start:    time.Now(),
+	ps := parent.sp
+	ps.mu.Lock()
+	if ps.gen != parent.gen {
+		ps.mu.Unlock()
+		return Span{}
 	}
+	t := ps.tracer
+	rt, rtGen := ps.rt, ps.rtGen
+	traceID, head := ps.traceID, ps.head
+	parentID := ps.spanID
+	rootStart, rootStartNano := ps.rootStart, ps.rootStartNano
+	ps.mu.Unlock()
+
+	t.started.Add(1)
+	spanPoolGets.Add(1)
+	s := spanPool.Get().(*span)
+	// Lock-free init; see the twin comment in startRoot for why a stale
+	// handle racing these writes is safe (it only reads s.gen, under mu).
+	s.tracer = t
+	s.rt = rt
+	s.rtGen = rtGen
+	s.traceID = traceID
+	s.head = head
+	s.isRoot = false
+	s.name = name
+	s.spanID = t.newSpanID()
+	s.parentID = parentID
+	s.rootStart = rootStart
+	s.rootStartNano = rootStartNano
+	n := 0
+	for _, a := range attrs {
+		if a.key.name == "" || n >= maxAttrsPerSpan {
+			continue
+		}
+		s.attrs[n] = a
+		n++
+	}
+	s.nattrs = n
+	s.startOff = time.Since(rootStart)
+	return Span{sp: s, gen: s.gen}
 }
 
 // Set attaches declared attributes to the span. Attributes from undeclared
-// (zero) keys are dropped; see NewKey. At most maxAttrsPerSpan stick.
-func (sp *Span) Set(attrs ...Attr) {
-	if sp == nil || sp.root == nil {
+// (zero) keys are dropped; see NewKey. At most maxAttrsPerSpan stick — the
+// backing storage is a fixed-capacity array inside the pooled span object,
+// so Set never allocates.
+//
+//sociolint:hotpath
+func (sp Span) Set(attrs ...Attr) {
+	s := sp.sp
+	if s == nil {
 		return
 	}
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	if sp.ended {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen != sp.gen || s.ended {
 		return
 	}
 	for _, a := range attrs {
-		if a.key.name == "" || len(sp.attrs) >= maxAttrsPerSpan {
+		if a.key.name == "" || s.nattrs >= maxAttrsPerSpan {
 			continue
 		}
-		sp.attrs = append(sp.attrs, a)
+		s.attrs[s.nattrs] = a
+		s.nattrs++
 	}
 }
 
 // SetStatus sets the span's terminal status. StatusError marks the whole
 // trace for tail retention.
-func (sp *Span) SetStatus(s Status) {
-	if sp == nil || sp.root == nil {
+//
+//sociolint:hotpath
+func (sp Span) SetStatus(st Status) {
+	s := sp.sp
+	if s == nil {
 		return
 	}
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	if !sp.ended {
-		sp.status = s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen != sp.gen || s.ended {
+		return
 	}
+	s.status = st
 }
 
-// End finishes the span and returns its duration. Ending a child folds it
-// into its trace; ending the root runs the sampling decision and, when
-// retained, commits the whole trace to the ring. End is idempotent —
-// second and later calls are no-ops returning 0.
-func (sp *Span) End() time.Duration {
-	if sp == nil || sp.root == nil {
+// End finishes the span and returns its duration. Ending a child folds its
+// compact record into its trace's pooled accumulator; ending the root runs
+// the sampling decision and, when retained, copies the accumulated records
+// into the ring (copy-on-retain) before both objects recycle. End is
+// idempotent — second and later calls are no-ops returning 0, enforced by
+// the generation check even after the underlying object is reused.
+//
+//sociolint:hotpath
+func (sp Span) End() time.Duration {
+	s := sp.sp
+	if s == nil {
 		return 0
 	}
-	sp.mu.Lock()
-	if sp.ended {
-		sp.mu.Unlock()
+	s.mu.Lock()
+	if s.gen != sp.gen || s.ended {
+		s.mu.Unlock()
 		return 0
 	}
-	sp.ended = true
-	d := time.Since(sp.start)
-	data := SpanData{
-		SpanID:   sp.spanID.String(),
-		Name:     sp.name,
-		Start:    sp.start.UnixNano(),
-		Duration: d,
-		Status:   sp.status.String(),
-		Attrs:    exportAttrs(sp.attrs),
+	s.ended = true
+	d := time.Since(s.rootStart) - s.startOff
+	rec := spanRecord{
+		spanID:   s.spanID,
+		parentID: s.parentID,
+		name:     s.name,
+		start:    s.rootStartNano + int64(s.startOff),
+		dur:      d,
+		status:   s.status,
 	}
-	errored := sp.status == StatusError
-	sp.mu.Unlock()
-	if !sp.parentID.IsZero() || sp.isChild() {
-		data.ParentID = sp.parentID.String()
+	t := s.tracer
+	if s.isRoot {
+		t.endRoot(s, rec, d)
+	} else {
+		t.endChild(s, rec)
 	}
+	// Release: bump the generation (stale handles go inert) and return the
+	// span to the pool. Lock order is always span.mu → root.mu, never the
+	// reverse, so holding s.mu through the fold above cannot deadlock.
+	//
+	// s.tracer, s.rt and s.name are deliberately NOT cleared: the next Get
+	// overwrites them, and everything they can pin — the tracer, a pooled
+	// root, a static span-name literal — is long-lived anyway, so the only
+	// thing the clears bought was three pointer write barriers on the hot
+	// path. The lazily-rendered hex strings are the exception (per-span
+	// garbage), dropped only when they were actually materialized.
+	s.gen++
+	if s.traceHex != "" {
+		s.traceHex = ""
+	}
+	if s.spanHex != "" {
+		s.spanHex = ""
+	}
+	s.head = false
+	s.isRoot = false
+	s.ended = false
+	s.status = StatusOK
+	s.nattrs = 0
+	s.mu.Unlock()
+	spanPool.Put(s)
+	return d
+}
 
-	r := sp.root
-	t := r.tracer
-	if sp.isChild() {
-		r.mu.Lock()
-		if r.ended {
-			t.lateSpans.Add(1)
-		} else if len(r.children) >= t.maxChildren {
-			r.dropped++
-		} else {
-			r.children = append(r.children, data)
-		}
-		if errored {
-			r.errored = true
-		}
-		r.mu.Unlock()
-		return d
+// endChild folds a finished child into its trace's accumulator. Called
+// with s.mu held.
+//
+//sociolint:hotpath
+func (t *Tracer) endChild(s *span, rec spanRecord) {
+	rt := s.rt
+	rt.mu.Lock()
+	if rt.gen.Load() != s.rtGen {
+		// The root ended (and recycled the accumulator) first.
+		rt.mu.Unlock()
+		t.lateSpans.Add(1)
+		return
 	}
+	if s.status == StatusError {
+		rt.errored = true
+	}
+	if len(rt.children) >= t.maxChildren {
+		rt.dropped++
+	} else {
+		rec.attrOff = len(rt.arena)
+		rec.attrN = s.nattrs
+		rt.arena = append(rt.arena, s.attrs[:s.nattrs]...)
+		rt.children = append(rt.children, rec)
+	}
+	rt.mu.Unlock()
+}
 
-	// Root: close the trace and decide retention.
+// endRoot closes the trace: it decides retention, copies the accumulated
+// records out when kept, and recycles the accumulator. Called with s.mu
+// held.
+func (t *Tracer) endRoot(s *span, rec spanRecord, d time.Duration) {
 	t.quant.Observe(d)
 	slow := d >= t.quant.Threshold()
-	r.mu.Lock()
-	r.ended = true
-	children := r.children
-	dropped := r.dropped
-	errored = errored || r.errored
-	r.mu.Unlock()
+
+	rt := s.rt
+	rt.mu.Lock()
+	if rt.gen.Load() != s.rtGen {
+		// Unreachable in practice (the root span's own gen/ended gate
+		// already serializes End), kept as defense in depth.
+		rt.mu.Unlock()
+		t.lateSpans.Add(1)
+		return
+	}
+	errored := s.status == StatusError || rt.errored
 
 	keep, why := false, ""
 	switch {
@@ -508,30 +784,37 @@ func (sp *Span) End() time.Duration {
 	case slow:
 		keep, why = true, "slow"
 		t.keptSlow.Add(1)
-	case r.head:
+	case s.head:
 		keep, why = true, "head"
 		t.keptHead.Add(1)
 	}
+
+	if keep {
+		// Copy-on-retain: the ring slot copies the records and the
+		// attribute arena into storage it owns (reused across overwrites,
+		// so this allocates nothing in steady state). The accumulator's
+		// slices are only borrowed for the duration of the push, which is
+		// why it happens here, still under rt.mu.
+		t.ring.push(s.traceID, why, rec, rt.children, rt.arena,
+			s.attrs[:s.nattrs], rt.dropped, rec.start+int64(d))
+	}
+
+	// Recycle the accumulator: bump the generation so late children count
+	// as late instead of folding into the next trace, keep slice capacity.
+	rt.gen.Add(1)
+	rt.children = rt.children[:0]
+	rt.arena = rt.arena[:0]
+	rt.dropped = 0
+	rt.errored = false
+	rt.mu.Unlock()
+	rootPool.Put(rt)
+
 	if !keep {
 		t.discarded.Add(1)
-		return d
+		return
 	}
 	t.kept.Add(1)
-	t.ring.push(&TraceData{
-		TraceID:      r.traceID.String(),
-		Retained:     why,
-		Root:         data,
-		Spans:        children,
-		DroppedSpans: dropped,
-		endNano:      data.Start + int64(d),
-	})
-	return d
 }
-
-// isChild reports whether sp is a child span (its trace's root is some
-// other span). A root may still carry a non-zero parentID from a remote
-// traceparent, so parentID alone cannot distinguish the two.
-func (sp *Span) isChild() bool { return !sp.isRoot }
 
 // Stats is a point-in-time summary of a tracer's sampling behaviour.
 type Stats struct {
@@ -568,7 +851,8 @@ func (t *Tracer) Stats() Stats {
 	}
 }
 
-// Snapshot returns the retained traces, newest first.
+// Snapshot returns the retained traces, newest first, exported to their
+// JSON shape (the ring itself stores compact records).
 func (t *Tracer) Snapshot() []*TraceData {
 	return t.ring.snapshot()
 }

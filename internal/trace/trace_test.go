@@ -206,18 +206,80 @@ func TestEndIdempotentAndLateChildren(t *testing.T) {
 }
 
 func TestNilSpanSafe(t *testing.T) {
-	var sp *Span
+	var sp Span
 	sp.Set(testKeyN.Int(1))
 	sp.SetStatus(StatusError)
 	if sp.End() != 0 {
-		t.Error("nil End != 0")
+		t.Error("zero End != 0")
 	}
 	if id, _ := sp.IDs(); id != "" {
-		t.Error("nil IDs non-empty")
+		t.Error("zero IDs non-empty")
 	}
-	if FromContext(context.Background()) != nil {
+	if got := FromContext(context.Background()); got.sp != nil {
 		t.Error("empty ctx carries a span")
 	}
+}
+
+func TestStaleHandleInertAfterRecycle(t *testing.T) {
+	// A handle kept after End must stay a no-op even when the pooled span
+	// object underneath it has been recycled into a different span: the
+	// generation check is what makes sync.Pool reuse safe.
+	tr := New(Config{Seed: 31, Capacity: 8})
+	ctx, root := tr.StartRoot(context.Background(), "op")
+	stale := StartLeaf(ctx, "first")
+	stale.End()
+	// Very likely reuses the object stale's handle points to.
+	fresh := StartLeaf(ctx, "second")
+	stale.SetStatus(StatusError) // must not mark fresh (or anything) errored
+	stale.Set(testKeyN.Int(99))  // must not attach to fresh
+	if d := stale.End(); d != 0 {
+		t.Errorf("stale End = %v, want 0", d)
+	}
+	if id, _ := stale.IDs(); id != "" {
+		t.Errorf("stale IDs = %q, want empty", id)
+	}
+	fresh.End()
+	root.End()
+	td := tr.Snapshot()[0]
+	if td.Retained != "head" {
+		t.Fatalf("retained = %q (stale SetStatus leaked an error)", td.Retained)
+	}
+	if len(td.Spans) != 2 {
+		t.Fatalf("children = %d, want 2", len(td.Spans))
+	}
+	for _, s := range td.Spans {
+		if s.Status != "ok" {
+			t.Errorf("child %s status = %q, want ok", s.Name, s.Status)
+		}
+		if len(s.Attrs) != 0 {
+			t.Errorf("child %s attrs = %v, want none", s.Name, s.Attrs)
+		}
+	}
+}
+
+func TestStartLeafFoldsAsChild(t *testing.T) {
+	tr := New(Config{Seed: 37, Capacity: 8})
+	ctx, root := tr.StartRoot(context.Background(), "op")
+	leaf := StartLeaf(ctx, "leaf_phase")
+	leaf.Set(testKeyN.Int(7))
+	leaf.End()
+	root.End()
+	td := tr.Snapshot()[0]
+	if len(td.Spans) != 1 || td.Spans[0].Name != "leaf_phase" {
+		t.Fatalf("spans = %+v, want one leaf_phase child", td.Spans)
+	}
+	if td.Spans[0].ParentID != td.Root.SpanID {
+		t.Errorf("leaf parent = %q, want root %q", td.Spans[0].ParentID, td.Root.SpanID)
+	}
+	if td.Spans[0].Attrs["n"] != int64(7) {
+		t.Errorf("leaf attrs = %v", td.Spans[0].Attrs)
+	}
+	// Without an active span in ctx, StartLeaf is inert.
+	inert := StartLeaf(context.Background(), "leaf_phase")
+	if inert.sp != nil {
+		t.Error("StartLeaf minted a span from an untraced ctx")
+	}
+	inert.End()
 }
 
 func TestMaxChildrenCap(t *testing.T) {

@@ -3,7 +3,6 @@ package trace
 import (
 	"encoding/hex"
 	"errors"
-	"fmt"
 )
 
 // TraceparentHeader is the W3C Trace Context header name carried on HTTP
@@ -69,13 +68,21 @@ func ParseTraceparent(s string) (Traceparent, error) {
 	return tp, nil
 }
 
-// String renders the version-00 header value.
+// String renders the version-00 header value. It assembles the fixed-width
+// header in a stack buffer — one allocation for the returned string — since
+// the serving path emits one per response.
 func (tp Traceparent) String() string {
-	flags := byte(0)
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], tp.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], tp.ParentID[:])
+	b[52], b[53] = '-', '0'
+	b[54] = '0'
 	if tp.Sampled {
-		flags = 1
+		b[54] = '1'
 	}
-	return fmt.Sprintf("00-%s-%s-%02x", tp.TraceID, tp.ParentID, flags)
+	return string(b[:])
 }
 
 // isHexLower reports whether s is entirely lowercase hex digits, the only

@@ -1,17 +1,28 @@
 // Command benchdiff converts `go test -bench` text output into a stable
-// JSON baseline and compares two such baselines, failing when a benchmark's
-// ns/op regressed beyond a threshold. It exists so `make bench` can record
-// a checked-in baseline (BENCH_PR2.json) and CI or a reviewer can ask "did
-// this change make serving slower?" with one command, no external tooling.
+// JSON baseline and compares two such baselines as a two-axis budget gate:
+//
+//   - ns/op is a ratio threshold: regression beyond -threshold percent
+//     fails. Wall-clock is noisy, so a tolerance band is the honest gate.
+//   - allocs/op is a hard per-benchmark ceiling: ANY growth over the
+//     baseline fails, regardless of ns/op. Allocation counts are
+//     deterministic (no noise to tolerate), and the zero-allocation
+//     serving path regresses one alloc at a time — a percentage gate
+//     would wave every one of them through.
+//
+// It exists so `make bench` can record a checked-in baseline
+// (BENCH_PR7.json) and CI or a reviewer can ask "did this change make
+// serving slower or allocate more?" with one command, no external tooling.
 //
 // Usage:
 //
 //	go run ./scripts -parse bench.txt -out BENCH.json
-//	go run ./scripts -old BENCH_PR2.json -new /tmp/bench_new.json [-threshold 10]
+//	go run ./scripts -old BENCH_PR7.json -new /tmp/bench_new.json [-threshold 10]
 //
-// Parsing keeps the MINIMUM ns/op across `-count` repetitions of each
-// benchmark: minimum is the standard noise-robust statistic for
-// wall-clock microbenchmarks (noise is strictly additive).
+// Parsing keeps the MINIMUM of each metric independently across `-count`
+// repetitions of a benchmark: minimum is the standard noise-robust
+// statistic for wall-clock microbenchmarks (noise is strictly additive),
+// and taking it per metric keeps a rep that was fast but happened to
+// allocate (pool cold start) from polluting the alloc floor.
 package main
 
 import (
@@ -144,9 +155,11 @@ func parseBench(f *os.File) (*Baseline, error) {
 		if pkg != "" {
 			key = pkg + "." + name
 		}
-		if prev, ok := b.Benchmarks[key]; ok && prev.NsPerOp < r.NsPerOp {
-			// Keep the fastest repetition.
-			continue
+		if prev, ok := b.Benchmarks[key]; ok {
+			// Per-metric minimum across repetitions (see package doc).
+			r.NsPerOp = min(r.NsPerOp, prev.NsPerOp)
+			r.BytesPerOp = min(r.BytesPerOp, prev.BytesPerOp)
+			r.AllocsPerOp = min(r.AllocsPerOp, prev.AllocsPerOp)
 		}
 		b.Benchmarks[key] = r
 	}
@@ -183,12 +196,14 @@ func runDiff(oldPath, newPath string, threshold float64) (regressed bool, err er
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-55s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	nsFail, allocFail := false, false
+	fmt.Printf("%-55s %11s %11s %8s %10s %10s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
 	for _, name := range names {
 		o := oldB.Benchmarks[name]
 		n, ok := newB.Benchmarks[name]
 		if !ok {
-			fmt.Printf("%-55s %12.0f %12s %8s\n", name, o.NsPerOp, "-", "gone")
+			fmt.Printf("%-55s %11.0f %11s %8s\n", name, o.NsPerOp, "-", "gone")
 			continue
 		}
 		if o.NsPerOp <= 0 {
@@ -197,20 +212,30 @@ func runDiff(oldPath, newPath string, threshold float64) (regressed bool, err er
 		pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 		mark := ""
 		if pct > threshold {
-			mark = "  REGRESSION"
-			regressed = true
+			mark += "  REGRESSION(ns/op)"
+			nsFail = true
 		}
-		fmt.Printf("%-55s %12.0f %12.0f %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, pct, mark)
+		// Hard ceiling: allocation counts are deterministic, so any growth
+		// is a real regression — no tolerance band.
+		if n.AllocsPerOp > o.AllocsPerOp {
+			mark += "  REGRESSION(allocs/op)"
+			allocFail = true
+		}
+		fmt.Printf("%-55s %11.0f %11.0f %+7.1f%% %10.0f %10.0f%s\n",
+			name, o.NsPerOp, n.NsPerOp, pct, o.AllocsPerOp, n.AllocsPerOp, mark)
 	}
 	for name := range newB.Benchmarks {
 		if _, ok := oldB.Benchmarks[name]; !ok {
-			fmt.Printf("%-55s %12s %12.0f %8s\n", name, "-", newB.Benchmarks[name].NsPerOp, "new")
+			fmt.Printf("%-55s %11s %11.0f %8s\n", name, "-", newB.Benchmarks[name].NsPerOp, "new")
 		}
 	}
-	if regressed {
-		fmt.Printf("FAIL: at least one benchmark regressed more than %.0f%%\n", threshold)
+	if nsFail {
+		fmt.Printf("FAIL: at least one benchmark regressed more than %.0f%% ns/op\n", threshold)
 	}
-	return regressed, nil
+	if allocFail {
+		fmt.Printf("FAIL: at least one benchmark grew allocs/op over its baseline ceiling\n")
+	}
+	return nsFail || allocFail, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -53,12 +53,14 @@ go test -race -run 'TestManagerConcurrentPublishBudget' ./internal/dynamic
 step "crash/resume matrix (checkpointed pipeline, budget journal)"
 ./scripts/resume_chaos.sh
 
-step "benchmark regression gate (>50% vs BENCH_PR5.json fails)"
-# Two quick passes against the recorded baseline. The threshold is
-# deliberately generous — CI machines are noisy; this gate exists to catch
+step "benchmark budget gate (ns/op >50% or ANY allocs/op growth vs BENCH_PR7.json fails)"
+# Two quick passes against the recorded baseline. The ns/op threshold is
+# deliberately generous — CI machines are noisy; that axis exists to catch
 # order-of-magnitude mistakes (an accidental always-on sampler, a lock on
-# the span hot path), not single-digit drift. `make benchdiff` with the
-# defaults is the precise local check.
+# the span hot path), not single-digit drift. allocs/op is the sharp axis:
+# allocation counts are machine-independent, so the gate fails on any
+# growth over the baseline even when ns/op is within threshold. `make
+# benchdiff` with the defaults is the precise local check.
 make benchdiff BENCH_COUNT=2 BENCH_THRESHOLD=50
 
 step "fuzz smoke (10s per target)"
