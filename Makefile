@@ -14,7 +14,7 @@ BENCH_OUT ?= BENCH_PR7.json
 BENCH_BASE ?= BENCH_PR7.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: build test race lint lint-fix-check fuzz-smoke chaos resume-chaos ci fmt bench benchdiff
+.PHONY: build test race lint lint-fix-check fuzz-smoke chaos resume-chaos router-chaos ci fmt bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,13 @@ chaos:
 # release with ε journaled exactly once (see scripts/resume_chaos.sh).
 resume-chaos:
 	./scripts/resume_chaos.sh
+
+# router-chaos drives the sharded serving tier (router + 3 shards) with
+# open-loop Zipf load, SIGKILLs a shard mid-run, and asserts bounded
+# errors, degraded-labeled batches, breaker open/close, and recovery
+# (see scripts/router_chaos.sh).
+router-chaos:
+	./scripts/router_chaos.sh
 
 ci:
 	./scripts/ci.sh

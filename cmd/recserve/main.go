@@ -64,7 +64,9 @@ import (
 	"socialrec/internal/faults"
 	"socialrec/internal/graph"
 	"socialrec/internal/release"
+	"socialrec/internal/router"
 	"socialrec/internal/server"
+	"socialrec/internal/similarity"
 	"socialrec/internal/telemetry"
 	"socialrec/internal/trace"
 )
@@ -99,10 +101,18 @@ func main() {
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the -chaos fault schedule")
 		traceRate  = flag.Float64("trace-sample", 1, "head-sampling rate for request traces in [0, 1]; error and slow-tail traces are retained regardless")
 		traceCap   = flag.Int("trace-capacity", 1024, "how many retained traces /debug/traces keeps before overwriting the oldest")
+		numShards  = flag.Int("shards", 0, "with -prefs and -release-dir: additionally split the release into this many shards and persist the sharded generation")
+		shardID    = flag.Int("shard", -1, "serve one shard of the newest sharded generation in -release-dir (shard servers refuse users other shards own with 421)")
 	)
 	flag.Parse()
 	if *socialPath == "" || (*prefsPath == "" && *loadRel == "" && *releaseDir == "") {
 		fatal("recserve: -social and one of -prefs / -load-release / -release-dir are required")
+	}
+	if *shardID >= 0 && (*prefsPath != "" || *loadRel != "" || *releaseDir == "") {
+		fatal("recserve: -shard serves from a sharded store generation; it requires -release-dir and excludes -prefs / -load-release")
+	}
+	if *numShards > 0 && (*prefsPath == "" || *releaseDir == "") {
+		fatal("recserve: -shards splits a freshly built release; it requires -prefs and -release-dir")
 	}
 
 	// Configure the process tracer before anything can start a span.
@@ -146,12 +156,26 @@ func main() {
 	}
 
 	var (
-		engine  *socialrec.Engine
-		itemTok []string
-		stats   dataset.Stats
-		version uint64 = 1
+		engine      *socialrec.Engine
+		serveEngine server.Engine
+		itemTok     []string
+		stats       dataset.Stats
+		version     uint64 = 1
 	)
 	switch {
+	case *shardID >= 0:
+		// Serve one shard of the newest sharded generation: the raw
+		// preference data never enters this process, and users owned by
+		// other shards are refused with 421 instead of answered wrongly.
+		var shardEng *socialrec.ShardEngine
+		shardEng, version, err = loadShardEngineStore(context.Background(), store, social, *shardID)
+		if err != nil {
+			fatal("recserve: loading shard from release store", "dir", store.Dir(), "shard", *shardID, "err", err)
+		}
+		engine, serveEngine = shardEng.Engine, shardEng
+		logger.Info("recserve: serving stored shard", "shard", *shardID, "version", version, "dir", store.Dir())
+		stats.Users = social.NumUsers()
+		stats.SocialEdges = social.NumEdges()
 	case *prefsPath != "":
 		engine, itemTok, stats = buildEngine(social, userIDs, *prefsPath, *measure, eps, *seed, *minWeight)
 		if store != nil {
@@ -165,6 +189,10 @@ func main() {
 			}
 			//sociolint:ignore privflow version is the store's monotonic release counter, not preference data
 			logger.Info("recserve: sanitized release saved", "dir", store.Dir(), "version", version)
+			if *numShards > 0 {
+				//sociolint:ignore privflow saveSharded logs only the store version and shard count; engine data flows to the release store, not to logs
+				saveSharded(store, engine, social, *numShards)
+			}
 		}
 		if *saveRel != "" {
 			saveReleaseFile(engine, *saveRel)
@@ -190,10 +218,13 @@ func main() {
 		stats.SocialEdges = social.NumEdges()
 	}
 
+	if serveEngine == nil {
+		serveEngine = engine
+	}
 	reg := telemetry.Default()
 	stopRuntime := telemetry.StartRuntimeCollector(reg, 0)
 	defer stopRuntime()
-	hot := server.NewHot(engine, version)
+	hot := server.NewHot(serveEngine, version)
 
 	cacheCap := -1
 	if *simCache != 0 {
@@ -216,7 +247,12 @@ func main() {
 			"points", fmt.Sprint(freg.Points()), "seed", *chaosSeed)
 	}
 
-	reload := makeReload(hot, store, *loadRel, social, cacheCap)
+	var reload func(context.Context) error
+	if *shardID >= 0 {
+		reload = makeShardReload(hot, store, social, *shardID, cacheCap)
+	} else {
+		reload = makeReload(hot, store, *loadRel, social, cacheCap)
+	}
 
 	srv, err := server.New(server.Config{
 		Engine:     hot,
@@ -424,6 +460,95 @@ func makeReload(hot *server.Hot, store *release.Store, loadRel string,
 	}
 }
 
+// saveSharded splits a freshly built release into n shards and persists
+// the sharded generation (shard files first, manifest last — the manifest
+// is the commit point). Clusters map to shards through a consistent-hash
+// ring, so growing the fleet later moves ~1/n of the clusters instead of
+// reshuffling everything; the halo radius comes from the similarity
+// measure's hop horizon so every shard serves its owned users exactly.
+func saveSharded(store *release.Store, engine *socialrec.Engine, social *graph.Social, n int) {
+	rel, err := engine.Release()
+	if err != nil {
+		fatal("recserve: extracting release for sharding", "err", err)
+	}
+	m, err := similarity.ByName(rel.Measure)
+	if err != nil {
+		fatal("recserve: sharding release", "err", err)
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard_%d", i)
+	}
+	ring, err := router.NewRing(names, 0)
+	if err != nil {
+		fatal("recserve: building shard ring", "err", err)
+	}
+	clusterShard := make([]int32, rel.Clusters.NumClusters())
+	for c := range clusterShard {
+		clusterShard[c] = int32(ring.NodeIndex("cluster:" + strconv.Itoa(c)))
+	}
+	manifest, shards, err := release.SplitRelease(rel, social, clusterShard, n, similarity.Horizon(m))
+	if err != nil {
+		fatal("recserve: splitting release", "err", err)
+	}
+	version, err := store.SaveSharded(context.Background(), manifest, shards)
+	if err != nil {
+		fatal("recserve: saving sharded generation", "err", err)
+	}
+	//sociolint:ignore privflow shard count and version are topology metadata, not preference data
+	logger.Info("recserve: sharded generation saved", "dir", store.Dir(), "version", version, "shards", n)
+}
+
+// loadShardEngineStore loads one shard of the newest valid sharded
+// generation and builds its serving engine.
+func loadShardEngineStore(ctx context.Context, store *release.Store, social *graph.Social, id int) (*socialrec.ShardEngine, uint64, error) {
+	m, skipped, err := store.LoadManifest(ctx)
+	for _, sk := range skipped {
+		logger.WarnContext(ctx, "recserve: release store skipped corrupt manifest",
+			"file", sk.Name, "err", sk.Err)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	sh, err := store.LoadShard(ctx, m, id)
+	if err != nil {
+		return nil, 0, err
+	}
+	engine, err := socialrec.EngineFromShard(sh, social)
+	if err != nil {
+		return nil, 0, err
+	}
+	return engine, m.Version, nil
+}
+
+// makeShardReload is makeReload for shard serving: it re-resolves the
+// newest sharded generation and swaps this shard's slice of it in. On
+// failure the last-good shard engine keeps serving, marked degraded.
+func makeShardReload(hot *server.Hot, store *release.Store, social *graph.Social,
+	id, cacheCap int) func(context.Context) error {
+	var mu sync.Mutex
+	return func(ctx context.Context) error {
+		mu.Lock()
+		defer mu.Unlock()
+		engine, version, err := loadShardEngineStore(ctx, store, social, id)
+		if err != nil {
+			hot.Fail(err.Error())
+			return err
+		}
+		if cacheCap >= 0 {
+			engine.EnableSimilarityCache(cacheCap)
+		}
+		hot.Swap(engine, version)
+		return nil
+	}
+}
+
+// cacheStatser is the similarity-cache surface both whole-population and
+// shard engines expose.
+type cacheStatser interface {
+	CacheStats() (socialrec.CacheStats, bool)
+}
+
 // registerCacheGauges exposes similarity-cache statistics read through the
 // hot slot, so the gauges keep following the serving engine across reloads.
 // Cache counters describe which public similarity vectors are resident,
@@ -431,7 +556,7 @@ func makeReload(hot *server.Hot, store *release.Store, loadRel string,
 func registerCacheGauges(reg *telemetry.Registry, hot *server.Hot) {
 	stat := func(f func(socialrec.CacheStats) float64) func() float64 {
 		return func() float64 {
-			e, ok := hot.Engine().(*socialrec.Engine)
+			e, ok := hot.Engine().(cacheStatser)
 			if !ok {
 				return 0
 			}

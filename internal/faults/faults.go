@@ -68,6 +68,10 @@ const (
 	// PointHandler is consulted by internal/server's chaos middleware once
 	// per hardened request.
 	PointHandler Point = "http.handler"
+	// PointShardCall is consulted by internal/router before each proxied
+	// attempt to a shard replica, so chaos tests can fail or delay the
+	// router→shard hop without touching the shard processes themselves.
+	PointShardCall Point = "router.shard_call"
 )
 
 // Plan describes when an armed point fires and what happens when it does.

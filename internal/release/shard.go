@@ -1,0 +1,764 @@
+// Sharded releases: one private release split into per-cluster shard
+// artifacts plus a manifest, so N serving processes can each hold a slice
+// of the averages table instead of every process holding the whole thing.
+//
+// The split is exact, not approximate. Reconstruction (Eq. 4 of the paper,
+// mechanism.Cluster.Utilities) folds a user's similarity mass through the
+// cluster averages of every cluster containing a similar user, and every
+// similarity measure in this repository has a bounded horizon: sim(u) lies
+// within H hops of u (similarity.Horizon). A shard that owns a set of
+// clusters therefore serves its users exactly iff it also holds the rows of
+// every cluster reachable within H hops of an owned user — the shard's
+// "halo". SplitRelease computes that halo by multi-source BFS over the
+// public social graph, so a shard answers byte-identically to the unsharded
+// release for every user it owns, and refuses (rather than silently
+// degrading) users it does not.
+//
+// Everything here is post-processing over the sanitized release: splitting,
+// persisting and re-serving shards consumes no further privacy budget.
+package release
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"socialrec/internal/community"
+	"socialrec/internal/faults"
+	"socialrec/internal/graph"
+	"socialrec/internal/trace"
+)
+
+// Sharded-release filename layout, sharing the release store's atomic-write
+// discipline: a manifest commits a sharded release generation, shard files
+// are written (and fsynced) before the manifest that names them, so a crash
+// mid-split leaves either the previous generation intact or the new one
+// fully durable — the manifest is the commit point, like the pipeline's
+// receipts.
+const (
+	manifestMagic  = "SOCMANv1"
+	shardMagic     = "SOCSHDv1"
+	manifestPrefix = "manifest-"
+	manifestSuffix = ".socman"
+	shardPrefix    = "shard-"
+	shardSuffix    = ".socshd"
+)
+
+// foreignSentinel is the on-disk marker for a shard's collapsed "foreign"
+// cluster: every user whose cluster is not resident on the shard maps to
+// it, and its averages row is all zeros. It exists so the shard's embedded
+// release stays a valid dense clustering over the full user population; a
+// request for a foreign user is rejected by ownership (Shard.Owns), never
+// answered from the zero row.
+const foreignSentinel = int32(-1)
+
+// Manifest describes one sharded release generation: which shard owns each
+// cluster, which cluster each user belongs to, and the release metadata a
+// router needs to route and aggregate without loading any averages.
+//
+// Cluster membership derives from the public social graph only (paper
+// Theorem 4), so a manifest is safe to hold in a router that never sees
+// preference data.
+type Manifest struct {
+	// Version is the store version of this sharded generation; 0 until the
+	// manifest is persisted.
+	Version uint64
+	// NumShards is how many shards the release was split into.
+	NumShards int
+	// Epsilon, Measure and NumItems mirror the source release.
+	Epsilon  float64
+	Measure  string
+	NumItems int
+	// Horizon is the similarity horizon (hops) the shard halos were built
+	// for; -1 records full replication (no provable bound for the measure).
+	Horizon int
+	// ClusterShard maps each global cluster id to its owning shard.
+	ClusterShard []int32
+	// Assign maps each user to their global cluster id.
+	Assign []int32
+}
+
+// NumUsers reports the user population the manifest routes.
+func (m *Manifest) NumUsers() int { return len(m.Assign) }
+
+// NumClusters reports the global cluster count.
+func (m *Manifest) NumClusters() int { return len(m.ClusterShard) }
+
+// ShardOf reports which shard owns the given user, or -1 for an
+// out-of-range user.
+func (m *Manifest) ShardOf(user int) int {
+	if user < 0 || user >= len(m.Assign) {
+		return -1
+	}
+	return int(m.ClusterShard[m.Assign[user]])
+}
+
+// Validate checks internal consistency.
+func (m *Manifest) Validate() error {
+	if m.NumShards < 1 {
+		return fmt.Errorf("release: manifest has %d shards", m.NumShards)
+	}
+	if m.NumItems < 0 {
+		return fmt.Errorf("release: manifest has negative item count")
+	}
+	for _, s := range m.ClusterShard {
+		if s < 0 || int(s) >= m.NumShards {
+			return fmt.Errorf("release: manifest assigns a cluster to shard %d of %d", s, m.NumShards)
+		}
+	}
+	for _, c := range m.Assign {
+		if c < 0 || int(c) >= len(m.ClusterShard) {
+			return fmt.Errorf("release: manifest assigns a user to cluster %d of %d", c, len(m.ClusterShard))
+		}
+	}
+	return nil
+}
+
+// Shard is one slice of a sharded release: the embedded sub-release holds
+// the averages rows of the shard's resident clusters (owned + halo) under a
+// local dense numbering, plus one zero "foreign" row collapsing everything
+// else, so the existing engine machinery serves it unchanged.
+type Shard struct {
+	// Version is the sharded generation this shard belongs to; stamped at
+	// persist time, 0 before.
+	Version uint64
+	// ID identifies this shard in [0, NumShards).
+	ID int
+	// NumShards is the generation's shard count.
+	NumShards int
+	// LocalToGlobal maps the embedded release's local cluster ids back to
+	// global cluster ids; the foreign sentinel row maps to -1.
+	LocalToGlobal []int32
+	// OwnedLocal marks the local clusters this shard owns (serves requests
+	// for). Halo rows are resident for exact reconstruction but their users
+	// are owned by other shards; the foreign row is never owned.
+	OwnedLocal []bool
+	// Release is the remapped sub-release: assignment over the full user
+	// population in local cluster ids, averages rows for resident clusters
+	// only (plus the zero foreign row when any user is non-resident).
+	Release *Release
+}
+
+// Owns reports whether this shard is responsible for the given user. A
+// request for a non-owned user must be refused: halo and foreign rows make
+// the answer for such a user silently wrong, not approximate.
+func (s *Shard) Owns(user int) bool {
+	if user < 0 || user >= s.Release.Clusters.NumUsers() {
+		return false
+	}
+	return s.OwnedLocal[s.Release.Clusters.Cluster(user)]
+}
+
+// GlobalCluster reports the user's global cluster id (for any user, owned
+// or not), or -1 if the user's cluster is not resident on this shard.
+func (s *Shard) GlobalCluster(user int) int {
+	if user < 0 || user >= s.Release.Clusters.NumUsers() {
+		return -1
+	}
+	return int(s.LocalToGlobal[s.Release.Clusters.Cluster(user)])
+}
+
+// Validate checks internal consistency.
+func (s *Shard) Validate() error {
+	if s.Release == nil {
+		return fmt.Errorf("release: shard %d has no embedded release", s.ID)
+	}
+	if err := s.Release.Validate(); err != nil {
+		return fmt.Errorf("release: shard %d: %w", s.ID, err)
+	}
+	if s.NumShards < 1 || s.ID < 0 || s.ID >= s.NumShards {
+		return fmt.Errorf("release: shard id %d out of range [0, %d)", s.ID, s.NumShards)
+	}
+	n := s.Release.Clusters.NumClusters()
+	if len(s.LocalToGlobal) != n || len(s.OwnedLocal) != n {
+		return fmt.Errorf("release: shard %d maps %d/%d clusters, release has %d",
+			s.ID, len(s.LocalToGlobal), len(s.OwnedLocal), n)
+	}
+	return nil
+}
+
+// SplitRelease splits r into per-cluster shards. clusterShard assigns each
+// global cluster to a shard (as produced by a router ring; every value must
+// be in [0, numShards)); numShards is the target shard count. horizon is
+// the similarity horizon in hops (similarity.Horizon of the measure the
+// release will be served with): each shard's halo is every cluster
+// reachable within that many hops of an owned user, computed on the public
+// social graph, which must cover the same user population as the release.
+// A negative horizon selects full replication — every shard holds every
+// row — the only exact choice when the measure has no provable bound.
+//
+// The returned manifest and shards have Version 0; Store.SaveSharded stamps
+// the persisted generation.
+func SplitRelease(r *Release, social *graph.Social, clusterShard []int32, numShards, horizon int) (*Manifest, []*Shard, error) {
+	if err := r.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if numShards < 1 {
+		return nil, nil, fmt.Errorf("release: splitting into %d shards", numShards)
+	}
+	numClusters := r.Clusters.NumClusters()
+	if len(clusterShard) != numClusters {
+		return nil, nil, fmt.Errorf("release: cluster assignment covers %d clusters, release has %d",
+			len(clusterShard), numClusters)
+	}
+	for _, s := range clusterShard {
+		if s < 0 || int(s) >= numShards {
+			return nil, nil, fmt.Errorf("release: cluster assigned to shard %d of %d", s, numShards)
+		}
+	}
+	if social.NumUsers() != r.Clusters.NumUsers() {
+		return nil, nil, fmt.Errorf("release: social graph has %d users, release covers %d",
+			social.NumUsers(), r.Clusters.NumUsers())
+	}
+	m := &Manifest{
+		NumShards:    numShards,
+		Epsilon:      r.Epsilon,
+		Measure:      r.Measure,
+		NumItems:     r.NumItems,
+		Horizon:      horizon,
+		ClusterShard: append([]int32(nil), clusterShard...),
+		Assign:       append([]int32(nil), r.Clusters.Assignment()...),
+	}
+	shards := make([]*Shard, numShards)
+	for id := 0; id < numShards; id++ {
+		sh, err := buildShard(r, social, m, id, horizon)
+		if err != nil {
+			return nil, nil, err
+		}
+		shards[id] = sh
+	}
+	return m, shards, nil
+}
+
+// buildShard assembles one shard: resident set = owned clusters ∪ horizon
+// halo, then a remapped sub-release under local ids assigned in first-user
+// order (community.FromAssignment renumbers by first appearance, so this
+// ordering — and only this ordering — survives a serialization round trip).
+func buildShard(r *Release, social *graph.Social, m *Manifest, id, horizon int) (*Shard, error) {
+	numClusters := r.Clusters.NumClusters()
+	resident := make([]bool, numClusters)
+	for c := 0; c < numClusters; c++ {
+		if int(m.ClusterShard[c]) == id {
+			resident[c] = true
+		}
+	}
+	if horizon < 0 {
+		for c := range resident {
+			resident[c] = true
+		}
+	} else {
+		addHalo(resident, social, m, id, horizon)
+	}
+
+	// Remap: local ids in order of first appearance over users 0..n-1, the
+	// order FromAssignment will re-derive. Non-resident users share one
+	// foreign sentinel cluster.
+	numUsers := r.Clusters.NumUsers()
+	assignLocal := make([]int32, numUsers)
+	globalToLocal := make([]int32, numClusters)
+	for i := range globalToLocal {
+		globalToLocal[i] = -1
+	}
+	var (
+		localToGlobal []int32
+		foreignLocal  = int32(-1)
+	)
+	for u := 0; u < numUsers; u++ {
+		g := int32(r.Clusters.Cluster(u))
+		if !resident[g] {
+			if foreignLocal < 0 {
+				foreignLocal = int32(len(localToGlobal))
+				localToGlobal = append(localToGlobal, foreignSentinel)
+			}
+			assignLocal[u] = foreignLocal
+			continue
+		}
+		if globalToLocal[g] < 0 {
+			globalToLocal[g] = int32(len(localToGlobal))
+			localToGlobal = append(localToGlobal, g)
+		}
+		assignLocal[u] = globalToLocal[g]
+	}
+	clusters, err := community.FromAssignment(assignLocal)
+	if err != nil {
+		return nil, fmt.Errorf("release: building shard %d clustering: %w", id, err)
+	}
+	numLocal := len(localToGlobal)
+	if clusters.NumClusters() != numLocal {
+		return nil, fmt.Errorf("release: shard %d clustering has %d clusters, want %d",
+			id, clusters.NumClusters(), numLocal)
+	}
+	avg := make([]float64, numLocal*r.NumItems)
+	owned := make([]bool, numLocal)
+	for local, g := range localToGlobal {
+		if g == foreignSentinel {
+			continue // zero row
+		}
+		copy(avg[local*r.NumItems:(local+1)*r.NumItems], r.Avg[int(g)*r.NumItems:(int(g)+1)*r.NumItems])
+		owned[local] = int(m.ClusterShard[g]) == id
+	}
+	sh := &Shard{
+		ID:            id,
+		NumShards:     m.NumShards,
+		LocalToGlobal: localToGlobal,
+		OwnedLocal:    owned,
+		Release: &Release{
+			Epsilon:  r.Epsilon,
+			Measure:  r.Measure,
+			Clusters: clusters,
+			NumItems: r.NumItems,
+			Avg:      avg,
+		},
+	}
+	if err := sh.Validate(); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+// addHalo marks as resident every cluster containing a user within horizon
+// hops of any user of a cluster owned by shard id, via one multi-source BFS
+// seeded with all owned users at depth 0.
+func addHalo(resident []bool, social *graph.Social, m *Manifest, id, horizon int) {
+	numUsers := social.NumUsers()
+	visited := make([]bool, numUsers)
+	var frontier []int32
+	for u := 0; u < numUsers; u++ {
+		if int(m.ClusterShard[m.Assign[u]]) == id {
+			visited[u] = true
+			frontier = append(frontier, int32(u))
+		}
+	}
+	var next []int32
+	for d := 0; d < horizon && len(frontier) > 0; d++ {
+		next = next[:0]
+		for _, u := range frontier {
+			for _, v := range social.Neighbors(int(u)) {
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				resident[m.Assign[v]] = true
+				next = append(next, v)
+			}
+		}
+		frontier, next = next, frontier
+	}
+}
+
+// WriteManifest serializes m (format mirrors the release file: magic,
+// fields, CRC-32 over everything after the magic).
+func WriteManifest(w io.Writer, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: w, crc: crc32.NewIEEE()}
+	if _, err := io.WriteString(w, manifestMagic); err != nil {
+		return err
+	}
+	write := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(m.Measure) > 1<<16-1 {
+		return fmt.Errorf("release: measure name too long")
+	}
+	if err := write(m.Version, uint32(m.NumShards), m.Epsilon, uint16(len(m.Measure))); err != nil {
+		return err
+	}
+	if _, err := cw.Write([]byte(m.Measure)); err != nil {
+		return err
+	}
+	if err := write(uint32(m.NumItems), int32(m.Horizon),
+		uint32(len(m.ClusterShard)), m.ClusterShard,
+		uint32(len(m.Assign)), m.Assign); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, cw.crc.Sum32())
+}
+
+// ReadManifest deserializes and validates a manifest, including its
+// checksum.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	head := make([]byte, len(manifestMagic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("release: reading manifest magic: %w", err)
+	}
+	if string(head) != manifestMagic {
+		return nil, fmt.Errorf("release: bad manifest magic %q", head)
+	}
+	cr := &crcReader{r: r, crc: crc32.NewIEEE()}
+	read := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	m := &Manifest{}
+	var (
+		numShards, numItems, numClusters, numUsers uint32
+		horizon                                    int32
+		mlen                                       uint16
+	)
+	if err := read(&m.Version, &numShards, &m.Epsilon, &mlen); err != nil {
+		return nil, fmt.Errorf("release: reading manifest header: %w", err)
+	}
+	mbuf := make([]byte, mlen)
+	if _, err := io.ReadFull(cr, mbuf); err != nil {
+		return nil, fmt.Errorf("release: reading manifest measure: %w", err)
+	}
+	m.Measure = string(mbuf)
+	if err := read(&numItems, &horizon, &numClusters); err != nil {
+		return nil, fmt.Errorf("release: reading manifest dimensions: %w", err)
+	}
+	const maxDim = 1 << 28
+	if numShards > maxDim || numItems > maxDim || numClusters > maxDim {
+		return nil, fmt.Errorf("release: implausible manifest dimensions")
+	}
+	m.NumShards = int(numShards)
+	m.NumItems = int(numItems)
+	m.Horizon = int(horizon)
+	m.ClusterShard = make([]int32, numClusters)
+	if err := read(m.ClusterShard, &numUsers); err != nil {
+		return nil, fmt.Errorf("release: reading manifest cluster map: %w", err)
+	}
+	if numUsers > maxDim {
+		return nil, fmt.Errorf("release: implausible manifest dimensions")
+	}
+	m.Assign = make([]int32, numUsers)
+	if err := read(m.Assign); err != nil {
+		return nil, fmt.Errorf("release: reading manifest assignment: %w", err)
+	}
+	sum := cr.crc.Sum32()
+	var want uint32
+	if err := binary.Read(r, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("release: reading manifest checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("release: manifest checksum mismatch (file corrupted)")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteShard serializes a shard: a CRC-protected header (ids plus the
+// local↔global cluster maps) followed by the embedded release, which
+// carries its own checksum and must come last (readers hand the remaining
+// stream to the release decoder, whose buffering may read ahead).
+func WriteShard(w io.Writer, s *Shard) error {
+	return WriteShardContext(context.Background(), w, s)
+}
+
+// WriteShardContext is WriteShard on a caller-supplied context; the
+// embedded release's persist event carries the active trace id, as for an
+// unsharded persist.
+func WriteShardContext(ctx context.Context, w io.Writer, s *Shard) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, shardMagic); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: w, crc: crc32.NewIEEE()}
+	write := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	numLocal := len(s.LocalToGlobal)
+	ownedBytes := make([]byte, numLocal)
+	for i, o := range s.OwnedLocal {
+		if o {
+			ownedBytes[i] = 1
+		}
+	}
+	if err := write(s.Version, uint32(s.ID), uint32(s.NumShards),
+		uint32(numLocal), s.LocalToGlobal, ownedBytes); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, cw.crc.Sum32()); err != nil {
+		return err
+	}
+	return WriteContext(ctx, w, s.Release)
+}
+
+// ReadShard deserializes and validates a shard (header checksum and the
+// embedded release's own checksum).
+func ReadShard(r io.Reader) (*Shard, error) {
+	return ReadShardContext(context.Background(), r)
+}
+
+// ReadShardContext is ReadShard on a caller-supplied context; see
+// WriteShardContext.
+func ReadShardContext(ctx context.Context, r io.Reader) (*Shard, error) {
+	head := make([]byte, len(shardMagic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("release: reading shard magic: %w", err)
+	}
+	if string(head) != shardMagic {
+		return nil, fmt.Errorf("release: bad shard magic %q", head)
+	}
+	cr := &crcReader{r: r, crc: crc32.NewIEEE()}
+	read := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	s := &Shard{}
+	var id, numShards, numLocal uint32
+	if err := read(&s.Version, &id, &numShards, &numLocal); err != nil {
+		return nil, fmt.Errorf("release: reading shard header: %w", err)
+	}
+	const maxDim = 1 << 28
+	if numLocal > maxDim || numShards > maxDim {
+		return nil, fmt.Errorf("release: implausible shard dimensions")
+	}
+	s.ID = int(id)
+	s.NumShards = int(numShards)
+	s.LocalToGlobal = make([]int32, numLocal)
+	ownedBytes := make([]byte, numLocal)
+	if err := read(s.LocalToGlobal, ownedBytes); err != nil {
+		return nil, fmt.Errorf("release: reading shard cluster maps: %w", err)
+	}
+	s.OwnedLocal = make([]bool, numLocal)
+	for i, b := range ownedBytes {
+		s.OwnedLocal[i] = b != 0
+	}
+	sum := cr.crc.Sum32()
+	var want uint32
+	if err := binary.Read(r, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("release: reading shard header checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("release: shard header checksum mismatch (file corrupted)")
+	}
+	rel, err := ReadContext(ctx, r)
+	if err != nil {
+		return nil, fmt.Errorf("release: reading shard %d release: %w", s.ID, err)
+	}
+	s.Release = rel
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// manifestFileName renders the versioned manifest filename.
+func manifestFileName(v uint64) string {
+	return fmt.Sprintf("%s%012d%s", manifestPrefix, v, manifestSuffix)
+}
+
+// shardFileName renders the versioned filename for one shard.
+func shardFileName(v uint64, id, numShards int) string {
+	return fmt.Sprintf("%s%012d-%03d-of-%03d%s", shardPrefix, v, id, numShards, shardSuffix)
+}
+
+// parseManifestVersion extracts the version from a manifest filename.
+func parseManifestVersion(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, manifestPrefix) || !strings.HasSuffix(name, manifestSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, manifestPrefix), manifestSuffix)
+	if digits == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// ManifestVersions lists the persisted sharded-generation versions in
+// ascending order, without validating file contents.
+func (s *Store) ManifestVersions() ([]uint64, error) {
+	names, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("release: listing store %s: %w", s.dir, err)
+	}
+	var out []uint64
+	for _, name := range names {
+		if v, ok := parseManifestVersion(name); ok {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// SaveSharded persists a sharded generation as the next manifest version:
+// every shard file is written and made durable first, the manifest last, so
+// the manifest is the commit point — a crash mid-save leaves at worst
+// invisible shard debris for the next Open to sweep, never a manifest
+// naming missing or torn shards. The manifest and shards are stamped with
+// the version they became.
+func (s *Store) SaveSharded(ctx context.Context, m *Manifest, shards []*Shard) (uint64, error) {
+	ctx, sp := trace.StartChild(ctx, "release_store_save_sharded")
+	defer sp.End()
+	v, err := s.saveSharded(ctx, m, shards)
+	if err != nil {
+		s.saveFailures.Inc()
+		sp.SetStatus(trace.StatusError)
+		return 0, err
+	}
+	s.saves.Inc()
+	sp.Set(attrVersion.Int(int64(v)))
+	sp.Set(attrShards.Int(int64(len(shards))))
+	return v, nil
+}
+
+func (s *Store) saveSharded(ctx context.Context, m *Manifest, shards []*Shard) (uint64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if len(shards) != m.NumShards {
+		return 0, fmt.Errorf("release: manifest names %d shards, got %d", m.NumShards, len(shards))
+	}
+	versions, err := s.ManifestVersions()
+	if err != nil {
+		return 0, err
+	}
+	next := uint64(1)
+	if len(versions) > 0 {
+		next = versions[len(versions)-1] + 1
+	}
+	for i, sh := range shards {
+		if sh.ID != i || sh.NumShards != m.NumShards {
+			return 0, fmt.Errorf("release: shard %d labeled %d-of-%d", i, sh.ID, sh.NumShards)
+		}
+		sh.Version = next
+		final := filepath.Join(s.dir, shardFileName(next, sh.ID, m.NumShards))
+		if err := faults.WriteAtomicFunc(s.fsys, final, func(w io.Writer) error {
+			return WriteShardContext(ctx, w, sh)
+		}); err != nil {
+			return 0, fmt.Errorf("release: saving shard %d of version %d: %w", sh.ID, next, err)
+		}
+	}
+	m.Version = next
+	final := filepath.Join(s.dir, manifestFileName(next))
+	if err := faults.WriteAtomicFunc(s.fsys, final, func(w io.Writer) error {
+		return WriteManifest(w, m)
+	}); err != nil {
+		return 0, fmt.Errorf("release: saving manifest version %d: %w", next, err)
+	}
+	return next, nil
+}
+
+// LoadManifest opens the newest valid manifest, working backwards over
+// corrupt or truncated generations exactly like Load does for releases.
+// skipped lists what recovery passed over; the error is ErrStoreEmpty when
+// no manifest validates.
+func (s *Store) LoadManifest(ctx context.Context) (m *Manifest, skipped []Skipped, err error) {
+	_, sp := trace.StartChild(ctx, "release_store_load_manifest")
+	defer sp.End()
+	versions, err := s.ManifestVersions()
+	if err != nil {
+		sp.SetStatus(trace.StatusError)
+		return nil, nil, err
+	}
+	for i := len(versions) - 1; i >= 0; i-- {
+		v := versions[i]
+		m, err := s.loadManifestVersion(v)
+		if err != nil {
+			s.recoveries.Inc()
+			s.logf("release: store %s: skipping manifest %d: %v", s.dir, v, err)
+			skipped = append(skipped, Skipped{Name: manifestFileName(v), Err: err})
+			continue
+		}
+		sp.Set(attrVersion.Int(int64(v)))
+		sp.Set(attrSkipped.Int(int64(len(skipped))))
+		return m, skipped, nil
+	}
+	sp.SetStatus(trace.StatusError)
+	return nil, skipped, fmt.Errorf("%w (dir %s, %d manifest(s) skipped)", ErrStoreEmpty, s.dir, len(skipped))
+}
+
+func (s *Store) loadManifestVersion(v uint64) (*Manifest, error) {
+	f, err := s.fsys.Open(filepath.Join(s.dir, manifestFileName(v)))
+	if err != nil {
+		return nil, fmt.Errorf("release: loading manifest %d: %w", v, err)
+	}
+	m, err := ReadManifest(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		return nil, fmt.Errorf("release: loading manifest %d: close: %w", v, cerr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("release: loading manifest %d: %w", v, err)
+	}
+	if m.Version != v {
+		return nil, fmt.Errorf("release: manifest file %d records version %d", v, m.Version)
+	}
+	return m, nil
+}
+
+// LoadShard opens one shard of the manifest's generation, validating both
+// checksums and that the file agrees with the manifest about who it is.
+func (s *Store) LoadShard(ctx context.Context, m *Manifest, id int) (*Shard, error) {
+	ctx, sp := trace.StartChild(ctx, "release_store_load_shard")
+	defer sp.End()
+	if id < 0 || id >= m.NumShards {
+		sp.SetStatus(trace.StatusError)
+		return nil, fmt.Errorf("release: shard id %d out of range [0, %d)", id, m.NumShards)
+	}
+	name := shardFileName(m.Version, id, m.NumShards)
+	f, err := s.fsys.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		sp.SetStatus(trace.StatusError)
+		return nil, fmt.Errorf("release: loading shard %d of version %d: %w", id, m.Version, err)
+	}
+	sh, err := ReadShardContext(ctx, f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("close: %w", cerr)
+	}
+	if err != nil {
+		sp.SetStatus(trace.StatusError)
+		return nil, fmt.Errorf("release: loading shard %d of version %d: %w", id, m.Version, err)
+	}
+	if sh.ID != id || sh.NumShards != m.NumShards || sh.Version != m.Version {
+		sp.SetStatus(trace.StatusError)
+		return nil, fmt.Errorf("release: shard file %s is %d-of-%d version %d, manifest wants %d-of-%d version %d",
+			name, sh.ID, sh.NumShards, sh.Version, id, m.NumShards, m.Version)
+	}
+	if sh.Release.NumItems != m.NumItems || sh.Release.Measure != m.Measure ||
+		!sameEpsilon(sh.Release.Epsilon, m.Epsilon) ||
+		sh.Release.Clusters.NumUsers() != m.NumUsers() {
+		sp.SetStatus(trace.StatusError)
+		return nil, fmt.Errorf("release: shard file %s disagrees with its manifest", name)
+	}
+	sp.Set(attrVersion.Int(int64(m.Version)))
+	sp.Set(attrShard.Int(int64(id)))
+	return sh, nil
+}
+
+// sameEpsilon compares release budgets exactly: both values come from the
+// same persisted release, so any difference is corruption, not arithmetic.
+func sameEpsilon(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// Span attribute keys for sharded-store spans.
+var (
+	attrShards = trace.NewKey("shards")
+	attrShard  = trace.NewKey("shard")
+)

@@ -108,8 +108,9 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	}
 	// Sweep debris from saves that crashed before their rename; the
 	// versions they were building were never visible, so removal is safe
-	// and keeps the directory scan-clean.
-	removed, err := faults.SweepTmp(fsys, dir, filePrefix)
+	// and keeps the directory scan-clean. Sharded generations leave the
+	// same kind of debris under the manifest and shard prefixes.
+	removed, err := faults.SweepTmp(fsys, dir, filePrefix, manifestPrefix, shardPrefix)
 	for _, name := range removed {
 		s.tempCleaned.Inc()
 		logf("release: store %s: removed stale temp %s (crashed save)", dir, name)

@@ -1,0 +1,198 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position. The numeric values are
+// stable — they are exported as a telemetry gauge per replica.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes calls through; consecutive failures open it.
+	BreakerClosed BreakerState = 0
+	// BreakerOpen rejects calls until the open interval elapses.
+	BreakerOpen BreakerState = 1
+	// BreakerHalfOpen admits one probe at a time; enough successes close
+	// the breaker, any failure reopens it.
+	BreakerHalfOpen BreakerState = 2
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker. The zero value selects the defaults
+// documented per field.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker; 0 selects 5.
+	FailureThreshold int
+	// OpenFor is how long an open breaker rejects before admitting a
+	// half-open probe; 0 selects 2 s.
+	OpenFor time.Duration
+	// HalfOpenSuccesses is how many consecutive probe successes close a
+	// half-open breaker; 0 selects 1.
+	HalfOpenSuccesses int
+	// Now is the clock; nil selects time.Now. Tests inject a fake clock to
+	// drive open → half-open transitions deterministically.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-replica circuit breaker: closed → open after
+// FailureThreshold consecutive failures, open → half-open after OpenFor,
+// half-open → closed after HalfOpenSuccesses probe successes (or back to
+// open on any probe failure).
+//
+// Protocol: a caller that gets Allow() == true owns one call and must
+// report its outcome with exactly one of Success, Failure or Cancel.
+// Cancel exists for attempts abandoned through no fault of the replica
+// (the request's deadline expired, a hedge lost the race); it releases a
+// held half-open probe slot without counting either way, so a canceled
+// probe cannot wedge the breaker half-open forever.
+//
+// All methods are safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	// onChange, when non-nil, observes every state transition (old, new).
+	// It is called with the mutex held: keep it to a gauge store.
+	onChange func(from, to BreakerState)
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last opened
+	probing   bool      // a half-open probe is in flight
+	successes int       // consecutive probe successes while half-open
+}
+
+// NewBreaker builds a closed breaker. onChange, when non-nil, observes
+// every state transition; it runs under the breaker's lock.
+func NewBreaker(cfg BreakerConfig, onChange func(from, to BreakerState)) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), onChange: onChange}
+}
+
+// State reports the current state (open breakers whose interval has
+// elapsed still report open until an Allow admits the probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a call may proceed. In the open state it flips to
+// half-open once OpenFor has elapsed and admits the caller as the probe;
+// in half-open it admits one probe at a time.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return false
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		b.successes = 0
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a call that reached the replica and got an answer.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		b.probing = false
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenSuccesses {
+			b.transition(BreakerClosed)
+			b.failures = 0
+		}
+	default:
+		// A straggler from before the breaker opened; ignore.
+	}
+}
+
+// Failure reports a call the replica failed (transport error, 5xx).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.transition(BreakerOpen)
+			b.openedAt = b.cfg.Now()
+		}
+	case BreakerHalfOpen:
+		// The probe failed: straight back to open for a fresh interval.
+		b.probing = false
+		b.successes = 0
+		b.transition(BreakerOpen)
+		b.openedAt = b.cfg.Now()
+	default:
+		// Already open; a straggler cannot make it more open, and
+		// extending openedAt would let a burst of stale failures starve
+		// the half-open probe forever.
+	}
+}
+
+// Cancel releases an Allow()ed call whose outcome says nothing about the
+// replica (caller's deadline expired, hedge lost the race, drain).
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// transition moves to state to, notifying onChange. Caller holds b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onChange != nil {
+		b.onChange(from, to)
+	}
+}

@@ -1,0 +1,235 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable clock for deterministic breaker transitions.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// transitionLog records breaker state changes for assertion.
+type transitionLog struct {
+	mu    sync.Mutex
+	steps []string
+}
+
+func (l *transitionLog) record(from, to BreakerState) {
+	l.mu.Lock()
+	l.steps = append(l.steps, fmt.Sprintf("%s->%s", from, to))
+	l.mu.Unlock()
+}
+
+func (l *transitionLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fmt.Sprint(l.steps)
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	var log transitionLog
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		OpenFor:          time.Second,
+		Now:              clk.Now,
+	}, log.record)
+
+	// Closed: failures below the threshold keep it closed, a success
+	// resets the streak.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker must allow")
+		}
+		b.Failure()
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after reset = %s, want closed", got)
+	}
+
+	// Three consecutive failures open it.
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Failure()
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold = %s, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must reject before OpenFor elapses")
+	}
+
+	// After OpenFor, one probe is admitted (half-open); a concurrent
+	// caller is rejected while the probe is in flight.
+	clk.Advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker must admit the half-open probe after OpenFor")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state during probe = %s, want half_open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker must admit only one probe at a time")
+	}
+
+	// Probe failure reopens for a fresh interval.
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker must reject")
+	}
+
+	// Next interval: probe succeeds, breaker closes.
+	clk.Advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker must admit the second probe")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+
+	want := "[closed->open open->half_open half_open->open open->half_open half_open->closed]"
+	if got := log.String(); got != want {
+		t.Fatalf("transitions = %s, want %s", got, want)
+	}
+}
+
+func TestBreakerHalfOpenNeedsConfiguredSuccesses(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold:  1,
+		OpenFor:           time.Second,
+		HalfOpenSuccesses: 2,
+		Now:               clk.Now,
+	}, nil)
+	b.Allow()
+	b.Failure()
+	clk.Advance(2 * time.Second)
+
+	if !b.Allow() {
+		t.Fatal("probe 1 must be admitted")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("after 1 of 2 successes state = %s, want half_open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("probe 2 must be admitted")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after 2 of 2 successes state = %s, want closed", got)
+	}
+}
+
+// TestBreakerCancelReleasesProbe: a canceled half-open probe (deadline
+// expired, hedge lost) must release the probe slot without counting either
+// way — otherwise the breaker wedges half-open forever.
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Second, Now: clk.Now}, nil)
+	b.Allow()
+	b.Failure()
+	clk.Advance(2 * time.Second)
+
+	if !b.Allow() {
+		t.Fatal("probe must be admitted")
+	}
+	b.Cancel()
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after canceled probe = %s, want half_open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("slot must be free again after Cancel")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %s, want closed", got)
+	}
+}
+
+// TestBreakerStaleFailureDoesNotExtendOpen: failures reported by attempts
+// that were already in flight when the breaker opened must not push
+// openedAt forward — a burst of stragglers would otherwise starve the
+// half-open probe indefinitely.
+func TestBreakerStaleFailureDoesNotExtendOpen(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Second, Now: clk.Now}, nil)
+	b.Allow()
+	b.Failure()
+
+	// Stragglers keep failing while open.
+	clk.Advance(900 * time.Millisecond)
+	b.Failure()
+	b.Failure()
+	clk.Advance(200 * time.Millisecond) // 1.1s since openedAt
+	if !b.Allow() {
+		t.Fatal("probe must be admitted OpenFor after the ORIGINAL open, despite stale failures")
+	}
+}
+
+// TestBreakerStaleSuccessWhileOpenIgnored: a late success from before the
+// open must not half-close anything.
+func TestBreakerStaleSuccessWhileOpenIgnored(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Second, Now: clk.Now}, nil)
+	b.Allow()
+	b.Failure()
+	b.Success()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after stale success = %s, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("breaker must stay rejecting")
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 5, OpenFor: time.Millisecond}, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if b.Allow() {
+					if (i+j)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				b.State()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,121 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty node list should fail")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate nodes should fail")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty node name should fail")
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("user:%d", i)
+		if r1.Node(key) != r2.Node(key) {
+			t.Fatalf("key %q: rings disagree (%s vs %s)", key, r1.Node(key), r2.Node(key))
+		}
+	}
+}
+
+func TestRingCoversAllNodes(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		hits[r.Node(fmt.Sprintf("user:%d", i))]++
+	}
+	for _, n := range nodes {
+		if hits[n] == 0 {
+			t.Errorf("node %s received no keys out of 1000", n)
+		}
+	}
+}
+
+func TestRingOrderedDistinctAndComplete(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("user:%d", i)
+		ordered := r.Ordered(key)
+		if len(ordered) != len(nodes) {
+			t.Fatalf("key %q: Ordered returned %d nodes, want %d", key, len(ordered), len(nodes))
+		}
+		seen := map[string]bool{}
+		for _, n := range ordered {
+			if seen[n] {
+				t.Fatalf("key %q: Ordered repeats node %s", key, n)
+			}
+			seen[n] = true
+		}
+		if ordered[0] != r.Node(key) {
+			t.Fatalf("key %q: Ordered[0] = %s, Node = %s", key, ordered[0], r.Node(key))
+		}
+	}
+}
+
+// TestRingStability is the consistent-hashing property: adding a node only
+// steals keys for the new node, it never shuffles keys between survivors.
+func TestRingStability(t *testing.T) {
+	before, err := NewRing([]string{"n0", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"n0", "n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("user:%d", i)
+		b, a := before.Node(key), after.Node(key)
+		if b != a {
+			if a != "n3" {
+				t.Fatalf("key %q moved between surviving nodes: %s -> %s", key, b, a)
+			}
+			moved++
+		}
+	}
+	// Expect roughly 1/4 of keys on the new node; allow a wide band.
+	if moved < keys/10 || moved > keys/2 {
+		t.Errorf("adding one of four nodes moved %d/%d keys; expected near %d", moved, keys, keys/4)
+	}
+}
+
+func TestRingNodeIndex(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("cluster:%d", i)
+		if got, want := nodes[r.NodeIndex(key)], r.Node(key); got != want {
+			t.Fatalf("key %q: NodeIndex points at %s, Node says %s", key, got, want)
+		}
+	}
+}

@@ -108,6 +108,16 @@ func (h *Hot) NumClusters() int { return h.slot.Load().engine.NumClusters() }
 // Modularity implements Engine.
 func (h *Hot) Modularity() float64 { return h.slot.Load().engine.Modularity() }
 
+// Owns forwards the ownership check to the serving engine: a hot slot
+// holding a shard engine keeps refusing misrouted users across reloads,
+// while a whole-population engine owns everyone.
+func (h *Hot) Owns(user int) bool {
+	if o, ok := h.slot.Load().engine.(owner); ok {
+		return o.Owns(user)
+	}
+	return true
+}
+
 // statuser is the optional interface the readiness endpoint uses to report
 // release provenance; *Hot implements it.
 type statuser interface{ Status() HotStatus }

@@ -143,7 +143,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}
 		h(sw, r)
 		tid, _ := trace.FromContext(r.Context()).IDs()
-		latency.ObserveExemplar(time.Since(start).Seconds(), tid)
+		elapsed := time.Since(start)
+		latency.ObserveExemplar(elapsed.Seconds(), tid)
+		s.observeLatency(elapsed)
 		s.metrics.inFlight.Add(-1)
 		requests.Inc()
 		s.metrics.responses[statusClass(sw.status)].Inc()

@@ -105,14 +105,14 @@ func (s *Server) recovery(h http.HandlerFunc) http.HandlerFunc {
 
 // limit sheds load once maxInFlight requests are already in the serving
 // path: excess requests get an immediate 503 with Retry-After instead of
-// queueing into memory exhaustion or timeout cascades.
+// queueing into memory exhaustion or timeout cascades. The hint is
+// adaptive — derived from the current in-flight depth and the recent
+// latency EWMA (see retryafter.go) — so a lightly loaded spike says
+// "retry in 1s" while a deep stall under slow requests pushes clients
+// further out instead of inviting a synchronized retry storm.
 func (s *Server) limit(h http.HandlerFunc) http.HandlerFunc {
 	if s.sem == nil {
 		return h
-	}
-	retryAfter := strconv.Itoa(int(s.cfg.RetryAfter / time.Second))
-	if s.cfg.RetryAfter%time.Second != 0 || s.cfg.RetryAfter == 0 {
-		retryAfter = "1"
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
@@ -121,21 +121,40 @@ func (s *Server) limit(h http.HandlerFunc) http.HandlerFunc {
 			h(w, r)
 		default:
 			s.metrics.shed.Inc()
-			w.Header().Set("Retry-After", retryAfter)
+			hint := retryAfterSeconds(len(s.sem), cap(s.sem), s.recentLatency(), s.cfg.RetryAfter)
+			w.Header().Set("Retry-After", strconv.Itoa(hint))
 			s.writeError(r.Context(), w, http.StatusServiceUnavailable, "server saturated, retry later")
 		}
 	}
 }
 
+// BudgetHeader carries a caller's remaining deadline budget in whole
+// milliseconds across a proxy hop. internal/router sets it to strictly
+// less than its own remaining budget on every proxied attempt; the
+// deadline middleware below caps the local timeout to it, so a shard's
+// deadline always fires before the router's and a timeout is attributed
+// at the layer that owns it.
+const BudgetHeader = "Request-Budget-Ms"
+
 // deadline attaches a per-request deadline to the request context, so
 // handler work (batch loops, future engine calls) has a bound to observe.
-// A handler that returns with the deadline expired is counted.
+// An inbound Request-Budget-Ms header tightens (never extends) the
+// configured timeout. A handler that returns with the deadline expired is
+// counted.
 func (s *Server) deadline(h http.HandlerFunc) http.HandlerFunc {
 	if s.cfg.RequestTimeout <= 0 {
 		return h
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		timeout := s.cfg.RequestTimeout
+		if v := r.Header.Get(BudgetHeader); v != "" {
+			if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+				if budget := time.Duration(ms) * time.Millisecond; budget < timeout {
+					timeout = budget
+				}
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		h(w, r.WithContext(ctx))
 		if ctx.Err() != nil {

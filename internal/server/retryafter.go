@@ -1,0 +1,72 @@
+package server
+
+import "time"
+
+// Bounds on the adaptive Retry-After hint: never below a second (the
+// header's resolution), never beyond 30 s — past that, the honest answer
+// is "check readiness", not "wait longer".
+const (
+	minRetryAfter = 1
+	maxRetryAfter = 30
+)
+
+// retryAfterSeconds computes the shed response's Retry-After hint from the
+// limiter's state: with depth requests in flight over capacity slots and
+// requests recently taking recent each, a freshly shed client can expect
+// a slot after roughly ceil(depth/capacity) generations of recent. The
+// result is clamped to [minRetryAfter, maxRetryAfter] whole seconds.
+//
+// With no latency signal yet (cold start), the configured static fallback
+// applies, rounded up to a whole second.
+func retryAfterSeconds(depth, capacity int, recent, fallback time.Duration) int {
+	if recent <= 0 {
+		return clampRetryAfter(ceilSeconds(fallback))
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	if depth < capacity {
+		// Shed raced a slot freeing; the wait is one request's worth.
+		depth = capacity
+	}
+	generations := (depth + capacity - 1) / capacity
+	return clampRetryAfter(ceilSeconds(time.Duration(generations) * recent))
+}
+
+func ceilSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return int((d + time.Second - 1) / time.Second)
+}
+
+func clampRetryAfter(secs int) int {
+	if secs < minRetryAfter {
+		return minRetryAfter
+	}
+	if secs > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return secs
+}
+
+// observeLatency folds one request's latency into the server's EWMA
+// (alpha 1/8): recent enough to track load shifts, smooth enough that one
+// slow request does not swing the shed hint.
+func (s *Server) observeLatency(d time.Duration) {
+	for {
+		old := s.ewmaNanos.Load()
+		updated := int64(d)
+		if old != 0 {
+			updated = old + (int64(d)-old)/8
+		}
+		if s.ewmaNanos.CompareAndSwap(old, updated) {
+			return
+		}
+	}
+}
+
+// recentLatency reports the latency EWMA, or 0 before any observation.
+func (s *Server) recentLatency() time.Duration {
+	return time.Duration(s.ewmaNanos.Load())
+}

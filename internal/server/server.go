@@ -109,6 +109,13 @@ func putRecResponse(rr *recResponse) {
 	respPool.Put(rr)
 }
 
+// owner is the optional ownership check a sharded engine implements
+// (socialrec.ShardEngine, forwarded through *Hot): a server fronting one
+// shard answers only for the users that shard owns and refuses the rest
+// with 421 Misdirected Request. Whole-population engines simply don't
+// implement it.
+type owner interface{ Owns(user int) bool }
+
 // Engine is the slice of the recommendation engine the server needs;
 // *socialrec.Engine satisfies it.
 type Engine interface {
@@ -184,6 +191,10 @@ type Server struct {
 	logger  *slog.Logger
 	tracer  *trace.Tracer
 	sem     chan struct{} // concurrency limiter; nil disables shedding
+
+	// ewmaNanos is the recent-latency EWMA feeding the adaptive
+	// Retry-After hint (see retryafter.go).
+	ewmaNanos atomic.Int64
 }
 
 // New validates the configuration and builds the server.
@@ -385,6 +396,14 @@ func (s *Server) recommendFor(ctx context.Context, userTok string, n int, rr *re
 		//sociolint:ignore hotalloc rejection path, not the per-request steady state
 		return http.StatusNotFound, fmt.Errorf("unknown user %q", userTok)
 	}
+	if o, isOwner := s.cfg.Engine.(owner); isOwner && !o.Owns(user) {
+		// A shard server refuses users another shard owns: its halo and
+		// foreign rows would make an answer silently wrong, not
+		// approximate. 421 tells a misrouting caller (a router with a
+		// stale manifest) to fix its map, loudly.
+		//sociolint:ignore hotalloc misdirected-request path, not the per-request steady state
+		return http.StatusMisdirectedRequest, fmt.Errorf("user %q is not owned by this shard", userTok)
+	}
 	if n > s.cfg.MaxN {
 		return http.StatusBadRequest,
 			//sociolint:ignore hotalloc rejection path, not the per-request steady state
@@ -484,10 +503,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		var row any = rr
 		status, err := s.recommendFor(ctx, tok, req.N, rr)
 		if err != nil {
-			if status == http.StatusNotFound {
+			switch status {
+			case http.StatusNotFound:
 				//sociolint:ignore hotalloc unknown-user row, not the per-request steady state
 				row = batchUserError{User: tok, Error: "unknown user"}
-			} else {
+			case http.StatusMisdirectedRequest:
+				// A misrouted user costs their row, not the batch: the
+				// correctly routed rows are still exact.
+				//sociolint:ignore hotalloc misdirected row, not the per-request steady state
+				row = batchUserError{User: tok, Error: "not owned by this shard"}
+			default:
 				// Deadline expiry mid-batch aborts the whole request: a batch
 				// is one response, and a silently truncated one would be
 				// indistinguishable from a complete one.

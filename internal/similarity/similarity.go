@@ -295,6 +295,33 @@ func All() []Measure {
 	return []Measure{AdamicAdar{}, CommonNeighbors{}, GraphDistance{}, Katz{}}
 }
 
+// Horizon reports the measure's similarity horizon: the maximum graph
+// distance, in hops, between a user u and any member of sim(u). A release
+// sharded by cluster stays exactly servable as long as each shard holds the
+// average rows of every cluster reachable within the horizon of its owned
+// users (see internal/release.SplitRelease), so this bound is load-bearing
+// for the sharded serving tier, not merely descriptive.
+//
+// CN and AA score only users sharing a neighbor (2 hops); GD scores users
+// within MaxDist hops; KZ counts walks up to MaxLen edges, and a walk of
+// length l only reaches users within l hops. Unknown measures return -1:
+// no provable bound, callers must fall back to full replication.
+func Horizon(m Measure) int {
+	switch t := m.(type) {
+	case CommonNeighbors:
+		return 2
+	case AdamicAdar:
+		return 2
+	case GraphDistance:
+		return t.maxDist()
+	case Katz:
+		k, _ := t.params()
+		return k
+	default:
+		return -1
+	}
+}
+
 // ComputeAll computes the similarity vectors for the given users in
 // parallel, returning a slice parallel to users. workers ≤ 0 selects
 // GOMAXPROCS.

@@ -6,8 +6,9 @@
 # suite (crash-safe store recovery, reload degradation, panic containment,
 # load shedding — under -race), the crash/resume matrix for the
 # checkpointed offline pipeline and the budget journal (scripts/
-# resume_chaos.sh), and a short fuzz smoke over the dataset and release
-# parsers. Every step must pass; the first failure aborts with a non-zero
+# resume_chaos.sh), the router chaos smoke for the sharded serving tier
+# (scripts/router_chaos.sh), and a short fuzz smoke over the dataset and
+# release parsers. Every step must pass; the first failure aborts with a non-zero
 # exit. `make ci` is the one-command entry point, locally and in any future
 # pipeline.
 set -euo pipefail
@@ -52,6 +53,13 @@ go test -race -run 'TestManagerConcurrentPublishBudget' ./internal/dynamic
 
 step "crash/resume matrix (checkpointed pipeline, budget journal)"
 ./scripts/resume_chaos.sh
+
+step "router chaos smoke (3 shards + router + loadgen, SIGKILL one shard)"
+# Kills one of three shard servers under open-loop Zipf load and asserts
+# the router keeps answering: bounded error rate, batch partials labeled
+# degraded (silent truncation fails), breaker opens then re-closes after
+# the shard restarts, and the capacity number lands in the CI log.
+./scripts/router_chaos.sh
 
 step "benchmark budget gate (ns/op >50% or ANY allocs/op growth vs BENCH_PR7.json fails)"
 # Two quick passes against the recorded baseline. The ns/op threshold is

@@ -1,0 +1,68 @@
+package socialrec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"socialrec/internal/graph"
+	"socialrec/internal/release"
+)
+
+// ErrNotOwned is returned when a shard engine is asked about a user another
+// shard owns. The shard's halo and foreign rows make an answer for such a
+// user silently wrong — not approximate — so the engine refuses instead;
+// serving layers translate this into 421 Misdirected Request so a router
+// with a stale manifest fails loudly and re-routes.
+var ErrNotOwned = errors.New("socialrec: user is owned by another shard")
+
+// ShardEngine serves one shard of a sharded release: exact recommendations
+// for the users the shard owns (the halo construction in
+// release.SplitRelease guarantees every cluster their similarity mass can
+// touch is resident), refusal for everyone else. Cluster ids reported
+// outward are global, so responses are indistinguishable from the unsharded
+// engine's.
+type ShardEngine struct {
+	*Engine
+	shard *release.Shard
+}
+
+// EngineFromShard reconstructs a shard-serving engine from a decoded shard
+// and the (public) social graph, which must cover the full user population
+// — similarity is computed over the whole graph even though only owned
+// users are served.
+func EngineFromShard(sh *release.Shard, social *graph.Social) (*ShardEngine, error) {
+	if err := sh.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := EngineFromRelease(sh.Release, social)
+	if err != nil {
+		return nil, fmt.Errorf("socialrec: building shard %d engine: %w", sh.ID, err)
+	}
+	return &ShardEngine{Engine: e, shard: sh}, nil
+}
+
+// Shard returns the shard this engine serves.
+func (e *ShardEngine) Shard() *release.Shard { return e.shard }
+
+// Owns reports whether this shard is responsible for the user.
+func (e *ShardEngine) Owns(user int) bool { return e.shard.Owns(user) }
+
+// ClusterOf reports the user's global cluster id (the unsharded release's
+// numbering), or -1 when the user's cluster is not resident here.
+func (e *ShardEngine) ClusterOf(user int) int { return e.shard.GlobalCluster(user) }
+
+// RecommendContext is the Engine method guarded by ownership: a non-owned
+// user gets ErrNotOwned, never a quietly wrong list computed against the
+// zero foreign row.
+func (e *ShardEngine) RecommendContext(ctx context.Context, user, n int) ([]Recommendation, error) {
+	if !e.shard.Owns(user) {
+		return nil, fmt.Errorf("%w (user %d, shard %d)", ErrNotOwned, user, e.shard.ID)
+	}
+	return e.Engine.RecommendContext(ctx, user, n)
+}
+
+// Recommend is RecommendContext on a background context.
+func (e *ShardEngine) Recommend(user, n int) ([]Recommendation, error) {
+	return e.RecommendContext(context.Background(), user, n)
+}

@@ -1,0 +1,79 @@
+package socialrec
+
+import (
+	"errors"
+	"testing"
+
+	"socialrec/internal/release"
+	"socialrec/internal/similarity"
+)
+
+// TestShardEngineMatchesUnsharded is the exactness contract of the sharded
+// serving tier: for every user, the owning shard's engine returns the
+// byte-identical recommendation list the unsharded engine would, because
+// each shard's halo holds every cluster row the user's similarity mass can
+// touch (similarity.Horizon bounds the reach).
+func TestShardEngineMatchesUnsharded(t *testing.T) {
+	e, err := NewEngine(buildSmall(), Config{Epsilon: 0.7, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := e.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := e.social.NumUsers()
+	want := make([][]Recommendation, users)
+	for u := 0; u < users; u++ {
+		if want[u], err = e.Recommend(u, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m, err := similarity.ByName(rel.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate clusters across 2 shards.
+	clusterShard := make([]int32, rel.Clusters.NumClusters())
+	for c := range clusterShard {
+		clusterShard[c] = int32(c % 2)
+	}
+	manifest, shards, err := release.SplitRelease(rel, e.social, clusterShard, 2, similarity.Horizon(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*ShardEngine, len(shards))
+	for i, sh := range shards {
+		if engines[i], err = EngineFromShard(sh, e.social); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for u := 0; u < users; u++ {
+		owner := manifest.ShardOf(u)
+		got, err := engines[owner].Recommend(u, 4)
+		if err != nil {
+			t.Fatalf("user %d on shard %d: %v", u, owner, err)
+		}
+		if len(got) != len(want[u]) {
+			t.Fatalf("user %d: shard list length %d, unsharded %d", u, len(got), len(want[u]))
+		}
+		for i := range got {
+			if got[i] != want[u][i] {
+				t.Fatalf("user %d item %d: shard %v, unsharded %v", u, i, got[i], want[u][i])
+			}
+		}
+		if gc, wc := engines[owner].ClusterOf(u), e.ClusterOf(u); gc != wc {
+			t.Fatalf("user %d: shard reports cluster %d, unsharded %d", u, gc, wc)
+		}
+		// Every non-owning shard must refuse, not guess.
+		for i, se := range engines {
+			if i == owner {
+				continue
+			}
+			if _, err := se.Recommend(u, 4); !errors.Is(err, ErrNotOwned) {
+				t.Fatalf("user %d on non-owning shard %d: err = %v, want ErrNotOwned", u, i, err)
+			}
+		}
+	}
+}
