@@ -14,7 +14,7 @@ BENCH_OUT ?= BENCH_PR7.json
 BENCH_BASE ?= BENCH_PR7.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: build test race lint lint-fix-check fuzz-smoke chaos resume-chaos router-chaos ci fmt bench benchdiff
+.PHONY: build test race lint lint-fix-check fuzz-smoke chaos resume-chaos router-chaos wal-chaos ci fmt bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,13 @@ resume-chaos:
 # (see scripts/router_chaos.sh).
 router-chaos:
 	./scripts/router_chaos.sh
+
+# wal-chaos kills the streaming update path (mutation WAL + incremental
+# re-release) at filesystem fault points and proves every resumed run
+# converges to the byte-identical release store with Σε spent exactly
+# once and no quarantined-record loss (see scripts/wal_chaos.sh).
+wal-chaos:
+	./scripts/wal_chaos.sh
 
 ci:
 	./scripts/ci.sh

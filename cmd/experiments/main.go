@@ -12,6 +12,7 @@
 //	experiments -exp clusters           # §6.2 clustering statistics
 //	experiments -exp decompose          # Eq. 5 approximation/perturbation split
 //	experiments -exp release            # checkpointed offline release pipeline
+//	experiments -exp stream             # crash-safe streaming update drill
 //
 // -repeats, -sample and -runs trade fidelity for speed; the paper's own
 // settings are -repeats 10 and (for the big dataset) -sample 10000.
@@ -25,6 +26,16 @@
 // drills are scriptable: the interrupted run exits non-zero, the resumed
 // run must produce the byte-identical release with the ε-spend journaled
 // exactly once.
+//
+// The stream experiment drives the online path instead: a deterministic
+// mutation stream is appended to a durable WAL in batches, and the
+// streaming updater decides per batch whether the accumulated drift is
+// worth a full or delta release. -stream-dir holds the WAL, the release
+// store and the intent journal; rerunning against the same directory
+// resumes exactly where the previous run (or crash) stopped. The same
+// -faults/-fault-after arming applies, so scripts/wal_chaos.sh can kill
+// the drill at any filesystem point and assert the resumed run converges
+// to the byte-identical store with Σε spent exactly once.
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 
 	"socialrec/internal/dataset"
 	"socialrec/internal/dp"
+	"socialrec/internal/dynamic"
 	"socialrec/internal/experiment"
 	"socialrec/internal/faults"
 	"socialrec/internal/generator"
@@ -47,11 +59,12 @@ import (
 	"socialrec/internal/release"
 	"socialrec/internal/similarity"
 	"socialrec/internal/telemetry"
+	"socialrec/internal/wal"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, fig1, fig2, fig3, fig4, clusters, decompose or release")
+		exp     = flag.String("exp", "all", "experiment: all, table1, fig1, fig2, fig3, fig4, clusters, decompose, release or stream")
 		repeats = flag.Int("repeats", 3, "noise repeats per measurement (paper: 10)")
 		sample  = flag.Int("sample", 400, "evaluation-user sample size")
 		runs    = flag.Int("runs", 10, "Louvain restarts")
@@ -67,6 +80,10 @@ func main() {
 		releaseDir = flag.String("release-dir", "", "persist the final release into a release store here")
 		faultPoint = flag.String("faults", "", "arm a fault-injection point for crash drills (fs.create, fs.write, fs.sync, fs.close, fs.rename, fs.syncdir, ...)")
 		faultAfter = flag.Uint64("fault-after", 0, "let the armed point succeed this many times before it fires")
+
+		streamDir     = flag.String("stream-dir", "", "state directory for -exp stream: WAL, release store and intent journal live here")
+		streamBatches = flag.Int("stream-batches", 6, "mutation batches -exp stream drives through the updater")
+		streamBatch   = flag.Int("stream-batch", 40, "mutations per batch for -exp stream")
 	)
 	flag.Parse()
 
@@ -200,6 +217,20 @@ func main() {
 			})
 		})
 	}
+	if *exp == "stream" {
+		run("crash-safe streaming update drill", func() error {
+			return runStreamDrill(streamFlags{
+				dir:        *streamDir,
+				batches:    *streamBatches,
+				perBatch:   *streamBatch,
+				eps:        *epsArg,
+				runs:       *runs,
+				seed:       *seed,
+				faultPoint: *faultPoint,
+				faultAfter: *faultAfter,
+			})
+		})
+	}
 	if want("fig4") {
 		run("Fig 4: baseline mechanisms on Last.fm-like", func() error {
 			bl, err := experiment.BaselineComparison(
@@ -325,4 +356,248 @@ func runReleasePipeline(f releaseFlags) error {
 	}
 	fmt.Printf("NDCG@10 of the released mechanism: %.3f\n", score.Mean(10))
 	return nil
+}
+
+// streamFlags carries the -exp stream configuration.
+type streamFlags struct {
+	dir        string
+	batches    int
+	perBatch   int
+	eps        float64
+	runs       int
+	seed       int64
+	faultPoint string
+	faultAfter uint64
+}
+
+// splitmix64 steps a 64-bit generator state. The drill needs a stream
+// that is a pure function of the seed so an interrupted run and its
+// resume regenerate the exact same mutations; math/rand is confined to
+// internal/dp (sociolint noisesource), hence the inline generator.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mutGen deterministically generates a valid mutation stream: dense user
+// and item growth first, then a mix of social edges and preference churn.
+// Regenerating and discarding the first k records reproduces the exact
+// generator state after k appends, which is how a resumed drill continues
+// a stream the crashed run started.
+//
+// Churn concentrates on a small core of users (with a trickle touching
+// anyone) so the updater sees realistic locality: most batches drift a
+// few clusters and publish deltas, while occasional wide spread or
+// population growth pushes past the full-release threshold.
+type mutGen struct {
+	state uint64
+	users int64
+	items int64
+}
+
+func (g *mutGen) next(n uint64) uint64 { return splitmix64(&g.state) % n }
+
+// user picks a mutation target: 85% from the core (first quarter of the
+// population, at least 8 users), 15% anywhere.
+func (g *mutGen) user() int64 {
+	core := g.users / 4
+	if core < 8 {
+		core = 8
+	}
+	if core > g.users {
+		core = g.users
+	}
+	if g.next(100) < 85 {
+		return int64(g.next(uint64(core)))
+	}
+	return int64(g.next(uint64(g.users)))
+}
+
+func (g *mutGen) record() (wal.Op, int64, int64) {
+	if g.users < 24 {
+		a := g.users
+		g.users++
+		return wal.OpAddUser, a, 0
+	}
+	if g.items < 6 {
+		a := g.items
+		g.items++
+		return wal.OpAddItem, a, 0
+	}
+	pair := func() (int64, int64) {
+		a := g.user()
+		b := g.user()
+		if b == a {
+			b = (a + 1) % g.users
+		}
+		return a, b
+	}
+	switch r := g.next(100); {
+	case r < 4:
+		a := g.users
+		g.users++
+		return wal.OpAddUser, a, 0
+	case r < 7:
+		a := g.items
+		g.items++
+		return wal.OpAddItem, a, 0
+	case r < 40:
+		a, b := pair()
+		return wal.OpAddSocial, a, b
+	case r < 46:
+		a, b := pair()
+		return wal.OpDelSocial, a, b
+	case r < 92:
+		return wal.OpAddPref, g.user(), int64(g.next(uint64(g.items)))
+	default:
+		return wal.OpDelPref, g.user(), int64(g.next(uint64(g.items)))
+	}
+}
+
+// runStreamDrill drives the streaming update path end to end: append a
+// deterministic mutation batch to the WAL, sync, let the updater decide
+// whether the drift is worth a release, repeat. All state lives under
+// -stream-dir, so killing the process anywhere (or letting -faults kill
+// it) and rerunning resumes the stream — finishing any journaled publish
+// first — and must converge to the byte-identical store a clean run
+// produces.
+func runStreamDrill(f streamFlags) error {
+	if f.dir == "" {
+		return fmt.Errorf("-exp stream requires -stream-dir")
+	}
+	if f.batches < 1 || f.perBatch < 1 {
+		return fmt.Errorf("-stream-batches and -stream-batch must be positive")
+	}
+	walDir := filepath.Join(f.dir, "wal")
+	relDir := filepath.Join(f.dir, "releases")
+	for _, d := range []string{walDir, relDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+	}
+	var fsys faults.FS = faults.OS{}
+	if f.faultPoint != "" {
+		reg := faults.New(f.seed)
+		reg.Arm(faults.Point(f.faultPoint), faults.Plan{After: f.faultAfter, Times: 1})
+		fsys = faults.NewFS(faults.OS{}, reg)
+	}
+	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+
+	wlog, rec, err := wal.Open(walDir, wal.Options{FS: fsys, Logf: logf})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = wlog.Close() }()
+	fmt.Printf("wal: recovered %d record(s) in %d segment(s), torn tail %d byte(s)\n",
+		rec.Records, rec.Segments, rec.TornBytes)
+	store, err := release.OpenStore(relDir, release.StoreOptions{FS: fsys, Logf: logf})
+	if err != nil {
+		return err
+	}
+	upd, err := dynamic.OpenUpdater(dynamic.UpdaterConfig{
+		TotalBudget: dp.Epsilon(f.eps * float64(f.batches)),
+		PerRelease:  dp.Epsilon(f.eps),
+		LouvainRuns: f.runs,
+		Seed:        f.seed,
+		JournalPath: filepath.Join(f.dir, "journal.bin"),
+		WAL:         wlog,
+		Store:       store,
+		// The drill's batches churn roughly half the population, so raise
+		// the full-release threshold and tighten the chain bound: the run
+		// then exercises both artifact kinds — delta publishes for local
+		// drift, scheduled fulls re-anchoring the chain.
+		DriftFullUsers: 0.8,
+		FullEvery:      4,
+		FS:             fsys,
+		Logf:           logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	advance := func() error {
+		dec, err := upd.Advance()
+		if err != nil {
+			return err
+		}
+		if dec.Published {
+			fmt.Printf("seq %d: published %s version %d (touched %.2f, modularity gain %+.3f)\n",
+				dec.Seq, dec.Kind, dec.Version, dec.TouchedFraction, dec.ModularityGain)
+		} else {
+			fmt.Printf("seq %d: held back: %s\n", dec.Seq, dec.Reason)
+		}
+		return nil
+	}
+
+	total := uint64(f.batches) * uint64(f.perBatch)
+	gen := &mutGen{state: uint64(f.seed)}
+	for i := uint64(0); i < wlog.LastSeq(); i++ {
+		gen.record() // fast-forward past what the crashed run already appended
+	}
+	if last := wlog.LastSeq(); last > 0 && last%uint64(f.perBatch) == 0 {
+		// The previous run may have died inside the decision for the batch
+		// it had just synced. Re-run that boundary's decision before
+		// appending more: publish-or-skip is deterministic, and a boundary
+		// whose decision already completed re-decides to the same skip (or
+		// sees no new mutations at all). A mid-batch tail needs no such
+		// catch-up — its preceding boundary decision must have completed
+		// for the tail's appends to have started.
+		if err := advance(); err != nil {
+			return err
+		}
+	}
+	for seq := wlog.LastSeq(); seq < total; {
+		end := (seq/uint64(f.perBatch) + 1) * uint64(f.perBatch)
+		if end > total {
+			end = total
+		}
+		for ; seq < end; seq++ {
+			op, a, b := gen.record()
+			if _, err := wlog.Append(op, a, b); err != nil {
+				return err
+			}
+		}
+		if err := wlog.Sync(); err != nil {
+			return err
+		}
+		if err := advance(); err != nil {
+			return err
+		}
+	}
+
+	ln := upd.Lineage()
+	digest, err := dirDigest(relDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stream: releases=%d spent=%g lineage full=%d deltas=%d version=%d\n",
+		upd.Releases(), float64(upd.Spent()), ln.Full, len(ln.Deltas), ln.Version())
+	fmt.Printf("stream: quarantine files=%d\n", len(rec.QuarantineFiles))
+	fmt.Printf("stream: store digest=%016x\n", digest)
+	return nil
+}
+
+// dirDigest hashes a directory's regular files (names and contents, in
+// sorted order) so drill scripts can compare two stores byte-for-byte.
+func dirDigest(dir string) (uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return 0, err
+		}
+		_, _ = h.Write([]byte(e.Name()))
+		_, _ = h.Write(raw)
+	}
+	return h.Sum64(), nil
 }

@@ -156,11 +156,13 @@ func main() {
 	}
 
 	var (
-		engine      *socialrec.Engine
-		serveEngine server.Engine
-		itemTok     []string
-		stats       dataset.Stats
-		version     uint64 = 1
+		engine       *socialrec.Engine
+		serveEngine  server.Engine
+		itemTok      []string
+		stats        dataset.Stats
+		version      uint64 = 1
+		startFull    *socialrec.Engine
+		startLineage release.Lineage
 	)
 	switch {
 	case *shardID >= 0:
@@ -207,13 +209,18 @@ func main() {
 		stats.Users = social.NumUsers()
 		stats.SocialEdges = social.NumEdges()
 	default:
-		// Serve the newest valid release from the store, recovering past
-		// any corrupt or torn versions.
-		engine, version, err = loadEngineStore(context.Background(), store, social)
+		// Serve the newest valid full release plus its delta chain from
+		// the store, recovering past any corrupt or torn artifacts.
+		var full *socialrec.Engine
+		engine, full, startLineage, err = loadLineageStore(context.Background(), store, social)
 		if err != nil {
 			fatal("recserve: loading from release store", "dir", store.Dir(), "err", err)
 		}
-		logger.Info("recserve: serving stored release", "version", version, "dir", store.Dir())
+		version = startLineage.Version()
+		startFull = full
+		//sociolint:ignore privflow versions and chain length are store metadata, not preference data
+		logger.Info("recserve: serving stored release", "version", version,
+			"full_version", startLineage.Full, "deltas", len(startLineage.Deltas), "dir", store.Dir())
 		stats.Users = social.NumUsers()
 		stats.SocialEdges = social.NumEdges()
 	}
@@ -225,6 +232,15 @@ func main() {
 	stopRuntime := telemetry.StartRuntimeCollector(reg, 0)
 	defer stopRuntime()
 	hot := server.NewHot(serveEngine, version)
+	if len(startLineage.Deltas) > 0 && startFull != nil {
+		// Install the lineage explicitly so the full generation's engine
+		// stays retained in memory: a later corrupt delta rolls serving
+		// back to it instead of going dark.
+		hot.Swap(startFull, startLineage.Full)
+		if err := hot.ApplyDelta(serveEngine, startLineage.Full, startLineage.Deltas); err != nil {
+			fatal("recserve: installing delta lineage", "err", err)
+		}
+	}
 
 	cacheCap := -1
 	if *simCache != 0 {
@@ -400,20 +416,35 @@ func loadEngineFile(path string, social *graph.Social) (*socialrec.Engine, error
 	return socialrec.LoadEngine(f, social)
 }
 
-func loadEngineStore(ctx context.Context, store *release.Store, social *graph.Social) (*socialrec.Engine, uint64, error) {
-	rel, version, skipped, err := store.LoadContext(ctx)
+// loadLineageStore resolves the newest full generation plus its valid
+// delta chain from the store. engine serves the composed release; full is
+// the engine of the bare full generation, retained for rollback (equal to
+// engine when no deltas are in the lineage).
+func loadLineageStore(ctx context.Context, store *release.Store, social *graph.Social) (engine, full *socialrec.Engine, ln release.Lineage, err error) {
+	rel, ln, skipped, err := store.LoadLatestContext(ctx)
 	for _, sk := range skipped {
-		logger.WarnContext(ctx, "recserve: release store skipped corrupt version",
+		logger.WarnContext(ctx, "recserve: release store skipped corrupt artifact",
 			"file", sk.Name, "err", sk.Err)
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, ln, err
 	}
-	engine, err := socialrec.EngineFromRelease(rel, social)
+	engine, err = socialrec.EngineFromRelease(rel, social)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, ln, err
 	}
-	return engine, version, nil
+	full = engine
+	if len(ln.Deltas) > 0 {
+		fullRel, err := store.LoadVersionContext(ctx, ln.Full)
+		if err != nil {
+			return nil, nil, ln, err
+		}
+		full, err = socialrec.EngineFromRelease(fullRel, social)
+		if err != nil {
+			return nil, nil, ln, err
+		}
+	}
+	return engine, full, ln, nil
 }
 
 // makeReload builds the closure shared by POST /admin/reload and SIGHUP: it
@@ -436,28 +467,73 @@ func makeReload(hot *server.Hot, store *release.Store, loadRel string,
 	return func(ctx context.Context) error {
 		mu.Lock()
 		defer mu.Unlock()
-		var (
-			engine  *socialrec.Engine
-			version uint64
-			err     error
-		)
-		if store != nil {
-			engine, version, err = loadEngineStore(ctx, store, social)
-		} else {
-			engine, err = loadEngineFile(loadRel, social)
-			version = fileVersion + 1
+		if store == nil {
+			engine, err := loadEngineFile(loadRel, social)
+			if err != nil {
+				hot.Fail(err.Error())
+				return err
+			}
+			if cacheCap >= 0 {
+				engine.EnableSimilarityCache(cacheCap)
+			}
+			fileVersion++
+			hot.Swap(engine, fileVersion)
+			return nil
 		}
-		if err != nil {
-			hot.Fail(err.Error())
-			return err
+		return reloadFromStore(ctx, hot, store, social, cacheCap)
+	}
+}
+
+// reloadFromStore advances the serving lineage to what the store resolves.
+// A delta chain extending the one already applied swaps in through the
+// validated delta path; a chain the store can no longer resolve past the
+// serving version (a served delta went corrupt on disk) rolls serving back
+// to the retained full generation — degraded, explicit, and still
+// answering — instead of serving state with unverifiable provenance.
+func reloadFromStore(ctx context.Context, hot *server.Hot, store *release.Store,
+	social *graph.Social, cacheCap int) error {
+	engine, full, ln, err := loadLineageStore(ctx, store, social)
+	st := hot.Status()
+	if err != nil {
+		hot.Fail(err.Error())
+		return err
+	}
+	newV := ln.Version()
+	if ln.Full == st.FullVersion && newV == st.Version {
+		return nil // already serving exactly this lineage
+	}
+	if ln.Full == st.FullVersion && newV < st.Version {
+		v := hot.Rollback(fmt.Sprintf(
+			"delta chain resolvable only to version %d (served %d); rolled back to full generation", newV, st.Version))
+		//sociolint:ignore privflow versions are store metadata, not preference data
+		logger.WarnContext(ctx, "recserve: served delta chain no longer resolvable; rolled back",
+			"resolvable", newV, "was_serving", st.Version, "full_version", v)
+		return fmt.Errorf("recserve: delta chain resolvable only to version %d (was serving %d); rolled back to full generation %d",
+			newV, st.Version, v)
+	}
+	if cacheCap >= 0 {
+		engine.EnableSimilarityCache(cacheCap)
+	}
+	if ln.Full == st.FullVersion {
+		// Same full generation, longer chain: validated delta application.
+		if err := hot.ApplyDelta(engine, st.Version, ln.Deltas); err != nil {
+			v := hot.Rollback(err.Error())
+			return fmt.Errorf("recserve: delta apply refused (%v); rolled back to full generation %d", err, v)
 		}
-		if cacheCap >= 0 {
-			engine.EnableSimilarityCache(cacheCap)
-		}
-		hot.Swap(engine, version)
-		fileVersion = version
 		return nil
 	}
+	// New full generation, possibly with deltas already on top of it.
+	hot.Swap(full, ln.Full)
+	if len(ln.Deltas) > 0 {
+		if full != engine && cacheCap >= 0 {
+			full.EnableSimilarityCache(cacheCap)
+		}
+		if err := hot.ApplyDelta(engine, ln.Full, ln.Deltas); err != nil {
+			v := hot.Rollback(err.Error())
+			return fmt.Errorf("recserve: delta apply refused (%v); serving full generation %d", err, v)
+		}
+	}
+	return nil
 }
 
 // saveSharded splits a freshly built release into n shards and persists

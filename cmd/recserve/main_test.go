@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"socialrec/internal/community"
+	"socialrec/internal/graph"
+	"socialrec/internal/release"
+	"socialrec/internal/server"
+	"socialrec/internal/telemetry"
+)
+
+// rollbackSocial builds the 5-user social graph the lineage fixtures
+// cover.
+func rollbackSocial(t *testing.T) *graph.Social {
+	t.Helper()
+	b := graph.NewSocialBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func rollbackStore(t *testing.T, dir string) *release.Store {
+	t.Helper()
+	s, err := release.OpenStore(dir, release.StoreOptions{
+		Metrics: telemetry.NewRegistry(),
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func saveFullFixture(t *testing.T, store *release.Store) uint64 {
+	t.Helper()
+	cl, err := community.FromAssignment([]int32{0, 0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := store.Save(&release.Release{
+		Epsilon:  0.5,
+		Measure:  "CN",
+		Clusters: cl,
+		NumItems: 2,
+		Avg:      []float64{1, 2, 3, 4, 5, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func saveDeltaFixture(t *testing.T, store *release.Store, base uint64) uint64 {
+	t.Helper()
+	v, err := store.SaveDelta(&release.Delta{
+		Base:     base,
+		Epsilon:  0.25,
+		Measure:  "CN",
+		NumItems: 2,
+		Assign:   []int32{0, 0, 1, 1, 1},
+		Source:   []int32{0, -1},
+		Fresh:    []float64{30, 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// corruptDelta flips a byte in the stored delta artifact for the given
+// version, simulating on-disk rot of an already-served delta.
+func corruptDelta(t *testing.T, dir string, version uint64) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "delta-*"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no delta artifacts in %s (err %v)", dir, err)
+	}
+	for _, path := range matches {
+		if !strings.Contains(path, "delta-") {
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)-10] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReloadFromStoreRollsBackOnCorruptDelta is the serving half of the
+// crash-safety acceptance criterion: when a delta that is already being
+// served goes corrupt on disk, a reload rolls serving back to the
+// retained full generation — degraded and stale, but answering — instead
+// of failing requests or serving state with unverifiable provenance.
+func TestReloadFromStoreRollsBackOnCorruptDelta(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	store := rollbackStore(t, dir)
+	social := rollbackSocial(t)
+
+	fullV := saveFullFixture(t, store)
+	deltaV := saveDeltaFixture(t, store, fullV)
+
+	// Startup resolves full + delta, as main() does for -release-dir.
+	engine, full, ln, err := loadLineageStore(ctx, store, social)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln.Full != fullV || len(ln.Deltas) != 1 || ln.Deltas[0] != deltaV {
+		t.Fatalf("startup lineage = %+v", ln)
+	}
+	if full == engine {
+		t.Fatal("full-generation engine not separately retained")
+	}
+	hot := server.NewHot(server.Engine(engine), ln.Version())
+	hot.Swap(full, ln.Full)
+	if err := hot.ApplyDelta(engine, ln.Full, ln.Deltas); err != nil {
+		t.Fatal(err)
+	}
+	st := hot.Status()
+	if st.Version != deltaV || st.FullVersion != fullV {
+		t.Fatalf("startup status = %+v", st)
+	}
+
+	// A reload with nothing new is a no-op.
+	if err := reloadFromStore(ctx, hot, store, social, -1); err != nil {
+		t.Fatalf("idle reload: %v", err)
+	}
+	if got := hot.Status(); got.Version != deltaV || got.Degraded {
+		t.Fatalf("idle reload changed the slot: %+v", got)
+	}
+
+	// Rot the served delta on disk. The store now resolves only the full
+	// generation, which is older than what we serve: reload must roll
+	// back, not 500 the serving path.
+	corruptDelta(t, dir, deltaV)
+	err = reloadFromStore(ctx, hot, store, social, -1)
+	if err == nil || !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("reload over corrupt served delta: %v", err)
+	}
+	st = hot.Status()
+	if st.Version != fullV || st.FullVersion != fullV || !st.Degraded || len(st.Deltas) != 0 {
+		t.Fatalf("post-rollback status = %+v", st)
+	}
+	// Degraded means stale-but-serving: recommendations still answer from
+	// the retained full generation without touching the rotten artifact.
+	recs, err := hot.Recommend(0, 2)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("degraded slot stopped serving: %v, %v", recs, err)
+	}
+
+	// A fresh full generation recovers: swap clears degradation.
+	newFull := saveFullFixture(t, store)
+	if err := reloadFromStore(ctx, hot, store, social, -1); err != nil {
+		t.Fatalf("recovery reload: %v", err)
+	}
+	st = hot.Status()
+	if st.Version != newFull || st.Degraded || st.FullVersion != newFull {
+		t.Fatalf("post-recovery status = %+v", st)
+	}
+}
+
+// TestReloadFromStoreExtendsDeltaChain: a new delta appearing in the
+// store swaps in through the validated delta path, keeping the full
+// generation retained for rollback.
+func TestReloadFromStoreExtendsDeltaChain(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	store := rollbackStore(t, dir)
+	social := rollbackSocial(t)
+
+	fullV := saveFullFixture(t, store)
+	engine, full, ln, err := loadLineageStore(ctx, store, social)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != engine || len(ln.Deltas) != 0 {
+		t.Fatalf("fresh store lineage = %+v", ln)
+	}
+	hot := server.NewHot(server.Engine(engine), ln.Version())
+
+	deltaV := saveDeltaFixture(t, store, fullV)
+	if err := reloadFromStore(ctx, hot, store, social, -1); err != nil {
+		t.Fatalf("delta reload: %v", err)
+	}
+	st := hot.Status()
+	if st.Version != deltaV || st.FullVersion != fullV || len(st.Deltas) != 1 {
+		t.Fatalf("post-delta status = %+v", st)
+	}
+}

@@ -30,6 +30,7 @@ var goldenCases = []struct {
 	{SpanEnd{}, "spanend", "socialrec/internal/fixture"},
 	{PrivFlow{}, "privflow/fixture", "socialrec/internal/fixture"},
 	{PrivFlow{}, "privflow/dataset", "socialrec/internal/dataset"},
+	{PrivFlow{}, "privflow/wal", "socialrec/internal/wal"},
 	{HotAlloc{}, "hotalloc/fixture", "socialrec/internal/fixture"},
 }
 

@@ -619,7 +619,11 @@ func (t *taintInterp) exprTaint(e ast.Expr, f *taintFacts) labelSet {
 				return l // qualified package identifier, e.g. http.StatusOK
 			}
 		}
-		l |= t.exprTaint(e.X, f)
+		xl := t.exprTaint(e.X, f)
+		if rawMetadataField(t.pass.Info.TypeOf(e.X), e.Sel.Name) {
+			xl = 0 // metadata selection: sheds type taint and param flow alike
+		}
+		l |= xl
 	case *ast.CallExpr:
 		per := t.call(e, f)
 		for _, pl := range per {
@@ -672,6 +676,37 @@ func typeIsRaw(ty types.Type) bool {
 		return true
 	case obj.Name() == "RawEdge" && pathIsOrEndsWith(obj.Pkg().Path(), "internal/dataset"):
 		return true
+	case obj.Name() == "Record" && pathIsOrEndsWith(obj.Pkg().Path(), "internal/wal"):
+		// A WAL record carries raw graph adjacency: preference-edge
+		// operands are the private data the whole framework protects.
+		return true
+	}
+	return false
+}
+
+// rawMetadataField reports whether selecting field from a raw-by-
+// construction struct yields public metadata rather than adjacency. A
+// wal.Record's Seq and Op are the documented exception: recovery and
+// replay errors must name the sequence number and operation — and never
+// the operands — so selecting those fields sheds the type taint.
+func rawMetadataField(ty types.Type, field string) bool {
+	for i := 0; i < 4; i++ {
+		p, ok := ty.(*types.Pointer)
+		if !ok {
+			break
+		}
+		ty = p.Elem()
+	}
+	named, ok := ty.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if obj.Name() == "Record" && pathIsOrEndsWith(obj.Pkg().Path(), "internal/wal") {
+		return field == "Seq" || field == "Op"
 	}
 	return false
 }

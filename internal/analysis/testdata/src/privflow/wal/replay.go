@@ -1,0 +1,59 @@
+// Package fixture is presented to privflow as socialrec/internal/wal: a
+// WAL Record carries raw graph adjacency (preference-edge operands), so a
+// Record value — or either operand field — reaching a log line or error
+// string is a leak. Seq and Op are the documented metadata exception:
+// recovery and replay errors must name the sequence number and operation,
+// and never the operands.
+package fixture
+
+import (
+	"fmt"
+	"log/slog"
+)
+
+// Op is the mutation kind; its name is public.
+type Op uint8
+
+func (o Op) String() string { return "op" }
+
+// Record mirrors the real WAL record: Seq/Op are metadata, A/B are raw
+// adjacency operands.
+type Record struct {
+	Seq  uint64
+	Op   Op
+	A, B int64
+}
+
+// replayEchoRecord reproduces the quarantine bug for the streaming path:
+// the corrupt record — operands and all — is echoed into the error.
+func replayEchoRecord(r Record) error {
+	return fmt.Errorf("wal: corrupt record %+v", r) // want "reaches fmt.Errorf"
+}
+
+// applyEchoOperand leaks a single operand: one endpoint of a private
+// preference edge.
+func applyEchoOperand(r Record) error {
+	if r.A < 0 {
+		return fmt.Errorf("wal: bad operand %d", r.A) // want "reaches fmt.Errorf"
+	}
+	return nil
+}
+
+// logRecord leaks the whole record through structured logging.
+func logRecord(r Record) {
+	slog.Info("applying mutation", "record", r) // want "reaches slog.Info"
+}
+
+// applyClean is the sanctioned error shape: sequence number and operation
+// name only, operands never.
+func applyClean(r Record) error {
+	if r.A < 0 || r.B < 0 {
+		return fmt.Errorf("wal: record %d (%s): operand out of range", r.Seq, r.Op)
+	}
+	return nil
+}
+
+// logProgressClean reports replay progress through metadata fields only.
+func logProgressClean(r Record) {
+	slog.Info("replayed", "seq", r.Seq, "op", r.Op.String())
+}

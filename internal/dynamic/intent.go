@@ -1,0 +1,139 @@
+package dynamic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"math"
+
+	"socialrec/internal/faults"
+)
+
+// Updater intent journal: the streaming path's crash-safe budget record.
+// It extends the Manager's journal-before-spend discipline with enough
+// intent — which WAL range, which artifact version, full or delta — for a
+// restarted Updater to finish a crashed publish deterministically instead
+// of abandoning the journaled ε:
+//
+//   - The journal is written durably BEFORE the accountant is charged and
+//     before any artifact is persisted. A crash after the write but before
+//     the artifact lands leaves a "pending intent": spend counted, artifact
+//     missing.
+//   - On open, a pending intent is reconciled by recomputation: the WAL is
+//     replayed through Seq, the release of the recorded Kind is recomputed
+//     with the same derived noise seed, and the artifact is persisted at
+//     the recorded Version WITHOUT journaling again. The recomputation is
+//     bit-deterministic, so the artifact is byte-identical to the one the
+//     crashed run would have written, and Σε is charged exactly once.
+//
+// Over-counting remains the safe failure direction: if recomputation is
+// impossible (WAL truncated past Seq), the spend stands and the release is
+// skipped.
+const intentMagic = "SOCUPD01"
+
+// intentKind records which artifact a journaled publish produces.
+type intentKind uint8
+
+const (
+	intentNone  intentKind = 0 // no publish journaled yet
+	intentFull  intentKind = 1
+	intentDelta intentKind = 2
+)
+
+func (k intentKind) String() string {
+	switch k {
+	case intentFull:
+		return "full"
+	case intentDelta:
+		return "delta"
+	}
+	return "none"
+}
+
+// intentState is the durable updater accounting. Exactly one lives at
+// UpdaterConfig.JournalPath; each publish overwrites it atomically.
+type intentState struct {
+	// Releases counts journaled publishes, including one that crashed
+	// before its artifact landed.
+	Releases uint64
+	// Spent is the total ε journaled against the preference partition.
+	Spent float64
+	// PrevSeq is the WAL sequence the PREVIOUS release covered; the
+	// touched-vertex set of this release is the records in
+	// (PrevSeq, Seq].
+	PrevSeq uint64
+	// Seq is the WAL sequence this release covers.
+	Seq uint64
+	// Version is the store version the artifact lands at.
+	Version uint64
+	// Kind is full or delta.
+	Kind intentKind
+	// Base is the served version the delta chains to (Kind==intentDelta).
+	Base uint64
+}
+
+const intentBodyLen = 8 + 8 + 8 + 8 + 8 + 1 + 8
+
+// errIntentCorrupt reports an unreadable intent journal. It is fatal:
+// publishing with untrusted spend accounting could re-spend budget.
+var errIntentCorrupt = errors.New("dynamic: updater journal corrupt")
+
+// readIntent loads the journal. ok is false when the file does not exist
+// (a fresh deployment).
+func readIntent(fsys faults.FS, path string) (st intentState, ok bool, err error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return intentState{}, false, nil
+		}
+		return intentState{}, false, err
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(io.LimitReader(f, 128))
+	if err != nil {
+		return intentState{}, false, err
+	}
+	if len(raw) != len(intentMagic)+intentBodyLen+4 || string(raw[:len(intentMagic)]) != intentMagic {
+		return intentState{}, false, fmt.Errorf("%w: %s", errIntentCorrupt, path)
+	}
+	body := raw[len(intentMagic) : len(intentMagic)+intentBodyLen]
+	sum := binary.BigEndian.Uint32(raw[len(intentMagic)+intentBodyLen:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return intentState{}, false, fmt.Errorf("%w: %s: checksum mismatch", errIntentCorrupt, path)
+	}
+	st.Releases = binary.BigEndian.Uint64(body[0:])
+	st.Spent = math.Float64frombits(binary.BigEndian.Uint64(body[8:]))
+	st.PrevSeq = binary.BigEndian.Uint64(body[16:])
+	st.Seq = binary.BigEndian.Uint64(body[24:])
+	st.Version = binary.BigEndian.Uint64(body[32:])
+	st.Kind = intentKind(body[40])
+	st.Base = binary.BigEndian.Uint64(body[41:])
+	if math.IsNaN(st.Spent) || math.IsInf(st.Spent, 0) || st.Spent < 0 {
+		return intentState{}, false, fmt.Errorf("%w: %s: spend out of range", errIntentCorrupt, path)
+	}
+	if st.Kind > intentDelta || st.PrevSeq > st.Seq {
+		return intentState{}, false, fmt.Errorf("%w: %s: inconsistent intent", errIntentCorrupt, path)
+	}
+	return st, true, nil
+}
+
+// writeIntent persists the journal with the same-dir-temp + fsync +
+// atomic-rename discipline: a crash mid-write leaves either the old journal
+// or the new one, never a torn file.
+func writeIntent(fsys faults.FS, path string, st intentState) error {
+	buf := make([]byte, len(intentMagic)+intentBodyLen+4)
+	copy(buf, intentMagic)
+	body := buf[len(intentMagic) : len(intentMagic)+intentBodyLen]
+	binary.BigEndian.PutUint64(body[0:], st.Releases)
+	binary.BigEndian.PutUint64(body[8:], math.Float64bits(st.Spent))
+	binary.BigEndian.PutUint64(body[16:], st.PrevSeq)
+	binary.BigEndian.PutUint64(body[24:], st.Seq)
+	binary.BigEndian.PutUint64(body[32:], st.Version)
+	body[40] = byte(st.Kind)
+	binary.BigEndian.PutUint64(body[41:], st.Base)
+	binary.BigEndian.PutUint32(buf[len(intentMagic)+intentBodyLen:], crc32.ChecksumIEEE(body))
+	return faults.WriteAtomic(fsys, path, buf)
+}

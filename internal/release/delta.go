@@ -1,0 +1,522 @@
+// Delta releases: the incremental artifact kind the streaming update path
+// persists beside full generations. A delta carries the complete new
+// user→cluster assignment (assignments derive from the public social
+// graph and are cheap) but fresh sanitized average rows only for the
+// clusters that actually changed; every unchanged cluster references the
+// base generation's row instead of duplicating it. Applying a delta to
+// its base release is pure post-processing over already-sanitized values,
+// so it consumes no privacy budget beyond the delta's own Epsilon (spent
+// when the fresh rows were released).
+//
+// Format (all integers little-endian):
+//
+//	magic    [8]byte  "SOCDLT01"
+//	base     uint64   (store version this delta applies on top of)
+//	epsilon  float64  (ε spent on the fresh rows)
+//	measure  uint16-prefixed UTF-8 string
+//	users    uint32
+//	items    uint32
+//	clusters uint32
+//	fresh    uint32   (number of re-released clusters)
+//	assign   users × uint32     (user → new cluster)
+//	source   clusters × int32   (new cluster → base cluster, -1 = fresh)
+//	rows     fresh × items × float64 (fresh rows, ascending cluster order)
+//	crc32    uint32 (IEEE, over everything after the magic)
+package release
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"socialrec/internal/community"
+	"socialrec/internal/faults"
+	"socialrec/internal/telemetry"
+	"socialrec/internal/trace"
+)
+
+const (
+	deltaMagic  = "SOCDLT01"
+	deltaPrefix = "delta-"
+	deltaSuffix = ".socdlt"
+)
+
+// Delta is an incremental release: a full new assignment plus fresh
+// sanitized rows for only the changed clusters.
+type Delta struct {
+	// Base is the store version (full generation or earlier delta) whose
+	// applied release this delta extends.
+	Base uint64
+	// Epsilon is the ε spent releasing the fresh rows.
+	Epsilon float64
+	// Measure is the similarity measure name, matching the base release.
+	Measure string
+	// NumItems is |I| after the delta (item growth appends columns).
+	NumItems int
+	// Assign is the complete new user → cluster assignment with dense
+	// cluster ids.
+	Assign []int32
+	// Source maps each new cluster either to the base cluster whose
+	// sanitized row it reuses, or to -1 when this delta carries a fresh
+	// row for it.
+	Source []int32
+	// Fresh holds the re-released rows, cluster-major in ascending
+	// new-cluster order, NumItems columns each.
+	Fresh []float64
+}
+
+// NumFresh counts the clusters this delta re-releases.
+func (d *Delta) NumFresh() int {
+	n := 0
+	for _, s := range d.Source {
+		if s < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks internal consistency (not base compatibility; see
+// Apply).
+func (d *Delta) Validate() error {
+	if d.Epsilon <= 0 && !math.IsInf(d.Epsilon, 1) {
+		return fmt.Errorf("release: delta: invalid epsilon %v", d.Epsilon)
+	}
+	if d.NumItems < 0 {
+		return fmt.Errorf("release: delta: negative item count")
+	}
+	nc := len(d.Source)
+	for u, c := range d.Assign {
+		if c < 0 || int(c) >= nc {
+			return fmt.Errorf("release: delta: user %d assigned to cluster %d of %d", u, c, nc)
+		}
+	}
+	for c, s := range d.Source {
+		if s < -1 {
+			return fmt.Errorf("release: delta: cluster %d has invalid source %d", c, s)
+		}
+	}
+	if want := d.NumFresh() * d.NumItems; len(d.Fresh) != want {
+		return fmt.Errorf("release: delta: %d fresh values, want %d", len(d.Fresh), want)
+	}
+	return nil
+}
+
+// Apply materializes the release this delta describes on top of its base.
+// It validates every cross-reference — measure, item growth, source
+// cluster bounds, assignment density — and fails without partial effects
+// on any mismatch, so a corrupt or misdirected delta can never produce a
+// half-applied serving state. Applying is post-processing: the result's
+// Epsilon is the sequential-composition total of base and delta.
+func (d *Delta) Apply(base *Release) (*Release, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("release: delta apply: base: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("release: delta apply: %w", err)
+	}
+	if d.Measure != base.Measure {
+		return nil, fmt.Errorf("release: delta apply: measure %q does not match base %q", d.Measure, base.Measure)
+	}
+	if d.NumItems < base.NumItems {
+		return nil, fmt.Errorf("release: delta apply: item count shrank %d -> %d", base.NumItems, d.NumItems)
+	}
+	if len(d.Assign) < base.Clusters.NumUsers() {
+		return nil, fmt.Errorf("release: delta apply: population shrank %d -> %d", base.Clusters.NumUsers(), len(d.Assign))
+	}
+	clusters, err := community.FromAssignment(d.Assign)
+	if err != nil {
+		return nil, fmt.Errorf("release: delta apply: %w", err)
+	}
+	if clusters.NumClusters() != len(d.Source) {
+		return nil, fmt.Errorf("release: delta apply: assignment uses %d clusters, delta declares %d",
+			clusters.NumClusters(), len(d.Source))
+	}
+	avg := make([]float64, len(d.Source)*d.NumItems)
+	fresh := 0
+	for c, src := range d.Source {
+		row := avg[c*d.NumItems : (c+1)*d.NumItems]
+		if src < 0 {
+			copy(row, d.Fresh[fresh*d.NumItems:(fresh+1)*d.NumItems])
+			fresh++
+			continue
+		}
+		if int(src) >= base.Clusters.NumClusters() {
+			return nil, fmt.Errorf("release: delta apply: cluster %d references base cluster %d of %d",
+				c, src, base.Clusters.NumClusters())
+		}
+		// Reused rows keep the base's sanitized values; columns for items
+		// added after the base release stay zero (no released signal yet).
+		copy(row, base.Avg[int(src)*base.NumItems:(int(src)+1)*base.NumItems])
+	}
+	eps := base.Epsilon + d.Epsilon
+	if math.IsInf(base.Epsilon, 1) || math.IsInf(d.Epsilon, 1) {
+		eps = math.Inf(1)
+	}
+	out := &Release{
+		Epsilon:  eps,
+		Measure:  base.Measure,
+		Clusters: clusters,
+		NumItems: d.NumItems,
+		Avg:      avg,
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("release: delta apply: result: %w", err)
+	}
+	return out, nil
+}
+
+// WriteDelta serializes the delta with the trailing checksum.
+func WriteDelta(w io.Writer, d *Delta) error {
+	return WriteDeltaContext(context.Background(), w, d)
+}
+
+// WriteDeltaContext is WriteDelta on a caller-supplied context; persisting
+// already-sanitized rows is post-processing, recorded at ε = 0.
+func WriteDeltaContext(ctx context.Context, w io.Writer, d *Delta) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(deltaMagic); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw, crc: crc32.NewIEEE()}
+	put := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := put(d.Base, d.Epsilon); err != nil {
+		return err
+	}
+	if len(d.Measure) > 1<<16-1 {
+		return fmt.Errorf("release: delta: measure name too long")
+	}
+	if err := put(uint16(len(d.Measure))); err != nil {
+		return err
+	}
+	if _, err := cw.Write([]byte(d.Measure)); err != nil {
+		return err
+	}
+	if err := put(uint32(len(d.Assign)), uint32(d.NumItems), uint32(len(d.Source)), uint32(d.NumFresh())); err != nil {
+		return err
+	}
+	for _, a := range d.Assign {
+		if err := put(uint32(a)); err != nil {
+			return err
+		}
+	}
+	for _, s := range d.Source {
+		if err := put(s); err != nil {
+			return err
+		}
+	}
+	if err := put(d.Fresh); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc.Sum32()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	telemetry.Budget().RecordCtx(ctx, telemetry.ReleaseEvent{
+		Mechanism: "delta_persist",
+		Values:    len(d.Fresh),
+	})
+	return nil
+}
+
+// ReadDelta deserializes and validates a delta, including its checksum.
+func ReadDelta(r io.Reader) (*Delta, error) {
+	return ReadDeltaContext(context.Background(), r)
+}
+
+// ReadDeltaContext is ReadDelta on a caller-supplied context.
+func ReadDeltaContext(ctx context.Context, r io.Reader) (*Delta, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(deltaMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("release: delta: reading magic: %w", err)
+	}
+	if string(head) != deltaMagic {
+		return nil, fmt.Errorf("release: delta: bad magic %q (not a delta file, or an unsupported version)", head)
+	}
+	cr := &crcReader{r: br, crc: crc32.NewIEEE()}
+	get := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	out := &Delta{}
+	if err := get(&out.Base, &out.Epsilon); err != nil {
+		return nil, fmt.Errorf("release: delta: reading header: %w", err)
+	}
+	var mlen uint16
+	if err := get(&mlen); err != nil {
+		return nil, fmt.Errorf("release: delta: reading measure: %w", err)
+	}
+	mbuf := make([]byte, mlen)
+	if _, err := io.ReadFull(cr, mbuf); err != nil {
+		return nil, fmt.Errorf("release: delta: reading measure: %w", err)
+	}
+	out.Measure = string(mbuf)
+	var users, items, clusters, fresh uint32
+	if err := get(&users, &items, &clusters, &fresh); err != nil {
+		return nil, fmt.Errorf("release: delta: reading dimensions: %w", err)
+	}
+	const maxDim = 1 << 28
+	if users > maxDim || items > maxDim || clusters > maxDim || fresh > clusters {
+		return nil, fmt.Errorf("release: delta: implausible dimensions (%d users, %d items, %d clusters, %d fresh)",
+			users, items, clusters, fresh)
+	}
+	if uint64(fresh)*uint64(items) > 1<<32 {
+		return nil, fmt.Errorf("release: delta: fresh table too large (%d × %d)", fresh, items)
+	}
+	out.NumItems = int(items)
+	out.Assign = make([]int32, users)
+	for i := range out.Assign {
+		var a uint32
+		if err := get(&a); err != nil {
+			return nil, fmt.Errorf("release: delta: reading assignment: %w", err)
+		}
+		if a >= clusters {
+			return nil, fmt.Errorf("release: delta: user %d assigned to cluster %d of %d", i, a, clusters)
+		}
+		out.Assign[i] = int32(a)
+	}
+	out.Source = make([]int32, clusters)
+	if err := get(out.Source); err != nil {
+		return nil, fmt.Errorf("release: delta: reading sources: %w", err)
+	}
+	out.Fresh = make([]float64, int(fresh)*int(items))
+	if err := get(out.Fresh); err != nil {
+		return nil, fmt.Errorf("release: delta: reading fresh rows: %w", err)
+	}
+	sum := cr.crc.Sum32()
+	var want uint32
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("release: delta: reading checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("release: delta: checksum mismatch (file corrupted)")
+	}
+	if uint32(out.NumFresh()) != fresh {
+		return nil, fmt.Errorf("release: delta: %d fresh sources, header says %d", out.NumFresh(), fresh)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	telemetry.Budget().RecordCtx(ctx, telemetry.ReleaseEvent{
+		Mechanism: "delta_load",
+		Values:    len(out.Fresh),
+	})
+	return out, nil
+}
+
+// deltaFileName renders the versioned delta filename.
+func deltaFileName(v uint64) string {
+	return fmt.Sprintf("%s%012d%s", deltaPrefix, v, deltaSuffix)
+}
+
+// parseDeltaVersion extracts the version from a delta filename.
+func parseDeltaVersion(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, deltaPrefix) || !strings.HasSuffix(name, deltaSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, deltaPrefix), deltaSuffix)
+	if digits == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// DeltaVersions lists persisted delta versions in ascending order.
+func (s *Store) DeltaVersions() ([]uint64, error) {
+	names, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("release: listing store %s: %w", s.dir, err)
+	}
+	var out []uint64
+	for _, name := range names {
+		if v, ok := parseDeltaVersion(name); ok {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// NextVersion returns the version number the next save (full or delta)
+// will claim: one past the newest artifact of either kind, so full
+// generations and deltas share one monotonic version space and serving
+// lineage is totally ordered.
+func (s *Store) NextVersion() (uint64, error) {
+	fulls, err := s.Versions()
+	if err != nil {
+		return 0, err
+	}
+	deltas, err := s.DeltaVersions()
+	if err != nil {
+		return 0, err
+	}
+	next := uint64(1)
+	if n := len(fulls); n > 0 && fulls[n-1]+1 > next {
+		next = fulls[n-1] + 1
+	}
+	if n := len(deltas); n > 0 && deltas[n-1]+1 > next {
+		next = deltas[n-1] + 1
+	}
+	return next, nil
+}
+
+// SaveDelta persists d as the next version with the atomic-write
+// discipline; nothing becomes visible on failure.
+func (s *Store) SaveDelta(d *Delta) (uint64, error) {
+	return s.SaveDeltaContext(context.Background(), d)
+}
+
+// SaveDeltaContext is SaveDelta on a caller-supplied context.
+func (s *Store) SaveDeltaContext(ctx context.Context, d *Delta) (uint64, error) {
+	ctx, sp := trace.StartChild(ctx, "release_store_save_delta")
+	defer sp.End()
+	if err := d.Validate(); err != nil {
+		s.saveFailures.Inc()
+		sp.SetStatus(trace.StatusError)
+		return 0, err
+	}
+	next, err := s.NextVersion()
+	if err != nil {
+		s.saveFailures.Inc()
+		sp.SetStatus(trace.StatusError)
+		return 0, err
+	}
+	final := filepath.Join(s.dir, deltaFileName(next))
+	if err := faults.WriteAtomicFunc(s.fsys, final, func(w io.Writer) error {
+		return WriteDeltaContext(ctx, w, d)
+	}); err != nil {
+		s.saveFailures.Inc()
+		sp.SetStatus(trace.StatusError)
+		return 0, fmt.Errorf("release: saving delta version %d: %w", next, err)
+	}
+	s.saves.Inc()
+	sp.Set(attrVersion.Int(int64(next)))
+	return next, nil
+}
+
+// LoadDelta opens one specific delta version, validating its checksum.
+func (s *Store) LoadDelta(v uint64) (*Delta, error) {
+	return s.LoadDeltaContext(context.Background(), v)
+}
+
+// LoadDeltaContext is LoadDelta on a caller-supplied context.
+func (s *Store) LoadDeltaContext(ctx context.Context, v uint64) (*Delta, error) {
+	f, err := s.fsys.Open(filepath.Join(s.dir, deltaFileName(v)))
+	if err != nil {
+		return nil, fmt.Errorf("release: loading delta version %d: %w", v, err)
+	}
+	d, err := ReadDeltaContext(ctx, f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		return nil, fmt.Errorf("release: loading delta version %d: close: %w", v, cerr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("release: loading delta version %d: %w", v, err)
+	}
+	return d, nil
+}
+
+// Lineage records how a served release was assembled: the full generation
+// it started from and the delta versions applied on top, in order.
+type Lineage struct {
+	// Full is the base full generation's store version.
+	Full uint64
+	// Deltas lists applied delta versions, ascending.
+	Deltas []uint64
+}
+
+// Version is the serving version: the last applied delta, or the full
+// generation when no deltas are applied.
+func (ln Lineage) Version() uint64 {
+	if n := len(ln.Deltas); n > 0 {
+		return ln.Deltas[n-1]
+	}
+	return ln.Full
+}
+
+// LoadLatest recovers the newest consistent serving state: the newest
+// valid full generation, plus every subsequent delta whose base chain and
+// checksum validate, applied in version order. The chain stops — and the
+// remainder is reported in skipped, never silently dropped — at the first
+// delta that is corrupt, unreachable, or chained to a version other than
+// the current head. The caller therefore always gets a consistent
+// (possibly stale) release or ErrStoreEmpty.
+func (s *Store) LoadLatest() (*Release, Lineage, []Skipped, error) {
+	return s.LoadLatestContext(context.Background())
+}
+
+// LoadLatestContext is LoadLatest on a caller-supplied context.
+func (s *Store) LoadLatestContext(ctx context.Context) (*Release, Lineage, []Skipped, error) {
+	rel, fullV, skipped, err := s.LoadContext(ctx)
+	if err != nil {
+		return nil, Lineage{}, skipped, err
+	}
+	ln := Lineage{Full: fullV}
+	deltas, err := s.DeltaVersions()
+	if err != nil {
+		return nil, Lineage{}, skipped, err
+	}
+	head := fullV
+	var stopped error
+	for _, dv := range deltas {
+		if dv <= fullV {
+			continue
+		}
+		if stopped != nil {
+			// Everything past a broken link is unreachable; report it
+			// rather than silently ignoring it.
+			err := fmt.Errorf("release: delta version %d unreachable: %w", dv, stopped)
+			s.recoveries.Inc()
+			s.logf("release: store %s: %v", s.dir, err)
+			skipped = append(skipped, Skipped{Name: deltaFileName(dv), Err: err})
+			continue
+		}
+		d, err := s.LoadDeltaContext(ctx, dv)
+		if err == nil && d.Base != head {
+			err = fmt.Errorf("release: delta version %d chains to %d but head is %d", dv, d.Base, head)
+		}
+		var next *Release
+		if err == nil {
+			next, err = d.Apply(rel)
+		}
+		if err != nil {
+			s.recoveries.Inc()
+			s.logf("release: store %s: stopping delta chain at version %d: %v", s.dir, dv, err)
+			skipped = append(skipped, Skipped{Name: deltaFileName(dv), Err: err})
+			stopped = fmt.Errorf("chain stopped at version %d", dv)
+			continue
+		}
+		rel = next
+		head = dv
+		ln.Deltas = append(ln.Deltas, dv)
+	}
+	return rel, ln, skipped, nil
+}

@@ -108,9 +108,9 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	}
 	// Sweep debris from saves that crashed before their rename; the
 	// versions they were building were never visible, so removal is safe
-	// and keeps the directory scan-clean. Sharded generations leave the
-	// same kind of debris under the manifest and shard prefixes.
-	removed, err := faults.SweepTmp(fsys, dir, filePrefix, manifestPrefix, shardPrefix)
+	// and keeps the directory scan-clean. Sharded generations and delta
+	// releases leave the same kind of debris under their own prefixes.
+	removed, err := faults.SweepTmp(fsys, dir, filePrefix, manifestPrefix, shardPrefix, deltaPrefix)
 	for _, name := range removed {
 		s.tempCleaned.Inc()
 		logf("release: store %s: removed stale temp %s (crashed save)", dir, name)
@@ -193,13 +193,12 @@ func (s *Store) save(ctx context.Context, r *Release) (uint64, error) {
 	if err := r.Validate(); err != nil {
 		return 0, err
 	}
-	versions, err := s.Versions()
+	// Full generations and deltas share one monotonic version space, so a
+	// full save lands past any newer delta and serving lineage stays
+	// totally ordered.
+	next, err := s.NextVersion()
 	if err != nil {
 		return 0, err
-	}
-	next := uint64(1)
-	if len(versions) > 0 {
-		next = versions[len(versions)-1] + 1
 	}
 	final := filepath.Join(s.dir, fileName(next))
 	if err := faults.WriteAtomicFunc(s.fsys, final, func(w io.Writer) error {

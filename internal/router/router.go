@@ -89,6 +89,21 @@ type replica struct {
 	base    string // URL base, no trailing slash
 	breaker *Breaker
 	healthy atomic.Bool // driven by the readyz poller; starts true
+	// lineage is the release provenance the last successful readyz probe
+	// reported: which full generation the replica serves and which delta
+	// chain is applied on top. Nil until the first successful probe.
+	lineage atomic.Pointer[replicaLineage]
+}
+
+// replicaLineage is the slice of a shard replica's /readyz body the
+// router surfaces in its own readiness: release provenance for rollout
+// gates ("has every replica picked up delta 7 yet?") and degradation
+// after a delta rollback. All fields are store metadata, never user data.
+type replicaLineage struct {
+	Version     uint64   `json:"release_version"`
+	FullVersion uint64   `json:"full_version"`
+	Deltas      []uint64 `json:"deltas_applied"`
+	Degraded    bool     `json:"degraded"`
 }
 
 // Router fans requests out over a sharded serving tier. It implements
@@ -354,6 +369,16 @@ type shardHealth struct {
 	Replicas int      `json:"replicas"`
 	Healthy  int      `json:"healthy"`
 	Breakers []string `json:"breakers"`
+	// Serving lists each replica's release lineage as reported by its
+	// last successful readyz probe; replicas never probed successfully
+	// are omitted.
+	Serving []replicaServing `json:"serving,omitempty"`
+}
+
+// replicaServing pairs a replica index with its probed release lineage.
+type replicaServing struct {
+	Replica int `json:"replica"`
+	replicaLineage
 }
 
 // handleReadyz reports routability: the router is ready when every shard
@@ -366,11 +391,14 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	ready := true
 	for s, reps := range rt.replicas {
 		sh := shardHealth{Shard: s, Replicas: len(reps)}
-		for _, rep := range reps {
+		for i, rep := range reps {
 			st := rep.breaker.State()
 			sh.Breakers = append(sh.Breakers, st.String())
 			if rep.healthy.Load() && st != BreakerOpen {
 				sh.Healthy++
+			}
+			if ln := rep.lineage.Load(); ln != nil {
+				sh.Serving = append(sh.Serving, replicaServing{Replica: i, replicaLineage: *ln})
 			}
 		}
 		if sh.Healthy == 0 {
@@ -642,6 +670,10 @@ type shardResp struct {
 	status      int
 	body        []byte
 	contentType string
+	// retryAfter preserves the shard's Retry-After header so back-pressure
+	// hints (a draining or overloaded shard answering 503) reach the
+	// client instead of dying at the proxy hop.
+	retryAfter string
 }
 
 // errAllBreakersOpen fails a call fast when every replica of the owning
@@ -890,6 +922,7 @@ func (rt *Router) attempt(ctx context.Context, rep *replica, method, path string
 		status:      resp.StatusCode,
 		body:        buf,
 		contentType: resp.Header.Get("Content-Type"),
+		retryAfter:  resp.Header.Get("Retry-After"),
 	}, nil
 }
 
@@ -970,7 +1003,11 @@ func (rt *Router) poll(rep *replica) {
 	}
 }
 
-// probe performs one readyz round trip; any 200 counts as healthy.
+// probe performs one readyz round trip; any 200 counts as healthy. A
+// parseable body additionally refreshes the replica's release lineage
+// (full generation + applied delta chain), which the router's own readyz
+// re-exports; an unparseable body is only a health signal, never an
+// error — older shard builds without lineage fields stay probeable.
 func (rt *Router) probe(rep *replica) bool {
 	ctx, cancel := context.WithTimeout(rt.drainCtx, rt.cfg.ProbeInterval)
 	defer cancel()
@@ -982,9 +1019,16 @@ func (rt *Router) probe(rep *replica) bool {
 	if err != nil {
 		return false
 	}
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	_ = resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var ln replicaLineage
+	if json.Unmarshal(body, &ln) == nil && ln.Version > 0 {
+		rep.lineage.Store(&ln)
+	}
+	return true
 }
 
 // writeProxyError translates a callShard failure into the router's own
@@ -1005,11 +1049,15 @@ func (rt *Router) writeProxyError(ctx context.Context, w http.ResponseWriter, sh
 	}
 }
 
-// relay copies a buffered shard response to the client unchanged.
+// relay copies a buffered shard response to the client unchanged,
+// including any Retry-After back-pressure hint the shard attached.
 func relay(w http.ResponseWriter, resp *shardResp) {
 	ct := resp.contentType
 	if ct == "" {
 		ct = "application/json"
+	}
+	if resp.retryAfter != "" {
+		w.Header().Set("Retry-After", resp.retryAfter)
 	}
 	w.Header().Set("Content-Type", ct)
 	w.Header().Set("Content-Length", strconv.Itoa(len(resp.body)))

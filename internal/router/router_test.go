@@ -810,3 +810,91 @@ func TestRouterUsersAndStats(t *testing.T) {
 		t.Errorf("stats shards = %v, want 3", stats["shards"])
 	}
 }
+
+// TestRouterRelaysRetryAfterOn503: a shard answering 503 with a
+// Retry-After back-pressure hint (a draining replica, an overloaded
+// shard) must see that hint relayed to the client, not swallowed at the
+// proxy hop — clients pace their retries off it.
+func TestRouterRelaysRetryAfterOn503(t *testing.T) {
+	overloaded := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":"shard draining"}`, http.StatusServiceUnavailable)
+	})
+	_, ts := rawTier(t, [][]http.Handler{{overloaded}}, func(cfg *Config) {
+		cfg.MaxAttempts = 2
+	})
+	resp, err := http.Get(ts.URL + "/recommend?user=u0&n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want the shard's 503 relayed", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want the shard's hint %q relayed", got, "7")
+	}
+
+	// A healthy answer carries no Retry-After: the hint is relayed, not
+	// invented.
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"user":"u0"}`))
+	})
+	_, ts2 := rawTier(t, [][]http.Handler{{ok}}, nil)
+	resp2, err := http.Get(ts2.URL + "/recommend?user=u0&n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp2.Body)
+	_ = resp2.Body.Close()
+	if got := resp2.Header.Get("Retry-After"); got != "" {
+		t.Errorf("Retry-After = %q on a 200, want none", got)
+	}
+}
+
+// TestRouterReadyzReportsShardLineage: the router's readiness re-exports
+// each replica's probed release lineage (full generation + applied delta
+// chain + degraded flag), so rollout gates can answer "has every replica
+// picked up the new delta?" from one endpoint.
+func TestRouterReadyzReportsShardLineage(t *testing.T) {
+	shard := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"ready":true,"release_version":5,"full_version":3,"deltas_applied":[4,5],"degraded":true,"degraded_reason":"rolled back"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"user":"u0"}`))
+	})
+	rt, ts := rawTier(t, [][]http.Handler{{shard}}, func(cfg *Config) {
+		cfg.ProbeInterval = time.Second // probes run manually below, not via Start
+	})
+
+	// Before any successful probe, the readyz row carries no lineage.
+	body := getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	rows := body["shards"].([]any)
+	if _, present := rows[0].(map[string]any)["serving"]; present {
+		t.Fatalf("unprobed replica reported lineage: %v", rows[0])
+	}
+
+	if !rt.probe(rt.replicas[0][0]) {
+		t.Fatal("probe against a healthy replica failed")
+	}
+	body = getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	row := body["shards"].([]any)[0].(map[string]any)
+	serving, ok := row["serving"].([]any)
+	if !ok || len(serving) != 1 {
+		t.Fatalf("serving = %v, want one probed replica", row["serving"])
+	}
+	got := serving[0].(map[string]any)
+	if got["replica"] != float64(0) || got["release_version"] != float64(5) ||
+		got["full_version"] != float64(3) || got["degraded"] != true {
+		t.Errorf("lineage row = %v", got)
+	}
+	deltas, ok := got["deltas_applied"].([]any)
+	if !ok || len(deltas) != 2 || deltas[0] != float64(4) || deltas[1] != float64(5) {
+		t.Errorf("deltas_applied = %v", got["deltas_applied"])
+	}
+}

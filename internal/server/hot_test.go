@@ -46,6 +46,94 @@ func TestHotSwapAndStatus(t *testing.T) {
 	}
 }
 
+func TestHotApplyDeltaAndRollback(t *testing.T) {
+	full := &fakeEngine{users: 5, failOn: -1}
+	h := NewHot(full, 3)
+
+	// Base mismatch refuses: the chain was resolved against a version this
+	// slot is not serving.
+	d1 := &fakeEngine{users: 6, failOn: -1}
+	if err := h.ApplyDelta(d1, 2, []uint64{4}); err == nil {
+		t.Fatal("base-mismatched delta applied")
+	}
+	if err := h.ApplyDelta(d1, 3, nil); err == nil {
+		t.Fatal("empty delta chain applied")
+	}
+	if err := h.ApplyDelta(d1, 3, []uint64{3}); err == nil {
+		t.Fatal("delta chain not past the full generation applied")
+	}
+
+	if err := h.ApplyDelta(d1, 3, []uint64{4}); err != nil {
+		t.Fatalf("valid delta refused: %v", err)
+	}
+	st := h.Status()
+	if st.Version != 4 || st.FullVersion != 3 || len(st.Deltas) != 1 || st.Deltas[0] != 4 {
+		t.Fatalf("post-delta status = %+v", st)
+	}
+	if h.Engine() != Engine(d1) {
+		t.Fatal("delta engine not serving")
+	}
+
+	// Extending the chain requires the applied lineage as a prefix.
+	d2 := &fakeEngine{users: 7, failOn: -1}
+	if err := h.ApplyDelta(d2, 4, []uint64{5}); err == nil {
+		t.Fatal("divergent chain applied")
+	}
+	if err := h.ApplyDelta(d2, 4, []uint64{4, 5}); err != nil {
+		t.Fatalf("chain extension refused: %v", err)
+	}
+	st = h.Status()
+	if st.Version != 5 || st.FullVersion != 3 || len(st.Deltas) != 2 {
+		t.Fatalf("post-extension status = %+v", st)
+	}
+
+	// Rollback restores the retained full generation from memory and marks
+	// the slot degraded — stale but serving.
+	v := h.Rollback("delta 6 corrupt on disk")
+	if v != 3 {
+		t.Fatalf("rollback landed at %d, want 3", v)
+	}
+	st = h.Status()
+	if st.Version != 3 || st.FullVersion != 3 || len(st.Deltas) != 0 || !st.Degraded {
+		t.Fatalf("post-rollback status = %+v", st)
+	}
+	if h.Engine() != Engine(full) {
+		t.Fatal("rollback did not restore the full generation's engine")
+	}
+
+	// A fresh full swap clears degradation and re-anchors rollback.
+	f2 := &fakeEngine{users: 8, failOn: -1}
+	h.Swap(f2, 6)
+	st = h.Status()
+	if st.Degraded || st.Version != 6 || st.FullVersion != 6 {
+		t.Fatalf("post-swap status = %+v", st)
+	}
+}
+
+// TestReadyzReportsDeltaLineage: /readyz exposes the full generation and
+// the applied delta chain so operators see exactly what composition is
+// serving.
+func TestReadyzReportsDeltaLineage(t *testing.T) {
+	hot := NewHot(&fakeEngine{users: 5, failOn: -1}, 3)
+	ts := reloadServer(t, hot, nil)
+	if err := hot.ApplyDelta(&fakeEngine{users: 5, failOn: -1}, 3, []uint64{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	body := getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if body["release_version"].(float64) != 5 || body["full_version"].(float64) != 3 {
+		t.Fatalf("readyz lineage = %v", body)
+	}
+	deltas, ok := body["deltas_applied"].([]any)
+	if !ok || len(deltas) != 2 || deltas[0].(float64) != 4 || deltas[1].(float64) != 5 {
+		t.Fatalf("deltas_applied = %v", body["deltas_applied"])
+	}
+	hot.Rollback("injected")
+	body = getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if body["release_version"].(float64) != 3 || !body["degraded"].(bool) || len(body["deltas_applied"].([]any)) != 0 {
+		t.Fatalf("post-rollback readyz = %v", body)
+	}
+}
+
 func TestHotDelegatesEngine(t *testing.T) {
 	h := NewHot(&fakeEngine{users: 5, failOn: -1}, 1)
 	recs, err := h.Recommend(0, 3)

@@ -279,6 +279,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		if status.Degraded {
 			body["degraded_reason"] = status.Reason
 		}
+		// Delta lineage: the full generation behind the serving engine and
+		// the delta versions applied on top (empty when serving a full
+		// release directly).
+		body["full_version"] = status.FullVersion
+		deltas := status.Deltas
+		if deltas == nil {
+			deltas = []uint64{}
+		}
+		body["deltas_applied"] = deltas
 	}
 	s.writeJSON(r.Context(), w, http.StatusOK, body)
 }

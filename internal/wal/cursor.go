@@ -1,0 +1,71 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+
+	"socialrec/internal/faults"
+)
+
+// Replay cursor: the consumer's durable progress mark. A cursor holding
+// sequence number s means every record with Seq <= s is already reflected
+// in the consumer's durable downstream state (a persisted release), so
+// replay after a restart starts strictly above s — replaying the same
+// segment twice is a no-op.
+//
+// Format: magic "SOCWCU01" + seq uint64 LE + crc32 uint32 LE (IEEE, over
+// the seq bytes). Cursors are written with the same-dir-temp + fsync +
+// atomic-rename discipline, so a crash mid-save leaves the previous cursor
+// intact, never a torn one.
+
+const cursorMagic = "SOCWCU01"
+
+// ErrCursorCorrupt reports an unreadable cursor file. It is surfaced, not
+// swallowed: the consumer decides whether replaying from zero is safe for
+// its state (it is for idempotent set mutations guarded by a spend
+// journal) or whether to stop.
+var ErrCursorCorrupt = errors.New("wal: replay cursor corrupt")
+
+// SaveCursor durably persists the consumer's replay position.
+func SaveCursor(fsys faults.FS, path string, seq uint64) error {
+	if fsys == nil {
+		fsys = faults.OS{}
+	}
+	buf := make([]byte, 0, len(cursorMagic)+12)
+	buf = append(buf, cursorMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[len(cursorMagic):]))
+	return faults.WriteAtomic(fsys, path, buf)
+}
+
+// LoadCursor reads a replay cursor. ok is false when no cursor exists yet
+// (a fresh consumer).
+func LoadCursor(fsys faults.FS, path string) (seq uint64, ok bool, err error) {
+	if fsys == nil {
+		fsys = faults.OS{}
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(io.LimitReader(f, 64))
+	if err != nil {
+		return 0, false, err
+	}
+	if len(raw) != len(cursorMagic)+12 || string(raw[:len(cursorMagic)]) != cursorMagic {
+		return 0, false, fmt.Errorf("%w: %s", ErrCursorCorrupt, path)
+	}
+	body := raw[len(cursorMagic) : len(cursorMagic)+8]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(raw[len(cursorMagic)+8:]) {
+		return 0, false, fmt.Errorf("%w: %s: checksum mismatch", ErrCursorCorrupt, path)
+	}
+	return binary.LittleEndian.Uint64(body), true, nil
+}

@@ -6,8 +6,9 @@
 # suite (crash-safe store recovery, reload degradation, panic containment,
 # load shedding — under -race), the crash/resume matrix for the
 # checkpointed offline pipeline and the budget journal (scripts/
-# resume_chaos.sh), the router chaos smoke for the sharded serving tier
-# (scripts/router_chaos.sh), and a short fuzz smoke over the dataset and
+# resume_chaos.sh), the crash/recovery matrix for the streaming update
+# path (scripts/wal_chaos.sh), the router chaos smoke for the sharded
+# serving tier (scripts/router_chaos.sh), and a short fuzz smoke over the dataset and
 # release parsers. Every step must pass; the first failure aborts with a non-zero
 # exit. `make ci` is the one-command entry point, locally and in any future
 # pipeline.
@@ -53,6 +54,13 @@ go test -race -run 'TestManagerConcurrentPublishBudget' ./internal/dynamic
 
 step "crash/resume matrix (checkpointed pipeline, budget journal)"
 ./scripts/resume_chaos.sh
+
+step "wal chaos (streaming updates: crash anywhere, converge byte-identically)"
+# Kills the WAL-driven streaming update path at filesystem fault points
+# (journal rename, record write, sync) and asserts each resumed run
+# converges to the byte-identical release store with Σε spent exactly
+# once and zero quarantined-record loss.
+./scripts/wal_chaos.sh
 
 step "router chaos smoke (3 shards + router + loadgen, SIGKILL one shard)"
 # Kills one of three shard servers under open-loop Zipf load and asserts
