@@ -117,6 +117,7 @@ func main() {
 		Capacity:     *traceCap,
 		HeadRate:     *traceRate,
 		HeadRateZero: *traceRate <= 0,
+		Process:      "recrouter",
 	}))
 
 	sf, err := os.Open(*socialPath)
@@ -187,6 +188,7 @@ func main() {
 	mux.Handle("GET /metrics", telemetry.Handler(reg, telemetry.Stages(), telemetry.Budget()))
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.Handle("GET /debug/traces", trace.Handler(trace.Default()))
+	mux.Handle("GET /debug/traces/{trace_id}", trace.LookupHandler(trace.Default()))
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

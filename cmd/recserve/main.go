@@ -115,11 +115,18 @@ func main() {
 		fatal("recserve: -shards splits a freshly built release; it requires -prefs and -release-dir")
 	}
 
-	// Configure the process tracer before anything can start a span.
+	// Configure the process tracer before anything can start a span. The
+	// process name stamps every exported trace so the fleet collector can
+	// tell which shard a span came from when stitching across processes.
+	process := "recserve"
+	if *shardID >= 0 {
+		process = "shard_" + strconv.Itoa(*shardID)
+	}
 	trace.SetDefault(trace.New(trace.Config{
 		Capacity:     *traceCap,
 		HeadRate:     *traceRate,
 		HeadRateZero: *traceRate <= 0,
+		Process:      process,
 	}))
 
 	eps := math.Inf(1)
@@ -290,6 +297,7 @@ func main() {
 	mux.Handle("GET /metrics", telemetry.Handler(reg, telemetry.Stages(), telemetry.Budget()))
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.Handle("GET /debug/traces", trace.Handler(trace.Default()))
+	mux.Handle("GET /debug/traces/{trace_id}", trace.LookupHandler(trace.Default()))
 
 	if *debugAddr != "" {
 		dbg := http.NewServeMux()
@@ -299,6 +307,7 @@ func main() {
 		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dbg.Handle("GET /debug/traces", trace.Handler(trace.Default()))
+		dbg.Handle("GET /debug/traces/{trace_id}", trace.LookupHandler(trace.Default()))
 		go func() {
 			logger.Info("recserve: debug listener up", "addr", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {

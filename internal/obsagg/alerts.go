@@ -1,0 +1,233 @@
+package obsagg
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"socialrec/internal/telemetry"
+)
+
+// Alerting: a small rule engine with hysteresis. Every rule is a named
+// condition over the windowed fleet numbers (or a target's scrape-failure
+// streak); a rule must breach FireAfter consecutive evaluations to fire
+// and hold clean for ClearAfter consecutive evaluations to clear, so one
+// noisy scrape round neither pages nor un-pages anybody. Rule names are
+// composed from static identifiers only (rule kind + declared target
+// name), so each rule's state can ride on the collector's own registry
+// as a generated-but-static gauge.
+
+// Alert states.
+const (
+	stateOK      = "ok"
+	statePending = "pending" // breached, not yet FireAfter rounds
+	stateFiring  = "firing"
+)
+
+// stateLevel maps a state to its gauge value (0 ok, 1 pending, 2 firing).
+func stateLevel(s string) int64 {
+	switch s {
+	case stateFiring:
+		return 2
+	case statePending:
+		return 1
+	}
+	return 0
+}
+
+// rule is one hysteresis-tracked condition.
+type rule struct {
+	name      string // static: kind, or kind_targetname
+	target    string // declared target name; "" for fleet rules
+	threshold float64
+
+	state        string
+	breachStreak int
+	clearStreak  int
+	since        time.Time // last state transition
+	value        float64   // last evaluated value
+	evaluated    bool      // condition was computable this round
+	gauge        *telemetry.Gauge
+}
+
+// step advances the rule's state machine one evaluation.
+func (r *rule) step(value float64, breached bool, now time.Time, fireAfter, clearAfter int) {
+	r.value = value
+	r.evaluated = true
+	if breached {
+		r.breachStreak++
+		r.clearStreak = 0
+		switch {
+		case r.state == stateFiring:
+		case r.breachStreak >= fireAfter:
+			r.state = stateFiring
+			r.since = now
+		case r.state == stateOK:
+			r.state = statePending
+			r.since = now
+		}
+	} else {
+		r.breachStreak = 0
+		r.clearStreak++
+		switch r.state {
+		case statePending:
+			r.state = stateOK
+			r.since = now
+		case stateFiring:
+			if r.clearStreak >= clearAfter {
+				r.state = stateOK
+				r.since = now
+			}
+		}
+	}
+	r.gauge.Set(stateLevel(r.state))
+}
+
+// Alert is one rule's state in the /fleet/alerts document.
+type Alert struct {
+	Name      string  `json:"name"`
+	Target    string  `json:"target,omitempty"`
+	State     string  `json:"state"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	// SinceMS is how long the rule has been in its current state.
+	SinceMS int64 `json:"since_ms"`
+}
+
+// FleetAlerts is the /fleet/alerts document.
+type FleetAlerts struct {
+	Alerts []Alert `json:"alerts"`
+	Firing int     `json:"firing"`
+}
+
+// alertEngine owns the rules and their registry gauges.
+type alertEngine struct {
+	mu           sync.Mutex
+	replicaDown  map[string]*rule // by target name
+	fleetP99     *rule
+	fleetErrRate *rule
+	budgetBurn   *rule
+	downAfter    int
+	now          time.Time
+}
+
+// newAlertEngine registers one state gauge per rule. Gauge names are
+// generated from static identifiers (same pattern as the router's
+// per-replica breaker gauges), so the closed world holds.
+func newAlertEngine(reg *telemetry.Registry, rc RuleConfig, targets []Target) *alertEngine {
+	e := &alertEngine{replicaDown: map[string]*rule{}}
+	e.downAfter = rc.ReplicaDownAfter
+	if e.downAfter <= 0 {
+		e.downAfter = 2
+	}
+	mk := func(name, target string, threshold float64) *rule {
+		return &rule{
+			name: name, target: target, threshold: threshold, state: stateOK,
+			gauge: reg.NewGauge("socmon_alert_state_"+name,
+				"alert rule state: 0 ok, 1 pending, 2 firing"),
+		}
+	}
+	for _, t := range targets {
+		e.replicaDown[t.Name] = mk("replica_down_"+t.Name, t.Name, float64(e.downAfter))
+	}
+	if rc.FleetP99Ms > 0 {
+		e.fleetP99 = mk("fleet_p99", "", rc.FleetP99Ms)
+	}
+	if rc.FleetErrorRate > 0 {
+		e.fleetErrRate = mk("fleet_error_rate", "", rc.FleetErrorRate)
+	}
+	if rc.BudgetBurnPerHour > 0 {
+		e.budgetBurn = mk("budget_burn", "", rc.BudgetBurnPerHour)
+	}
+	return e
+}
+
+// evaluate runs every rule against this round's numbers.
+func (e *alertEngine) evaluate(now time.Time, statuses []TargetStatus, win windowStats, rc RuleConfig) {
+	fireAfter := rc.FireAfter
+	if fireAfter <= 0 {
+		fireAfter = 1
+	}
+	clearAfter := rc.ClearAfter
+	if clearAfter <= 0 {
+		clearAfter = 2
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.now = now
+	for _, st := range statuses {
+		r, ok := e.replicaDown[st.Target]
+		if !ok {
+			continue
+		}
+		fails := float64(st.ConsecutiveFailures)
+		// The failure streak is the rule's own hysteresis on the fire
+		// side; the generic clear side still applies.
+		r.step(fails, st.ConsecutiveFailures >= e.downAfter, now, 1, clearAfter)
+	}
+	if e.fleetP99 != nil {
+		p99ms := win.p99 * 1000
+		e.fleetP99.step(p99ms, win.p99OK && p99ms > e.fleetP99.threshold, now, fireAfter, clearAfter)
+	}
+	if e.fleetErrRate != nil {
+		e.fleetErrRate.step(win.errorRate, win.requests > 0 && win.errorRate > e.fleetErrRate.threshold, now, fireAfter, clearAfter)
+	}
+	if e.budgetBurn != nil {
+		e.budgetBurn.step(win.burnRate, win.burnRate > e.budgetBurn.threshold, now, fireAfter, clearAfter)
+	}
+}
+
+// snapshot renders the /fleet/alerts document.
+func (e *alertEngine) snapshot(now time.Time) FleetAlerts {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var rules []*rule
+	for _, r := range e.replicaDown {
+		rules = append(rules, r)
+	}
+	for _, r := range []*rule{e.fleetP99, e.fleetErrRate, e.budgetBurn} {
+		if r != nil {
+			rules = append(rules, r)
+		}
+	}
+	doc := FleetAlerts{Alerts: []Alert{}}
+	for _, r := range rules {
+		a := Alert{
+			Name: r.name, Target: r.target, State: r.state,
+			Value: r.value, Threshold: r.threshold,
+		}
+		if !r.since.IsZero() {
+			a.SinceMS = now.Sub(r.since).Milliseconds()
+		}
+		doc.Alerts = append(doc.Alerts, a)
+		if r.state == stateFiring {
+			doc.Firing++
+		}
+	}
+	sort.Slice(doc.Alerts, func(i, j int) bool { return doc.Alerts[i].Name < doc.Alerts[j].Name })
+	return doc
+}
+
+// firingCount reports how many rules are firing (feeds the
+// socmon_alerts_firing gauge).
+func (e *alertEngine) firingCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, r := range e.replicaDown {
+		if r.state == stateFiring {
+			n++
+		}
+	}
+	for _, r := range []*rule{e.fleetP99, e.fleetErrRate, e.budgetBurn} {
+		if r != nil && r.state == stateFiring {
+			n++
+		}
+	}
+	return n
+}
+
+// FleetAlerts assembles the /fleet/alerts document.
+func (c *Collector) FleetAlerts() FleetAlerts {
+	return c.alerts.snapshot(c.now())
+}

@@ -1,0 +1,123 @@
+package obsagg
+
+import (
+	"sort"
+
+	"socialrec/internal/telemetry"
+)
+
+// Fleet privacy-budget burn-down. The per-process ε ledgers merge by
+// exact summation (telemetry.MergeLedgers sums per-mechanism totals in
+// deterministic order), so the fleet Σε always equals the sum of the
+// per-process ledgers — the number the paper's accounting argument is
+// about. On top of the point-in-time totals the collector keeps a
+// sliding window of samples, yielding a burn rate and, against a
+// configured fleet budget, a linear-forecast exhaustion horizon.
+
+// TargetBudget is one target's ledger contribution.
+type TargetBudget struct {
+	Target string `json:"target"`
+	Role   string `json:"role"`
+	// Health labels stale contributions explicitly: a stale target's
+	// ledger is its last-scraped state, not live.
+	Health       string  `json:"health"`
+	TotalEpsilon float64 `json:"total_epsilon"`
+	InfReleases  int     `json:"inf_releases"`
+	// Generation is the release generation the target reported.
+	Generation uint64 `json:"generation,omitempty"`
+}
+
+// GenerationBudget groups spending by release generation, so a rollout
+// answers "how much did generation 7 cost across the fleet".
+type GenerationBudget struct {
+	Generation   uint64   `json:"generation"`
+	TotalEpsilon float64  `json:"total_epsilon"`
+	InfReleases  int      `json:"inf_releases"`
+	Targets      []string `json:"targets"`
+}
+
+// FleetBudget is the /fleet/budget document.
+type FleetBudget struct {
+	// Fleet is the merged ledger: Σε per mechanism and in total, exactly
+	// the sum of the per-process ledgers. Events stay empty (totals, not
+	// replay); Dropped counts the per-process events behind the totals.
+	Fleet telemetry.LedgerSnapshot `json:"fleet"`
+	// Targets lists per-target contributions with health labels.
+	Targets []TargetBudget `json:"targets"`
+	// Generations groups spending by release generation.
+	Generations []GenerationBudget `json:"generations"`
+	// WindowMS is the sliding window the burn rate is computed over.
+	WindowMS int64 `json:"window_ms"`
+	// BurnRatePerHour is finite ε spent per hour over the window.
+	BurnRatePerHour float64 `json:"burn_rate_eps_per_hour"`
+	// EpsilonBudget / RemainingEpsilon / ExhaustionHorizonMS appear when
+	// a fleet budget is configured: the linear forecast of when the
+	// current burn rate exhausts what remains. A zero horizon with
+	// budget set means the burn rate is zero (no exhaustion in sight) —
+	// unless Exhausted is already true.
+	EpsilonBudget       float64 `json:"epsilon_budget,omitempty"`
+	RemainingEpsilon    float64 `json:"remaining_epsilon,omitempty"`
+	ExhaustionHorizonMS int64   `json:"exhaustion_horizon_ms,omitempty"`
+	Exhausted           bool    `json:"exhausted,omitempty"`
+}
+
+// FleetBudget assembles the /fleet/budget document.
+func (c *Collector) FleetBudget() FleetBudget {
+	v := c.mergeAll()
+	doc := FleetBudget{
+		Fleet:    v.budget,
+		WindowMS: c.cfg.Window.Milliseconds(),
+	}
+	byGen := map[uint64]*GenerationBudget{}
+	for _, tb := range v.perTarget {
+		doc.Targets = append(doc.Targets, TargetBudget{
+			Target:       tb.status.Target,
+			Role:         tb.status.Role,
+			Health:       tb.status.Health,
+			TotalEpsilon: tb.ledger.TotalEpsilon,
+			InfReleases:  tb.ledger.InfReleases,
+			Generation:   tb.status.Generation,
+		})
+		gen := tb.status.Generation
+		g, ok := byGen[gen]
+		if !ok {
+			g = &GenerationBudget{Generation: gen}
+			byGen[gen] = g
+		}
+		g.TotalEpsilon += tb.ledger.TotalEpsilon
+		g.InfReleases += tb.ledger.InfReleases
+		g.Targets = append(g.Targets, tb.status.Target)
+	}
+	sort.Slice(doc.Targets, func(i, j int) bool { return doc.Targets[i].Target < doc.Targets[j].Target })
+	for _, g := range byGen {
+		sort.Strings(g.Targets)
+		doc.Generations = append(doc.Generations, *g)
+	}
+	sort.Slice(doc.Generations, func(i, j int) bool { return doc.Generations[i].Generation < doc.Generations[j].Generation })
+	if doc.Targets == nil {
+		doc.Targets = []TargetBudget{}
+	}
+	if doc.Generations == nil {
+		doc.Generations = []GenerationBudget{}
+	}
+
+	c.mu.Lock()
+	win := c.windowLocked()
+	c.mu.Unlock()
+	doc.BurnRatePerHour = win.burnRate
+
+	if budget := c.cfg.EpsilonBudget; budget > 0 {
+		doc.EpsilonBudget = budget
+		remaining := budget - doc.Fleet.TotalEpsilon
+		if remaining <= 0 {
+			doc.Exhausted = true
+			remaining = 0
+		}
+		doc.RemainingEpsilon = remaining
+		if !doc.Exhausted && win.burnRate > 0 {
+			hours := remaining / win.burnRate
+			doc.ExhaustionHorizonMS = int64(hours * 3600 * 1000)
+		}
+	}
+	return doc
+}

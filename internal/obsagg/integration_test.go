@@ -1,0 +1,218 @@
+package obsagg
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"socialrec/internal/core"
+	"socialrec/internal/release"
+	"socialrec/internal/router"
+	"socialrec/internal/server"
+	"socialrec/internal/telemetry"
+	"socialrec/internal/trace"
+)
+
+// The integration test builds the real serving tier in-process — a
+// Router fronting two real shard servers, each with its own tracer and
+// registry exposed through the same outer mux the cmd binaries wire — and
+// verifies the collector stitches one traced request's id into a single
+// cross-process span tree with consistent parent/child links.
+
+// intEngine is a minimal shard engine that owns the manifest's users.
+type intEngine struct {
+	shard    int
+	manifest *release.Manifest
+}
+
+func (e *intEngine) RecommendContext(ctx context.Context, user, n int) ([]core.Recommendation, error) {
+	out := []core.Recommendation{{Item: 0, Utility: 3}, {Item: 1, Utility: 2}}
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out, nil
+}
+func (e *intEngine) Owns(user int) bool     { return e.manifest.ShardOf(user) == e.shard }
+func (e *intEngine) ClusterOf(user int) int { return int(e.manifest.Assign[user]) }
+func (e *intEngine) Epsilon() float64       { return 0.5 }
+func (e *intEngine) NumClusters() int       { return e.manifest.NumClusters() }
+func (e *intEngine) Modularity() float64    { return 0.4 }
+
+// intManifest mirrors the router tests' manifest: cluster c on shard c,
+// user u in cluster u%numShards, token "u<i>" for user i.
+func intManifest(numShards, numUsers int) (*release.Manifest, map[string]int) {
+	m := &release.Manifest{
+		Version:   1,
+		NumShards: numShards,
+		Epsilon:   0.5,
+		Measure:   "cn",
+		NumItems:  2,
+		Horizon:   2,
+	}
+	m.ClusterShard = make([]int32, numShards)
+	for c := range m.ClusterShard {
+		m.ClusterShard[c] = int32(c)
+	}
+	m.Assign = make([]int32, numUsers)
+	ids := make(map[string]int, numUsers)
+	for u := 0; u < numUsers; u++ {
+		m.Assign[u] = int32(u % numShards)
+		ids["u"+strconv.Itoa(u)] = u
+	}
+	return m, ids
+}
+
+// observedProcess wires one process's observability surface the way the
+// cmd binaries do: the handler under "/", /metrics, /debug/traces and the
+// exact-id trace lookup on one outer mux.
+func observedProcess(t *testing.T, h http.Handler, reg *telemetry.Registry, tr *trace.Tracer) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.Handle("GET /metrics", telemetry.Handler(reg, nil, nil))
+	mux.Handle("GET /debug/traces", trace.Handler(tr))
+	mux.Handle("GET /debug/traces/{trace_id}", trace.LookupHandler(tr))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestIntegrationStitchAcrossRouterAndShards(t *testing.T) {
+	const numShards = 2
+	manifest, ids := intManifest(numShards, numShards*2)
+
+	shardURLs := make([][]string, numShards)
+	for s := 0; s < numShards; s++ {
+		reg := telemetry.NewRegistry()
+		shardTracer := trace.New(trace.Config{Seed: int64(s + 1), Process: "shard_" + strconv.Itoa(s)})
+		srv, err := server.New(server.Config{
+			Engine:         &intEngine{shard: s, manifest: manifest},
+			UserIDs:        ids,
+			ItemTokens:     []string{"i0", "i1"},
+			MaxN:           8,
+			RequestTimeout: 10 * time.Second,
+			Logger:         testLogger(t),
+			Metrics:        reg,
+			Tracer:         shardTracer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := observedProcess(t, srv, reg, shardTracer)
+		shardURLs[s] = []string{ts.URL}
+	}
+
+	routerReg := telemetry.NewRegistry()
+	routerTracer := trace.New(trace.Config{Seed: 99, Process: "recrouter"})
+	rt, err := router.New(router.Config{
+		Manifest:      manifest,
+		UserIDs:       ids,
+		Shards:        shardURLs,
+		MaxAttempts:   3,
+		PerTryTimeout: 2 * time.Second,
+		RetryBackoff:  time.Millisecond,
+		HedgeDelay:    -1,
+		ProbeInterval: -1,
+		Logger:        testLogger(t),
+		Metrics:       routerReg,
+		Tracer:        routerTracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rt.Shutdown(ctx)
+	})
+	routerSrv := observedProcess(t, rt, routerReg, routerTracer)
+
+	// One traced request through the full tier. The router answers with a
+	// traceparent naming the trace it retained.
+	resp, err := http.Get(routerSrv.URL + "/recommend?user=u0&n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recommend through the tier: %d", resp.StatusCode)
+	}
+	tp, err := trace.ParseTraceparent(resp.Header.Get(trace.TraceparentHeader))
+	if err != nil {
+		t.Fatalf("router response carries no traceparent: %v", err)
+	}
+
+	c := newTestCollector(t, Config{
+		Targets: []Target{
+			{Name: "router", Role: "router", URL: routerSrv.URL},
+			{Name: "shard_0", Role: "shard", URL: shardURLs[0][0]},
+			{Name: "shard_1", Role: "shard", URL: shardURLs[1][0]},
+		},
+	})
+	c.ScrapeOnce()
+
+	st := c.LookupTrace(tp.TraceID)
+	if st == nil {
+		t.Fatal("collector could not find the traced request in any process")
+	}
+	if len(st.Roots) != 1 {
+		t.Fatalf("stitched trace should have one root, got %d (orphans %d)", len(st.Roots), st.Orphans)
+	}
+	root := st.Roots[0]
+	if root.Process != "recrouter" {
+		t.Fatalf("root span should come from the router, got %q", root.Process)
+	}
+
+	// Walk the tree: every child's ParentID must equal its parent's
+	// SpanID, and somewhere a shard-process span must hang under a
+	// router-process span (the cross-process join).
+	var joins int
+	var walk func(n *StitchedSpan)
+	walk = func(n *StitchedSpan) {
+		for _, ch := range n.Children {
+			if ch.ParentID != n.SpanID {
+				t.Fatalf("inconsistent link: child %q has parent_span_id %q under span %q",
+					ch.Name, ch.ParentID, n.SpanID)
+			}
+			if n.Process == "recrouter" && (ch.Process == "shard_0" || ch.Process == "shard_1") {
+				joins++
+			}
+			walk(ch)
+		}
+	}
+	walk(root)
+	if joins == 0 {
+		t.Fatalf("no shard span joined under a router span; processes seen: %v", st.Processes)
+	}
+	if len(st.Processes) < 2 {
+		t.Fatalf("stitched trace spans fewer than two processes: %v", st.Processes)
+	}
+
+	// The same id resolves through the HTTP surface too.
+	h := httptest.NewServer(c.Handler())
+	defer h.Close()
+	resp, err = http.Get(h.URL + "/fleet/traces/" + tp.TraceID.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/fleet/traces/{id}: %d", resp.StatusCode)
+	}
+
+	// And the merged fleet metrics carry the tier's request counters.
+	doc := c.FleetMetrics()
+	var sawRouterRequests bool
+	for _, fc := range doc.Counters {
+		if fc.Name == "router_requests_total" || (fc.Name == "http_requests_total" && fc.Value > 0) {
+			sawRouterRequests = true
+		}
+	}
+	if !sawRouterRequests {
+		t.Fatal("fleet metrics carry no request counters from the tier")
+	}
+}

@@ -1,0 +1,60 @@
+package obsagg
+
+import (
+	"socialrec/internal/telemetry"
+)
+
+// selfMetrics are the collector's own instruments: the watcher is
+// watchable. Target names are declared label values (validated at New),
+// so the per-target counters obey the same closed-world rule as every
+// other registry in the system.
+type selfMetrics struct {
+	scrapes       *telemetry.CounterVec
+	failures      *telemetry.CounterVec
+	scrapeSeconds *telemetry.Histogram
+}
+
+func newSelfMetrics(reg *telemetry.Registry, targetNames []string, c *Collector) *selfMetrics {
+	m := &selfMetrics{
+		scrapes: reg.NewCounterVec("socmon_scrapes_total",
+			"scrape attempts, by target", "target", targetNames...),
+		failures: reg.NewCounterVec("socmon_scrape_failures_total",
+			"failed scrapes, by target", "target", targetNames...),
+		scrapeSeconds: reg.NewHistogram("socmon_scrape_seconds",
+			"per-target /metrics scrape latency", nil),
+	}
+	reg.NewGaugeFunc("socmon_targets_up",
+		"targets whose last scrape succeeded", func() float64 {
+			return float64(c.countHealth(healthOK))
+		})
+	reg.NewGaugeFunc("socmon_targets_stale",
+		"targets serving last-good (stale) data", func() float64 {
+			return float64(c.countHealth(healthStale))
+		})
+	reg.NewGaugeFunc("socmon_targets_missing",
+		"targets never scraped successfully", func() float64 {
+			return float64(c.countHealth(healthMissing))
+		})
+	reg.NewGaugeFunc("socmon_alerts_firing",
+		"alert rules currently firing", func() float64 {
+			return float64(c.alerts.firingCount())
+		})
+	reg.NewGaugeFunc("socmon_fleet_epsilon_total",
+		"fleet Σε (finite), summed exactly across per-process ledgers", func() float64 {
+			return c.mergeAll().budget.TotalEpsilon
+		})
+	return m
+}
+
+// countHealth counts targets in one health state.
+func (c *Collector) countHealth(h string) int {
+	n := 0
+	for _, ts := range c.targets {
+		ts.mu.Lock()
+		if ts.healthLocked() == h {
+			n++
+		}
+		ts.mu.Unlock()
+	}
+	return n
+}

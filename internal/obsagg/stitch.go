@@ -1,0 +1,282 @@
+package obsagg
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+
+	"socialrec/internal/trace"
+)
+
+// Cross-process trace stitching. The router propagates one W3C
+// traceparent across the router→shard hop, so one trace id names spans
+// in several processes; each process retains its own slice of the tree.
+// Stitching collects every process's TraceData for one id and relinks
+// the global span tree through the parent ids the propagation preserved:
+// a shard's root span carries the router's attempt span as its parent,
+// which is exactly where the trees join.
+
+// StitchedSpan is one span in the cross-process tree, annotated with the
+// process and target it came from.
+type StitchedSpan struct {
+	trace.SpanData
+	// Process is the recording process's declared identity; Target the
+	// scrape target it arrived from (they differ when several targets
+	// front one logical process name).
+	Process  string          `json:"process,omitempty"`
+	Target   string          `json:"target"`
+	Children []*StitchedSpan `json:"children,omitempty"`
+}
+
+// StitchedTrace is the /fleet/traces/{trace_id} document: one trace id's
+// spans from every process, as a tree.
+type StitchedTrace struct {
+	TraceID string `json:"trace_id"`
+	// Processes and Targets list where the spans came from, sorted.
+	Processes []string `json:"processes"`
+	Targets   []string `json:"targets"`
+	SpanCount int      `json:"span_count"`
+	// DroppedSpans sums the per-process per-trace child caps.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+	// Roots are the top-level spans: the true cross-process root first,
+	// then any span whose parent was not retained anywhere (its subtree
+	// survives as an orphan rather than vanishing).
+	Roots []*StitchedSpan `json:"roots"`
+	// Orphans counts top-level spans that do have a parent id — the
+	// parent's process dropped or never retained that span.
+	Orphans int `json:"orphans,omitempty"`
+}
+
+// stitch links per-process trace exports for one trace id into a tree.
+// parts must all carry the same trace id; the target name per part is
+// the scrape target it came from.
+func stitch(traceID string, parts []*trace.TraceData, targets []string) *StitchedTrace {
+	st := &StitchedTrace{TraceID: traceID}
+	nodes := map[string]*StitchedSpan{}
+	var order []*StitchedSpan // insertion order for determinism pre-sort
+	procSet := map[string]bool{}
+	targetSet := map[string]bool{}
+
+	add := func(sd trace.SpanData, process, target string) {
+		n := &StitchedSpan{SpanData: sd, Process: process, Target: target}
+		// A span id can only collide across processes if an export is
+		// corrupt; first writer wins and the duplicate is dropped.
+		if _, dup := nodes[sd.SpanID]; dup {
+			return
+		}
+		nodes[sd.SpanID] = n
+		order = append(order, n)
+	}
+	for i, td := range parts {
+		if td == nil {
+			continue
+		}
+		target := ""
+		if i < len(targets) {
+			target = targets[i]
+		}
+		proc := td.Process
+		if proc != "" {
+			procSet[proc] = true
+		}
+		if target != "" {
+			targetSet[target] = true
+		}
+		add(td.Root, proc, target)
+		for _, sd := range td.Spans {
+			add(sd, proc, target)
+		}
+		st.DroppedSpans += td.DroppedSpans
+	}
+
+	for _, n := range order {
+		if n.ParentID != "" {
+			if parent, ok := nodes[n.ParentID]; ok {
+				parent.Children = append(parent.Children, n)
+				continue
+			}
+			st.Orphans++
+		}
+		st.Roots = append(st.Roots, n)
+	}
+	sortTree := func(spans []*StitchedSpan) {
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	}
+	for _, n := range order {
+		sortTree(n.Children)
+	}
+	sortTree(st.Roots)
+	st.SpanCount = len(order)
+	for p := range procSet {
+		st.Processes = append(st.Processes, p)
+	}
+	for t := range targetSet {
+		st.Targets = append(st.Targets, t)
+	}
+	sort.Strings(st.Processes)
+	sort.Strings(st.Targets)
+	return st
+}
+
+// LookupTrace fetches one trace id from every target live (each under
+// the scrape deadline) and stitches what comes back; targets that fail
+// the live fetch fall back to the trace cached by the last scrape, so a
+// freshly killed replica's half of a trace can still be served. Returns
+// nil when no process retained the id.
+func (c *Collector) LookupTrace(id trace.TraceID) *StitchedTrace {
+	idHex := id.String()
+	parts := make([]*trace.TraceData, len(c.targets))
+	var wg sync.WaitGroup
+	for i, ts := range c.targets {
+		wg.Add(1)
+		go func(i int, ts *targetState) {
+			defer wg.Done()
+			if td, err := c.fetchTrace(ts.target.URL, idHex); err == nil {
+				parts[i] = td
+				return
+			}
+			ts.mu.Lock()
+			for _, td := range ts.traces {
+				if td.TraceID == idHex {
+					parts[i] = td
+					break
+				}
+			}
+			ts.mu.Unlock()
+		}(i, ts)
+	}
+	wg.Wait()
+
+	names := make([]string, len(c.targets))
+	found := false
+	for i, ts := range c.targets {
+		names[i] = ts.target.Name
+		if parts[i] != nil {
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	return stitch(idHex, parts, names)
+}
+
+// fetchTrace performs the exact-id lookup against one target.
+func (c *Collector) fetchTrace(base, idHex string) (*trace.TraceData, error) {
+	var td trace.TraceData
+	err := c.get(base+"/debug/traces/"+idHex, &td, func(s int) bool { return s == http.StatusOK })
+	if err != nil {
+		return nil, err
+	}
+	return &td, nil
+}
+
+// FleetTraceEntry is one row of the fleet slow/error trace list: a trace
+// id with everything the fleet knows about it, pre-stitch.
+type FleetTraceEntry struct {
+	TraceID string `json:"trace_id"`
+	// Retained is the strongest retention reason across processes:
+	// error > slow > head.
+	Retained string `json:"retained"`
+	// RootName/RootDurationNS/RootStatus describe the outermost retained
+	// span (earliest start across processes).
+	RootName       string   `json:"root_name"`
+	RootDurationNS int64    `json:"root_duration_ns"`
+	RootStatus     string   `json:"root_status"`
+	Processes      []string `json:"processes"`
+	Targets        []string `json:"targets"`
+	SpanCount      int      `json:"span_count"`
+	endNano        int64
+}
+
+// FleetTraces assembles the tail-sampled fleet trace list from the last
+// scrape round's retained traces: every process's ring dump, grouped by
+// trace id (a trace spanning processes appears once), newest first.
+// status filters to "error" / "slow" like the per-process endpoint.
+func (c *Collector) FleetTraces(status string, limit int) []FleetTraceEntry {
+	byID := map[string]*FleetTraceEntry{}
+	starts := map[string]int64{}
+	for _, ts := range c.targets {
+		ts.mu.Lock()
+		traces := ts.traces
+		name := ts.target.Name
+		ts.mu.Unlock()
+		for _, td := range traces {
+			if td == nil {
+				continue
+			}
+			e, ok := byID[td.TraceID]
+			if !ok {
+				e = &FleetTraceEntry{TraceID: td.TraceID, Retained: td.Retained}
+				byID[td.TraceID] = e
+				starts[td.TraceID] = td.Root.Start
+			}
+			if retainRank(td.Retained) > retainRank(e.Retained) {
+				e.Retained = td.Retained
+			}
+			if td.Root.Start <= starts[td.TraceID] || e.RootName == "" {
+				starts[td.TraceID] = td.Root.Start
+				e.RootName = td.Root.Name
+				e.RootDurationNS = int64(td.Root.Duration)
+				e.RootStatus = td.Root.Status
+			}
+			if end := td.Root.Start + int64(td.Root.Duration); end > e.endNano {
+				e.endNano = end
+			}
+			e.SpanCount += 1 + len(td.Spans)
+			e.Processes = appendUnique(e.Processes, td.Process)
+			e.Targets = appendUnique(e.Targets, name)
+		}
+	}
+	out := make([]FleetTraceEntry, 0, len(byID))
+	for _, e := range byID {
+		switch status {
+		case "error":
+			if e.Retained != "error" {
+				continue
+			}
+		case "slow":
+			if e.Retained != "slow" {
+				continue
+			}
+		}
+		sort.Strings(e.Processes)
+		sort.Strings(e.Targets)
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].endNano != out[j].endNano {
+			return out[i].endNano > out[j].endNano
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// retainRank orders retention reasons by severity for the fleet list.
+func retainRank(why string) int {
+	switch why {
+	case "error":
+		return 3
+	case "slow":
+		return 2
+	case "head":
+		return 1
+	}
+	return 0
+}
+
+func appendUnique(s []string, v string) []string {
+	if v == "" {
+		return s
+	}
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}

@@ -1,0 +1,116 @@
+package obsagg
+
+import (
+	"testing"
+
+	"socialrec/internal/trace"
+)
+
+// span is a test shorthand for building SpanData trees.
+func span(id, parent, name string, start int64) trace.SpanData {
+	return trace.SpanData{SpanID: id, ParentID: parent, Name: name, Start: start, Status: "ok"}
+}
+
+// TestStitchJoinsProcessesAtThePropagatedParent: the shard's root span
+// carries the router's attempt span as its parent (that is what the
+// traceparent hop preserves), so the stitched tree has one root and the
+// shard subtree hangs off the router's attempt span.
+func TestStitchJoinsProcessesAtThePropagatedParent(t *testing.T) {
+	tid := "0123456789abcdef0123456789abcdef"
+	routerPart := &trace.TraceData{
+		TraceID: tid, Process: "recrouter", Retained: "head",
+		Root: span("aaaaaaaaaaaaaaaa", "", "router_recommend", 100),
+		Spans: []trace.SpanData{
+			span("bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "shard_attempt", 110),
+		},
+	}
+	shardPart := &trace.TraceData{
+		TraceID: tid, Process: "shard_1", Retained: "head",
+		Root: span("cccccccccccccccc", "bbbbbbbbbbbbbbbb", "recommend", 115),
+		Spans: []trace.SpanData{
+			span("dddddddddddddddd", "cccccccccccccccc", "engine", 117),
+		},
+	}
+	st := stitch(tid, []*trace.TraceData{routerPart, shardPart}, []string{"router", "shard_1"})
+
+	if st.SpanCount != 4 || st.Orphans != 0 {
+		t.Fatalf("span count / orphans: %+v", st)
+	}
+	if len(st.Roots) != 1 {
+		t.Fatalf("cross-process trace should have exactly one root: %+v", st.Roots)
+	}
+	root := st.Roots[0]
+	if root.SpanID != "aaaaaaaaaaaaaaaa" || root.Process != "recrouter" {
+		t.Fatalf("root: %+v", root)
+	}
+	if len(root.Children) != 1 || root.Children[0].SpanID != "bbbbbbbbbbbbbbbb" {
+		t.Fatalf("router attempt not under root: %+v", root.Children)
+	}
+	attempt := root.Children[0]
+	if len(attempt.Children) != 1 {
+		t.Fatalf("shard root not joined under the attempt span: %+v", attempt.Children)
+	}
+	shardRoot := attempt.Children[0]
+	if shardRoot.SpanID != "cccccccccccccccc" || shardRoot.Process != "shard_1" || shardRoot.Target != "shard_1" {
+		t.Fatalf("shard root: %+v", shardRoot)
+	}
+	// Parent links stay consistent end to end across the process boundary.
+	if shardRoot.ParentID != attempt.SpanID || attempt.ParentID != root.SpanID {
+		t.Fatal("parent/child links broken across the stitch")
+	}
+	if len(shardRoot.Children) != 1 || shardRoot.Children[0].SpanID != "dddddddddddddddd" {
+		t.Fatalf("shard-internal child lost: %+v", shardRoot.Children)
+	}
+	if len(st.Processes) != 2 || st.Processes[0] != "recrouter" || st.Processes[1] != "shard_1" {
+		t.Fatalf("processes: %+v", st.Processes)
+	}
+}
+
+// TestStitchKeepsOrphanSubtrees: a span whose parent was not retained in
+// any process surfaces as an orphan root instead of vanishing.
+func TestStitchOrphanSubtrees(t *testing.T) {
+	tid := "0123456789abcdef0123456789abcdef"
+	// Only the shard half survived (the router's ring evicted its part).
+	shardPart := &trace.TraceData{
+		TraceID: tid, Process: "shard_0", Retained: "error",
+		Root: span("cccccccccccccccc", "bbbbbbbbbbbbbbbb", "recommend", 115),
+	}
+	st := stitch(tid, []*trace.TraceData{nil, shardPart}, []string{"router", "shard_0"})
+	if st.SpanCount != 1 || st.Orphans != 1 || len(st.Roots) != 1 {
+		t.Fatalf("orphan handling: %+v", st)
+	}
+	if st.Roots[0].SpanID != "cccccccccccccccc" {
+		t.Fatalf("orphan subtree lost: %+v", st.Roots[0])
+	}
+}
+
+// TestStitchDropsDuplicateSpanIDs: a span id colliding across exports is
+// corrupt input; first writer wins.
+func TestStitchDropsDuplicateSpanIDs(t *testing.T) {
+	tid := "0123456789abcdef0123456789abcdef"
+	p1 := &trace.TraceData{TraceID: tid, Root: span("aaaaaaaaaaaaaaaa", "", "first", 100)}
+	p2 := &trace.TraceData{TraceID: tid, Root: span("aaaaaaaaaaaaaaaa", "", "second", 200)}
+	st := stitch(tid, []*trace.TraceData{p1, p2}, []string{"a", "b"})
+	if st.SpanCount != 1 || st.Roots[0].Name != "first" {
+		t.Fatalf("duplicate span id handling: %+v", st)
+	}
+}
+
+// TestStitchSortsSiblingsByStart: children and roots come back in start
+// order, so the rendered tree reads chronologically.
+func TestStitchSortsSiblingsByStart(t *testing.T) {
+	tid := "0123456789abcdef0123456789abcdef"
+	p := &trace.TraceData{
+		TraceID: tid,
+		Root:    span("aaaaaaaaaaaaaaaa", "", "root", 100),
+		Spans: []trace.SpanData{
+			span("cccccccccccccccc", "aaaaaaaaaaaaaaaa", "late", 300),
+			span("bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "early", 200),
+		},
+	}
+	st := stitch(tid, []*trace.TraceData{p}, []string{"a"})
+	kids := st.Roots[0].Children
+	if len(kids) != 2 || kids[0].Name != "early" || kids[1].Name != "late" {
+		t.Fatalf("sibling order: %+v", kids)
+	}
+}

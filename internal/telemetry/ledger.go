@@ -50,6 +50,37 @@ func (e ReleaseEvent) MarshalJSON() ([]byte, error) {
 	}{e.Mechanism, eps, e.Sensitivity, e.Values, e.TraceID})
 }
 
+// UnmarshalJSON is MarshalJSON's inverse, for fleet collectors that
+// re-ingest a scraped /metrics export. The string form "inf" round-trips
+// back to math.Inf(1); a malformed epsilon is an error, never a silent 0 —
+// a budget number that fails to parse must not vanish from an audit.
+func (e *ReleaseEvent) UnmarshalJSON(data []byte) error {
+	var wire struct {
+		Mechanism   string  `json:"mechanism"`
+		Epsilon     string  `json:"epsilon"`
+		Sensitivity float64 `json:"sensitivity"`
+		Values      int     `json:"values"`
+		TraceID     string  `json:"trace_id"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	eps := math.Inf(1)
+	if wire.Epsilon != "inf" {
+		var err error
+		eps, err = strconv.ParseFloat(wire.Epsilon, 64)
+		if err != nil {
+			// The unparseable field is not echoed; it came over the wire.
+			return fmt.Errorf("telemetry: release event carries a malformed epsilon")
+		}
+	}
+	*e = ReleaseEvent{
+		Mechanism: wire.Mechanism, Epsilon: eps,
+		Sensitivity: wire.Sensitivity, Values: wire.Values, TraceID: wire.TraceID,
+	}
+	return nil
+}
+
 // maxLedgerEvents bounds the raw event list so a test loop or a re-release
 // cycle cannot grow the ledger without bound; per-mechanism totals stay
 // exact past the cap, only the raw list stops growing.

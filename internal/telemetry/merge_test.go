@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// splitmix64 is the repository's stock deterministic test stream.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestSnapshotJSONCarriesBucketBoundaries is the golden audit of the JSON
+// /metrics export a fleet collector merges from: every bucket must carry
+// its le boundary (exact merging is impossible without it), counts must be
+// cumulative, and the implicit +Inf bucket rides as the histogram count.
+func TestSnapshotJSONCarriesBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("requests_total", "").Add(3)
+	h := reg.NewHistogram("latency_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := `{
+  "counters": [
+    {
+      "name": "requests_total",
+      "value": 3
+    }
+  ],
+  "gauges": null,
+  "histograms": [
+    {
+      "name": "latency_seconds",
+      "count": 3,
+      "sum": 5.55,
+      "buckets": [
+        {
+          "le": 0.1,
+          "count": 1
+        },
+        {
+          "le": 1,
+          "count": 2
+        }
+      ]
+    }
+  ]
+}
+`
+	if got != want {
+		t.Errorf("JSON export diverged:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The export must round-trip: a collector that parses this JSON sees
+	// the identical bucket layout the process observed into.
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Histograms) != 1 || !SameBuckets(back.Histograms[0], reg.Snapshot().Histograms[0]) {
+		t.Errorf("bucket layout did not survive the JSON round trip: %+v", back.Histograms)
+	}
+}
+
+// TestMergeHistogramsEqualsConcatenatedStream is the merge-exactness
+// property: for identical bucket layouts, merging per-process snapshots
+// must equal observing the concatenated stream into one histogram —
+// bucket by bucket, count, sum, and therefore every quantile.
+func TestMergeHistogramsEqualsConcatenatedStream(t *testing.T) {
+	bounds := DefLatencyBuckets
+	state := uint64(42)
+	for round := 0; round < 20; round++ {
+		regs := []*Registry{NewRegistry(), NewRegistry(), NewRegistry()}
+		all := NewRegistry()
+		combined := all.NewHistogram("latency_seconds", "", bounds)
+		parts := make([]*Histogram, len(regs))
+		for i, r := range regs {
+			parts[i] = r.NewHistogram("latency_seconds", "", bounds)
+		}
+		n := int(splitmix64(&state)%200) + 1
+		for i := 0; i < n; i++ {
+			// Latencies spread across the bucket range, including past the
+			// last bound (the +Inf bucket must merge too).
+			v := float64(splitmix64(&state)%20_000_000) / 1e9 * 1000 // 0..20s
+			parts[int(splitmix64(&state)%uint64(len(parts)))].Observe(v)
+			combined.Observe(v)
+		}
+
+		snaps := make([]HistogramSnapshot, len(regs))
+		for i, r := range regs {
+			snaps[i] = r.Snapshot().Histograms[0]
+		}
+		merged, err := MergeHistogramSnapshots(snaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := all.Snapshot().Histograms[0]
+		if merged.Count != ref.Count {
+			t.Fatalf("round %d: merged count %d, concatenated %d", round, merged.Count, ref.Count)
+		}
+		for i := range ref.Buckets {
+			if merged.Buckets[i].Count != ref.Buckets[i].Count {
+				t.Fatalf("round %d: bucket %d merged %d, concatenated %d",
+					round, i, merged.Buckets[i].Count, ref.Buckets[i].Count)
+			}
+		}
+		// The sums may differ only by float addition order; bucket-derived
+		// quantiles are pure functions of identical counts, so they must be
+		// bit-identical.
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			mq, rq := merged.Quantile(q), ref.Quantile(q)
+			if math.Float64bits(mq) != math.Float64bits(rq) {
+				t.Fatalf("round %d: q%g merged %v, concatenated %v", round, q, mq, rq)
+			}
+		}
+	}
+}
+
+func TestMergeHistogramsRefusesMismatchedLayouts(t *testing.T) {
+	a := NewRegistry().NewHistogram("h", "", []float64{0.1, 1})
+	b := NewRegistry().NewHistogram("h", "", []float64{0.1, 2})
+	a.Observe(0.5)
+	b.Observe(0.5)
+	_, err := MergeHistogramSnapshots([]HistogramSnapshot{
+		NewRegistryFrom(a), NewRegistryFrom(b),
+	})
+	if err == nil {
+		t.Fatal("merging mismatched bucket layouts must error, not guess")
+	}
+	if strings.Contains(err.Error(), "0.1") || strings.Contains(err.Error(), "2") {
+		t.Errorf("merge error must not echo scraped boundaries: %v", err)
+	}
+}
+
+// NewRegistryFrom snapshots one histogram in isolation (test helper).
+func NewRegistryFrom(h *Histogram) HistogramSnapshot {
+	snap := HistogramSnapshot{Name: h.name, Count: h.Count(), Sum: h.Sum()}
+	var cum uint64
+	for i, le := range h.bounds {
+		cum += h.buckets[i].Load()
+		snap.Buckets = append(snap.Buckets, Bucket{Le: le, Count: cum})
+	}
+	return snap
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("h", "", []float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5) // all ten observations land in (1, 2]
+	}
+	snap := reg.Snapshot().Histograms[0]
+	// rank(0.5) = 5 of 10; bucket (1,2] holds all 10 → 1 + 1*(5-0)/10 = 1.5.
+	if got := snap.Quantile(0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("p50 = %v, want 1.5", got)
+	}
+	h.Observe(100) // beyond the last bound: clamps to it
+	snap = reg.Snapshot().Histograms[0]
+	if got := snap.Quantile(0.999); math.Abs(got-4) > 1e-12 {
+		t.Errorf("p999 beyond last bound = %v, want clamp to 4", got)
+	}
+	if !math.IsNaN((HistogramSnapshot{}).Quantile(0.5)) {
+		t.Error("empty histogram quantile must be NaN")
+	}
+}
+
+func TestMergeLedgersExactSum(t *testing.T) {
+	mk := func(pairs ...[2]any) LedgerSnapshot {
+		l := NewLedger()
+		for _, p := range pairs {
+			l.Record(ReleaseEvent{Mechanism: p[0].(string), Epsilon: p[1].(float64), Values: 1})
+		}
+		return l.Snapshot()
+	}
+	a := mk([2]any{"cluster", 0.5}, [2]any{"persist", 0.0})
+	b := mk([2]any{"cluster", 0.25}, [2]any{"gs", 1.0}, [2]any{"cluster", math.Inf(1)})
+	merged := MergeLedgers([]LedgerSnapshot{a, b})
+
+	// Fleet Σε must equal the sum of the per-process ledgers exactly: the
+	// chosen ε values are exact binary fractions, so order cannot matter.
+	if want := a.TotalEpsilon + b.TotalEpsilon; merged.TotalEpsilon != want {
+		t.Errorf("fleet total epsilon %v, want %v", merged.TotalEpsilon, want)
+	}
+	if merged.InfReleases != 1 {
+		t.Errorf("inf releases %d, want 1", merged.InfReleases)
+	}
+	byMech := map[string]MechanismTotal{}
+	for _, m := range merged.ByMechanism {
+		byMech[m.Mechanism] = m
+	}
+	if c := byMech["cluster"]; c.Epsilon != 0.75 || c.Releases != 3 || c.InfReleases != 1 {
+		t.Errorf("cluster total = %+v", c)
+	}
+	if merged.Dropped != 5 {
+		t.Errorf("merged event provenance count %d, want 5", merged.Dropped)
+	}
+	if len(merged.Events) != 0 {
+		t.Errorf("fleet ledger must not replay raw events, got %d", len(merged.Events))
+	}
+}
+
+func TestReleaseEventJSONRoundTrip(t *testing.T) {
+	for _, ev := range []ReleaseEvent{
+		{Mechanism: "cluster", Epsilon: 0.5, Sensitivity: 2, Values: 10},
+		{Mechanism: "nou", Epsilon: math.Inf(1), Values: 3},
+	} {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ReleaseEvent
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Mechanism != ev.Mechanism || back.Values != ev.Values ||
+			math.Float64bits(back.Epsilon) != math.Float64bits(ev.Epsilon) {
+			t.Errorf("round trip diverged: %+v -> %+v", ev, back)
+		}
+	}
+	var bad ReleaseEvent
+	err := json.Unmarshal([]byte(`{"mechanism":"m","epsilon":"not-a-number"}`), &bad)
+	if err == nil {
+		t.Fatal("malformed epsilon must error, not vanish")
+	}
+	if strings.Contains(err.Error(), "not-a-number") {
+		t.Errorf("error must not echo the wire value: %v", err)
+	}
+}

@@ -80,14 +80,42 @@ func Handler(t *Tracer) http.Handler {
 			}
 		}
 
-		var buf bytes.Buffer
-		enc := json.NewEncoder(&buf)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(resp); err != nil {
-			http.Error(w, "encoding error", http.StatusInternalServerError)
+		writeJSON(w, resp)
+	})
+}
+
+// LookupHandler serves one retained trace by exact id, for mounting at a
+// Go 1.22 pattern route like "GET /debug/traces/{trace_id}". A fleet
+// collector stitching a cross-process trace fetches the id from each
+// process directly instead of filtering every ring dump. The path value
+// is validated as 32 lowercase hex digits before any lookup and is never
+// echoed back — a 404 body carries no request data.
+func LookupHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, ok := ParseTraceID(r.PathValue("trace_id"))
+		if !ok {
+			http.Error(w, "trace_id must be 32 lowercase hex digits", http.StatusBadRequest)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(buf.Bytes())
+		td := t.Lookup(id)
+		if td == nil {
+			http.Error(w, "trace not retained", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, td)
 	})
+}
+
+// writeJSON encodes v fully before writing, so an encoding failure can
+// still become a clean 500 instead of a torn body.
+func writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, "encoding error", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
 }

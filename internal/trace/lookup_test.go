@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceID(t *testing.T) {
+	id, ok := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	if !ok || id.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("round trip failed: %v %v", id, ok)
+	}
+	for _, bad := range []string{
+		"",
+		"4bf92f3577b34da6a3ce929d0e0e473",    // short
+		"4bf92f3577b34da6a3ce929d0e0e47366",  // long
+		"4BF92F3577B34DA6A3CE929D0E0E4736",   // uppercase
+		"4bf92f3577b34da6a3ce929d0e0e473g",   // non-hex
+		"00000000000000000000000000000000",   // forbidden zero id
+		"../etc/passwd/0e0e47364bf92f3577b3", // path junk
+	} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLookupFindsRetainedTrace(t *testing.T) {
+	tr := New(Config{Seed: 51, Capacity: 8, Process: "shard_0"})
+	ctx, root := tr.StartRoot(context.Background(), "recommend")
+	_, child := StartChild(ctx, "rank")
+	child.End()
+	wantID := root.TraceID()
+	root.End()
+
+	td := tr.Lookup(wantID)
+	if td == nil {
+		t.Fatal("retained trace not found by id")
+	}
+	if td.TraceID != wantID.String() {
+		t.Errorf("lookup returned trace %s, want %s", td.TraceID, wantID)
+	}
+	if td.Process != "shard_0" {
+		t.Errorf("process identity %q, want shard_0", td.Process)
+	}
+	if len(td.Spans) != 1 || td.Spans[0].Name != "rank" {
+		t.Errorf("child spans %+v", td.Spans)
+	}
+	if got := tr.Lookup(tr.newTraceID()); got != nil {
+		t.Errorf("lookup of unretained id returned %+v", got)
+	}
+}
+
+func TestSnapshotStampsProcess(t *testing.T) {
+	tr := New(Config{Seed: 53, Process: "recrouter"})
+	_, sp := tr.StartRoot(context.Background(), "route")
+	sp.End()
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].Process != "recrouter" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// A dynamic (invalid) identifier must not ride into the export.
+	bad := New(Config{Seed: 55, Process: "Host-1; rm -rf"})
+	_, sp = bad.StartRoot(context.Background(), "route")
+	sp.End()
+	if got := bad.Snapshot()[0].Process; got != "invalid_process" {
+		t.Errorf("invalid process exported as %q", got)
+	}
+}
+
+func TestLookupHandler(t *testing.T) {
+	tr := New(Config{Seed: 57, Process: "shard_1"})
+	_, sp := tr.StartRoot(context.Background(), "recommend")
+	id := sp.TraceID().String()
+	sp.End()
+
+	mux := http.NewServeMux()
+	mux.Handle("GET /debug/traces/{trace_id}", LookupHandler(tr))
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/"+id, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET by id: %d %s", rec.Code, rec.Body)
+	}
+	var td TraceData
+	if err := json.Unmarshal(rec.Body.Bytes(), &td); err != nil {
+		t.Fatal(err)
+	}
+	if td.TraceID != id || td.Process != "shard_1" || td.Root.Name != "recommend" {
+		t.Errorf("lookup body = %+v", td)
+	}
+
+	rec = httptest.NewRecorder()
+	missing := "4bf92f3577b34da6a3ce929d0e0e4736"
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/"+missing, nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unretained id = %d, want 404", rec.Code)
+	}
+	if strings.Contains(rec.Body.String(), missing) {
+		t.Errorf("404 body echoed the requested id: %s", rec.Body)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/NOT-HEX", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed id = %d, want 400", rec.Code)
+	}
+	if strings.Contains(rec.Body.String(), "NOT-HEX") {
+		t.Errorf("400 body echoed the path value: %s", rec.Body)
+	}
+}

@@ -22,6 +22,11 @@ type SpanData struct {
 // and why the sampler kept it.
 type TraceData struct {
 	TraceID string `json:"trace_id"`
+	// Process is the static identity of the process that recorded the
+	// trace (Config.Process), so a fleet collector can attribute the
+	// spans after stitching several processes' exports together. Empty
+	// when the tracer was built without one.
+	Process string `json:"process,omitempty"`
 	// Retained is the retention reason: "head" (deterministic head
 	// sample), "error" (root or a child errored) or "slow" (root latency
 	// reached the rolling tail threshold).
@@ -172,6 +177,24 @@ func (r *ring) push(traceID TraceID, why string, root spanRecord, children []spa
 	d.endNano = endNano
 	sl.full = true
 	sl.mu.Unlock()
+}
+
+// lookup exports the retained trace with the given id, nil when no slot
+// holds it. Exporting under the slot mutex is deliberate: the slot may be
+// overwritten the moment the mutex drops, and this is the rare
+// debug-endpoint path, not the span hot path. If several slots hold the
+// id (a wrapped ring re-retaining it), the most recently finished wins.
+func (r *ring) lookup(id TraceID) *TraceData {
+	var best *TraceData
+	for i := range r.slots {
+		sl := &r.slots[i]
+		sl.mu.Lock()
+		if sl.full && sl.data.traceID == id && (best == nil || sl.data.endNano > best.endNano) {
+			best = sl.data.export()
+		}
+		sl.mu.Unlock()
+	}
+	return best
 }
 
 // snapshot exports the retained traces newest-first.

@@ -144,6 +144,13 @@ type Config struct {
 	// Seed, when non-zero, makes span/trace IDs a deterministic sequence
 	// (tests). 0 seeds the generator from crypto/rand at construction.
 	Seed int64
+	// Process is the static process identity ("recrouter", "shard_0")
+	// stamped on every exported trace, so a fleet collector stitching
+	// spans from several /debug/traces exports can attribute each span to
+	// the process that recorded it. Must be a static identifier under the
+	// same closed-world rule as span names; anything else exports as
+	// "invalid_process". Empty omits the field.
+	Process string
 }
 
 // Tracer creates spans and retains sampled traces in a ring buffer.
@@ -152,6 +159,7 @@ type Tracer struct {
 	quant       *quantile
 	headBar     uint64 // keep when top 8 ID bytes <= headBar
 	maxChildren int
+	process     string // static process identity stamped on exports
 
 	ids atomic.Uint64 // splitmix64 state; IDs need uniqueness, not secrecy
 
@@ -191,11 +199,16 @@ func New(cfg Config) *Tracer {
 	default:
 		bar = uint64(rate * float64(^uint64(0)))
 	}
+	proc := cfg.Process
+	if proc != "" && !validName(proc) {
+		proc = "invalid_process"
+	}
 	t := &Tracer{
 		ring:        newRing(cfg.Capacity),
 		quant:       newQuantile(cfg.SlowQuantile),
 		headBar:     bar,
 		maxChildren: cfg.MaxChildren,
+		process:     proc,
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -852,7 +865,43 @@ func (t *Tracer) Stats() Stats {
 }
 
 // Snapshot returns the retained traces, newest first, exported to their
-// JSON shape (the ring itself stores compact records).
+// JSON shape (the ring itself stores compact records). Every trace is
+// stamped with the tracer's configured process identity.
 func (t *Tracer) Snapshot() []*TraceData {
-	return t.ring.snapshot()
+	out := t.ring.snapshot()
+	if t.process != "" {
+		for _, td := range out {
+			td.Process = t.process
+		}
+	}
+	return out
+}
+
+// Lookup returns the retained trace with the given id, or nil if the ring
+// no longer (or never) holds one. If the ring retained the id more than
+// once, the most recently finished copy wins.
+func (t *Tracer) Lookup(id TraceID) *TraceData {
+	td := t.ring.lookup(id)
+	if td != nil && t.process != "" {
+		td.Process = t.process
+	}
+	return td
+}
+
+// ParseTraceID parses the 32-lowercase-hex form produced by
+// TraceID.String (the W3C canonical alphabet; uppercase is rejected, as
+// nothing in this system emits it). ok is false for anything else,
+// including the forbidden all-zero id.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 || !isHexLower(s) {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	if id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
 }

@@ -16,6 +16,12 @@
 #      recover.
 #   4. Recovered load: error rate back under the baseline bound.
 #
+# The fleet collector (cmd/socmon) watches the whole drill: it scrapes
+# the router and all three shards, and the script asserts the collector's
+# side of the story — the replica-down alert for the killed shard fires,
+# the fleet view degrades with an explicit "stale" label instead of
+# erroring, and the alert clears again after the restart.
+#
 # Everything runs on localhost with fixed seeds; `make router-chaos` is
 # the entry point, and ci.sh runs it as the router chaos smoke.
 set -euo pipefail
@@ -27,7 +33,9 @@ PORT_ROUTER=19080
 PORT_SHARD0=19081
 PORT_SHARD1=19082
 PORT_SHARD2=19083
+PORT_SOCMON=19084
 ROUTER_URL="http://127.0.0.1:${PORT_ROUTER}"
+SOCMON_URL="http://127.0.0.1:${PORT_SOCMON}"
 
 tmp=$(mktemp -d)
 declare -a pids=()
@@ -56,9 +64,33 @@ metric_line() {
     curl -fsS "${ROUTER_URL}/metrics?format=prometheus" 2>/dev/null | grep -E "$1" || true
 }
 
+# alert_state <rule> — the collector's state for one alert rule.
+alert_state() {
+    curl -fsS "${SOCMON_URL}/fleet/alerts" 2>/dev/null |
+        grep -A3 "\"name\": \"$1\"" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p'
+}
+
+# target_health <name> — the collector's health label for one target.
+target_health() {
+    curl -fsS "${SOCMON_URL}/fleet/metrics" 2>/dev/null |
+        grep -A2 "\"target\": \"$1\"" | sed -n 's/.*"health": "\([a-z]*\)".*/\1/p' | head -1
+}
+
+# wait_alert <rule> <state> <attempts> — poll until the rule reaches state.
+wait_alert() {
+    local rule=$1 want=$2 attempts=$3 i
+    for ((i = 0; i < attempts; i++)); do
+        if [[ "$(alert_state "$rule")" == "$want" ]]; then return 0; fi
+        sleep 0.2
+    done
+    echo "alert $rule never reached state $want:" >&2
+    curl -fsS "${SOCMON_URL}/fleet/alerts" >&2 || true
+    return 1
+}
+
 step "building binaries"
 mkdir -p "$tmp/bin"
-go build -o "$tmp/bin/" ./cmd/datagen ./cmd/recserve ./cmd/recrouter ./cmd/loadgen
+go build -o "$tmp/bin/" ./cmd/datagen ./cmd/recserve ./cmd/recrouter ./cmd/loadgen ./cmd/socmon
 
 step "generating dataset and splitting a 3-shard release"
 "$tmp/bin/datagen" -preset tiny -seed 7 -out "$tmp/data"
@@ -104,6 +136,23 @@ wait_http "http://127.0.0.1:${PORT_SHARD2}/readyz" 100
 pids+=($!)
 wait_http "${ROUTER_URL}/readyz" 100
 
+step "starting fleet collector (socmon)"
+"$tmp/bin/socmon" -addr "127.0.0.1:${PORT_SOCMON}" \
+    -target "router=router=${ROUTER_URL}" \
+    -target "shard_0=shard=http://127.0.0.1:${PORT_SHARD0}" \
+    -target "shard_1=shard=http://127.0.0.1:${PORT_SHARD1}" \
+    -target "shard_2=shard=http://127.0.0.1:${PORT_SHARD2}" \
+    -scrape-interval 300ms -scrape-timeout 500ms \
+    -replica-down-after 2 -clear-after 2 \
+    >"$tmp/socmon.log" 2>&1 &
+pids+=($!)
+wait_http "${SOCMON_URL}/readyz" 100
+[[ "$(target_health shard_1)" == "ok" ]] || {
+    echo "collector does not see shard 1 healthy at baseline:" >&2
+    curl -fsS "${SOCMON_URL}/fleet/metrics" >&2 || true
+    exit 1
+}
+
 step "act 1: baseline load (capacity number)"
 "$tmp/bin/loadgen" -url "$ROUTER_URL" -rps 120 -duration 5s -zipf 1.1 \
     -batch 0.2 -batch-size 8 -seed 1 \
@@ -138,6 +187,24 @@ if ! metric_line 'router_breaker_state_s1_r0 [12]' | grep -q .; then
 fi
 echo "ok: breaker tripped for shard 1"
 
+step "act 2c: collector pages and degrades explicitly"
+# The replica-down alert must fire for the killed shard...
+wait_alert replica_down_shard_1 firing 50
+# ...the fleet view must keep answering with the dead shard labeled
+# stale (last-good data still contributing), not turn into an error page...
+health=$(target_health shard_1)
+[[ "$health" == "stale" ]] || {
+    echo "killed shard not labeled stale in the fleet view (got '$health'):" >&2
+    curl -fsS "${SOCMON_URL}/fleet/metrics" >&2 || true
+    exit 1
+}
+# ...and the surviving targets stay fresh.
+[[ "$(target_health shard_0)" == "ok" && "$(target_health router)" == "ok" ]] || {
+    echo "healthy targets mislabeled while shard 1 is down" >&2
+    exit 1
+}
+echo "ok: replica_down_shard_1 firing, shard_1 stale, fleet view still serving"
+
 step "act 3: restart shard 1, breaker must re-close"
 start_shard 1 "$PORT_SHARD1" "$tmp/shard1b.log"
 pids+=($!)
@@ -163,6 +230,14 @@ if [[ "$recovered" != true ]]; then
     exit 1
 fi
 echo "ok: breaker closed and router ready again"
+
+step "act 3b: collector un-pages after the restart"
+wait_alert replica_down_shard_1 ok 50
+[[ "$(target_health shard_1)" == "ok" ]] || {
+    echo "restarted shard still not healthy in the fleet view" >&2
+    exit 1
+}
+echo "ok: replica_down_shard_1 cleared, shard_1 healthy again"
 
 step "act 4: recovered load"
 "$tmp/bin/loadgen" -url "$ROUTER_URL" -rps 120 -duration 5s -zipf 1.1 \
